@@ -1,0 +1,45 @@
+//! Expansion micro-benchmarks: software reference vs the cycle-accurate
+//! hardware model, across loaded-sequence lengths and repetition counts.
+
+use bist_expand::expansion::ExpansionConfig;
+use bist_expand::hardware::OnChipExpander;
+use bist_expand::{TestSequence, TestVector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn sample_sequence(len: usize, width: usize) -> TestSequence {
+    TestSequence::from_vectors(
+        (0..len)
+            .map(|i| TestVector::from_fn(width, |b| (i * 7 + b * 3) % 5 < 2))
+            .collect(),
+    )
+    .expect("nonempty")
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expansion");
+    for &(len, n) in &[(8usize, 2usize), (32, 8), (128, 16)] {
+        let s = sample_sequence(len, 16);
+        let cfg = ExpansionConfig::new(n).expect("n >= 1");
+        group.bench_with_input(
+            BenchmarkId::new("software", format!("len{len}_n{n}")),
+            &s,
+            |b, s| b.iter(|| black_box(cfg.expand(black_box(s)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hardware_model", format!("len{len}_n{n}")),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    let mut hw = OnChipExpander::new(s.len(), s.width(), cfg);
+                    hw.load(s).expect("fits");
+                    black_box(hw.run().expect("loaded"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expansion);
+criterion_main!(benches);

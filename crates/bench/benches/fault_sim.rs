@@ -1,0 +1,48 @@
+//! Fault-simulation benchmarks, including the parallel-vs-serial ablation
+//! called out in DESIGN.md: 64 packed fault machines per pass vs one
+//! fault at a time.
+
+use bist_netlist::benchmarks;
+use bist_sim::{collapse, fault_universe, FaultSimulator};
+use bist_tgen::Lfsr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_sim");
+    group.sample_size(20);
+
+    let circuits = vec![
+        benchmarks::s27(),
+        benchmarks::suite()[1].build().expect("a298 builds"),
+    ];
+    for circuit in &circuits {
+        let faults = collapse(circuit, &fault_universe(circuit)).representatives().to_vec();
+        let sim = FaultSimulator::new(circuit);
+        let seq = Lfsr::new(42).sequence(circuit.num_inputs(), 64);
+
+        group.bench_with_input(
+            BenchmarkId::new("parallel64", circuit.name()),
+            &(),
+            |b, ()| b.iter(|| black_box(sim.detection_times(&seq, &faults).expect("ok"))),
+        );
+        group.bench_with_input(BenchmarkId::new("serial", circuit.name()), &(), |b, ()| {
+            b.iter(|| {
+                let times: Vec<_> = faults
+                    .iter()
+                    .map(|&f| sim.first_detection(&seq, f).expect("ok"))
+                    .collect();
+                black_box(times)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("good_only", circuit.name()),
+            &(),
+            |b, ()| b.iter(|| black_box(sim.good(&seq).expect("ok"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_sim);
+criterion_main!(benches);

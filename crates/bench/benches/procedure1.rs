@@ -1,0 +1,70 @@
+//! Benchmarks of the paper's procedures on s27: Procedure 1 (selection)
+//! and the §3.2 static compaction, across repetition counts. The ratio of
+//! these times to the `t0_simulation_baseline` is the quantity Table 4
+//! reports.
+
+use bist_core::{compact_set, find_subsequence_with_growth, select_subsequences, WindowGrowth};
+use bist_expand::expansion::ExpansionConfig;
+use bist_expand::TestSequence;
+use bist_netlist::benchmarks;
+use bist_sim::{collapse, fault_universe, Fault, FaultCoverage, FaultSimulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_procedures(c: &mut Criterion) {
+    let circuit = benchmarks::s27();
+    let faults: Vec<Fault> =
+        collapse(&circuit, &fault_universe(&circuit)).representatives().to_vec();
+    let sim = FaultSimulator::new(&circuit);
+    let t0: TestSequence =
+        "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().expect("valid");
+    let cov = FaultCoverage::simulate(&sim, &t0, faults.clone()).expect("simulates");
+
+    let mut group = c.benchmark_group("procedure1");
+    for n in [1usize, 4, 16] {
+        let expansion = ExpansionConfig::new(n).expect("n >= 1");
+        group.bench_with_input(BenchmarkId::new("select", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(select_subsequences(&sim, &t0, &cov, &expansion, 0).expect("ok"))
+            })
+        });
+        let selection = select_subsequences(&sim, &t0, &cov, &expansion, 0).expect("ok");
+        let detected: Vec<Fault> = cov.detected().map(|(f, _)| f).collect();
+        group.bench_with_input(BenchmarkId::new("compact", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    compact_set(&sim, selection.sequences.clone(), &detected, &expansion)
+                        .expect("ok"),
+                )
+            })
+        });
+    }
+    group.bench_function("t0_simulation_baseline", |b| {
+        b.iter(|| black_box(sim.detection_times(&t0, &faults).expect("ok")))
+    });
+
+    // Ablation: the paper's linear window growth vs. the exponential
+    // heuristic, over every detected fault.
+    let expansion = ExpansionConfig::new(2).expect("valid");
+    for (label, growth) in [
+        ("grow_linear", WindowGrowth::Linear),
+        ("grow_exponential", WindowGrowth::Exponential),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for (f, udet) in cov.detected() {
+                    black_box(
+                        find_subsequence_with_growth(
+                            &sim, &t0, f, udet, &expansion, 0, growth,
+                        )
+                        .expect("ok"),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_procedures);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! End-to-end table-row regeneration benchmarks — one per paper table.
+//!
+//! Each benchmark measures producing one table's row for `s27` from
+//! scratch (the full pipeline for Tables 3/4/5, the detection-table dump
+//! for Table 2, the window map for Figure 1).
+
+use bist_bench::{run_pipeline, PipelineConfig};
+use bist_core::figure1;
+use bist_expand::TestSequence;
+use bist_netlist::benchmarks;
+use bist_sim::{collapse, fault_universe, FaultSimulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn quick_config() -> PipelineConfig {
+    PipelineConfig { seed: 3, ns: vec![1, 2], t0_compaction_budget: 50, t0_max_length: 64 }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+
+    let entry = benchmarks::suite().into_iter().next().expect("s27 entry");
+
+    group.bench_function("table2_row_s27", |b| {
+        let circuit = benchmarks::s27();
+        let faults =
+            collapse(&circuit, &fault_universe(&circuit)).representatives().to_vec();
+        let sim = FaultSimulator::new(&circuit);
+        let t0: TestSequence =
+            "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().expect("valid");
+        b.iter(|| black_box(sim.detection_times(&t0, &faults).expect("ok")))
+    });
+
+    group.bench_function("table3_row_s27", |b| {
+        b.iter(|| black_box(run_pipeline(&entry, &quick_config()).expect("ok").table3_row()))
+    });
+
+    group.bench_function("table4_row_s27", |b| {
+        b.iter(|| black_box(run_pipeline(&entry, &quick_config()).expect("ok").table4_row()))
+    });
+
+    group.bench_function("table5_row_s27", |b| {
+        b.iter(|| black_box(run_pipeline(&entry, &quick_config()).expect("ok").table5_row()))
+    });
+
+    group.bench_function("figure1_s27", |b| {
+        let out = run_pipeline(&entry, &quick_config()).expect("ok");
+        b.iter(|| black_box(figure1(out.t0_len, &out.scheme.best_run().sequences)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Figure 1: the subsequences `S1, S2, ...` carved out of
+//! `T0`, illustrating that only part of `T0` is ever loaded.
+//!
+//! Usage: `figure1 [circuit]` (default `s27`; any suite circuit name).
+
+use bist_bench::tables::{print_context, print_figure1};
+use bist_bench::{run_pipeline, PipelineConfig};
+use bist_netlist::benchmarks::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "s27".to_string());
+    let entries = suite();
+    let entry = entries
+        .iter()
+        .find(|e| e.name == name)
+        .ok_or_else(|| format!("unknown circuit `{name}`; try one of: s27, a298, a344, ..."))?;
+    let out = run_pipeline(entry, &PipelineConfig::new())?;
+    print_context(&out);
+    print_figure1(&out);
+    Ok(())
+}

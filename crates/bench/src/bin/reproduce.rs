@@ -1,0 +1,38 @@
+//! Regenerates every table and figure of the paper in one run, sharing
+//! the heavy computation across tables.
+//!
+//! Usage: `reproduce [--quick | --full | --upto N]`.
+
+use bist_bench::pipeline::max_gates_from_args;
+use bist_bench::tables::{print_context, print_figure1, print_table3, print_table4, print_table5};
+use bist_bench::{run_pipeline, PipelineConfig};
+use bist_netlist::benchmarks::suite_up_to;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cap = max_gates_from_args(&args);
+    let entries = suite_up_to(cap);
+    let skipped = 13 - entries.len();
+    if skipped > 0 {
+        eprintln!("note: skipping {skipped} circuit(s) above {cap} gates (use --full to include)");
+    }
+
+    let cfg = PipelineConfig::new();
+    let mut outcomes = Vec::new();
+    for entry in &entries {
+        eprintln!("running {} ...", entry.name);
+        let out = run_pipeline(entry, &cfg)?;
+        print_context(&out);
+        outcomes.push(out);
+    }
+
+    println!();
+    print_figure1(&outcomes[0]);
+    println!();
+    print_table3(&outcomes);
+    println!();
+    print_table4(&outcomes);
+    println!();
+    print_table5(&outcomes);
+    Ok(())
+}

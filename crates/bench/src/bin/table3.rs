@@ -1,0 +1,31 @@
+//! Regenerates Table 3: per-circuit selection results before/after static
+//! compaction of `S`.
+//!
+//! Usage: `table3 [--quick | --full | --upto N]` (gate-count cap; default
+//! 3000 — everything except the `s35932` analog).
+
+use bist_bench::pipeline::max_gates_from_args;
+use bist_bench::tables::{print_context, print_table3};
+use bist_bench::{run_pipeline, PipelineConfig};
+use bist_netlist::benchmarks::suite_up_to;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cap = max_gates_from_args(&args);
+    let entries = suite_up_to(cap);
+    let skipped = 13 - entries.len();
+    if skipped > 0 {
+        eprintln!("note: skipping {skipped} circuit(s) above {cap} gates (use --full to include)");
+    }
+    let cfg = PipelineConfig::new();
+    let mut outcomes = Vec::new();
+    for entry in &entries {
+        eprintln!("running {} ...", entry.name);
+        let out = run_pipeline(entry, &cfg)?;
+        print_context(&out);
+        outcomes.push(out);
+    }
+    println!();
+    print_table3(&outcomes);
+    Ok(())
+}

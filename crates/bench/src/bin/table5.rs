@@ -1,0 +1,26 @@
+//! Regenerates Table 5: comparison with `T0` — the headline result that
+//! the total loaded length averages 46% of `|T0|` and the maximum stored
+//! subsequence 10% of `|T0|`.
+//!
+//! Usage: `table5 [--quick | --full | --upto N]`.
+
+use bist_bench::pipeline::max_gates_from_args;
+use bist_bench::tables::{print_context, print_table5};
+use bist_bench::{run_pipeline, PipelineConfig};
+use bist_netlist::benchmarks::suite_up_to;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let entries = suite_up_to(max_gates_from_args(&args));
+    let cfg = PipelineConfig::new();
+    let mut outcomes = Vec::new();
+    for entry in &entries {
+        eprintln!("running {} ...", entry.name);
+        let out = run_pipeline(entry, &cfg)?;
+        print_context(&out);
+        outcomes.push(out);
+    }
+    println!();
+    print_table5(&outcomes);
+    Ok(())
+}

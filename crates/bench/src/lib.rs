@@ -1,0 +1,24 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! The binaries in `src/bin/` print the paper's tables side by side with
+//! our measured values:
+//!
+//! * `table2` — the s27 test sequence with per-time-unit detected faults
+//! * `figure1` — the subsequence windows carved out of `T0`
+//! * `table3` — per-circuit selection results before/after compaction
+//! * `table4` — normalized run times
+//! * `table5` — comparison with `T0` (the headline 0.46 / 0.10 ratios)
+//! * `reproduce` — everything above in one run
+//!
+//! The shared pipeline lives in [`run_pipeline`]; the paper's published
+//! numbers live in [`paper`]. See `EXPERIMENTS.md` for recorded
+//! paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod pipeline;
+pub mod tables;
+
+pub use pipeline::{run_pipeline, CircuitOutcome, PipelineConfig};

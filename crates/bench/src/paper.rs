@@ -1,0 +1,131 @@
+//! The paper's published experimental numbers (Tables 3, 4 and 5),
+//! transcribed for side-by-side comparison with measured results.
+
+/// One circuit's published results (Tables 3 + 4 + 5 combined; Table 5's
+/// `test len` column is `8 · n · tot_after`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// ISCAS-89 circuit name.
+    pub circuit: &'static str,
+    /// Total faults.
+    pub faults_total: usize,
+    /// Faults detected by `T0` (STRATEGATE + compaction).
+    pub faults_detected: usize,
+    /// `|T0|`.
+    pub t0_len: usize,
+    /// Best repetition count.
+    pub n: usize,
+    /// `|S|` before compaction.
+    pub count_before: usize,
+    /// Total length before compaction.
+    pub total_before: usize,
+    /// Max length before compaction.
+    pub max_before: usize,
+    /// `|S|` after compaction.
+    pub count_after: usize,
+    /// Total length after compaction.
+    pub total_after: usize,
+    /// Max length after compaction.
+    pub max_after: usize,
+    /// Table 4: Procedure 1 time / `T0` simulation time.
+    pub proc1_normalized: f64,
+    /// Table 4: compaction time / `T0` simulation time.
+    pub compact_normalized: f64,
+}
+
+impl PaperRow {
+    /// Table 5 `tot len / orig len` ratio.
+    #[must_use]
+    pub fn total_ratio(&self) -> f64 {
+        self.total_after as f64 / self.t0_len as f64
+    }
+
+    /// Table 5 `max len / orig len` ratio.
+    #[must_use]
+    pub fn max_ratio(&self) -> f64 {
+        self.max_after as f64 / self.t0_len as f64
+    }
+
+    /// Table 5 applied test length (`8·n·tot_after`).
+    #[must_use]
+    pub fn test_len(&self) -> usize {
+        8 * self.n * self.total_after
+    }
+}
+
+/// Tables 3-5 of the paper, in publication order.
+pub const PAPER_ROWS: [PaperRow; 12] = [
+    PaperRow { circuit: "s298", faults_total: 308, faults_detected: 265, t0_len: 117, n: 16, count_before: 7, total_before: 42, max_before: 17, count_after: 4, total_after: 27, max_after: 17, proc1_normalized: 30.62, compact_normalized: 64.59 },
+    PaperRow { circuit: "s344", faults_total: 342, faults_detected: 329, t0_len: 57, n: 8, count_before: 7, total_before: 19, max_before: 6, count_after: 5, total_after: 14, max_after: 6, proc1_normalized: 10.99, compact_normalized: 19.16 },
+    PaperRow { circuit: "s382", faults_total: 399, faults_detected: 364, t0_len: 516, n: 16, count_before: 9, total_before: 337, max_before: 94, count_after: 5, total_after: 272, max_after: 94, proc1_normalized: 308.27, compact_normalized: 137.66 },
+    PaperRow { circuit: "s400", faults_total: 421, faults_detected: 380, t0_len: 611, n: 16, count_before: 6, total_before: 261, max_before: 100, count_after: 5, total_after: 259, max_after: 100, proc1_normalized: 224.93, compact_normalized: 147.31 },
+    PaperRow { circuit: "s526", faults_total: 555, faults_detected: 454, t0_len: 1006, n: 16, count_before: 12, total_before: 717, max_before: 122, count_after: 9, total_after: 637, max_after: 122, proc1_normalized: 328.57, compact_normalized: 93.67 },
+    PaperRow { circuit: "s641", faults_total: 467, faults_detected: 404, t0_len: 101, n: 16, count_before: 20, total_before: 42, max_before: 8, count_after: 13, total_after: 29, max_after: 8, proc1_normalized: 43.76, compact_normalized: 62.44 },
+    PaperRow { circuit: "s820", faults_total: 850, faults_detected: 814, t0_len: 491, n: 4, count_before: 54, total_before: 534, max_before: 15, count_after: 45, total_after: 454, max_after: 15, proc1_normalized: 83.03, compact_normalized: 71.49 },
+    PaperRow { circuit: "s1196", faults_total: 1242, faults_detected: 1239, t0_len: 238, n: 4, count_before: 110, total_before: 152, max_before: 2, count_after: 100, total_after: 137, max_after: 2, proc1_normalized: 13.27, compact_normalized: 47.14 },
+    PaperRow { circuit: "s1423", faults_total: 1515, faults_detected: 1414, t0_len: 1024, n: 8, count_before: 24, total_before: 464, max_before: 82, count_after: 21, total_after: 422, max_after: 82, proc1_normalized: 103.10, compact_normalized: 56.45 },
+    PaperRow { circuit: "s1488", faults_total: 1486, faults_detected: 1444, t0_len: 455, n: 8, count_before: 19, total_before: 254, max_before: 44, count_after: 15, total_after: 220, max_after: 44, proc1_normalized: 41.16, compact_normalized: 77.17 },
+    PaperRow { circuit: "s5378", faults_total: 4603, faults_detected: 3639, t0_len: 646, n: 8, count_before: 43, total_before: 348, max_before: 29, count_after: 38, total_after: 326, max_after: 29, proc1_normalized: 9.46, compact_normalized: 20.74 },
+    PaperRow { circuit: "s35932", faults_total: 39094, faults_detected: 35100, t0_len: 257, n: 8, count_before: 20, total_before: 406, max_before: 32, count_after: 6, total_after: 77, max_after: 32, proc1_normalized: 6.71, compact_normalized: 16.08 },
+];
+
+/// Looks up the published row for an ISCAS-89 circuit.
+#[must_use]
+pub fn paper_row(circuit: &str) -> Option<&'static PaperRow> {
+    PAPER_ROWS.iter().find(|r| r.circuit == circuit)
+}
+
+/// The paper's reported average ratios (last row of Table 5).
+pub const PAPER_AVG_TOTAL_RATIO: f64 = 0.46;
+/// See [`PAPER_AVG_TOTAL_RATIO`].
+pub const PAPER_AVG_MAX_RATIO: f64 = 0.10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_rows_in_order() {
+        assert_eq!(PAPER_ROWS.len(), 12);
+        assert_eq!(PAPER_ROWS[0].circuit, "s298");
+        assert_eq!(PAPER_ROWS[11].circuit, "s35932");
+    }
+
+    #[test]
+    fn test_len_column_matches_table5() {
+        // Table 5's last column, as printed in the paper.
+        let expected = [
+            3456, 896, 34816, 33152, 81536, 3712, 14528, 4384, 27008, 14080, 20864, 4928,
+        ];
+        for (row, want) in PAPER_ROWS.iter().zip(expected) {
+            assert_eq!(row.test_len(), want, "{}", row.circuit);
+        }
+    }
+
+    #[test]
+    fn published_averages_hold() {
+        let avg_total: f64 =
+            PAPER_ROWS.iter().map(PaperRow::total_ratio).sum::<f64>() / PAPER_ROWS.len() as f64;
+        let avg_max: f64 =
+            PAPER_ROWS.iter().map(PaperRow::max_ratio).sum::<f64>() / PAPER_ROWS.len() as f64;
+        assert!((avg_total - PAPER_AVG_TOTAL_RATIO).abs() < 0.01, "avg total {avg_total}");
+        assert!((avg_max - PAPER_AVG_MAX_RATIO).abs() < 0.01, "avg max {avg_max}");
+    }
+
+    #[test]
+    fn ratios_match_published_table5_columns() {
+        // Spot checks against the printed ratio columns.
+        let s298 = paper_row("s298").unwrap();
+        assert!((s298.total_ratio() - 0.23).abs() < 0.005);
+        assert!((s298.max_ratio() - 0.15).abs() < 0.005);
+        let s820 = paper_row("s820").unwrap();
+        assert!((s820.total_ratio() - 0.92).abs() < 0.005);
+        assert!((s820.max_ratio() - 0.03).abs() < 0.005);
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(paper_row("s1423").is_some());
+        assert!(paper_row("s9234").is_none());
+    }
+}

@@ -1,0 +1,214 @@
+//! The shared experiment pipeline: circuit → `T0` → scheme sweep.
+
+use bist_core::{run_scheme, SchemeConfig, SchemeResult, Table3Row, Table4Row, Table5Row};
+use bist_netlist::benchmarks::SuiteEntry;
+use bist_netlist::Circuit;
+use bist_sim::{FaultCoverage, FaultSimulator};
+use bist_tgen::{generate_t0, TgenConfig};
+use std::time::Instant;
+
+/// Configuration of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Seed used for `T0` generation and Procedure 2 omission order.
+    pub seed: u64,
+    /// Repetition counts to sweep.
+    pub ns: Vec<usize>,
+    /// Static-compaction budget for `T0` generation (trial simulations).
+    pub t0_compaction_budget: usize,
+    /// Hard cap on `|T0|` (the paper's longest `T0` is 1024 vectors).
+    pub t0_max_length: usize,
+}
+
+impl PipelineConfig {
+    /// The defaults used by every table binary: seed 1999 (the paper's
+    /// year), the paper's `n` sweep, a 300-trial `T0` compaction, and a
+    /// 1024-vector `T0` cap matching the longest published `T0`.
+    #[must_use]
+    pub fn new() -> Self {
+        PipelineConfig {
+            seed: 1999,
+            ns: vec![2, 4, 8, 16],
+            t0_compaction_budget: 300,
+            t0_max_length: 1024,
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::new()
+    }
+}
+
+/// Everything the tables need for one circuit.
+#[derive(Debug)]
+pub struct CircuitOutcome {
+    /// The circuit (built from the suite entry).
+    pub circuit: Circuit,
+    /// Name of the ISCAS-89 circuit this stands in for.
+    pub analog_of: &'static str,
+    /// Size of the collapsed fault universe.
+    pub faults_total: usize,
+    /// Faults detected by the generated `T0`.
+    pub faults_detected: usize,
+    /// `|T0|`.
+    pub t0_len: usize,
+    /// Coverage of `T0` (detected set + `udet`).
+    pub coverage: FaultCoverage,
+    /// The generated `T0`.
+    pub t0: bist_expand::TestSequence,
+    /// The scheme sweep result.
+    pub scheme: SchemeResult,
+    /// Wall-clock seconds for `T0` generation (not part of the paper's
+    /// tables; printed for context).
+    pub tgen_seconds: f64,
+}
+
+impl CircuitOutcome {
+    /// This circuit's Table 3 row.
+    #[must_use]
+    pub fn table3_row(&self) -> Table3Row {
+        let best = self.scheme.best_run();
+        Table3Row {
+            circuit: self.circuit.name().to_string(),
+            faults_total: self.faults_total,
+            faults_detected: self.faults_detected,
+            t0_len: self.t0_len,
+            n: best.n,
+            count_before: best.before.count,
+            total_before: best.before.total_len,
+            max_before: best.before.max_len,
+            count_after: best.after.count,
+            total_after: best.after.total_len,
+            max_after: best.after.max_len,
+        }
+    }
+
+    /// This circuit's Table 4 row.
+    #[must_use]
+    pub fn table4_row(&self) -> Table4Row {
+        Table4Row {
+            circuit: self.circuit.name().to_string(),
+            proc1_normalized: self.scheme.normalized_proc1_time(),
+            compact_normalized: self.scheme.normalized_compact_time(),
+        }
+    }
+
+    /// This circuit's Table 5 row.
+    #[must_use]
+    pub fn table5_row(&self) -> Table5Row {
+        let best = self.scheme.best_run();
+        Table5Row {
+            circuit: self.circuit.name().to_string(),
+            t0_len: self.t0_len,
+            n: best.n,
+            count: best.after.count,
+            total_len: best.after.total_len,
+            max_len: best.after.max_len,
+            test_len: best.applied_test_len(),
+        }
+    }
+}
+
+/// Runs the full pipeline for one suite entry: build the circuit,
+/// generate and compact `T0`, fault simulate it, and sweep the scheme
+/// over `config.ns`.
+///
+/// # Errors
+///
+/// Propagates netlist/simulation errors (not expected for the built-in
+/// suite).
+pub fn run_pipeline(
+    entry: &SuiteEntry,
+    config: &PipelineConfig,
+) -> Result<CircuitOutcome, Box<dyn std::error::Error>> {
+    let circuit = entry.build()?;
+    let started = Instant::now();
+    let generated = generate_t0(
+        &circuit,
+        &TgenConfig::new()
+            .seed(config.seed)
+            .compaction_budget(config.t0_compaction_budget)
+            .max_length(config.t0_max_length),
+    )?;
+    let tgen_seconds = started.elapsed().as_secs_f64();
+
+    let t0 = generated.sequence;
+    let coverage = generated.coverage;
+    let sim = FaultSimulator::new(&circuit);
+    let scheme_cfg = SchemeConfig::new().ns(config.ns.clone()).seed(config.seed);
+    let scheme = run_scheme(&sim, &t0, &coverage, &scheme_cfg)?;
+
+    Ok(CircuitOutcome {
+        analog_of: entry.analog_of,
+        faults_total: coverage.total(),
+        faults_detected: coverage.detected_count(),
+        t0_len: t0.len(),
+        coverage,
+        t0,
+        scheme,
+        tgen_seconds,
+        circuit,
+    })
+}
+
+/// Parses the common CLI convention of the table binaries:
+/// `--quick` (≤ 300 gates), `--full` (everything), `--upto N`, default
+/// ≤ 3000 gates (everything except the `s35932` analog).
+#[must_use]
+pub fn max_gates_from_args(args: &[String]) -> usize {
+    let mut max = 3000;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => max = 300,
+            "--full" => max = usize::MAX,
+            "--upto" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    max = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::benchmarks::suite;
+
+    #[test]
+    fn pipeline_runs_on_s27() {
+        let entries = suite();
+        let cfg = PipelineConfig {
+            seed: 3,
+            ns: vec![1, 2],
+            t0_compaction_budget: 50,
+            t0_max_length: 64,
+        };
+        let out = run_pipeline(&entries[0], &cfg).unwrap();
+        assert_eq!(out.circuit.name(), "s27");
+        assert_eq!(out.faults_total, 32);
+        assert_eq!(out.faults_detected, 32);
+        let row3 = out.table3_row();
+        assert_eq!(row3.circuit, "s27");
+        assert!(row3.count_after <= row3.count_before);
+        let row5 = out.table5_row();
+        assert_eq!(row5.test_len, 8 * row5.n * row5.total_len);
+        let row4 = out.table4_row();
+        assert!(row4.proc1_normalized > 0.0);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(max_gates_from_args(&args(&[])), 3000);
+        assert_eq!(max_gates_from_args(&args(&["--quick"])), 300);
+        assert_eq!(max_gates_from_args(&args(&["--full"])), usize::MAX);
+        assert_eq!(max_gates_from_args(&args(&["--upto", "500"])), 500);
+        assert_eq!(max_gates_from_args(&args(&["--upto", "junk"])), 3000);
+    }
+}

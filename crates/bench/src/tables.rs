@@ -1,0 +1,112 @@
+//! Printing of the paper-vs-measured tables (shared by the binaries).
+
+use crate::paper::{paper_row, PAPER_AVG_MAX_RATIO, PAPER_AVG_TOTAL_RATIO};
+use crate::pipeline::CircuitOutcome;
+use bist_core::{figure1, Table3Row, Table4Row, Table5Row};
+
+/// Prints Table 3 (selection results) with the paper's row under each
+/// measured row.
+pub fn print_table3(outcomes: &[CircuitOutcome]) {
+    println!("Table 3: Experimental results (measured, with paper row for the analog below)");
+    println!("{}", Table3Row::header());
+    for out in outcomes {
+        println!("{}", out.table3_row());
+        if let Some(p) = paper_row(out.analog_of) {
+            println!(
+                "  paper {:<8} {:>4} {:>6} {:>5} {:>3} | {:>4} {:>7} {:>7} | {:>4} {:>7} {:>7}",
+                p.circuit,
+                p.faults_total,
+                p.faults_detected,
+                p.t0_len,
+                p.n,
+                p.count_before,
+                p.total_before,
+                p.max_before,
+                p.count_after,
+                p.total_after,
+                p.max_after
+            );
+        }
+    }
+}
+
+/// Prints Table 4 (normalized run times).
+pub fn print_table4(outcomes: &[CircuitOutcome]) {
+    println!("Table 4: Normalized run times (time / time-to-simulate-T0)");
+    println!("{}", Table4Row::header());
+    for out in outcomes {
+        println!("{}", out.table4_row());
+        if let Some(p) = paper_row(out.analog_of) {
+            println!(
+                "  paper {:<8} {:>8.2} {:>10.2}",
+                p.circuit, p.proc1_normalized, p.compact_normalized
+            );
+        }
+    }
+}
+
+/// Prints Table 5 (comparison with `T0`) and the measured averages
+/// against the paper's 0.46 / 0.10.
+pub fn print_table5(outcomes: &[CircuitOutcome]) {
+    println!("Table 5: Comparison with T0");
+    println!("{}", Table5Row::header());
+    let mut sum_total = 0.0;
+    let mut sum_max = 0.0;
+    for out in outcomes {
+        let row = out.table5_row();
+        sum_total += row.total_ratio();
+        sum_max += row.max_ratio();
+        println!("{row}");
+        if let Some(p) = paper_row(out.analog_of) {
+            println!(
+                "  paper {:<8} {:>3} {:>3} {:>4} {:>8} {:>6.2} {:>8} {:>6.2} {:>9}",
+                p.circuit,
+                p.t0_len,
+                p.n,
+                p.count_after,
+                p.total_after,
+                p.total_ratio(),
+                p.max_after,
+                p.max_ratio(),
+                p.test_len()
+            );
+        }
+    }
+    let k = outcomes.len() as f64;
+    if k > 0.0 {
+        println!(
+            "{:<8} {:>24} {:>6.2} {:>15.2}",
+            "average", "", sum_total / k, sum_max / k
+        );
+        println!(
+            "  paper {:<8} {:>17} {PAPER_AVG_TOTAL_RATIO:>6.2} {PAPER_AVG_MAX_RATIO:>15.2}",
+            "average", ""
+        );
+    }
+}
+
+/// Prints Figure 1 (subsequence windows over `T0`) for one circuit.
+pub fn print_figure1(out: &CircuitOutcome) {
+    let best = out.scheme.best_run();
+    println!(
+        "Figure 1: sequences selected from T0 for {} (n = {})",
+        out.circuit.name(),
+        best.n
+    );
+    print!("{}", figure1(out.t0_len, &best.sequences));
+}
+
+/// Prints the per-circuit context line (not in the paper; aids
+/// reproducibility).
+pub fn print_context(out: &CircuitOutcome) {
+    println!(
+        "# {}: analog of {}, {} — T0 generated in {:.1}s, coverage {}/{} ({:.1}%)",
+        out.circuit.name(),
+        out.analog_of,
+        out.circuit,
+        out.tgen_seconds,
+        out.faults_detected,
+        out.faults_total,
+        100.0 * out.faults_detected as f64 / out.faults_total as f64
+    );
+}

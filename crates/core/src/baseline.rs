@@ -1,0 +1,244 @@
+//! Baselines the paper compares against (§1).
+//!
+//! 1. **Partition-and-load** — split `T0` into consecutive subsequences,
+//!    load each into the on-chip memory and apply it directly (no
+//!    expansion). Every vector of `T0` must be loaded (total load =
+//!    `|T0|`), and blocks must stay long enough that applying each block
+//!    from the unknown state still detects all of `F`.
+//! 2. **LFSR with hold** — the fully on-chip generator of Nachman et al.
+//!    \[3\]: a free-running LFSR whose vectors are held for several
+//!    cycles. No loading at all, but coverage of `F` is not guaranteed.
+
+use bist_expand::TestSequence;
+use bist_sim::{Fault, FaultSimulator, SimError};
+use bist_tgen::Lfsr;
+
+/// Result of the partition-and-load baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionBaseline {
+    /// Number of blocks in the best partition found.
+    pub blocks: usize,
+    /// Total loaded vectors — always `|T0|` for partitioning.
+    pub total_len: usize,
+    /// Maximum block length — the on-chip memory requirement.
+    pub max_len: usize,
+}
+
+/// Splits `t0` into `k` nearly equal consecutive blocks.
+fn split_blocks(t0: &TestSequence, k: usize) -> Vec<TestSequence> {
+    let len = t0.len();
+    let base = len / k;
+    let extra = len % k;
+    let mut blocks = Vec::with_capacity(k);
+    let mut at = 0;
+    for i in 0..k {
+        let sz = base + usize::from(i < extra);
+        if sz == 0 {
+            continue;
+        }
+        blocks.push(t0.subsequence(at, at + sz - 1));
+        at += sz;
+    }
+    blocks
+}
+
+/// Checks whether the blocks, each applied from the unknown state,
+/// jointly detect every fault in `faults`.
+fn blocks_cover(
+    sim: &FaultSimulator<'_>,
+    blocks: &[TestSequence],
+    faults: &[Fault],
+) -> Result<bool, SimError> {
+    let mut remaining: Vec<Fault> = faults.to_vec();
+    for b in blocks {
+        if remaining.is_empty() {
+            break;
+        }
+        let times = sim.detection_times(b, &remaining)?;
+        remaining = remaining
+            .into_iter()
+            .zip(times)
+            .filter_map(|(f, t)| if t.is_none() { Some(f) } else { None })
+            .collect();
+    }
+    Ok(remaining.is_empty())
+}
+
+/// Runs the partition-and-load baseline: finds the largest block count
+/// `k ≤ max_blocks` whose blocks still jointly detect `faults`, i.e. the
+/// smallest achievable per-load memory for this strategy.
+///
+/// `faults` must be detected by `t0` itself (`k = 1` is then always
+/// feasible).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if even `k = 1` (the whole `T0`) fails to cover `faults`.
+pub fn partition_baseline(
+    sim: &FaultSimulator<'_>,
+    t0: &TestSequence,
+    faults: &[Fault],
+    max_blocks: usize,
+) -> Result<PartitionBaseline, SimError> {
+    assert!(
+        blocks_cover(sim, std::slice::from_ref(t0), faults)?,
+        "partition baseline requires T0 to detect the fault set"
+    );
+    let mut best_k = 1;
+    let cap = max_blocks.clamp(1, t0.len());
+    for k in 2..=cap {
+        if blocks_cover(sim, &split_blocks(t0, k), faults)? {
+            best_k = k;
+        }
+        // Coverage is not monotone in k, so keep scanning: a larger k can
+        // succeed after a smaller one fails (block boundaries move).
+    }
+    let blocks = split_blocks(t0, best_k);
+    Ok(PartitionBaseline {
+        blocks: blocks.len(),
+        total_len: t0.len(),
+        max_len: blocks.iter().map(TestSequence::len).max().unwrap_or(0),
+    })
+}
+
+/// Result of the LFSR-with-hold baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LfsrBaseline {
+    /// Applied sequence length.
+    pub applied_len: usize,
+    /// Number of target faults detected.
+    pub detected: usize,
+    /// Number of target faults.
+    pub total: usize,
+}
+
+impl LfsrBaseline {
+    /// Fraction of the target fault set detected.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.total as f64
+        }
+    }
+}
+
+/// Runs the LFSR-with-hold baseline: applies `applied_len` LFSR vectors
+/// (each held for `hold` cycles) and reports how much of `faults` gets
+/// detected. No on-chip storage is needed, but full coverage is not
+/// guaranteed — the motivation for the paper's scheme.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if `applied_len` or `hold` is 0.
+pub fn lfsr_hold_baseline(
+    sim: &FaultSimulator<'_>,
+    faults: &[Fault],
+    applied_len: usize,
+    hold: usize,
+    seed: u64,
+) -> Result<LfsrBaseline, SimError> {
+    assert!(applied_len > 0, "applied_len must be positive");
+    assert!(hold > 0, "hold must be positive");
+    let width = sim.circuit().num_inputs();
+    let mut lfsr = Lfsr::new(seed);
+    let mut seq = TestSequence::new(width);
+    'outer: loop {
+        let v = lfsr.next_vector(width);
+        for _ in 0..hold {
+            if seq.len() == applied_len {
+                break 'outer;
+            }
+            seq.push(v.clone()).expect("fixed width");
+        }
+    }
+    let times = sim.detection_times(&seq, faults)?;
+    Ok(LfsrBaseline {
+        applied_len,
+        detected: times.iter().filter(|t| t.is_some()).count(),
+        total: faults.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::benchmarks;
+    use bist_sim::{collapse, fault_universe, FaultSimulator};
+
+    fn s27_setup() -> (bist_netlist::Circuit, TestSequence, Vec<Fault>) {
+        let c = benchmarks::s27();
+        let t0: TestSequence =
+            "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        (c, t0, faults)
+    }
+
+    #[test]
+    fn split_blocks_partitions_exactly() {
+        let t0: TestSequence = "00 01 10 11 00 01 10".parse().unwrap();
+        for k in 1..=7 {
+            let blocks = split_blocks(&t0, k);
+            let total: usize = blocks.iter().map(TestSequence::len).sum();
+            assert_eq!(total, 7, "k={k}");
+            assert_eq!(blocks.len(), k.min(7));
+            // Concatenation equals the original.
+            let mut joined = blocks[0].clone();
+            for b in &blocks[1..] {
+                joined = joined.concat(b).unwrap();
+            }
+            assert_eq!(joined, t0);
+        }
+    }
+
+    #[test]
+    fn partition_baseline_on_s27() {
+        let (c, t0, faults) = s27_setup();
+        let sim = FaultSimulator::new(&c);
+        let base = partition_baseline(&sim, &t0, &faults, 10).unwrap();
+        // Total load is always |T0| — the paper's key criticism.
+        assert_eq!(base.total_len, 10);
+        assert!(base.blocks >= 1);
+        assert!(base.max_len >= t0.len() / base.blocks);
+        // The blocks must jointly cover.
+        let blocks = split_blocks(&t0, base.blocks);
+        assert!(blocks_cover(&sim, &blocks, &faults).unwrap());
+    }
+
+    #[test]
+    fn partitioning_cannot_beat_total_length() {
+        let (c, t0, faults) = s27_setup();
+        let sim = FaultSimulator::new(&c);
+        let base = partition_baseline(&sim, &t0, &faults, 5).unwrap();
+        assert_eq!(base.total_len, t0.len());
+    }
+
+    #[test]
+    fn lfsr_baseline_detects_some_but_not_all_quickly() {
+        let (c, _, faults) = s27_setup();
+        let sim = FaultSimulator::new(&c);
+        let short = lfsr_hold_baseline(&sim, &faults, 8, 2, 1).unwrap();
+        assert!(short.detected < faults.len(), "8 vectors should not cover everything");
+        let long = lfsr_hold_baseline(&sim, &faults, 512, 2, 1).unwrap();
+        assert!(long.detected >= short.detected);
+        assert!(long.fraction() > 0.5);
+    }
+
+    #[test]
+    fn lfsr_baseline_is_deterministic() {
+        let (c, _, faults) = s27_setup();
+        let sim = FaultSimulator::new(&c);
+        let a = lfsr_hold_baseline(&sim, &faults, 64, 3, 9).unwrap();
+        let b = lfsr_hold_baseline(&sim, &faults, 64, 3, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,125 @@
+//! On-chip hardware cost model.
+//!
+//! The paper's headline hardware saving is the test memory: storing the
+//! whole `T0` needs `|T0| × m` bits (for `m` primary inputs), while the
+//! proposed scheme only needs `max_len × m` — plus a handful of
+//! circuit-independent control: the up/down address counter, the
+//! repetition counter, the 3-bit phase register, and one 2:1 mux plus
+//! inverter-mux per input for complement/shift.
+
+/// Cost breakdown of one on-chip test-application configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryCost {
+    /// Test memory bits (`depth × width`).
+    pub data_bits: usize,
+    /// Address counter flip-flops (`ceil(log2(depth))`, ≥ 1).
+    pub addr_counter_bits: usize,
+    /// Repetition counter flip-flops (`ceil(log2(n))`, 0 when `n = 1`).
+    pub rep_counter_bits: usize,
+    /// Phase-FSM flip-flops (3 for the eight phases; 0 without expansion).
+    pub phase_bits: usize,
+    /// 2:1 multiplexers on the memory outputs (two per input bit for the
+    /// complement and shift stages; 0 without expansion).
+    pub mux_count: usize,
+}
+
+impl MemoryCost {
+    /// Total sequential cost in flip-flop-equivalents (memory bits +
+    /// counters + phase register).
+    #[must_use]
+    pub fn total_storage_bits(&self) -> usize {
+        self.data_bits + self.addr_counter_bits + self.rep_counter_bits + self.phase_bits
+    }
+}
+
+fn clog2(x: usize) -> usize {
+    if x <= 1 {
+        1
+    } else {
+        (usize::BITS - (x - 1).leading_zeros()) as usize
+    }
+}
+
+/// Cost of the proposed scheme: a memory deep enough for the longest
+/// loaded subsequence plus the expansion control.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+#[must_use]
+pub fn scheme_cost(max_len: usize, width: usize, n: usize) -> MemoryCost {
+    assert!(max_len > 0 && width > 0 && n > 0, "arguments must be positive");
+    MemoryCost {
+        data_bits: max_len * width,
+        addr_counter_bits: clog2(max_len),
+        rep_counter_bits: if n == 1 { 0 } else { clog2(n) },
+        phase_bits: 3,
+        mux_count: 2 * width,
+    }
+}
+
+/// Cost of storing and replaying the whole `T0` (no expansion hardware).
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+#[must_use]
+pub fn monolithic_cost(t0_len: usize, width: usize) -> MemoryCost {
+    assert!(t0_len > 0 && width > 0, "arguments must be positive");
+    MemoryCost {
+        data_bits: t0_len * width,
+        addr_counter_bits: clog2(t0_len),
+        rep_counter_bits: 0,
+        phase_bits: 0,
+        mux_count: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clog2_values() {
+        assert_eq!(clog2(1), 1);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(3), 2);
+        assert_eq!(clog2(4), 2);
+        assert_eq!(clog2(5), 3);
+        assert_eq!(clog2(1024), 10);
+        assert_eq!(clog2(1025), 11);
+    }
+
+    #[test]
+    fn scheme_vs_monolithic_on_paper_numbers() {
+        // s298 (Table 5): |T0| = 117, max len = 17, 3 PIs, n = 16.
+        let scheme = scheme_cost(17, 3, 16);
+        let mono = monolithic_cost(117, 3);
+        assert_eq!(scheme.data_bits, 51);
+        assert_eq!(mono.data_bits, 351);
+        assert!(scheme.total_storage_bits() < mono.total_storage_bits());
+        assert_eq!(scheme.rep_counter_bits, 4);
+        assert_eq!(scheme.mux_count, 6);
+    }
+
+    #[test]
+    fn n_one_needs_no_rep_counter() {
+        assert_eq!(scheme_cost(4, 3, 1).rep_counter_bits, 0);
+        assert_eq!(scheme_cost(4, 3, 2).rep_counter_bits, 1);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let c = scheme_cost(10, 5, 8);
+        assert_eq!(
+            c.total_storage_bits(),
+            c.data_bits + c.addr_counter_bits + c.rep_counter_bits + c.phase_bits
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_args_panic() {
+        let _ = scheme_cost(0, 3, 1);
+    }
+}

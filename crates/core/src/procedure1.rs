@@ -1,0 +1,247 @@
+//! Procedure 1: the overall sequence-selection loop.
+//!
+//! Starting from the detected-fault set `F` of `T0` (with detection times
+//! `udet`), Procedure 1 repeatedly:
+//!
+//! 1. picks the not-yet-covered fault with the **highest** detection time
+//!    (hard faults first — their subsequences tend to be longer and to
+//!    detect many other faults),
+//! 2. runs [Procedure 2](crate::find_subsequence) to build a subsequence
+//!    whose expansion detects it,
+//! 3. fault simulates the expansion and drops everything it detects.
+//!
+//! Each iteration covers at least its target fault, so the loop
+//! terminates with a set `S` whose expansions jointly detect all of `F` —
+//! the paper's central guarantee.
+
+use crate::procedure2::{find_subsequence, Procedure2Stats, SelectedSequence};
+use bist_expand::expansion::Expand;
+use bist_expand::TestSequence;
+use bist_sim::{Fault, FaultCoverage, FaultSimulator, SimError};
+
+/// Aggregate statistics of one Procedure 1 run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Procedure1Stats {
+    /// Number of target faults processed (= number of sequences before
+    /// postprocessing).
+    pub targets: usize,
+    /// Total Procedure 2 window-growth simulations.
+    pub grow_simulations: usize,
+    /// Total Procedure 2 omission simulations.
+    pub omit_simulations: usize,
+    /// Total drop-simulation passes (step 4 of Procedure 1).
+    pub drop_simulations: usize,
+}
+
+impl Procedure1Stats {
+    fn absorb(&mut self, p2: Procedure2Stats) {
+        self.targets += 1;
+        self.grow_simulations += p2.grow_simulations;
+        self.omit_simulations += p2.omit_simulations;
+    }
+}
+
+/// The set `S` produced by Procedure 1 (optionally postprocessed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionResult {
+    /// The selected subsequences, in generation order.
+    pub sequences: Vec<SelectedSequence>,
+    /// The length factor of the expander used throughout
+    /// (`8·n` for the paper's recipe).
+    pub length_factor: usize,
+    /// Run statistics.
+    pub stats: Procedure1Stats,
+}
+
+impl SelectionResult {
+    /// Number of sequences `|S|`.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Total length of all sequences in `S` (the paper's *tot len* — the
+    /// number of vectors that must be loaded over the test session).
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.sequences.iter().map(SelectedSequence::len).sum()
+    }
+
+    /// Maximum length of any sequence in `S` (the paper's *max len* — the
+    /// required on-chip memory depth).
+    #[must_use]
+    pub fn max_len(&self) -> usize {
+        self.sequences.iter().map(SelectedSequence::len).max().unwrap_or(0)
+    }
+
+    /// Total length of all expanded sequences: `length_factor ·
+    /// total_len` (the paper's *test len* — vectors applied at speed).
+    #[must_use]
+    pub fn applied_test_len(&self) -> usize {
+        self.length_factor * self.total_len()
+    }
+}
+
+/// Runs Procedure 1.
+///
+/// `coverage` must be the fault simulation result of `t0` over the fault
+/// list of interest (detected faults and their `udet` drive the
+/// selection). `seed` makes Procedure 2's omission order deterministic.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn select_subsequences(
+    sim: &FaultSimulator<'_>,
+    t0: &TestSequence,
+    coverage: &FaultCoverage,
+    expansion: &dyn Expand,
+    seed: u64,
+) -> Result<SelectionResult, SimError> {
+    // Ftarg = F, ordered for deterministic max-udet tie-breaking.
+    let mut targets: Vec<(Fault, usize)> = coverage.detected().collect();
+    targets.sort_by_key(|&(f, _)| f);
+
+    let mut sequences = Vec::new();
+    let mut stats = Procedure1Stats::default();
+
+    while !targets.is_empty() {
+        // Step 2: fault with the highest udet.
+        let (&(fault, udet), _) = targets
+            .iter()
+            .zip(0usize..)
+            .max_by_key(|((_, u), i)| (*u, usize::MAX - i))
+            .expect("targets nonempty");
+
+        // Step 3: Procedure 2.
+        let (selected, p2) = find_subsequence(sim, t0, fault, udet, expansion, seed)?;
+        stats.absorb(p2);
+
+        // Step 4: drop everything the expansion detects.
+        let expanded = expansion.expand(&selected.sequence);
+        let fault_list: Vec<Fault> = targets.iter().map(|&(f, _)| f).collect();
+        let times = sim.detection_times(&expanded, &fault_list)?;
+        stats.drop_simulations += 1;
+        debug_assert!(
+            times[targets.iter().position(|&(f, _)| f == fault).expect("target present")]
+                .is_some(),
+            "Procedure 2 guarantees the target is detected"
+        );
+        targets = targets
+            .into_iter()
+            .zip(times)
+            .filter_map(|(pair, t)| if t.is_none() { Some(pair) } else { None })
+            .collect();
+
+        sequences.push(selected);
+    }
+
+    Ok(SelectionResult { sequences, length_factor: expansion.length_factor(), stats })
+}
+
+/// Checks the paper's guarantee: the expansions of `sequences` jointly
+/// detect every fault in `faults`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn verify_full_coverage(
+    sim: &FaultSimulator<'_>,
+    sequences: &[SelectedSequence],
+    expansion: &dyn Expand,
+    faults: &[Fault],
+) -> Result<bool, SimError> {
+    let mut remaining: Vec<Fault> = faults.to_vec();
+    for sel in sequences {
+        if remaining.is_empty() {
+            break;
+        }
+        let times = sim.detection_times(&expansion.expand(&sel.sequence), &remaining)?;
+        remaining = remaining
+            .into_iter()
+            .zip(times)
+            .filter_map(|(f, t)| if t.is_none() { Some(f) } else { None })
+            .collect();
+    }
+    Ok(remaining.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_expand::expansion::ExpansionConfig;
+    use bist_netlist::benchmarks;
+    use bist_sim::{collapse, fault_universe};
+
+    fn s27_t0() -> TestSequence {
+        "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap()
+    }
+
+    fn run_s27(n: usize) -> (bist_netlist::Circuit, Vec<Fault>, SelectionResult) {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let sim = FaultSimulator::new(&c);
+        let t0 = s27_t0();
+        let cov = FaultCoverage::simulate(&sim, &t0, faults.clone()).unwrap();
+        let expansion = ExpansionConfig::new(n).unwrap();
+        let result = select_subsequences(&sim, &t0, &cov, &expansion, 0).unwrap();
+        (c, faults, result)
+    }
+
+    #[test]
+    fn s27_selection_covers_all_faults() {
+        let (c, faults, result) = run_s27(1);
+        let sim = FaultSimulator::new(&c);
+        assert!(verify_full_coverage(&sim, &result.sequences, &ExpansionConfig::new(1).unwrap(), &faults)
+            .unwrap());
+        assert!(result.count() >= 1);
+        assert!(result.total_len() <= s27_t0().len() * result.count());
+    }
+
+    #[test]
+    fn s27_needs_few_sequences_like_the_paper() {
+        // §3.1 walks through s27 with n = 1 and ends with 3 sequences.
+        // Exact counts depend on fault representatives and omission
+        // order; the structure (a handful of short sequences) must hold.
+        let (_, _, result) = run_s27(1);
+        assert!(result.count() <= 6, "too many sequences: {}", result.count());
+        assert!(result.max_len() <= s27_t0().len());
+        assert_eq!(result.stats.targets, result.count());
+    }
+
+    #[test]
+    fn first_target_is_max_udet() {
+        let (_, _, result) = run_s27(1);
+        // The first selected sequence targets a fault with udet = 9, so
+        // its window ends at time 9.
+        assert_eq!(result.sequences[0].window.1, 9);
+    }
+
+    #[test]
+    fn applied_test_len_is_8n_total() {
+        for n in [1, 2, 4] {
+            let (_, _, result) = run_s27(n);
+            assert_eq!(result.applied_test_len(), 8 * n * result.total_len());
+        }
+    }
+
+    #[test]
+    fn empty_coverage_yields_empty_set() {
+        let c = benchmarks::s27();
+        let sim = FaultSimulator::new(&c);
+        let t0 = s27_t0();
+        let cov = FaultCoverage::new(vec![], vec![]);
+        let result =
+            select_subsequences(&sim, &t0, &cov, &ExpansionConfig::new(2).unwrap(), 0).unwrap();
+        assert_eq!(result.count(), 0);
+        assert_eq!(result.total_len(), 0);
+        assert_eq!(result.max_len(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, _, a) = run_s27(2);
+        let (_, _, b) = run_s27(2);
+        assert_eq!(a, b);
+    }
+}

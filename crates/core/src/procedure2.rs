@@ -1,0 +1,361 @@
+//! Procedure 2: finding the subsequence `T'` for a target fault.
+//!
+//! Given a fault `f` detected by `T0` at time `udet(f)`, Procedure 2 finds
+//! a short sequence `T'` whose *expansion* detects `f`:
+//!
+//! 1. Start with the window `T' = T0[udet, udet]` and grow it backwards
+//!    (`ustart -= 1`) until `T'exp` detects `f`. The window
+//!    `T0[0, udet]` always works: `T'exp` begins with `T'` itself, which
+//!    detects `f` by the definition of `udet`.
+//! 2. Then shrink `T'` by *vector omission*: visit the remaining time
+//!    units in random order; drop a vector if `T'exp` still detects `f`
+//!    after the omission, restarting the scan after every success, until
+//!    no single omission is possible.
+
+use bist_expand::expansion::Expand;
+use bist_expand::TestSequence;
+use bist_sim::{Fault, FaultSimulator, SimError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A subsequence selected for one target fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectedSequence {
+    /// The (compacted) loaded sequence `S`.
+    pub sequence: TestSequence,
+    /// The window `[ustart, udet]` of `T0` the sequence was carved from
+    /// (before omission).
+    pub window: (usize, usize),
+    /// The fault this sequence was generated for.
+    pub target: Fault,
+}
+
+impl SelectedSequence {
+    /// Length of the loaded sequence.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// True if the sequence is empty (never produced by Procedure 2).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+}
+
+/// Statistics of one Procedure 2 invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Procedure2Stats {
+    /// Expanded-sequence fault simulations performed while growing the
+    /// window (step 1).
+    pub grow_simulations: usize,
+    /// Expanded-sequence fault simulations performed during omission
+    /// (step 2).
+    pub omit_simulations: usize,
+    /// Vectors removed by omission.
+    pub omitted: usize,
+}
+
+/// How Procedure 2 grows the window `[ustart, udet]` (step 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowGrowth {
+    /// The paper's strategy: decrement `ustart` one time unit at a time.
+    /// Finds the *maximal* `ustart` whose window expansion detects the
+    /// fault, at the cost of one simulation per probe.
+    #[default]
+    Linear,
+    /// Exponential doubling of the window length followed by a binary
+    /// search for the shortest detecting length. `O(log udet)` probes
+    /// instead of `O(udet)`, but assumes detection is monotone in window
+    /// length — usually true, not guaranteed — so the window found may
+    /// not be the paper's maximal-`ustart` one. The returned window is
+    /// always verified to detect the fault.
+    Exponential,
+}
+
+/// Runs Procedure 2 for `fault` with detection time `udet` under `t0`.
+///
+/// Returns the selected sequence and simulation-count statistics. Uses
+/// the paper's linear window growth; see
+/// [`find_subsequence_with_growth`] for the ablation knob.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if `udet >= t0.len()` (an inconsistent detection time) or if
+/// even the full prefix `T0[0, udet]` fails to expand into a detecting
+/// sequence — impossible when `udet` really is the first detection time
+/// of `fault` under `t0`.
+pub fn find_subsequence(
+    sim: &FaultSimulator<'_>,
+    t0: &TestSequence,
+    fault: Fault,
+    udet: usize,
+    expansion: &dyn Expand,
+    seed: u64,
+) -> Result<(SelectedSequence, Procedure2Stats), SimError> {
+    find_subsequence_with_growth(sim, t0, fault, udet, expansion, seed, WindowGrowth::Linear)
+}
+
+/// [`find_subsequence`] with an explicit window-growth strategy.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// As for [`find_subsequence`].
+pub fn find_subsequence_with_growth(
+    sim: &FaultSimulator<'_>,
+    t0: &TestSequence,
+    fault: Fault,
+    udet: usize,
+    expansion: &dyn Expand,
+    seed: u64,
+    growth: WindowGrowth,
+) -> Result<(SelectedSequence, Procedure2Stats), SimError> {
+    assert!(udet < t0.len(), "udet {udet} out of range for |T0| = {}", t0.len());
+    let mut stats = Procedure2Stats::default();
+
+    // Step 1: grow the window backwards until the expansion detects f.
+    let probe = |ustart: usize, stats: &mut Procedure2Stats| -> Result<bool, SimError> {
+        stats.grow_simulations += 1;
+        sim.detects(&expansion.expand(&t0.subsequence(ustart, udet)), fault)
+    };
+    let ustart = match growth {
+        WindowGrowth::Linear => {
+            let mut ustart = udet;
+            loop {
+                if probe(ustart, &mut stats)? {
+                    break ustart;
+                }
+                assert!(
+                    ustart > 0,
+                    "T0[0, udet] must detect the fault; inconsistent udet or fault list"
+                );
+                ustart -= 1;
+            }
+        }
+        WindowGrowth::Exponential => {
+            // Double the window length until the expansion detects...
+            let mut len = 1usize;
+            let detecting_len = loop {
+                if probe(udet + 1 - len, &mut stats)? {
+                    break len;
+                }
+                assert!(
+                    len <= udet,
+                    "T0[0, udet] must detect the fault; inconsistent udet or fault list"
+                );
+                len = (len * 2).min(udet + 1);
+            };
+            // ...then binary search the shortest detecting length in
+            // (detecting_len/2, detecting_len]. Invariant: `hi` detects.
+            let mut lo = detecting_len / 2 + 1;
+            let mut hi = detecting_len;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if probe(udet + 1 - mid, &mut stats)? {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            udet + 1 - hi
+        }
+    };
+    let mut current = t0.subsequence(ustart, udet);
+    let window = (ustart, udet);
+
+    // Step 2: omission of test vectors in random order; restart the scan
+    // after every accepted omission.
+    let mut rng = StdRng::seed_from_u64(seed ^ mix(fault));
+    'scan: loop {
+        if current.len() <= 1 {
+            break;
+        }
+        let mut order: Vec<usize> = (0..current.len()).collect();
+        order.shuffle(&mut rng);
+        for &u in &order {
+            let candidate = current.without(u);
+            stats.omit_simulations += 1;
+            if sim.detects(&expansion.expand(&candidate), fault)? {
+                current = candidate;
+                stats.omitted += 1;
+                continue 'scan;
+            }
+        }
+        break;
+    }
+
+    Ok((SelectedSequence { sequence: current, window, target: fault }, stats))
+}
+
+/// Mixes a fault into the omission-order seed so different targets explore
+/// different orders deterministically.
+fn mix(fault: Fault) -> u64 {
+    use bist_sim::FaultSite;
+    let (a, b, c) = match fault.site {
+        FaultSite::Output(n) => (n.index() as u64, 0u64, 0u64),
+        FaultSite::Input { node, pin } => (node.index() as u64, u64::from(pin), 1u64),
+    };
+    let mut h = a
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(c)
+        .wrapping_add(u64::from(fault.stuck));
+    h ^= h >> 31;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::benchmarks;
+    use bist_expand::expansion::ExpansionConfig;
+    use bist_sim::{collapse, fault_universe, FaultCoverage, FaultSimulator};
+
+    fn s27_t0() -> TestSequence {
+        "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap()
+    }
+
+    fn s27_setup() -> (bist_netlist::Circuit, Vec<Fault>) {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        (c, faults)
+    }
+
+    #[test]
+    fn finds_sequence_for_the_hardest_s27_fault() {
+        // Recreate the paper's worked example: the fault with udet = 9
+        // (called f10 in Table 2) under n = 1.
+        let (c, faults) = s27_setup();
+        let sim = FaultSimulator::new(&c);
+        let t0 = s27_t0();
+        let cov = FaultCoverage::simulate(&sim, &t0, faults).unwrap();
+        assert_eq!(cov.max_detection_time(), Some(9));
+        let (f, udet) = cov.detected().find(|&(_, u)| u == 9).unwrap();
+        let expansion = ExpansionConfig::new(1).unwrap();
+        let (sel, stats) = find_subsequence(&sim, &t0, f, udet, &expansion, 0).unwrap();
+        // The paper finds ustart = 6 and compacts T' down to 2 vectors;
+        // the exact result depends on the fault representative and the
+        // random omission order, but the structure must hold:
+        assert!(sel.window.1 == 9);
+        assert!(sel.window.0 <= 9);
+        assert!(!sel.sequence.is_empty());
+        assert!(sel.len() <= sel.window.1 - sel.window.0 + 1);
+        assert!(stats.grow_simulations >= 1);
+        // And the defining property: the expansion detects the fault.
+        assert!(sim.detects(&expansion.expand(&sel.sequence), f).unwrap());
+    }
+
+    #[test]
+    fn expansion_detects_target_for_every_s27_fault() {
+        let (c, faults) = s27_setup();
+        let sim = FaultSimulator::new(&c);
+        let t0 = s27_t0();
+        let cov = FaultCoverage::simulate(&sim, &t0, faults).unwrap();
+        let expansion = ExpansionConfig::new(1).unwrap();
+        for (f, udet) in cov.detected() {
+            let (sel, _) = find_subsequence(&sim, &t0, f, udet, &expansion, 42).unwrap();
+            assert!(
+                sim.detects(&expansion.expand(&sel.sequence), f).unwrap(),
+                "expansion must detect {}",
+                f.describe(&c)
+            );
+            assert!(sel.len() <= udet + 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (c, faults) = s27_setup();
+        let sim = FaultSimulator::new(&c);
+        let t0 = s27_t0();
+        let cov = FaultCoverage::simulate(&sim, &t0, faults).unwrap();
+        let (f, udet) = cov.detected().max_by_key(|&(_, u)| u).unwrap();
+        let expansion = ExpansionConfig::new(2).unwrap();
+        let (a, _) = find_subsequence(&sim, &t0, f, udet, &expansion, 7).unwrap();
+        let (b, _) = find_subsequence(&sim, &t0, f, udet, &expansion, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn window_grows_only_when_needed() {
+        // A fault detected at time 0 must give the single-vector window.
+        let (c, faults) = s27_setup();
+        let sim = FaultSimulator::new(&c);
+        let t0 = s27_t0();
+        let cov = FaultCoverage::simulate(&sim, &t0, faults).unwrap();
+        if let Some((f, udet)) = cov.detected().min_by_key(|&(_, u)| u) {
+            let expansion = ExpansionConfig::new(1).unwrap();
+            let (sel, _) = find_subsequence(&sim, &t0, f, udet, &expansion, 1).unwrap();
+            assert!(sel.window.0 <= udet);
+            assert!(!sel.sequence.is_empty());
+        }
+    }
+
+    #[test]
+    fn exponential_growth_finds_valid_windows_with_fewer_probes() {
+        let (c, faults) = s27_setup();
+        let sim = FaultSimulator::new(&c);
+        let t0 = s27_t0();
+        let cov = FaultCoverage::simulate(&sim, &t0, faults).unwrap();
+        let expansion = ExpansionConfig::new(1).unwrap();
+        let mut linear_probes = 0usize;
+        let mut exp_probes = 0usize;
+        for (f, udet) in cov.detected() {
+            let (lin, lin_stats) = find_subsequence_with_growth(
+                &sim, &t0, f, udet, &expansion, 9, WindowGrowth::Linear,
+            )
+            .unwrap();
+            let (exp, exp_stats) = find_subsequence_with_growth(
+                &sim, &t0, f, udet, &expansion, 9, WindowGrowth::Exponential,
+            )
+            .unwrap();
+            // Both must produce detecting sequences.
+            assert!(sim.detects(&expansion.expand(&lin.sequence), f).unwrap());
+            assert!(sim.detects(&expansion.expand(&exp.sequence), f).unwrap());
+            linear_probes += lin_stats.grow_simulations;
+            exp_probes += exp_stats.grow_simulations;
+        }
+        // On aggregate the heuristic should not probe more than linear
+        // growth on these short windows (and asymptotically far less).
+        assert!(
+            exp_probes <= linear_probes + 8,
+            "exponential {exp_probes} vs linear {linear_probes}"
+        );
+    }
+
+    #[test]
+    fn exponential_growth_window_detects_even_when_not_maximal() {
+        let (c, faults) = s27_setup();
+        let sim = FaultSimulator::new(&c);
+        let t0 = s27_t0();
+        let cov = FaultCoverage::simulate(&sim, &t0, faults).unwrap();
+        let (f, udet) = cov.detected().max_by_key(|&(_, u)| u).unwrap();
+        let expansion = ExpansionConfig::new(2).unwrap();
+        let (sel, _) = find_subsequence_with_growth(
+            &sim, &t0, f, udet, &expansion, 0, WindowGrowth::Exponential,
+        )
+        .unwrap();
+        assert_eq!(sel.window.1, udet);
+        assert!(sim.detects(&expansion.expand(&sel.sequence), f).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_udet_panics() {
+        let (c, faults) = s27_setup();
+        let sim = FaultSimulator::new(&c);
+        let t0 = s27_t0();
+        let expansion = ExpansionConfig::new(1).unwrap();
+        let _ = find_subsequence(&sim, &t0, faults[0], 99, &expansion, 0);
+    }
+}

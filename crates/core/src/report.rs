@@ -1,0 +1,275 @@
+//! Formatting of the paper's tables and Figure 1.
+//!
+//! The benchmark harness (`bist-bench`) prints rows in the same column
+//! order as the paper so that paper-vs-measured comparisons can be read
+//! side by side. The row types here hold the measured values; the paper's
+//! published numbers live in the harness.
+
+use crate::procedure2::SelectedSequence;
+use std::fmt;
+
+/// One row of Table 3: per-circuit selection results before/after
+/// compaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Circuit name.
+    pub circuit: String,
+    /// Total faults (collapsed universe).
+    pub faults_total: usize,
+    /// Faults detected by `T0`.
+    pub faults_detected: usize,
+    /// Length of `T0`.
+    pub t0_len: usize,
+    /// Best repetition count `n`.
+    pub n: usize,
+    /// `|S|` before compaction.
+    pub count_before: usize,
+    /// Total length before compaction.
+    pub total_before: usize,
+    /// Max length before compaction.
+    pub max_before: usize,
+    /// `|S|` after compaction.
+    pub count_after: usize,
+    /// Total length after compaction.
+    pub total_after: usize,
+    /// Max length after compaction.
+    pub max_after: usize,
+}
+
+impl Table3Row {
+    /// The table header, matching the paper's column order.
+    #[must_use]
+    pub fn header() -> String {
+        format!(
+            "{:<8} {:>6} {:>6} {:>5} {:>3} | {:>4} {:>7} {:>7} | {:>4} {:>7} {:>7}",
+            "circuit", "tot", "det", "len", "n", "|S|", "tot len", "max len", "|S|",
+            "tot len", "max len"
+        )
+    }
+}
+
+impl fmt::Display for Table3Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<8} {:>6} {:>6} {:>5} {:>3} | {:>4} {:>7} {:>7} | {:>4} {:>7} {:>7}",
+            self.circuit,
+            self.faults_total,
+            self.faults_detected,
+            self.t0_len,
+            self.n,
+            self.count_before,
+            self.total_before,
+            self.max_before,
+            self.count_after,
+            self.total_after,
+            self.max_after
+        )
+    }
+}
+
+/// One row of Table 4: run times normalized by the `T0` simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Circuit name.
+    pub circuit: String,
+    /// Procedure 1 time / T0 simulation time.
+    pub proc1_normalized: f64,
+    /// Compaction time / T0 simulation time.
+    pub compact_normalized: f64,
+}
+
+impl Table4Row {
+    /// The table header.
+    #[must_use]
+    pub fn header() -> String {
+        format!("{:<8} {:>10} {:>10}", "circuit", "Proc.1", "comp.")
+    }
+}
+
+impl fmt::Display for Table4Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<8} {:>10.2} {:>10.2}",
+            self.circuit, self.proc1_normalized, self.compact_normalized
+        )
+    }
+}
+
+/// One row of Table 5: comparison with `T0` (ratios and applied length).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Row {
+    /// Circuit name.
+    pub circuit: String,
+    /// Length of `T0`.
+    pub t0_len: usize,
+    /// Best repetition count.
+    pub n: usize,
+    /// `|S|` after compaction.
+    pub count: usize,
+    /// Total loaded length after compaction.
+    pub total_len: usize,
+    /// Max loaded length after compaction.
+    pub max_len: usize,
+    /// Applied at-speed test length (`8·n·total_len`).
+    pub test_len: usize,
+}
+
+impl Table5Row {
+    /// `total_len / t0_len` — the paper's average is 0.46.
+    #[must_use]
+    pub fn total_ratio(&self) -> f64 {
+        self.total_len as f64 / self.t0_len as f64
+    }
+
+    /// `max_len / t0_len` — the paper's average is 0.10.
+    #[must_use]
+    pub fn max_ratio(&self) -> f64 {
+        self.max_len as f64 / self.t0_len as f64
+    }
+
+    /// The table header.
+    #[must_use]
+    pub fn header() -> String {
+        format!(
+            "{:<8} {:>5} {:>3} {:>4} {:>8} {:>6} {:>8} {:>6} {:>9}",
+            "circuit", "len", "n", "|S|", "tot len", "ratio", "max len", "ratio", "test len"
+        )
+    }
+}
+
+impl fmt::Display for Table5Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<8} {:>5} {:>3} {:>4} {:>8} {:>6.2} {:>8} {:>6.2} {:>9}",
+            self.circuit,
+            self.t0_len,
+            self.n,
+            self.count,
+            self.total_len,
+            self.total_ratio(),
+            self.max_len,
+            self.max_ratio(),
+            self.test_len
+        )
+    }
+}
+
+/// Renders Figure 1: the selected subsequence windows drawn over `T0`.
+///
+/// Each selected sequence came from a window `[ustart, udet]` of `T0`;
+/// the figure marks which time units of `T0` fall inside at least one
+/// window, illustrating that `S` covers only part of `T0`.
+#[must_use]
+pub fn figure1(t0_len: usize, sequences: &[SelectedSequence]) -> String {
+    let mut out = String::new();
+    let scale = |u: usize, width: usize| -> usize {
+        if t0_len <= width {
+            u
+        } else {
+            u * width / t0_len
+        }
+    };
+    let width = t0_len.min(80);
+    out.push_str(&format!("T0  |{}|  ({} vectors)\n", "=".repeat(width), t0_len));
+    for (i, sel) in sequences.iter().enumerate() {
+        let (a, b) = sel.window;
+        let (sa, sb) = (scale(a, width), scale(b, width).min(width.saturating_sub(1)));
+        let mut line = vec![' '; width];
+        for c in line.iter_mut().take(sb + 1).skip(sa) {
+            *c = '-';
+        }
+        out.push_str(&format!(
+            "S{:<3}|{}|  T0[{},{}] -> {} vectors loaded\n",
+            i + 1,
+            line.iter().collect::<String>(),
+            a,
+            b,
+            sel.len()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::NodeId;
+    use bist_sim::Fault;
+
+    fn sel(window: (usize, usize), len: usize) -> SelectedSequence {
+        let vectors = "01 ".repeat(len);
+        SelectedSequence {
+            sequence: vectors.trim().parse().unwrap(),
+            window,
+            target: Fault::output(NodeId::from_index(0), false),
+        }
+    }
+
+    #[test]
+    fn table3_row_renders_all_fields() {
+        let row = Table3Row {
+            circuit: "s298".into(),
+            faults_total: 308,
+            faults_detected: 265,
+            t0_len: 117,
+            n: 16,
+            count_before: 7,
+            total_before: 42,
+            max_before: 17,
+            count_after: 4,
+            total_after: 27,
+            max_after: 17,
+        };
+        let s = row.to_string();
+        for needle in ["s298", "308", "265", "117", "16", "42", "27"] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+        assert!(Table3Row::header().contains("tot len"));
+    }
+
+    #[test]
+    fn table5_ratios_match_paper_example() {
+        // s298 row of Table 5: 27/117 = 0.23, 17/117 = 0.15.
+        let row = Table5Row {
+            circuit: "s298".into(),
+            t0_len: 117,
+            n: 16,
+            count: 4,
+            total_len: 27,
+            max_len: 17,
+            test_len: 3456,
+        };
+        assert!((row.total_ratio() - 0.23).abs() < 0.005);
+        assert!((row.max_ratio() - 0.15).abs() < 0.005);
+        assert!(row.to_string().contains("3456"));
+    }
+
+    #[test]
+    fn table4_row_formats() {
+        let row = Table4Row {
+            circuit: "s27".into(),
+            proc1_normalized: 30.62,
+            compact_normalized: 64.59,
+        };
+        assert!(row.to_string().contains("30.62"));
+    }
+
+    #[test]
+    fn figure1_marks_windows() {
+        let fig = figure1(10, &[sel((6, 9), 2), sel((3, 5), 1), sel((4, 4), 3)]);
+        assert!(fig.contains("T0"));
+        assert!(fig.contains("S1"));
+        assert!(fig.contains("T0[6,9]"));
+        assert!(fig.lines().count() == 4);
+    }
+
+    #[test]
+    fn figure1_scales_long_sequences() {
+        let fig = figure1(1000, &[sel((900, 999), 5)]);
+        // Must not render 1000 columns.
+        assert!(fig.lines().next().unwrap().len() < 120);
+    }
+}

@@ -1,0 +1,176 @@
+//! Run-length encoding of test sequences.
+//!
+//! The paper's introduction contrasts the proposed scheme with methods
+//! that *encode* an off-chip test sequence to reduce on-chip memory
+//! (Iyengar, Chakrabarty & Murray \[5\]), noting that decoding
+//! *"typically precludes at-speed test application"* but that encoding
+//! *"can be used to reduce the memory requirements of the scheme proposed
+//! here if the requirement for at-speed testing can be relaxed."*
+//!
+//! This module implements that extension: a simple run-length codec over
+//! the loaded subsequences, with a bit-accurate storage cost model so the
+//! trade-off can be quantified (see the `custom_circuit` example).
+//! Deterministic test sequences — especially hold-heavy ones — compress
+//! well because consecutive vectors repeat.
+//!
+//! # Example
+//!
+//! ```
+//! use bist_expand::encoding::RleSequence;
+//! use bist_expand::TestSequence;
+//!
+//! let s: TestSequence = "0011 0011 0011 1100".parse()?;
+//! let enc = RleSequence::encode(&s);
+//! assert_eq!(enc.runs(), 2);
+//! assert_eq!(enc.decode(), s);
+//! assert!(enc.storage_bits() < s.storage_bits());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::{TestSequence, TestVector};
+
+/// A run-length encoded test sequence: `(vector, count)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RleSequence {
+    runs: Vec<(TestVector, usize)>,
+    width: usize,
+    len: usize,
+    /// Bits reserved per run counter in the storage model.
+    counter_bits: usize,
+}
+
+impl RleSequence {
+    /// Encodes a sequence, merging consecutive equal vectors into runs.
+    /// The counter width of the storage model is sized for the longest
+    /// run (minimum 1 bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is empty (an empty loaded sequence is never valid).
+    #[must_use]
+    pub fn encode(s: &TestSequence) -> Self {
+        assert!(!s.is_empty(), "cannot encode an empty sequence");
+        let mut runs: Vec<(TestVector, usize)> = Vec::new();
+        for v in s {
+            match runs.last_mut() {
+                Some((last, count)) if last == v => *count += 1,
+                _ => runs.push((v.clone(), 1)),
+            }
+        }
+        let max_run = runs.iter().map(|&(_, c)| c).max().unwrap_or(1);
+        let counter_bits = usize::BITS as usize - max_run.leading_zeros() as usize;
+        RleSequence { runs, width: s.width(), len: s.len(), counter_bits: counter_bits.max(1) }
+    }
+
+    /// Decodes back to the original sequence.
+    #[must_use]
+    pub fn decode(&self) -> TestSequence {
+        let mut out = TestSequence::new(self.width);
+        for (v, count) in &self.runs {
+            for _ in 0..*count {
+                out.push(v.clone()).expect("fixed width");
+            }
+        }
+        out
+    }
+
+    /// Number of runs.
+    #[must_use]
+    pub fn runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Decoded length (time units).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the decoded sequence would be empty (never happens for
+    /// values produced by [`encode`](Self::encode)).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Storage cost in bits: each run stores one vector plus one run
+    /// counter of [`counter_bits`](Self::counter_bits) bits.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.runs.len() * (self.width + self.counter_bits)
+    }
+
+    /// The per-run counter width of the storage model.
+    #[must_use]
+    pub fn counter_bits(&self) -> usize {
+        self.counter_bits
+    }
+
+    /// Compression ratio versus raw storage (`< 1` means RLE is smaller).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.storage_bits() as f64 / (self.len * self.width) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> TestSequence {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for text in ["0", "01 01", "001 110 110 110 001", "1111 0000 1111"] {
+            let s = seq(text);
+            assert_eq!(RleSequence::encode(&s).decode(), s, "{text}");
+        }
+    }
+
+    #[test]
+    fn constant_sequence_is_one_run() {
+        let s = seq("10 10 10 10 10 10 10 10");
+        let enc = RleSequence::encode(&s);
+        assert_eq!(enc.runs(), 1);
+        assert_eq!(enc.len(), 8);
+        // 1 run × (2 vector bits + 4 counter bits) = 6 < 16 raw bits.
+        assert_eq!(enc.counter_bits(), 4);
+        assert_eq!(enc.storage_bits(), 6);
+        assert!(enc.ratio() < 1.0);
+    }
+
+    #[test]
+    fn alternating_sequence_does_not_compress() {
+        let s = seq("0 1 0 1 0 1");
+        let enc = RleSequence::encode(&s);
+        assert_eq!(enc.runs(), 6);
+        // Counters add pure overhead here.
+        assert!(enc.storage_bits() > s.storage_bits());
+        assert!(enc.ratio() > 1.0);
+    }
+
+    #[test]
+    fn held_sequences_compress_by_the_hold_factor() {
+        let s = seq("001 110 010").held(8).unwrap();
+        let enc = RleSequence::encode(&s);
+        assert_eq!(enc.runs(), 3);
+        assert!(enc.ratio() < 0.3);
+        assert_eq!(enc.decode(), s);
+    }
+
+    #[test]
+    fn counter_bits_sized_for_longest_run() {
+        let s = seq("1 1 1 0"); // runs of 3 and 1 -> 2 bits
+        assert_eq!(RleSequence::encode(&s).counter_bits(), 2);
+        let s = seq("1 0"); // runs of 1 -> 1 bit minimum
+        assert_eq!(RleSequence::encode(&s).counter_bits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sequence_panics() {
+        let _ = RleSequence::encode(&TestSequence::new(3));
+    }
+}

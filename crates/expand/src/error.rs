@@ -1,0 +1,69 @@
+use std::fmt;
+
+/// Errors from sequence construction and expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExpandError {
+    /// A vector of the wrong width was pushed into a sequence.
+    WidthMismatch {
+        /// Width the sequence expects.
+        expected: usize,
+        /// Width that was supplied.
+        got: usize,
+    },
+    /// A vector or sequence literal contained a character other than
+    /// `0`/`1` (or whitespace between vectors).
+    BadLiteral {
+        /// The offending character.
+        ch: char,
+    },
+    /// A sequence literal was empty or a vector literal had zero width.
+    Empty,
+    /// The repetition count `n` must be at least 1.
+    BadRepetition {
+        /// The rejected value.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpandError::WidthMismatch { expected, got } => {
+                write!(f, "vector width {got} does not match sequence width {expected}")
+            }
+            ExpandError::BadLiteral { ch } => {
+                write!(f, "invalid character `{ch}` in vector literal (expected 0 or 1)")
+            }
+            ExpandError::Empty => write!(f, "empty vector or sequence literal"),
+            ExpandError::BadRepetition { got } => {
+                write!(f, "repetition count must be at least 1, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            ExpandError::WidthMismatch { expected: 3, got: 4 },
+            ExpandError::BadLiteral { ch: 'x' },
+            ExpandError::Empty,
+            ExpandError::BadRepetition { got: 0 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ExpandError>();
+    }
+}

@@ -1,0 +1,151 @@
+/// Result of stepping an [`UpDownCounter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// The counter advanced without wrapping.
+    Advanced,
+    /// The counter wrapped around (end of a memory walk). The paper uses
+    /// this event to increment the repetition counter.
+    Wrapped,
+}
+
+/// A modulo-`modulus` up/down counter — the memory address counter of §2.
+///
+/// In up mode it counts `0, 1, …, modulus-1, 0, …`; reversal is
+/// implemented by *"using an up/down counter in the down mode"*, counting
+/// `modulus-1, …, 1, 0, modulus-1, …`.
+///
+/// # Example
+///
+/// ```
+/// use bist_expand::hardware::{StepEvent, UpDownCounter};
+///
+/// let mut c = UpDownCounter::new(3);
+/// assert_eq!(c.value(), 0);
+/// assert_eq!(c.step_up(), StepEvent::Advanced);   // 0 -> 1
+/// assert_eq!(c.step_up(), StepEvent::Advanced);   // 1 -> 2
+/// assert_eq!(c.step_up(), StepEvent::Wrapped);    // 2 -> 0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpDownCounter {
+    value: usize,
+    modulus: usize,
+}
+
+impl UpDownCounter {
+    /// Creates a counter over `0..modulus`, starting at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    #[must_use]
+    pub fn new(modulus: usize) -> Self {
+        assert!(modulus > 0, "counter modulus must be positive");
+        UpDownCounter { value: 0, modulus }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> usize {
+        self.value
+    }
+
+    /// The modulus.
+    #[must_use]
+    pub fn modulus(&self) -> usize {
+        self.modulus
+    }
+
+    /// Sets the value directly (used when switching walk direction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= modulus`.
+    pub fn set(&mut self, value: usize) {
+        assert!(value < self.modulus, "counter value {value} out of range");
+        self.value = value;
+    }
+
+    /// Increments modulo `modulus`, reporting a wrap at the top.
+    pub fn step_up(&mut self) -> StepEvent {
+        if self.value + 1 == self.modulus {
+            self.value = 0;
+            StepEvent::Wrapped
+        } else {
+            self.value += 1;
+            StepEvent::Advanced
+        }
+    }
+
+    /// Decrements modulo `modulus`, reporting a wrap at the bottom.
+    pub fn step_down(&mut self) -> StepEvent {
+        if self.value == 0 {
+            self.value = self.modulus - 1;
+            StepEvent::Wrapped
+        } else {
+            self.value -= 1;
+            StepEvent::Advanced
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn up_walk_covers_all_addresses() {
+        let mut c = UpDownCounter::new(4);
+        let mut seen = vec![c.value()];
+        loop {
+            let ev = c.step_up();
+            if ev == StepEvent::Wrapped {
+                break;
+            }
+            seen.push(c.value());
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn down_walk_covers_all_addresses() {
+        let mut c = UpDownCounter::new(4);
+        c.set(3);
+        let mut seen = vec![c.value()];
+        loop {
+            let ev = c.step_down();
+            if ev == StepEvent::Wrapped {
+                break;
+            }
+            seen.push(c.value());
+        }
+        assert_eq!(seen, vec![3, 2, 1, 0]);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn modulus_one_always_wraps() {
+        let mut c = UpDownCounter::new(1);
+        assert_eq!(c.step_up(), StepEvent::Wrapped);
+        assert_eq!(c.step_down(), StepEvent::Wrapped);
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut c = UpDownCounter::new(2);
+        c.set(2);
+    }
+
+    #[test]
+    fn up_then_down_round_trip() {
+        let mut c = UpDownCounter::new(5);
+        c.step_up();
+        c.step_up();
+        assert_eq!(c.value(), 2);
+        c.step_down();
+        c.step_down();
+        assert_eq!(c.value(), 0);
+    }
+}

@@ -1,0 +1,320 @@
+use crate::expansion::{ExpansionConfig, Phase};
+use crate::hardware::{StepEvent, TestMemory, UpDownCounter};
+use crate::{ExpandError, TestSequence, TestVector};
+
+/// The control FSM sequencing the eight expansion phases.
+///
+/// State: the current phase index (3 bits in hardware), the repetition
+/// counter, and the address counter. Each clock it emits the current
+/// control word (phase settings + address) and advances: address counter
+/// first; on wrap, the repetition counter; on the last repetition, the
+/// phase register. After phase 7 completes the FSM is done.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpanderFsm {
+    phases: [Phase; 8],
+    len: usize,
+    phase_idx: usize,
+    rep: usize,
+    addr: UpDownCounter,
+    done: bool,
+}
+
+impl ExpanderFsm {
+    /// Creates an FSM for a loaded sequence of `len` words and repetition
+    /// count from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[must_use]
+    pub fn new(config: ExpansionConfig, len: usize) -> Self {
+        assert!(len > 0, "cannot expand an empty memory");
+        let phases = config.phases();
+        let mut addr = UpDownCounter::new(len);
+        if phases[0].reverse {
+            addr.set(len - 1);
+        }
+        ExpanderFsm { phases, len, phase_idx: 0, rep: 0, addr, done: false }
+    }
+
+    /// The current phase settings.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        self.phases[self.phase_idx]
+    }
+
+    /// The current phase index (0..8).
+    #[must_use]
+    pub fn phase_index(&self) -> usize {
+        self.phase_idx
+    }
+
+    /// The current memory address.
+    #[must_use]
+    pub fn address(&self) -> usize {
+        self.addr.value()
+    }
+
+    /// Whether the full expansion has been emitted.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Total number of clocks the FSM will run: `8·n·len`.
+    #[must_use]
+    pub fn total_cycles(&self) -> usize {
+        self.phases.iter().map(|p| p.reps * self.len).sum()
+    }
+
+    /// Advances one clock. Returns `false` once done.
+    pub fn advance(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        let wrapped = if self.phase().reverse {
+            self.addr.step_down() == StepEvent::Wrapped
+        } else {
+            self.addr.step_up() == StepEvent::Wrapped
+        };
+        if wrapped {
+            self.rep += 1;
+            if self.rep == self.phase().reps {
+                self.rep = 0;
+                self.phase_idx += 1;
+                if self.phase_idx == self.phases.len() {
+                    self.done = true;
+                    return false;
+                }
+                // Preset the counter for the new walk direction.
+                let start = if self.phase().reverse { self.len - 1 } else { 0 };
+                self.addr.set(start);
+            }
+        }
+        true
+    }
+}
+
+/// Cycle-accurate model of the complete on-chip expander.
+///
+/// Load a subsequence with [`load`](Self::load), then call
+/// [`clock`](Self::clock) once per test clock: each call returns the next
+/// vector of `Sexp` (memory word routed through the shift and complement
+/// multiplexers). The iterator interface drains the remaining stream.
+///
+/// # Example
+///
+/// ```
+/// use bist_expand::expansion::ExpansionConfig;
+/// use bist_expand::hardware::OnChipExpander;
+/// use bist_expand::TestSequence;
+///
+/// let s: TestSequence = "000 110".parse()?;
+/// let cfg = ExpansionConfig::new(2)?;
+/// let mut hw = OnChipExpander::new(s.len(), s.width(), cfg);
+/// hw.load(&s)?;
+/// let stream: TestSequence = hw.run()?;
+/// assert_eq!(stream, cfg.expand(&s));   // bit-identical to software
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnChipExpander {
+    memory: TestMemory,
+    config: ExpansionConfig,
+    fsm: Option<ExpanderFsm>,
+}
+
+impl OnChipExpander {
+    /// Creates an expander with a memory of `depth` words × `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `width` is zero.
+    #[must_use]
+    pub fn new(depth: usize, width: usize, config: ExpansionConfig) -> Self {
+        OnChipExpander { memory: TestMemory::new(depth, width), config, fsm: None }
+    }
+
+    /// Loads a subsequence and resets the FSM, ready to stream its `Sexp`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory loading errors (width mismatch, overflow).
+    pub fn load(&mut self, s: &TestSequence) -> Result<(), ExpandError> {
+        self.memory.load(s)?;
+        self.fsm = Some(ExpanderFsm::new(self.config, s.len()));
+        Ok(())
+    }
+
+    /// The memory model (for sizing/cost queries).
+    #[must_use]
+    pub fn memory(&self) -> &TestMemory {
+        &self.memory
+    }
+
+    /// Produces the vector for the current clock and advances the FSM.
+    /// Returns `None` when the expansion is complete or nothing is loaded.
+    pub fn clock(&mut self) -> Option<TestVector> {
+        let fsm = self.fsm.as_mut()?;
+        if fsm.is_done() {
+            return None;
+        }
+        let phase = fsm.phase();
+        let word = self.memory.read(fsm.address());
+        let out = phase.transform(word);
+        fsm.advance();
+        Some(out)
+    }
+
+    /// Drains the whole expansion into a sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`ExpandError::Empty`] if nothing is loaded.
+    pub fn run(&mut self) -> Result<TestSequence, ExpandError> {
+        if self.fsm.is_none() {
+            return Err(ExpandError::Empty);
+        }
+        let mut out = TestSequence::new(self.memory.width());
+        while let Some(v) = self.clock() {
+            out.push(v).expect("expander output width is fixed");
+        }
+        Ok(out)
+    }
+
+    /// Clocks remaining until the current expansion finishes (0 if idle).
+    #[must_use]
+    pub fn remaining_cycles(&self) -> usize {
+        match &self.fsm {
+            None => 0,
+            Some(f) if f.is_done() => 0,
+            Some(f) => {
+                let per_walk = f.len;
+                let done_in_phase = f.rep * per_walk
+                    + if f.phase().reverse {
+                        f.len - 1 - f.address()
+                    } else {
+                        f.address()
+                    };
+                let done_before: usize =
+                    f.phases[..f.phase_index()].iter().map(|p| p.reps * per_walk).sum();
+                f.total_cycles() - done_before - done_in_phase
+            }
+        }
+    }
+}
+
+impl Iterator for OnChipExpander {
+    type Item = TestVector;
+
+    fn next(&mut self) -> Option<TestVector> {
+        self.clock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> TestSequence {
+        s.parse().unwrap()
+    }
+
+    fn run_hw(s: &str, n: usize) -> (TestSequence, TestSequence) {
+        let s = seq(s);
+        let cfg = ExpansionConfig::new(n).unwrap();
+        let mut hw = OnChipExpander::new(s.len(), s.width(), cfg);
+        hw.load(&s).unwrap();
+        (hw.run().unwrap(), cfg.expand(&s))
+    }
+
+    #[test]
+    fn hardware_matches_software_table1() {
+        let (hw, sw) = run_hw("000 110", 2);
+        assert_eq!(hw, sw);
+    }
+
+    #[test]
+    fn hardware_matches_software_various() {
+        for (s, n) in [
+            ("1011", 1),
+            ("1 0 1", 3),
+            ("0110 1001 1110 0001 0101", 4),
+            ("10 01 11 00 10 11 01", 2),
+        ] {
+            let (hw, sw) = run_hw(s, n);
+            assert_eq!(hw, sw, "s={s} n={n}");
+        }
+    }
+
+    #[test]
+    fn one_vector_per_clock() {
+        let s = seq("001 010 100");
+        let cfg = ExpansionConfig::new(2).unwrap();
+        let mut hw = OnChipExpander::new(8, 3, cfg);
+        hw.load(&s).unwrap();
+        let mut count = 0;
+        while hw.clock().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, cfg.expanded_len(s.len()));
+        assert!(hw.clock().is_none(), "stays done");
+    }
+
+    #[test]
+    fn fsm_total_cycles() {
+        let fsm = ExpanderFsm::new(ExpansionConfig::new(4).unwrap(), 5);
+        assert_eq!(fsm.total_cycles(), 8 * 4 * 5);
+    }
+
+    #[test]
+    fn remaining_cycles_counts_down() {
+        let s = seq("01 10 11");
+        let cfg = ExpansionConfig::new(1).unwrap();
+        let mut hw = OnChipExpander::new(4, 2, cfg);
+        assert_eq!(hw.remaining_cycles(), 0);
+        hw.load(&s).unwrap();
+        let total = cfg.expanded_len(3);
+        for i in 0..total {
+            assert_eq!(hw.remaining_cycles(), total - i);
+            hw.clock().unwrap();
+        }
+        assert_eq!(hw.remaining_cycles(), 0);
+    }
+
+    #[test]
+    fn reload_restarts() {
+        let cfg = ExpansionConfig::new(1).unwrap();
+        let mut hw = OnChipExpander::new(4, 2, cfg);
+        hw.load(&seq("01")).unwrap();
+        let first = hw.run().unwrap();
+        hw.load(&seq("10 11")).unwrap();
+        let second = hw.run().unwrap();
+        assert_eq!(first.len(), 8);
+        assert_eq!(second.len(), 16);
+        assert_eq!(second, cfg.expand(&seq("10 11")));
+    }
+
+    #[test]
+    fn run_without_load_errors() {
+        let mut hw = OnChipExpander::new(4, 2, ExpansionConfig::new(1).unwrap());
+        assert_eq!(hw.run(), Err(ExpandError::Empty));
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let s = seq("0 1");
+        let cfg = ExpansionConfig::new(1).unwrap();
+        let mut hw = OnChipExpander::new(2, 1, cfg);
+        hw.load(&s).unwrap();
+        let collected: Vec<TestVector> = hw.collect();
+        assert_eq!(collected.len(), 16);
+    }
+
+    #[test]
+    fn single_word_memory() {
+        let (hw, sw) = run_hw("101", 2);
+        assert_eq!(hw, sw);
+        assert_eq!(hw.len(), 16);
+    }
+}

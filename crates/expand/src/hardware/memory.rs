@@ -1,0 +1,150 @@
+use crate::{ExpandError, TestSequence, TestVector};
+
+/// The on-chip test memory holding one loaded subsequence.
+///
+/// Word width equals the number of circuit primary inputs; depth is fixed
+/// at construction (the scheme sizes it for the longest subsequence in
+/// `S`, cf. §1: *"the size of the memory need only be large enough to hold
+/// the longest sequence contained in S"*).
+///
+/// # Example
+///
+/// ```
+/// use bist_expand::hardware::TestMemory;
+/// use bist_expand::TestSequence;
+///
+/// let mut mem = TestMemory::new(4, 3);
+/// let s: TestSequence = "000 110".parse()?;
+/// mem.load(&s)?;
+/// assert_eq!(mem.used(), 2);
+/// assert_eq!(mem.read(1).to_string(), "110");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestMemory {
+    words: Vec<TestVector>,
+    depth: usize,
+    width: usize,
+}
+
+impl TestMemory {
+    /// Creates a memory with `depth` words of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `width` is zero.
+    #[must_use]
+    pub fn new(depth: usize, width: usize) -> Self {
+        assert!(depth > 0, "memory depth must be positive");
+        assert!(width > 0, "memory width must be positive");
+        TestMemory { words: Vec::with_capacity(depth), depth, width }
+    }
+
+    /// Loads a sequence, replacing the previous contents. This models the
+    /// tester writing the subsequence into the memory at tester speed.
+    ///
+    /// # Errors
+    ///
+    /// [`ExpandError::WidthMismatch`] if the sequence width differs from
+    /// the memory word width, and [`ExpandError::Empty`] if the sequence
+    /// does not fit in `depth` words or is empty.
+    pub fn load(&mut self, s: &TestSequence) -> Result<(), ExpandError> {
+        if s.width() != self.width {
+            return Err(ExpandError::WidthMismatch { expected: self.width, got: s.width() });
+        }
+        if s.is_empty() || s.len() > self.depth {
+            return Err(ExpandError::Empty);
+        }
+        self.words.clear();
+        self.words.extend(s.iter().cloned());
+        Ok(())
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr >= used()`.
+    #[must_use]
+    pub fn read(&self, addr: usize) -> &TestVector {
+        &self.words[addr]
+    }
+
+    /// Number of words currently loaded.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Total capacity in words.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Word width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total storage in bits (`depth × width`) — the hardware cost driver.
+    #[must_use]
+    pub fn capacity_bits(&self) -> usize {
+        self.depth * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> TestSequence {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn load_and_read() {
+        let mut m = TestMemory::new(8, 3);
+        m.load(&seq("001 010 100")).unwrap();
+        assert_eq!(m.used(), 3);
+        assert_eq!(m.read(0).to_string(), "001");
+        assert_eq!(m.read(2).to_string(), "100");
+    }
+
+    #[test]
+    fn reload_replaces() {
+        let mut m = TestMemory::new(8, 3);
+        m.load(&seq("001 010 100")).unwrap();
+        m.load(&seq("111")).unwrap();
+        assert_eq!(m.used(), 1);
+        assert_eq!(m.read(0).to_string(), "111");
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut m = TestMemory::new(4, 3);
+        assert_eq!(
+            m.load(&seq("0101")),
+            Err(ExpandError::WidthMismatch { expected: 3, got: 4 })
+        );
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let mut m = TestMemory::new(2, 3);
+        assert_eq!(m.load(&seq("000 001 010")), Err(ExpandError::Empty));
+    }
+
+    #[test]
+    fn capacity_bits() {
+        let m = TestMemory::new(16, 5);
+        assert_eq!(m.capacity_bits(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_panics() {
+        let _ = TestMemory::new(0, 3);
+    }
+}

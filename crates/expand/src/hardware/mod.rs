@@ -1,0 +1,40 @@
+//! Cycle-accurate register-transfer model of the on-chip test hardware.
+//!
+//! The paper's scheme needs only a small amount of circuit-independent
+//! hardware around the on-chip test memory (§2):
+//!
+//! * a **test memory** wide enough for one input vector and deep enough
+//!   for the longest loaded subsequence ([`TestMemory`]);
+//! * an **up/down address counter** that walks the memory forwards for the
+//!   forward half of `Sexp` and backwards for the reversed half
+//!   ([`UpDownCounter`]);
+//! * a **repetition counter** incremented each time the address counter
+//!   wraps (part of [`ExpanderFsm`]);
+//! * **inverters + multiplexers** on the memory outputs implementing
+//!   complementation, and a second mux layer implementing the circular
+//!   left shift (modelled in [`Phase::transform`]);
+//! * a small **finite-state machine** sequencing the eight phases of the
+//!   expansion ([`ExpanderFsm`]).
+//!
+//! [`OnChipExpander`] wires these together: after [`load`]ing a sequence,
+//! each call to [`clock`] (or each iterator step) produces the next vector
+//! of `Sexp`, exactly one per (simulated) test clock. The unit and
+//! property tests prove the stream equal to the software expansion.
+//!
+//! For the output side, [`Misr`] models a multiple-input signature
+//! register compacting the circuit's primary-output responses (§1 of the
+//! paper notes response compaction is used with a precomputed signature).
+//!
+//! [`load`]: OnChipExpander::load
+//! [`clock`]: OnChipExpander::clock
+//! [`Phase::transform`]: crate::expansion::Phase::transform
+
+mod counter;
+mod expander;
+mod memory;
+mod misr;
+
+pub use counter::{StepEvent, UpDownCounter};
+pub use expander::{ExpanderFsm, OnChipExpander};
+pub use memory::TestMemory;
+pub use misr::Misr;

@@ -1,0 +1,181 @@
+//! First-class sequence operations.
+//!
+//! The paper defines four manipulations that the on-chip hardware can apply
+//! to a stored sequence. [`SequenceOp`] reifies them so that expansion
+//! recipes can be described as data — used by the ablation benchmarks to
+//! measure the contribution of each operation, and by the hardware model's
+//! documentation of its control words.
+//!
+//! # Example
+//!
+//! ```
+//! use bist_expand::{TestSequence, ops::SequenceOp};
+//!
+//! let s: TestSequence = "001 101".parse()?;
+//! let shifted = SequenceOp::Shift(1).apply(&s)?;
+//! assert_eq!(shifted.to_string(), "010 011");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::{ExpandError, TestSequence};
+use std::fmt;
+
+/// One of the paper's sequence manipulations (plus the input-hold of
+/// \[3\], which the paper cites as related prior art).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SequenceOp {
+    /// `S^n` — repeat the sequence `n` times (`n ≥ 1`).
+    Repeat(usize),
+    /// `~S` — complement every vector.
+    Complement,
+    /// `S << k` — circularly shift every vector left by `k`.
+    Shift(usize),
+    /// `rS` — reverse the order of the vectors.
+    Reverse,
+    /// `S@k` — hold every vector for `k` consecutive cycles (`k ≥ 1`).
+    Hold(usize),
+}
+
+impl SequenceOp {
+    /// Applies the operation.
+    ///
+    /// # Errors
+    ///
+    /// [`ExpandError::BadRepetition`] for `Repeat(0)` or `Hold(0)`.
+    pub fn apply(self, s: &TestSequence) -> Result<TestSequence, ExpandError> {
+        match self {
+            SequenceOp::Repeat(n) => s.repeated(n),
+            SequenceOp::Complement => Ok(s.complemented()),
+            SequenceOp::Shift(k) => Ok(s.shifted(k)),
+            SequenceOp::Reverse => Ok(s.reversed()),
+            SequenceOp::Hold(k) => s.held(k),
+        }
+    }
+
+    /// The factor by which the operation multiplies sequence length.
+    #[must_use]
+    pub fn length_factor(self) -> usize {
+        match self {
+            SequenceOp::Repeat(n) | SequenceOp::Hold(n) => n,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for SequenceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequenceOp::Repeat(n) => write!(f, "repeat×{n}"),
+            SequenceOp::Complement => write!(f, "complement"),
+            SequenceOp::Shift(k) => write!(f, "shift<<{k}"),
+            SequenceOp::Reverse => write!(f, "reverse"),
+            SequenceOp::Hold(k) => write!(f, "hold@{k}"),
+        }
+    }
+}
+
+/// Applies a pipeline of operations left to right.
+///
+/// # Errors
+///
+/// Propagates the first failing operation.
+///
+/// # Example
+///
+/// ```
+/// use bist_expand::{TestSequence, ops::{apply_all, SequenceOp}};
+///
+/// let s: TestSequence = "01 10".parse()?;
+/// let out = apply_all(&s, &[SequenceOp::Repeat(2), SequenceOp::Reverse])?;
+/// assert_eq!(out.to_string(), "10 01 10 01");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn apply_all(s: &TestSequence, ops: &[SequenceOp]) -> Result<TestSequence, ExpandError> {
+    let mut cur = s.clone();
+    for op in ops {
+        cur = op.apply(&cur)?;
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> TestSequence {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ops_match_method_calls() {
+        let s = seq("001 110 010");
+        assert_eq!(SequenceOp::Repeat(2).apply(&s).unwrap(), s.repeated(2).unwrap());
+        assert_eq!(SequenceOp::Complement.apply(&s).unwrap(), s.complemented());
+        assert_eq!(SequenceOp::Shift(2).apply(&s).unwrap(), s.shifted(2));
+        assert_eq!(SequenceOp::Reverse.apply(&s).unwrap(), s.reversed());
+    }
+
+    #[test]
+    fn repeat_zero_fails() {
+        assert!(SequenceOp::Repeat(0).apply(&seq("01")).is_err());
+    }
+
+    #[test]
+    fn length_factor() {
+        assert_eq!(SequenceOp::Repeat(4).length_factor(), 4);
+        assert_eq!(SequenceOp::Reverse.length_factor(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SequenceOp::Repeat(3).to_string(), "repeat×3");
+        assert_eq!(SequenceOp::Shift(1).to_string(), "shift<<1");
+    }
+
+    #[test]
+    fn complement_commutes_with_shift() {
+        // The hardware relies on ~(S << 1) == (~S) << 1 so the complement
+        // and shift multiplexers can be wired independently.
+        let s = seq("0011 1010 0110");
+        assert_eq!(s.shifted(1).complemented(), s.complemented().shifted(1));
+    }
+
+    #[test]
+    fn reverse_commutes_with_pointwise_ops() {
+        let s = seq("0011 1010");
+        assert_eq!(s.reversed().complemented(), s.complemented().reversed());
+        assert_eq!(s.reversed().shifted(1), s.shifted(1).reversed());
+    }
+
+    #[test]
+    fn hold_repeats_each_vector() {
+        let s = seq("01 10 11");
+        assert_eq!(
+            SequenceOp::Hold(2).apply(&s).unwrap().to_string(),
+            "01 01 10 10 11 11"
+        );
+        assert_eq!(SequenceOp::Hold(1).apply(&s).unwrap(), s);
+        assert!(SequenceOp::Hold(0).apply(&s).is_err());
+        assert_eq!(SequenceOp::Hold(3).length_factor(), 3);
+        assert_eq!(SequenceOp::Hold(2).to_string(), "hold@2");
+    }
+
+    #[test]
+    fn hold_differs_from_repeat() {
+        // S^2 = S·S interleaves whole copies; S@2 doubles in place.
+        let s = seq("01 10");
+        assert_eq!(s.repeated(2).unwrap().to_string(), "01 10 01 10");
+        assert_eq!(s.held(2).unwrap().to_string(), "01 01 10 10");
+    }
+
+    #[test]
+    fn apply_all_chains() {
+        let s = seq("01 10");
+        let out = apply_all(
+            &s,
+            &[SequenceOp::Repeat(2), SequenceOp::Complement, SequenceOp::Reverse],
+        )
+        .unwrap();
+        assert_eq!(out.to_string(), "01 10 01 10");
+    }
+}

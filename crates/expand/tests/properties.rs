@@ -1,0 +1,105 @@
+//! Property-based tests of the sequence algebra and the hardware model.
+
+use bist_expand::expansion::ExpansionConfig;
+use bist_expand::hardware::OnChipExpander;
+use bist_expand::{TestSequence, TestVector};
+use proptest::prelude::*;
+
+/// Strategy: a test sequence with 1..=12 vectors of width 1..=20.
+fn sequences() -> impl Strategy<Value = TestSequence> {
+    (1usize..=20, 1usize..=12).prop_flat_map(|(width, len)| {
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), width), len)
+            .prop_map(|rows| {
+                TestSequence::from_vectors(
+                    rows.iter().map(|bits| TestVector::from_bits(bits)).collect(),
+                )
+                .expect("nonempty, uniform width")
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn expansion_length_is_8nl(s in sequences(), n in 1usize..=6) {
+        let cfg = ExpansionConfig::new(n).unwrap();
+        prop_assert_eq!(cfg.expand(&s).len(), 8 * n * s.len());
+    }
+
+    #[test]
+    fn expansion_starts_with_s(s in sequences(), n in 1usize..=4) {
+        // Sexp begins with S itself — the property Procedure 2's
+        // termination argument relies on.
+        let cfg = ExpansionConfig::new(n).unwrap();
+        let sexp = cfg.expand(&s);
+        for (i, v) in s.iter().enumerate() {
+            prop_assert_eq!(&sexp[i], v);
+        }
+    }
+
+    #[test]
+    fn expansion_is_palindromic(s in sequences(), n in 1usize..=4) {
+        let cfg = ExpansionConfig::new(n).unwrap();
+        let sexp = cfg.expand(&s);
+        prop_assert_eq!(sexp.reversed(), sexp);
+    }
+
+    #[test]
+    fn phases_equal_reference(s in sequences(), n in 1usize..=4) {
+        let cfg = ExpansionConfig::new(n).unwrap();
+        prop_assert_eq!(cfg.expand_by_phases(&s), cfg.expand(&s));
+    }
+
+    #[test]
+    fn hardware_equals_software(s in sequences(), n in 1usize..=4) {
+        let cfg = ExpansionConfig::new(n).unwrap();
+        let mut hw = OnChipExpander::new(s.len(), s.width(), cfg);
+        hw.load(&s).unwrap();
+        prop_assert_eq!(hw.run().unwrap(), cfg.expand(&s));
+    }
+
+    #[test]
+    fn complement_is_involution(s in sequences()) {
+        prop_assert_eq!(s.complemented().complemented(), s.clone());
+    }
+
+    #[test]
+    fn reverse_is_involution(s in sequences()) {
+        prop_assert_eq!(s.reversed().reversed(), s.clone());
+    }
+
+    #[test]
+    fn shift_has_period_width(s in sequences()) {
+        let w = s.width();
+        prop_assert_eq!(s.shifted(w), s.clone());
+        prop_assert_eq!(s.shifted(1).shifted(w - 1), s.clone());
+    }
+
+    #[test]
+    fn shift_commutes_with_complement(s in sequences(), k in 0usize..8) {
+        prop_assert_eq!(s.shifted(k).complemented(), s.complemented().shifted(k));
+    }
+
+    #[test]
+    fn repetition_multiplies_length(s in sequences(), n in 1usize..=5) {
+        let r = s.repeated(n).unwrap();
+        prop_assert_eq!(r.len(), n * s.len());
+        // Every copy equals the original.
+        for copy in 0..n {
+            for u in 0..s.len() {
+                prop_assert_eq!(&r[copy * s.len() + u], &s[u]);
+            }
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip(s in sequences()) {
+        let text = s.to_string();
+        let back: TestSequence = text.parse().unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn storage_bits_consistent(s in sequences()) {
+        prop_assert_eq!(s.storage_bits(), s.len() * s.width());
+    }
+}

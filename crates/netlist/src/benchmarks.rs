@@ -1,0 +1,268 @@
+//! Benchmark circuits: the real `s27` plus synthetic ISCAS-89 analogs.
+//!
+//! The paper's experimental section (Tables 3-5) evaluates twelve ISCAS-89
+//! circuits. This repository embeds the real `s27` (it is reproduced in the
+//! paper's worked example) and generates deterministic *synthetic analogs*
+//! of the remaining eleven: random sequential circuits with the same
+//! primary-input / flip-flop / gate counts, named `a298`, `a344`, ... to
+//! make the substitution explicit. Real ISCAS-89 `.bench` files can be
+//! loaded through [`crate::parser::parse_bench`] instead when available.
+//!
+//! # Example
+//!
+//! ```
+//! use bist_netlist::benchmarks::{self, suite};
+//!
+//! let s27 = benchmarks::s27();
+//! assert_eq!(s27.num_dffs(), 3);
+//!
+//! // First suite entry is s27 itself.
+//! let entries = suite();
+//! assert_eq!(entries[0].name, "s27");
+//! let c = entries[0].build()?;
+//! assert_eq!(c.num_inputs(), 4);
+//! # Ok::<(), bist_netlist::NetlistError>(())
+//! ```
+
+use crate::generate::GeneratorSpec;
+use crate::{Circuit, CircuitBuilder, GateKind, NetlistError};
+
+/// The ISCAS-89 `s27` benchmark in `.bench` format, exactly as distributed.
+pub const S27_BENCH: &str = "\
+# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+";
+
+/// Builds the real ISCAS-89 `s27` circuit (4 PIs, 1 PO, 3 DFFs, 10 gates).
+///
+/// # Panics
+///
+/// Never: the embedded source is validated by tests.
+#[must_use]
+pub fn s27() -> Circuit {
+    crate::parser::parse_bench("s27", S27_BENCH).expect("embedded s27 is valid")
+}
+
+/// A 3-stage shift register with an enable gate — a tiny, fully
+/// deterministic sequential circuit used throughout the test suites.
+#[must_use]
+pub fn shift_register3() -> Circuit {
+    let mut b = CircuitBuilder::new("shift3");
+    b.add_input("din");
+    b.add_input("en");
+    b.add_gate("d0", GateKind::And, ["din", "en"]);
+    b.add_dff("q0", "d0");
+    b.add_dff("q1", "q0");
+    b.add_dff("q2", "q1");
+    b.add_output("q2");
+    b.finish().expect("shift3 is valid")
+}
+
+/// A 1-bit toggle cell: `q' = en XOR q`.
+#[must_use]
+pub fn toggle() -> Circuit {
+    let mut b = CircuitBuilder::new("toggle");
+    b.add_input("en");
+    b.add_gate("d", GateKind::Xor, ["en", "q"]);
+    b.add_dff("q", "d");
+    b.add_output("q");
+    b.finish().expect("toggle is valid")
+}
+
+/// A small combinational parity/majority mix with no state, for
+/// combinational-path tests.
+#[must_use]
+pub fn comb_mix() -> Circuit {
+    let mut b = CircuitBuilder::new("comb_mix");
+    b.add_input("a");
+    b.add_input("b");
+    b.add_input("c");
+    b.add_gate("ab", GateKind::And, ["a", "b"]);
+    b.add_gate("bc", GateKind::And, ["b", "c"]);
+    b.add_gate("ca", GateKind::And, ["c", "a"]);
+    b.add_gate("maj", GateKind::Or, ["ab", "bc", "ca"]);
+    b.add_gate("par", GateKind::Xor, ["a", "b", "c"]);
+    b.add_gate("out", GateKind::Nand, ["maj", "par"]);
+    b.add_output("maj");
+    b.add_output("par");
+    b.add_output("out");
+    b.finish().expect("comb_mix is valid")
+}
+
+/// How a suite entry produces its circuit.
+#[derive(Debug, Clone)]
+enum EntryKind {
+    /// Parse embedded `.bench` text.
+    Embedded(&'static str),
+    /// Generate from a spec.
+    Generated(GeneratorSpec),
+}
+
+/// One benchmark circuit of the evaluation suite.
+///
+/// Entries are lightweight descriptions; call [`build`](Self::build) to
+/// materialize the circuit (generation of the largest analog takes a
+/// moment, so it is done lazily).
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// Circuit name (`s27`, or `aNNN` for a synthetic analog of `sNNN`).
+    pub name: &'static str,
+    /// Name of the ISCAS-89 circuit this entry stands in for.
+    pub analog_of: &'static str,
+    /// Rough size class used by harnesses to subset the suite.
+    pub gates: usize,
+    kind: EntryKind,
+}
+
+impl SuiteEntry {
+    /// Materializes the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Generation is validated; errors indicate an impossible spec and are
+    /// not expected for the built-in suite.
+    pub fn build(&self) -> Result<Circuit, NetlistError> {
+        match &self.kind {
+            EntryKind::Embedded(text) => crate::parser::parse_bench(self.name, text),
+            EntryKind::Generated(spec) => spec.build(),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // flat row of a benchmark table
+fn analog(
+    name: &'static str,
+    analog_of: &'static str,
+    pis: usize,
+    pos: usize,
+    ffs: usize,
+    gates: usize,
+    depth: usize,
+    seed: u64,
+) -> SuiteEntry {
+    SuiteEntry {
+        name,
+        analog_of,
+        gates,
+        kind: EntryKind::Generated(
+            GeneratorSpec::new(name)
+                .inputs(pis)
+                .outputs(pos)
+                .dffs(ffs)
+                .gates(gates)
+                .target_depth(depth)
+                .seed(seed),
+        ),
+    }
+}
+
+/// The evaluation suite mirroring Table 3 of the paper: the real `s27`
+/// followed by synthetic analogs of the twelve evaluated ISCAS-89 circuits,
+/// ordered by size. PI/PO/FF/gate counts match the originals.
+#[must_use]
+pub fn suite() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry {
+            name: "s27",
+            analog_of: "s27",
+            gates: 10,
+            kind: EntryKind::Embedded(S27_BENCH),
+        },
+        analog("a298", "s298", 3, 6, 14, 119, 9, 298),
+        analog("a344", "s344", 9, 11, 15, 160, 10, 344),
+        analog("a382", "s382", 3, 6, 21, 158, 9, 382),
+        analog("a400", "s400", 3, 6, 21, 162, 9, 400),
+        analog("a526", "s526", 3, 6, 21, 193, 9, 526),
+        analog("a641", "s641", 35, 24, 19, 379, 12, 641),
+        analog("a820", "s820", 18, 19, 5, 289, 10, 820),
+        analog("a1196", "s1196", 14, 14, 18, 529, 12, 1196),
+        analog("a1423", "s1423", 17, 5, 74, 657, 13, 1423),
+        analog("a1488", "s1488", 8, 19, 6, 653, 12, 1488),
+        analog("a5378", "s5378", 35, 49, 179, 2779, 12, 5378),
+        analog("a35932", "s35932", 35, 320, 1728, 16065, 12, 35932),
+    ]
+}
+
+/// The suite restricted to circuits with at most `max_gates` gates —
+/// convenient for quick runs and debug-mode tests.
+#[must_use]
+pub fn suite_up_to(max_gates: usize) -> Vec<SuiteEntry> {
+    suite().into_iter().filter(|e| e.gates <= max_gates).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_matches_published_shape() {
+        let c = s27();
+        assert_eq!(c.num_inputs(), 4);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_dffs(), 3);
+        assert_eq!(c.num_gates(), 10);
+        // Spot-check connectivity from the published netlist.
+        let g11 = c.find("G11").unwrap();
+        let node = c.node(g11);
+        assert_eq!(node.fanin().len(), 2);
+        let names: Vec<&str> =
+            node.fanin().iter().map(|&f| c.node(f).name()).collect();
+        assert_eq!(names, vec!["G5", "G9"]);
+    }
+
+    #[test]
+    fn helpers_build() {
+        assert_eq!(shift_register3().num_dffs(), 3);
+        assert_eq!(toggle().num_dffs(), 1);
+        assert_eq!(comb_mix().num_dffs(), 0);
+    }
+
+    #[test]
+    fn suite_entries_have_matching_counts() {
+        // Check a couple of analogs cheaply (not the big ones).
+        for entry in suite_up_to(300) {
+            let c = entry.build().unwrap();
+            assert_eq!(c.name(), entry.name);
+            assert_eq!(c.num_gates(), entry.gates, "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn suite_is_ordered_and_complete() {
+        let s = suite();
+        assert_eq!(s.len(), 13);
+        assert_eq!(s[0].name, "s27");
+        assert_eq!(s.last().unwrap().analog_of, "s35932");
+    }
+
+    #[test]
+    fn suite_up_to_filters() {
+        let small = suite_up_to(200);
+        assert!(small.iter().all(|e| e.gates <= 200));
+        assert!(small.len() >= 4);
+    }
+
+    #[test]
+    fn analogs_are_deterministic() {
+        let a = suite()[1].build().unwrap();
+        let b = suite()[1].build().unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,429 @@
+use crate::circuit::{Circuit, Node, NodeId, NodeKind};
+use crate::{GateKind, NetlistError};
+use std::collections::HashMap;
+
+/// Pending driver description used during building.
+#[derive(Debug, Clone)]
+enum PendingKind {
+    Input,
+    Dff { d: String },
+    Gate { kind: GateKind, fanin: Vec<String> },
+}
+
+/// Incremental constructor for [`Circuit`].
+///
+/// Signals are referred to by name while building; forward references are
+/// allowed (a gate may use a signal that is defined later). [`finish`]
+/// resolves names, validates the structure and produces an immutable,
+/// levelized [`Circuit`].
+///
+/// # Example
+///
+/// ```
+/// use bist_netlist::{CircuitBuilder, GateKind};
+///
+/// let mut b = CircuitBuilder::new("toggle");
+/// b.add_input("en");
+/// b.add_dff("q", "d");
+/// b.add_gate("d", GateKind::Xor, ["en", "q"]);
+/// b.add_output("q");
+/// let c = b.finish()?;
+/// assert_eq!(c.num_dffs(), 1);
+/// # Ok::<(), bist_netlist::NetlistError>(())
+/// ```
+///
+/// [`finish`]: CircuitBuilder::finish
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    /// Definition order of drivers (signal name -> pending kind).
+    defs: Vec<(String, PendingKind)>,
+    /// Names already defined, mapping to their index in `defs`.
+    defined: HashMap<String, usize>,
+    outputs: Vec<String>,
+    /// First duplicate-driver error, reported at finish time.
+    duplicate: Option<String>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder for a circuit called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            defs: Vec::new(),
+            defined: HashMap::new(),
+            outputs: Vec::new(),
+            duplicate: None,
+        }
+    }
+
+    fn define(&mut self, name: String, kind: PendingKind) {
+        if self.defined.contains_key(&name) {
+            if self.duplicate.is_none() {
+                self.duplicate = Some(name);
+            }
+            return;
+        }
+        self.defined.insert(name.clone(), self.defs.len());
+        self.defs.push((name, kind));
+    }
+
+    /// Declares a primary input signal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> &mut Self {
+        self.define(name.into(), PendingKind::Input);
+        self
+    }
+
+    /// Declares a D flip-flop with output `q` and D input `d`.
+    pub fn add_dff(&mut self, q: impl Into<String>, d: impl Into<String>) -> &mut Self {
+        let d = d.into();
+        self.define(q.into(), PendingKind::Dff { d });
+        self
+    }
+
+    /// Declares a combinational gate driving `out`.
+    pub fn add_gate<I, S>(&mut self, out: impl Into<String>, kind: GateKind, fanin: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let fanin: Vec<String> = fanin.into_iter().map(Into::into).collect();
+        self.define(out.into(), PendingKind::Gate { kind, fanin });
+        self
+    }
+
+    /// Marks an already- or later-defined signal as a primary output.
+    pub fn add_output(&mut self, name: impl Into<String>) -> &mut Self {
+        self.outputs.push(name.into());
+        self
+    }
+
+    /// Number of signals defined so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Returns `true` if no signals have been defined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Returns `true` if `name` already has a driver.
+    #[must_use]
+    pub fn is_defined(&self, name: &str) -> bool {
+        self.defined.contains_key(name)
+    }
+
+    /// Validates the accumulated definitions and produces a [`Circuit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] if any signal has zero or multiple
+    /// drivers, a gate arity is invalid, the combinational logic is cyclic,
+    /// or the circuit has no inputs/outputs.
+    pub fn finish(self) -> Result<Circuit, NetlistError> {
+        if let Some(name) = self.duplicate {
+            return Err(NetlistError::DuplicateDriver { name });
+        }
+
+        // Partition into inputs, DFFs, gates — nodes are laid out in that
+        // order so simulators can index state and input arrays densely.
+        let mut input_names = Vec::new();
+        let mut dff_names = Vec::new();
+        let mut gate_names = Vec::new();
+        for (name, kind) in &self.defs {
+            match kind {
+                PendingKind::Input => input_names.push(name.clone()),
+                PendingKind::Dff { .. } => dff_names.push(name.clone()),
+                PendingKind::Gate { .. } => gate_names.push(name.clone()),
+            }
+        }
+        if input_names.is_empty() {
+            return Err(NetlistError::NoInputs);
+        }
+        if self.outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+
+        // Assign dense ids: inputs, then DFFs, then gates (definition order;
+        // the topological order is computed separately below).
+        let mut id_of: HashMap<&str, NodeId> = HashMap::new();
+        let ordered: Vec<&String> = input_names
+            .iter()
+            .chain(dff_names.iter())
+            .chain(gate_names.iter())
+            .collect();
+        for (i, name) in ordered.iter().enumerate() {
+            id_of.insert(name.as_str(), NodeId::from_index(i));
+        }
+
+        let resolve = |name: &str| -> Result<NodeId, NetlistError> {
+            id_of
+                .get(name)
+                .copied()
+                .ok_or_else(|| NetlistError::UndrivenNet { name: name.to_string() })
+        };
+
+        // Build node table.
+        let mut nodes: Vec<Node> = Vec::with_capacity(ordered.len());
+        for name in &ordered {
+            let def_idx = self.defined[*name];
+            let (_, kind) = &self.defs[def_idx];
+            let node = match kind {
+                PendingKind::Input => Node {
+                    name: (*name).clone(),
+                    kind: NodeKind::Input,
+                    fanin: Vec::new(),
+                },
+                PendingKind::Dff { d } => Node {
+                    name: (*name).clone(),
+                    kind: NodeKind::Dff,
+                    fanin: vec![resolve(d)?],
+                },
+                PendingKind::Gate { kind, fanin } => {
+                    if !kind.accepts_arity(fanin.len()) {
+                        return Err(NetlistError::BadArity {
+                            name: (*name).clone(),
+                            kind: kind.to_string(),
+                            got: fanin.len(),
+                        });
+                    }
+                    let fanin = fanin
+                        .iter()
+                        .map(|f| resolve(f))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Node {
+                        name: (*name).clone(),
+                        kind: NodeKind::Gate(*kind),
+                        fanin,
+                    }
+                }
+            };
+            nodes.push(node);
+        }
+
+        let num_inputs = input_names.len();
+        let num_dffs = dff_names.len();
+        let inputs: Vec<NodeId> = (0..num_inputs).map(NodeId::from_index).collect();
+        let dffs: Vec<NodeId> =
+            (num_inputs..num_inputs + num_dffs).map(NodeId::from_index).collect();
+
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|name| {
+                id_of
+                    .get(name.as_str())
+                    .copied()
+                    .ok_or_else(|| NetlistError::UnknownOutput { name: name.clone() })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        // Kahn topological sort over gate nodes. Sources (inputs, DFF
+        // outputs) are considered already available.
+        let n = nodes.len();
+        let mut remaining_fanin = vec![0usize; n];
+        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, node) in nodes.iter().enumerate() {
+            if !node.kind.is_gate() {
+                continue;
+            }
+            for &src in &node.fanin {
+                if nodes[src.index()].kind.is_gate() {
+                    remaining_fanin[i] += 1;
+                    consumers[src.index()].push(NodeId::from_index(i));
+                }
+            }
+        }
+        let mut ready: Vec<NodeId> = (0..n)
+            .filter(|&i| nodes[i].kind.is_gate() && remaining_fanin[i] == 0)
+            .map(NodeId::from_index)
+            .collect();
+        let mut eval_order = Vec::with_capacity(n - num_inputs - num_dffs);
+        while let Some(g) = ready.pop() {
+            eval_order.push(g);
+            for &c in &consumers[g.index()] {
+                remaining_fanin[c.index()] -= 1;
+                if remaining_fanin[c.index()] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+        let num_gates = n - num_inputs - num_dffs;
+        if eval_order.len() != num_gates {
+            // Some gate never became ready: it participates in a cycle.
+            let stuck = (0..n)
+                .find(|&i| nodes[i].kind.is_gate() && remaining_fanin[i] > 0)
+                .expect("cycle implies a stuck gate");
+            return Err(NetlistError::CombinationalLoop { name: nodes[stuck].name.clone() });
+        }
+
+        // Levelization (longest path from a source).
+        let mut levels = vec![0u32; n];
+        for &g in &eval_order {
+            let lvl = nodes[g.index()]
+                .fanin
+                .iter()
+                .map(|&s| levels[s.index()])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            levels[g.index()] = lvl;
+        }
+
+        Ok(Circuit {
+            name: self.name,
+            nodes,
+            inputs,
+            outputs,
+            dffs,
+            eval_order,
+            levels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle() -> CircuitBuilder {
+        let mut b = CircuitBuilder::new("toggle");
+        b.add_input("en");
+        b.add_dff("q", "d");
+        b.add_gate("d", GateKind::Xor, ["en", "q"]);
+        b.add_output("q");
+        b
+    }
+
+    #[test]
+    fn builds_valid_circuit() {
+        let c = toggle().finish().unwrap();
+        assert_eq!(c.num_inputs(), 1);
+        assert_eq!(c.num_dffs(), 1);
+        assert_eq!(c.num_gates(), 1);
+        assert_eq!(c.num_outputs(), 1);
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        // Gate defined before the input it uses.
+        let mut b = CircuitBuilder::new("fwd");
+        b.add_gate("y", GateKind::Not, ["x"]);
+        b.add_input("x");
+        b.add_output("y");
+        let c = b.finish().unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn duplicate_driver_rejected() {
+        let mut b = toggle();
+        b.add_gate("d", GateKind::And, ["en", "q"]);
+        let err = b.finish().unwrap_err();
+        assert_eq!(err, NetlistError::DuplicateDriver { name: "d".into() });
+    }
+
+    #[test]
+    fn undriven_net_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        b.add_input("a");
+        b.add_gate("y", GateKind::Not, ["ghost"]);
+        b.add_output("y");
+        let err = b.finish().unwrap_err();
+        assert_eq!(err, NetlistError::UndrivenNet { name: "ghost".into() });
+    }
+
+    #[test]
+    fn combinational_loop_rejected() {
+        let mut b = CircuitBuilder::new("loopy");
+        b.add_input("a");
+        b.add_gate("x", GateKind::And, ["a", "y"]);
+        b.add_gate("y", GateKind::Or, ["x", "a"]);
+        b.add_output("y");
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn loop_through_dff_is_fine() {
+        // q -> d -> q is sequential feedback, not a combinational loop.
+        let c = toggle().finish().unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        b.add_input("a");
+        b.add_input("b");
+        b.add_gate("y", GateKind::Not, ["a", "b"]);
+        b.add_output("y");
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, NetlistError::BadArity { got: 2, .. }));
+    }
+
+    #[test]
+    fn one_input_and_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        b.add_input("a");
+        b.add_gate("y", GateKind::And, ["a"]);
+        b.add_output("y");
+        assert!(matches!(b.finish().unwrap_err(), NetlistError::BadArity { got: 1, .. }));
+    }
+
+    #[test]
+    fn no_inputs_rejected() {
+        let mut b = CircuitBuilder::new("empty");
+        b.add_dff("q", "q2");
+        b.add_dff("q2", "q");
+        b.add_output("q");
+        assert_eq!(b.finish().unwrap_err(), NetlistError::NoInputs);
+    }
+
+    #[test]
+    fn no_outputs_rejected() {
+        let mut b = CircuitBuilder::new("empty");
+        b.add_input("a");
+        assert_eq!(b.finish().unwrap_err(), NetlistError::NoOutputs);
+    }
+
+    #[test]
+    fn unknown_output_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        b.add_input("a");
+        b.add_gate("y", GateKind::Not, ["a"]);
+        b.add_output("zz");
+        assert_eq!(b.finish().unwrap_err(), NetlistError::UnknownOutput { name: "zz".into() });
+    }
+
+    #[test]
+    fn output_can_be_an_input() {
+        let mut b = CircuitBuilder::new("pass");
+        b.add_input("a");
+        b.add_gate("y", GateKind::Buf, ["a"]);
+        b.add_output("a");
+        b.add_output("y");
+        let c = b.finish().unwrap();
+        assert_eq!(c.num_outputs(), 2);
+    }
+
+    #[test]
+    fn dff_chain_levels() {
+        let mut b = CircuitBuilder::new("chain");
+        b.add_input("a");
+        b.add_dff("q1", "g1");
+        b.add_dff("q2", "g2");
+        b.add_gate("g1", GateKind::Buf, ["a"]);
+        b.add_gate("g2", GateKind::Buf, ["q1"]);
+        b.add_output("q2");
+        let c = b.finish().unwrap();
+        // Every gate is level 1: DFF outputs are sources.
+        for &g in c.eval_order() {
+            assert_eq!(c.level(g), 1);
+        }
+    }
+}

@@ -1,0 +1,380 @@
+use crate::{CircuitStats, GateKind};
+use std::fmt;
+
+/// Identifier of a node (signal) inside a [`Circuit`].
+///
+/// A `NodeId` is a dense index into the circuit's node table; it is only
+/// meaningful for the circuit that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NodeId` from a raw index.
+    ///
+    /// Intended for iteration (`(0..circuit.num_nodes()).map(NodeId::from_index)`);
+    /// using an out-of-range index will cause panics when the id is used.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What drives a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A primary input; driven from outside the circuit.
+    Input,
+    /// The output of a D flip-flop. Its single fanin is the D input net.
+    Dff,
+    /// The output of a combinational gate.
+    Gate(GateKind),
+}
+
+impl NodeKind {
+    /// Returns `true` for combinational gate nodes.
+    #[must_use]
+    pub fn is_gate(&self) -> bool {
+        matches!(self, NodeKind::Gate(_))
+    }
+}
+
+/// One node of the circuit: a named signal together with its driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) kind: NodeKind,
+    pub(crate) fanin: Vec<NodeId>,
+}
+
+impl Node {
+    /// The signal name (as written in the `.bench` source).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What drives this node.
+    #[must_use]
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// The fanin nets, in pin order. Empty for primary inputs; exactly one
+    /// entry (the D input) for flip-flops.
+    #[must_use]
+    pub fn fanin(&self) -> &[NodeId] {
+        &self.fanin
+    }
+}
+
+/// A reference to one fanout branch of a node: the consuming node and the
+/// pin (fanin position) at which it is consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FanoutRef {
+    /// The consuming node.
+    pub node: NodeId,
+    /// The fanin position within `node` (0-based).
+    pub pin: u32,
+}
+
+/// An immutable, validated, levelized synchronous sequential circuit.
+///
+/// A circuit is a set of named signals (nodes), each driven by a primary
+/// input, a D flip-flop, or a combinational gate. Construction goes through
+/// [`CircuitBuilder`](crate::CircuitBuilder) or the
+/// [`parser`](crate::parser), both of which guarantee:
+///
+/// * every referenced signal has exactly one driver,
+/// * the combinational logic is acyclic (feedback only through DFFs),
+/// * gate arities are legal,
+/// * there is at least one primary input and one primary output.
+///
+/// The node table is stored in a validated topological order: primary
+/// inputs first, then DFF outputs, then gates in evaluation order. This lets
+/// simulators evaluate the combinational logic with a single forward sweep
+/// ([`eval_order`](Circuit::eval_order)).
+///
+/// # Example
+///
+/// ```
+/// use bist_netlist::benchmarks;
+///
+/// let c = benchmarks::s27();
+/// // Gates can be evaluated in a single forward pass:
+/// for &id in c.eval_order() {
+///     let node = c.node(id);
+///     assert!(node.kind().is_gate());
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+    pub(crate) dffs: Vec<NodeId>,
+    /// Gate nodes in topological (evaluation) order.
+    pub(crate) eval_order: Vec<NodeId>,
+    /// Level (longest path from a source) of every node; sources are level 0.
+    pub(crate) levels: Vec<u32>,
+}
+
+impl Circuit {
+    /// The circuit name (e.g. `"s27"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes (inputs + DFFs + gates).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of D flip-flops (state bits).
+    #[must_use]
+    pub fn num_dffs(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Number of combinational gates.
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.eval_order.len()
+    }
+
+    /// Accesses a node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes, indexable by [`NodeId::index`].
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Primary input nodes, in declaration order. The bit order of test
+    /// vectors throughout the workspace follows this order (bit 0 = first
+    /// input = most significant position in the paper's notation).
+    #[must_use]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary output nodes, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Flip-flop output nodes, in declaration order. The state vector of a
+    /// simulator follows this order.
+    #[must_use]
+    pub fn dffs(&self) -> &[NodeId] {
+        &self.dffs
+    }
+
+    /// Gate nodes in a valid evaluation (topological) order.
+    #[must_use]
+    pub fn eval_order(&self) -> &[NodeId] {
+        &self.eval_order
+    }
+
+    /// The logic level of a node: 0 for primary inputs and DFF outputs,
+    /// otherwise 1 + max level of the fanins.
+    #[must_use]
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// The circuit depth: the maximum node level.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Looks up a node by name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(NodeId::from_index)
+    }
+
+    /// Computes the fanout table: for every node, the list of (consumer,
+    /// pin) pairs that read it. `O(total fanin)`.
+    #[must_use]
+    pub fn fanout_table(&self) -> Vec<Vec<FanoutRef>> {
+        let mut table = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for (pin, &src) in node.fanin.iter().enumerate() {
+                table[src.index()].push(FanoutRef {
+                    node: NodeId::from_index(i),
+                    pin: pin as u32,
+                });
+            }
+        }
+        table
+    }
+
+    /// Summary statistics for reporting.
+    #[must_use]
+    pub fn stats(&self) -> CircuitStats {
+        let mut fanin_total = 0usize;
+        let mut max_fanin = 0usize;
+        for &g in &self.eval_order {
+            let n = self.node(g).fanin.len();
+            fanin_total += n;
+            max_fanin = max_fanin.max(n);
+        }
+        CircuitStats {
+            name: self.name.clone(),
+            inputs: self.num_inputs(),
+            outputs: self.num_outputs(),
+            dffs: self.num_dffs(),
+            gates: self.num_gates(),
+            depth: self.depth(),
+            total_gate_fanin: fanin_total,
+            max_gate_fanin: max_fanin,
+        }
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} PIs, {} POs, {} DFFs, {} gates, depth {}",
+            self.name,
+            self.num_inputs(),
+            self.num_outputs(),
+            self.num_dffs(),
+            self.num_gates(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn node_id_round_trip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn s27_shape() {
+        let c = benchmarks::s27();
+        assert_eq!(c.name(), "s27");
+        assert_eq!(c.num_inputs(), 4);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_dffs(), 3);
+        assert_eq!(c.num_gates(), 10);
+        assert_eq!(c.num_nodes(), 4 + 3 + 10);
+    }
+
+    #[test]
+    fn eval_order_is_topological() {
+        let c = benchmarks::s27();
+        // Every fanin of a gate must be an input, a DFF output, or a gate
+        // that appears earlier in eval_order.
+        let mut seen = vec![false; c.num_nodes()];
+        for &i in c.inputs() {
+            seen[i.index()] = true;
+        }
+        for &d in c.dffs() {
+            seen[d.index()] = true;
+        }
+        for &g in c.eval_order() {
+            for &src in c.node(g).fanin() {
+                assert!(seen[src.index()], "fanin {src} of {g} not yet evaluated");
+            }
+            seen[g.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn levels_are_consistent() {
+        let c = benchmarks::s27();
+        for &g in c.eval_order() {
+            let max_in = c.node(g).fanin().iter().map(|&s| c.level(s)).max().unwrap();
+            assert_eq!(c.level(g), max_in + 1);
+        }
+        for &i in c.inputs() {
+            assert_eq!(c.level(i), 0);
+        }
+        for &d in c.dffs() {
+            assert_eq!(c.level(d), 0);
+        }
+    }
+
+    #[test]
+    fn fanout_table_is_inverse_of_fanin() {
+        let c = benchmarks::s27();
+        let fo = c.fanout_table();
+        let mut total_fanout = 0usize;
+        for (src_idx, refs) in fo.iter().enumerate() {
+            for r in refs {
+                let consumer = c.node(r.node);
+                assert_eq!(consumer.fanin()[r.pin as usize].index(), src_idx);
+            }
+            total_fanout += refs.len();
+        }
+        let total_fanin: usize = c.nodes().iter().map(|n| n.fanin().len()).sum();
+        assert_eq!(total_fanout, total_fanin);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let c = benchmarks::s27();
+        let g17 = c.find("G17").expect("G17 exists");
+        assert_eq!(c.node(g17).name(), "G17");
+        assert!(c.find("NOPE").is_none());
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let c = benchmarks::s27();
+        let s = c.to_string();
+        assert!(s.contains("s27"));
+        assert!(s.contains("4 PIs"));
+    }
+}

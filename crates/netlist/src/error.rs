@@ -1,0 +1,132 @@
+use std::fmt;
+
+/// Errors produced while building or parsing a circuit.
+///
+/// Every variant names the offending signal (or line) so that malformed
+/// `.bench` files and buggy generators can be diagnosed directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A signal name was defined more than once (two drivers on one net).
+    DuplicateDriver {
+        /// The multiply-driven signal name.
+        name: String,
+    },
+    /// A signal was referenced but never driven by an input, gate or DFF.
+    UndrivenNet {
+        /// The undriven signal name.
+        name: String,
+    },
+    /// The combinational logic contains a cycle that is not broken by a DFF.
+    CombinationalLoop {
+        /// Name of one signal participating in the cycle.
+        name: String,
+    },
+    /// A gate was declared with an unsupported number of fanins.
+    BadArity {
+        /// The gate output signal name.
+        name: String,
+        /// The gate type as written.
+        kind: String,
+        /// The number of fanins supplied.
+        got: usize,
+    },
+    /// The circuit has no primary inputs.
+    NoInputs,
+    /// The circuit has no primary outputs.
+    NoOutputs,
+    /// A `.bench` line could not be parsed.
+    ParseLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An unknown gate type appeared in a `.bench` file.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The gate type as written.
+        kind: String,
+    },
+    /// A primary output references a signal that is never defined.
+    UnknownOutput {
+        /// The referenced signal name.
+        name: String,
+    },
+    /// A primary input is also driven by a gate or DFF.
+    InputDriven {
+        /// The conflicting signal name.
+        name: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateDriver { name } => {
+                write!(f, "signal `{name}` has more than one driver")
+            }
+            NetlistError::UndrivenNet { name } => {
+                write!(f, "signal `{name}` is referenced but never driven")
+            }
+            NetlistError::CombinationalLoop { name } => {
+                write!(f, "combinational loop through signal `{name}`")
+            }
+            NetlistError::BadArity { name, kind, got } => {
+                write!(f, "gate `{name}` of type {kind} has invalid fanin count {got}")
+            }
+            NetlistError::NoInputs => write!(f, "circuit has no primary inputs"),
+            NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            NetlistError::ParseLine { line, text, reason } => {
+                write!(f, "parse error on line {line}: {reason} (`{text}`)")
+            }
+            NetlistError::UnknownGate { line, kind } => {
+                write!(f, "unknown gate type `{kind}` on line {line}")
+            }
+            NetlistError::UnknownOutput { name } => {
+                write!(f, "primary output `{name}` is never defined")
+            }
+            NetlistError::InputDriven { name } => {
+                write!(f, "primary input `{name}` is also driven by a gate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<NetlistError> = vec![
+            NetlistError::DuplicateDriver { name: "a".into() },
+            NetlistError::UndrivenNet { name: "b".into() },
+            NetlistError::CombinationalLoop { name: "c".into() },
+            NetlistError::BadArity { name: "d".into(), kind: "NOT".into(), got: 2 },
+            NetlistError::NoInputs,
+            NetlistError::NoOutputs,
+            NetlistError::ParseLine { line: 3, text: "x".into(), reason: "junk".into() },
+            NetlistError::UnknownGate { line: 4, kind: "FOO".into() },
+            NetlistError::UnknownOutput { name: "z".into() },
+            NetlistError::InputDriven { name: "i".into() },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            let first = s.chars().next().unwrap();
+            assert!(first.is_lowercase() || !first.is_alphabetic(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

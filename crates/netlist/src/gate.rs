@@ -1,0 +1,192 @@
+use std::fmt;
+use std::str::FromStr;
+
+/// The primitive combinational gate types supported by the netlist model.
+///
+/// These are exactly the gate types appearing in the ISCAS-89 benchmark
+/// suite (`.bench` format): AND, NAND, OR, NOR, XOR, XNOR, NOT and BUF.
+///
+/// # Example
+///
+/// ```
+/// use bist_netlist::GateKind;
+///
+/// let g: GateKind = "NAND".parse()?;
+/// assert_eq!(g, GateKind::Nand);
+/// assert!(g.is_inverting());
+/// # Ok::<(), bist_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Logical AND of all fanins.
+    And,
+    /// Complement of the AND of all fanins.
+    Nand,
+    /// Logical OR of all fanins.
+    Or,
+    /// Complement of the OR of all fanins.
+    Nor,
+    /// Odd parity of all fanins.
+    Xor,
+    /// Complement of the odd parity of all fanins.
+    Xnor,
+    /// Inverter (exactly one fanin).
+    Not,
+    /// Buffer (exactly one fanin).
+    Buf,
+}
+
+impl GateKind {
+    /// All gate kinds, in a fixed order (useful for exhaustive tests and
+    /// weighted random selection).
+    pub const ALL: [GateKind; 8] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+
+    /// Returns `true` if the gate complements its "base" function
+    /// (NAND, NOR, XNOR, NOT).
+    #[must_use]
+    pub fn is_inverting(self) -> bool {
+        matches!(self, GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not)
+    }
+
+    /// Returns the valid fanin range for this gate kind as `(min, max)`.
+    ///
+    /// NOT and BUF take exactly one fanin; every other gate takes at
+    /// least two (a 1-input AND would be a BUF and is rejected so that
+    /// fault equivalence classes stay canonical). There is no upper bound.
+    #[must_use]
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            GateKind::Not | GateKind::Buf => (1, 1),
+            _ => (2, usize::MAX),
+        }
+    }
+
+    /// Returns `true` if `n` is an acceptable number of fanins.
+    #[must_use]
+    pub fn accepts_arity(self, n: usize) -> bool {
+        let (lo, hi) = self.arity();
+        n >= lo && n <= hi
+    }
+
+    /// The controlling value of the gate, if it has one.
+    ///
+    /// A controlling value on any input determines the output regardless of
+    /// the other inputs: `0` for AND/NAND, `1` for OR/NOR. XOR/XNOR/NOT/BUF
+    /// have no controlling value.
+    #[must_use]
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The canonical upper-case `.bench` spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUF",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for GateKind {
+    type Err = crate::NetlistError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "BUF" | "BUFF" => Ok(GateKind::Buf),
+            other => Err(crate::NetlistError::UnknownGate { line: 0, kind: other.to_string() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        for k in GateKind::ALL {
+            let parsed: GateKind = k.as_str().parse().unwrap();
+            assert_eq!(parsed, k);
+            let lower: GateKind = k.as_str().to_lowercase().parse().unwrap();
+            assert_eq!(lower, k);
+        }
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("INV".parse::<GateKind>().unwrap(), GateKind::Not);
+        assert_eq!("BUFF".parse::<GateKind>().unwrap(), GateKind::Buf);
+    }
+
+    #[test]
+    fn parse_unknown_fails() {
+        assert!("MAJORITY".parse::<GateKind>().is_err());
+        assert!("".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert!(GateKind::Not.accepts_arity(1));
+        assert!(!GateKind::Not.accepts_arity(2));
+        assert!(GateKind::Buf.accepts_arity(1));
+        assert!(!GateKind::And.accepts_arity(1));
+        assert!(GateKind::And.accepts_arity(2));
+        assert!(GateKind::And.accepts_arity(9));
+        assert!(GateKind::Xor.accepts_arity(3));
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+        assert_eq!(GateKind::Or.controlling_value(), Some(true));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Not.controlling_value(), None);
+    }
+
+    #[test]
+    fn inverting_classification() {
+        assert!(GateKind::Nand.is_inverting());
+        assert!(GateKind::Nor.is_inverting());
+        assert!(GateKind::Xnor.is_inverting());
+        assert!(GateKind::Not.is_inverting());
+        assert!(!GateKind::And.is_inverting());
+        assert!(!GateKind::Or.is_inverting());
+        assert!(!GateKind::Xor.is_inverting());
+        assert!(!GateKind::Buf.is_inverting());
+    }
+}

@@ -1,0 +1,444 @@
+//! Seeded random generation of synchronous sequential circuits.
+//!
+//! The DAC 1999 paper evaluates on the ISCAS-89 benchmark suite. Those
+//! netlists are not distributed with this repository (only `s27` appears in
+//! the paper itself), so [`generate`] builds *synthetic analogs*: random
+//! sequential circuits with the same primary-input, flip-flop and gate
+//! counts as the originals. Generation is layered so circuits have a
+//! realistic, bounded combinational depth and sequential feedback through
+//! the flip-flops, and it is fully deterministic for a given
+//! [`GeneratorSpec`] (including the seed).
+//!
+//! # Example
+//!
+//! ```
+//! use bist_netlist::generate::GeneratorSpec;
+//!
+//! let c = GeneratorSpec::new("demo")
+//!     .inputs(4)
+//!     .outputs(3)
+//!     .dffs(5)
+//!     .gates(40)
+//!     .seed(7)
+//!     .build()?;
+//! assert_eq!(c.num_gates(), 40);
+//! assert_eq!(c.num_dffs(), 5);
+//! # Ok::<(), bist_netlist::NetlistError>(())
+//! ```
+
+use crate::{Circuit, CircuitBuilder, GateKind, NetlistError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the random circuit generator (builder-style).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratorSpec {
+    name: String,
+    inputs: usize,
+    outputs: usize,
+    dffs: usize,
+    gates: usize,
+    target_depth: usize,
+    max_fanin: usize,
+    seed: u64,
+}
+
+impl GeneratorSpec {
+    /// Creates a spec with small defaults (4 inputs, 2 outputs, 3 DFFs,
+    /// 20 gates, depth 6, max fanin 4, seed 0).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        GeneratorSpec {
+            name: name.into(),
+            inputs: 4,
+            outputs: 2,
+            dffs: 3,
+            gates: 20,
+            target_depth: 6,
+            max_fanin: 4,
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of primary inputs (must be ≥ 1).
+    #[must_use]
+    pub fn inputs(mut self, n: usize) -> Self {
+        self.inputs = n;
+        self
+    }
+
+    /// Sets the number of primary outputs (must be ≥ 1).
+    #[must_use]
+    pub fn outputs(mut self, n: usize) -> Self {
+        self.outputs = n;
+        self
+    }
+
+    /// Sets the number of D flip-flops (may be 0 for a combinational circuit).
+    #[must_use]
+    pub fn dffs(mut self, n: usize) -> Self {
+        self.dffs = n;
+        self
+    }
+
+    /// Sets the number of combinational gates (must be ≥ 1).
+    #[must_use]
+    pub fn gates(mut self, n: usize) -> Self {
+        self.gates = n;
+        self
+    }
+
+    /// Sets the approximate combinational depth (number of layers).
+    #[must_use]
+    pub fn target_depth(mut self, n: usize) -> Self {
+        self.target_depth = n.max(1);
+        self
+    }
+
+    /// Sets the maximum gate fanin (≥ 2).
+    #[must_use]
+    pub fn max_fanin(mut self, n: usize) -> Self {
+        self.max_fanin = n.max(2);
+        self
+    }
+
+    /// Sets the RNG seed; the same spec always yields the same circuit.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the requested shape is impossible (no inputs, no
+    /// outputs, zero gates) — surfaced through the builder's validation.
+    pub fn build(&self) -> Result<Circuit, NetlistError> {
+        generate(self)
+    }
+}
+
+/// Weighted gate-kind distribution roughly matching standard-cell netlists.
+fn pick_kind(rng: &mut StdRng) -> GateKind {
+    const TABLE: [(GateKind, u32); 8] = [
+        (GateKind::And, 20),
+        (GateKind::Nand, 20),
+        (GateKind::Or, 15),
+        (GateKind::Nor, 15),
+        (GateKind::Not, 15),
+        (GateKind::Buf, 5),
+        (GateKind::Xor, 7),
+        (GateKind::Xnor, 3),
+    ];
+    let total: u32 = TABLE.iter().map(|&(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for &(kind, w) in &TABLE {
+        if roll < w {
+            return kind;
+        }
+        roll -= w;
+    }
+    unreachable!("weights exhausted")
+}
+
+/// Generates a random sequential circuit per `spec`. See module docs.
+///
+/// # Errors
+///
+/// Propagates builder validation errors for impossible shapes.
+pub fn generate(spec: &GeneratorSpec) -> Result<Circuit, NetlistError> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ name_hash(&spec.name));
+    let mut builder = CircuitBuilder::new(spec.name.clone());
+
+    let pi_names: Vec<String> = (0..spec.inputs).map(|i| format!("I{i}")).collect();
+    let ff_names: Vec<String> = (0..spec.dffs).map(|i| format!("Q{i}")).collect();
+    let gate_names: Vec<String> = (0..spec.gates).map(|i| format!("G{i}")).collect();
+
+    for n in &pi_names {
+        builder.add_input(n.clone());
+    }
+
+    // Sources available to the combinational logic.
+    let sources: Vec<String> = pi_names.iter().chain(ff_names.iter()).cloned().collect();
+
+    // Reserve one gate per flip-flop to gate its D input with a primary
+    // input (see below): this keeps the circuit initializable from the
+    // all-unknown state, like real synchronous designs with resets/loads.
+    // Without it, random FF feedback webs tend to stay at X forever and
+    // most faults become undetectable under 3-valued simulation.
+    let reserve = if spec.dffs > 0 && spec.gates > 2 * spec.dffs { spec.dffs } else { 0 };
+    let layered_gates = spec.gates - reserve;
+
+    // Layered construction: layer 0 reads sources; layer l>0 reads mostly
+    // layer l-1 plus occasionally any earlier signal. `unused` tracks
+    // signals not yet consumed by anything so (almost) all logic is live.
+    let layers = spec.target_depth.min(layered_gates).max(1);
+    let per_layer = layered_gates.div_ceil(layers);
+    let mut all_signals: Vec<String> = sources.clone();
+    let mut prev_layer: Vec<String> = sources.clone();
+    let mut unused: Vec<String> = sources.clone();
+
+    let mut gate_idx = 0usize;
+    while gate_idx < layered_gates {
+        let count = per_layer.min(layered_gates - gate_idx);
+        let mut this_layer = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = gate_names[gate_idx].clone();
+            gate_idx += 1;
+            let kind = pick_kind(&mut rng);
+            let arity = match kind.arity() {
+                (1, 1) => 1,
+                _ => {
+                    // Favor 2-input gates; taper to max_fanin.
+                    let r: f64 = rng.gen();
+                    if r < 0.6 {
+                        2
+                    } else if r < 0.9 {
+                        3.min(spec.max_fanin)
+                    } else {
+                        rng.gen_range(2..=spec.max_fanin)
+                    }
+                }
+            };
+            let mut fanin: Vec<String> = Vec::with_capacity(arity);
+            // First fanin: prefer an unused signal (keeps logic live).
+            let first = if !unused.is_empty() && rng.gen_bool(0.8) {
+                let i = rng.gen_range(0..unused.len());
+                unused.swap_remove(i)
+            } else if rng.gen_bool(0.7) && !prev_layer.is_empty() {
+                prev_layer.choose(&mut rng).expect("nonempty").clone()
+            } else {
+                all_signals.choose(&mut rng).expect("nonempty").clone()
+            };
+            fanin.push(first);
+            while fanin.len() < arity {
+                let cand = if rng.gen_bool(0.5) && !prev_layer.is_empty() {
+                    prev_layer.choose(&mut rng).expect("nonempty").clone()
+                } else {
+                    all_signals.choose(&mut rng).expect("nonempty").clone()
+                };
+                if !fanin.contains(&cand) {
+                    unused.retain(|u| u != &cand);
+                    fanin.push(cand);
+                } else if all_signals.len() <= arity {
+                    // Degenerate tiny circuit: allow duplicate fanin only
+                    // for non-parity gates where it is harmless.
+                    if kind.controlling_value().is_some() {
+                        fanin.push(cand);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // A parity gate may have shrunk below 2 fanins in degenerate
+            // cases; pad from sources (guaranteed distinct name pool).
+            if fanin.len() < 2 && arity >= 2 {
+                for s in &sources {
+                    if !fanin.contains(s) {
+                        fanin.push(s.clone());
+                        break;
+                    }
+                }
+            }
+            let kind = if fanin.len() == 1 && arity >= 2 { GateKind::Buf } else { kind };
+            builder.add_gate(name.clone(), kind, fanin);
+            this_layer.push(name);
+        }
+        // Only now make this layer's outputs visible, so no gate reads a
+        // same-layer gate and the depth stays bounded by the layer count.
+        for name in &this_layer {
+            unused.push(name.clone());
+            all_signals.push(name.clone());
+        }
+        prev_layer = this_layer;
+    }
+
+    // Flip-flop D inputs: drain unused gate outputs first (live feedback),
+    // then random gates. With a reserve, each D goes through a gating gate
+    // `AND(x, Ik)` or `NOR(x, Ik)` so that driving input `Ik` to a
+    // controlling value forces the flip-flop to a known state.
+    for (fi, q) in ff_names.iter().enumerate() {
+        let d = if !unused.is_empty() {
+            let i = rng.gen_range(0..unused.len());
+            unused.swap_remove(i)
+        } else {
+            let pool: &[String] =
+                if gate_idx > 0 { &gate_names[..gate_idx] } else { &sources };
+            pool.choose(&mut rng).expect("nonempty").clone()
+        };
+        if reserve > 0 {
+            let gate_name = gate_names[layered_gates + fi].clone();
+            let kind = if rng.gen_bool(0.5) { GateKind::And } else { GateKind::Nor };
+            let sync_pi = pi_names.choose(&mut rng).expect("inputs nonempty").clone();
+            builder.add_gate(gate_name.clone(), kind, [d, sync_pi]);
+            builder.add_dff(q.clone(), gate_name);
+        } else {
+            builder.add_dff(q.clone(), d);
+        }
+    }
+
+    // Primary outputs: up to half are flip-flop outputs (real sequential
+    // benchmarks observe much of their state directly, which is what makes
+    // them testable), the rest are leftover unused signals, topped up with
+    // random distinct gates.
+    let mut outs: Vec<String> = Vec::new();
+    unused.shuffle(&mut rng);
+    for u in unused {
+        if outs.len() >= spec.outputs {
+            break;
+        }
+        if !outs.contains(&u) {
+            outs.push(u);
+        }
+    }
+    if spec.dffs > 0 {
+        let mut ffs = ff_names.clone();
+        ffs.shuffle(&mut rng);
+        for q in ffs {
+            if outs.len() >= spec.outputs {
+                break;
+            }
+            if !outs.contains(&q) {
+                outs.push(q);
+            }
+        }
+    }
+    let mut tries = 0;
+    while outs.len() < spec.outputs && tries < spec.gates * 4 + 16 {
+        tries += 1;
+        let cand = gate_names.choose(&mut rng).expect("gates nonempty");
+        if !outs.contains(cand) {
+            outs.push(cand.clone());
+        }
+    }
+    // Tiny circuits may not have enough distinct gates; fall back to inputs.
+    let mut k = 0;
+    while outs.len() < spec.outputs && k < pi_names.len() {
+        if !outs.contains(&pi_names[k]) {
+            outs.push(pi_names[k].clone());
+        }
+        k += 1;
+    }
+    for o in &outs {
+        builder.add_output(o.clone());
+    }
+
+    builder.finish()
+}
+
+/// Tiny stable FNV-1a string hash so different circuit names with the same
+/// numeric seed do not produce identical structures.
+fn name_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let spec = GeneratorSpec::new("det").inputs(5).outputs(4).dffs(6).gates(60).seed(42);
+        let a = spec.build().unwrap();
+        let b = spec.build().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GeneratorSpec::new("d").gates(60).seed(1).build().unwrap();
+        let b = GeneratorSpec::new("d").gates(60).seed(2).build().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_counts() {
+        let c = GeneratorSpec::new("counts")
+            .inputs(7)
+            .outputs(5)
+            .dffs(9)
+            .gates(100)
+            .seed(3)
+            .build()
+            .unwrap();
+        assert_eq!(c.num_inputs(), 7);
+        assert_eq!(c.num_dffs(), 9);
+        assert_eq!(c.num_gates(), 100);
+        assert_eq!(c.num_outputs(), 5);
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let c = GeneratorSpec::new("deep")
+            .inputs(4)
+            .outputs(4)
+            .dffs(8)
+            .gates(200)
+            .target_depth(8)
+            .seed(11)
+            .build()
+            .unwrap();
+        // Layered generation keeps depth close to the target; allow slack
+        // for the fact that layers can read any earlier signal.
+        assert!(c.depth() <= 8 + 2, "depth {} too large", c.depth());
+    }
+
+    #[test]
+    fn most_logic_is_live() {
+        let c = GeneratorSpec::new("live")
+            .inputs(6)
+            .outputs(6)
+            .dffs(10)
+            .gates(150)
+            .seed(5)
+            .build()
+            .unwrap();
+        let fanout = c.fanout_table();
+        let dead = c
+            .eval_order()
+            .iter()
+            .filter(|&&g| fanout[g.index()].is_empty() && !c.outputs().contains(&g))
+            .count();
+        // Almost everything should be consumed or observable. A few dead
+        // gates are tolerated (they mimic the undetectable-fault population
+        // of real circuits).
+        assert!(dead <= c.num_gates() / 10, "{dead} dead gates of {}", c.num_gates());
+    }
+
+    #[test]
+    fn combinational_generation_works() {
+        let c = GeneratorSpec::new("comb").inputs(5).outputs(3).dffs(0).gates(30).seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(c.num_dffs(), 0);
+    }
+
+    #[test]
+    fn tiny_circuit_works() {
+        let c = GeneratorSpec::new("tiny").inputs(2).outputs(1).dffs(1).gates(3).seed(1)
+            .build()
+            .unwrap();
+        assert_eq!(c.num_gates(), 3);
+    }
+
+    #[test]
+    fn name_affects_structure() {
+        let a = GeneratorSpec::new("alpha").gates(50).seed(7).build().unwrap();
+        let b = GeneratorSpec::new("beta").gates(50).seed(7).build().unwrap();
+        // Same shape, same seed, different names: structure should differ.
+        let eq_fanin = a
+            .eval_order()
+            .iter()
+            .zip(b.eval_order())
+            .all(|(&x, &y)| a.node(x).fanin() == b.node(y).fanin());
+        assert!(!eq_fanin);
+    }
+}

@@ -1,0 +1,260 @@
+//! Parser for the ISCAS-89 `.bench` netlist format.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G8 = AND(G14, G6)
+//! ```
+//!
+//! Gate names are case-insensitive; `INV` and `BUFF` are accepted as
+//! aliases of `NOT` and `BUF`. Forward references are allowed.
+//!
+//! # Example
+//!
+//! ```
+//! use bist_netlist::parser::parse_bench;
+//!
+//! let src = "\
+//! INPUT(a)
+//! OUTPUT(y)
+//! y = NOT(a)
+//! ";
+//! let c = parse_bench("inv", src)?;
+//! assert_eq!(c.num_gates(), 1);
+//! # Ok::<(), bist_netlist::NetlistError>(())
+//! ```
+
+use crate::{Circuit, CircuitBuilder, GateKind, NetlistError};
+
+/// Parses `.bench`-format text into a validated [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseLine`] / [`NetlistError::UnknownGate`] for
+/// syntax problems, and any structural error from
+/// [`CircuitBuilder::finish`] (undriven nets, loops, duplicate drivers...).
+pub fn parse_bench(name: impl Into<String>, source: &str) -> Result<Circuit, NetlistError> {
+    let mut builder = CircuitBuilder::new(name);
+    let mut inputs_seen: Vec<String> = Vec::new();
+
+    for (lineno0, raw) in source.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(arg) = parse_directive(line, "INPUT") {
+            let sig = validate_name(arg, lineno, raw)?;
+            inputs_seen.push(sig.to_string());
+            builder.add_input(sig);
+            continue;
+        }
+        if let Some(arg) = parse_directive(line, "OUTPUT") {
+            let sig = validate_name(arg, lineno, raw)?;
+            builder.add_output(sig);
+            continue;
+        }
+
+        // `lhs = KIND(arg, arg, ...)`
+        let (lhs, rhs) = line.split_once('=').ok_or_else(|| NetlistError::ParseLine {
+            line: lineno,
+            text: raw.trim().to_string(),
+            reason: "expected `name = GATE(args)`".to_string(),
+        })?;
+        let lhs = validate_name(lhs.trim(), lineno, raw)?;
+        let rhs = rhs.trim();
+        let open = rhs.find('(').ok_or_else(|| NetlistError::ParseLine {
+            line: lineno,
+            text: raw.trim().to_string(),
+            reason: "missing `(`".to_string(),
+        })?;
+        if !rhs.ends_with(')') {
+            return Err(NetlistError::ParseLine {
+                line: lineno,
+                text: raw.trim().to_string(),
+                reason: "missing closing `)`".to_string(),
+            });
+        }
+        let kind_str = rhs[..open].trim();
+        let args_str = &rhs[open + 1..rhs.len() - 1];
+        let args: Vec<&str> = args_str
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if args.is_empty() {
+            return Err(NetlistError::ParseLine {
+                line: lineno,
+                text: raw.trim().to_string(),
+                reason: "gate with no fanins".to_string(),
+            });
+        }
+
+        if kind_str.eq_ignore_ascii_case("DFF") {
+            if args.len() != 1 {
+                return Err(NetlistError::BadArity {
+                    name: lhs.to_string(),
+                    kind: "DFF".to_string(),
+                    got: args.len(),
+                });
+            }
+            builder.add_dff(lhs, args[0]);
+        } else {
+            let kind: GateKind = kind_str.parse().map_err(|_| NetlistError::UnknownGate {
+                line: lineno,
+                kind: kind_str.to_string(),
+            })?;
+            builder.add_gate(lhs, kind, args);
+        }
+
+        // Guard: a signal declared INPUT must not also be driven.
+        if inputs_seen.iter().any(|i| i == lhs) {
+            return Err(NetlistError::InputDriven { name: lhs.to_string() });
+        }
+    }
+
+    builder.finish()
+}
+
+/// Strips a trailing `#` comment.
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Matches `KEYWORD(arg)` case-insensitively and returns `arg`.
+fn parse_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword).or_else(|| {
+        if line.len() >= keyword.len() && line[..keyword.len()].eq_ignore_ascii_case(keyword) {
+            Some(&line[keyword.len()..])
+        } else {
+            None
+        }
+    })?;
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+    Some(inner.trim())
+}
+
+/// Signal names: nonempty, no whitespace/parens/commas/`=`.
+fn validate_name<'a>(name: &'a str, line: usize, raw: &str) -> Result<&'a str, NetlistError> {
+    let bad = name.is_empty()
+        || name
+            .chars()
+            .any(|c| c.is_whitespace() || matches!(c, '(' | ')' | ',' | '=' | '#'));
+    if bad {
+        return Err(NetlistError::ParseLine {
+            line,
+            text: raw.trim().to_string(),
+            reason: format!("invalid signal name `{name}`"),
+        });
+    }
+    Ok(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "\
+# a tiny circuit
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q = DFF(d)
+d = AND(a, b)   # feedback-free
+y = XOR(q, b)
+";
+
+    #[test]
+    fn parses_tiny() {
+        let c = parse_bench("tiny", TINY).unwrap();
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_dffs(), 1);
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.num_outputs(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n\n# nothing\nINPUT(a)\nOUTPUT(y)\ny = BUF(a)\n# trailing\n";
+        let c = parse_bench("c", src).unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let src = "input(a)\noutput(y)\ny = not(a)\n";
+        let c = parse_bench("c", src).unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn missing_equals_is_parse_error() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny NOT(a)\n";
+        let err = parse_bench("c", src).unwrap_err();
+        assert!(matches!(err, NetlistError::ParseLine { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_paren_is_parse_error() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT a\n";
+        assert!(matches!(parse_bench("c", src).unwrap_err(), NetlistError::ParseLine { .. }));
+    }
+
+    #[test]
+    fn unterminated_paren_is_parse_error() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a\n";
+        assert!(matches!(parse_bench("c", src).unwrap_err(), NetlistError::ParseLine { .. }));
+    }
+
+    #[test]
+    fn unknown_gate_reported_with_line() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+        let err = parse_bench("c", src).unwrap_err();
+        assert_eq!(err, NetlistError::UnknownGate { line: 3, kind: "FROB".into() });
+    }
+
+    #[test]
+    fn dff_with_two_fanins_rejected() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)\n";
+        let err = parse_bench("c", src).unwrap_err();
+        assert!(matches!(err, NetlistError::BadArity { got: 2, .. }));
+    }
+
+    #[test]
+    fn driven_input_rejected() {
+        let src = "INPUT(a)\nOUTPUT(a)\na = NOT(a)\n";
+        let err = parse_bench("c", src).unwrap_err();
+        // Reported either as InputDriven (same line) or DuplicateDriver.
+        assert!(
+            matches!(err, NetlistError::InputDriven { .. } | NetlistError::DuplicateDriver { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn undriven_reference_rejected() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+        let err = parse_bench("c", src).unwrap_err();
+        assert_eq!(err, NetlistError::UndrivenNet { name: "ghost".into() });
+    }
+
+    #[test]
+    fn bad_signal_name_rejected() {
+        let src = "INPUT(a b)\nOUTPUT(y)\ny = NOT(a)\n";
+        assert!(matches!(parse_bench("c", src).unwrap_err(), NetlistError::ParseLine { .. }));
+    }
+
+    #[test]
+    fn empty_source_has_no_inputs() {
+        assert_eq!(parse_bench("c", "").unwrap_err(), NetlistError::NoInputs);
+    }
+}

@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Summary statistics of a circuit, for reports and benchmark tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of D flip-flops.
+    pub dffs: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Combinational depth (max logic level).
+    pub depth: u32,
+    /// Sum of gate fanin counts.
+    pub total_gate_fanin: usize,
+    /// Maximum gate fanin count.
+    pub max_gate_fanin: usize,
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: pi={} po={} ff={} gates={} depth={} fanin(total={},max={})",
+            self.name,
+            self.inputs,
+            self.outputs,
+            self.dffs,
+            self.gates,
+            self.depth,
+            self.total_gate_fanin,
+            self.max_gate_fanin
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::benchmarks;
+
+    #[test]
+    fn s27_stats() {
+        let st = benchmarks::s27().stats();
+        assert_eq!(st.inputs, 4);
+        assert_eq!(st.gates, 10);
+        assert!(st.depth >= 2);
+        assert!(st.max_gate_fanin >= 2);
+        assert!(st.to_string().contains("pi=4"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Writer emitting circuits back to ISCAS-89 `.bench` text.
+//!
+//! Together with [`parser`](crate::parser) this gives a lossless
+//! round-trip for any valid [`Circuit`], which the property tests rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use bist_netlist::{benchmarks, parser, writer};
+//!
+//! let s27 = benchmarks::s27();
+//! let text = writer::to_bench(&s27);
+//! let back = parser::parse_bench("s27", &text)?;
+//! assert_eq!(back.num_gates(), s27.num_gates());
+//! # Ok::<(), bist_netlist::NetlistError>(())
+//! ```
+
+use crate::{Circuit, NodeKind};
+use std::fmt::Write as _;
+
+/// Serializes a circuit to `.bench` text.
+#[must_use]
+pub fn to_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} outputs, {} D-type flip-flops, {} gates",
+        circuit.num_inputs(),
+        circuit.num_outputs(),
+        circuit.num_dffs(),
+        circuit.num_gates()
+    );
+    for &i in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.node(i).name());
+    }
+    for &o in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.node(o).name());
+    }
+    for &d in circuit.dffs() {
+        let node = circuit.node(d);
+        let _ = writeln!(
+            out,
+            "{} = DFF({})",
+            node.name(),
+            circuit.node(node.fanin()[0]).name()
+        );
+    }
+    for &g in circuit.eval_order() {
+        let node = circuit.node(g);
+        let NodeKind::Gate(kind) = node.kind() else {
+            unreachable!("eval_order contains only gates");
+        };
+        let fanin: Vec<&str> = node.fanin().iter().map(|&f| circuit.node(f).name()).collect();
+        let _ = writeln!(out, "{} = {}({})", node.name(), kind, fanin.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{benchmarks, parser::parse_bench};
+
+    #[test]
+    fn s27_round_trip_preserves_structure() {
+        let c = benchmarks::s27();
+        let text = to_bench(&c);
+        let back = parse_bench("s27", &text).unwrap();
+        assert_eq!(back.num_inputs(), c.num_inputs());
+        assert_eq!(back.num_outputs(), c.num_outputs());
+        assert_eq!(back.num_dffs(), c.num_dffs());
+        assert_eq!(back.num_gates(), c.num_gates());
+        // Names survive.
+        for n in c.nodes() {
+            assert!(back.find(n.name()).is_some(), "lost {}", n.name());
+        }
+    }
+
+    #[test]
+    fn header_comment_present() {
+        let text = to_bench(&benchmarks::s27());
+        assert!(text.starts_with("# s27\n"));
+        assert!(text.contains("INPUT("));
+        assert!(text.contains("OUTPUT("));
+        assert!(text.contains("= DFF("));
+    }
+}

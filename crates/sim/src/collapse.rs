@@ -1,0 +1,285 @@
+//! Fault equivalence collapsing.
+//!
+//! Two faults are *equivalent* if every test detecting one detects the
+//! other; only one representative per equivalence class needs to be
+//! simulated or targeted. The classic gate-local rules are applied with a
+//! union-find so chains of equivalences (e.g. through inverters) merge
+//! transitively:
+//!
+//! * AND: any input s-a-0 ≡ output s-a-0
+//! * NAND: any input s-a-0 ≡ output s-a-1
+//! * OR: any input s-a-1 ≡ output s-a-1
+//! * NOR: any input s-a-1 ≡ output s-a-0
+//! * NOT: input s-a-0 ≡ output s-a-1, input s-a-1 ≡ output s-a-0
+//! * BUF: input s-a-v ≡ output s-a-v
+//! * XOR/XNOR: no local equivalences
+//!
+//! Faults are **not** collapsed across D flip-flops: a DFF input fault
+//! manifests one clock later than the corresponding output fault, and the
+//! published ISCAS-89 fault counts (32 for `s27`, matching the paper's
+//! Table 2 enumeration f0..f31) keep them distinct.
+
+use crate::Fault;
+use bist_netlist::{Circuit, GateKind, NodeKind};
+use std::collections::HashMap;
+
+/// The result of collapsing a fault list.
+///
+/// # Example
+///
+/// ```
+/// use bist_netlist::benchmarks;
+/// use bist_sim::{collapse, fault_universe};
+///
+/// let s27 = benchmarks::s27();
+/// let collapsed = collapse(&s27, &fault_universe(&s27));
+/// assert_eq!(collapsed.representatives().len(), 32); // the paper's count
+/// ```
+#[derive(Debug, Clone)]
+pub struct CollapsedFaults {
+    representatives: Vec<Fault>,
+    /// Class representative for every fault of the input universe.
+    class_of: HashMap<Fault, Fault>,
+}
+
+impl CollapsedFaults {
+    /// The representative faults, one per equivalence class, sorted.
+    #[must_use]
+    pub fn representatives(&self) -> &[Fault] {
+        &self.representatives
+    }
+
+    /// Maps any fault of the original universe to its class representative.
+    #[must_use]
+    pub fn representative_of(&self, fault: Fault) -> Option<Fault> {
+        self.class_of.get(&fault).copied()
+    }
+
+    /// Number of equivalence classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// True if there are no classes (empty input universe).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.representatives.is_empty()
+    }
+
+    /// The sizes of all equivalence classes, keyed by representative.
+    #[must_use]
+    pub fn class_sizes(&self) -> HashMap<Fault, usize> {
+        let mut sizes = HashMap::new();
+        for rep in self.class_of.values() {
+            *sizes.entry(*rep).or_insert(0) += 1;
+        }
+        sizes
+    }
+}
+
+/// Simple union-find over dense indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Keep the smaller index as root so representatives are stable.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Collapses `universe` by gate-local structural equivalence.
+///
+/// Faults referenced by the rules but absent from `universe` are ignored,
+/// so the function also works on pre-filtered fault lists.
+#[must_use]
+pub fn collapse(circuit: &Circuit, universe: &[Fault]) -> CollapsedFaults {
+    let index_of: HashMap<Fault, usize> =
+        universe.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+    let fanout = circuit.fanout_table();
+    let mut uf = UnionFind::new(universe.len());
+
+    // The fault on the line entering `node` at `pin`: the branch fault if
+    // the stem branches, otherwise the stem fault itself. `None` when the
+    // single-fanout stem is also a primary output: such a line is directly
+    // observable, so forcing it is *not* equivalent to forcing the
+    // consumer's output — collapsing must stop at POs.
+    let input_line_fault = |node: bist_netlist::NodeId, pin: u32, stuck: bool| -> Option<Fault> {
+        let src = circuit.node(node).fanin()[pin as usize];
+        if fanout[src.index()].len() > 1 {
+            Some(Fault::input(node, pin, stuck))
+        } else if circuit.outputs().contains(&src) {
+            None
+        } else {
+            Some(Fault::output(src, stuck))
+        }
+    };
+
+    let mut merge = |a: Option<Fault>, b: Fault| {
+        let Some(a) = a else { return };
+        if let (Some(&ia), Some(&ib)) = (index_of.get(&a), index_of.get(&b)) {
+            uf.union(ia, ib);
+        }
+    };
+
+    for &g in circuit.eval_order() {
+        let NodeKind::Gate(kind) = circuit.node(g).kind() else { continue };
+        let pins = circuit.node(g).fanin().len() as u32;
+        match kind {
+            GateKind::And | GateKind::Nand => {
+                let out = Fault::output(g, kind.is_inverting());
+                for p in 0..pins {
+                    merge(input_line_fault(g, p, false), out);
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let out = Fault::output(g, !kind.is_inverting());
+                for p in 0..pins {
+                    merge(input_line_fault(g, p, true), out);
+                }
+            }
+            GateKind::Not => {
+                merge(input_line_fault(g, 0, false), Fault::output(g, true));
+                merge(input_line_fault(g, 0, true), Fault::output(g, false));
+            }
+            GateKind::Buf => {
+                merge(input_line_fault(g, 0, false), Fault::output(g, false));
+                merge(input_line_fault(g, 0, true), Fault::output(g, true));
+            }
+            GateKind::Xor | GateKind::Xnor => {}
+        }
+    }
+
+    let mut class_of = HashMap::with_capacity(universe.len());
+    let mut representatives = Vec::new();
+    for (i, &f) in universe.iter().enumerate() {
+        let root = uf.find(i);
+        class_of.insert(f, universe[root]);
+        if root == i {
+            representatives.push(f);
+        }
+    }
+    representatives.sort();
+    CollapsedFaults { representatives, class_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_universe;
+    use bist_netlist::{benchmarks, CircuitBuilder};
+
+    #[test]
+    fn s27_collapses_to_32() {
+        let c = benchmarks::s27();
+        let collapsed = collapse(&c, &fault_universe(&c));
+        assert_eq!(collapsed.len(), 32, "the paper's Table 2 enumerates f0..f31");
+    }
+
+    #[test]
+    fn every_fault_has_a_representative_in_its_own_class() {
+        let c = benchmarks::s27();
+        let universe = fault_universe(&c);
+        let collapsed = collapse(&c, &universe);
+        for &f in &universe {
+            let rep = collapsed.representative_of(f).expect("in universe");
+            assert_eq!(collapsed.representative_of(rep), Some(rep), "rep is fixed point");
+        }
+        // Representatives are exactly the distinct class values.
+        let mut reps: Vec<Fault> = collapsed.class_of.values().copied().collect();
+        reps.sort();
+        reps.dedup();
+        assert_eq!(reps, collapsed.representatives());
+    }
+
+    #[test]
+    fn class_sizes_sum_to_universe() {
+        let c = benchmarks::s27();
+        let universe = fault_universe(&c);
+        let collapsed = collapse(&c, &universe);
+        let total: usize = collapsed.class_sizes().values().sum();
+        assert_eq!(total, universe.len());
+    }
+
+    #[test]
+    fn inverter_chain_collapses_transitively() {
+        // a -> NOT -> NOT -> y : all stem faults collapse into 2 classes
+        // (a s-a-0 ≡ n1 s-a-1 ≡ y s-a-0, and the complementary chain).
+        let mut b = CircuitBuilder::new("chain");
+        b.add_input("a");
+        b.add_gate("n1", bist_netlist::GateKind::Not, ["a"]);
+        b.add_gate("y", bist_netlist::GateKind::Not, ["n1"]);
+        b.add_output("y");
+        let c = b.finish().unwrap();
+        let collapsed = collapse(&c, &fault_universe(&c));
+        assert_eq!(collapsed.len(), 2);
+    }
+
+    #[test]
+    fn xor_does_not_collapse() {
+        let mut b = CircuitBuilder::new("x");
+        b.add_input("a");
+        b.add_input("b");
+        b.add_gate("y", bist_netlist::GateKind::Xor, ["a", "b"]);
+        b.add_output("y");
+        let c = b.finish().unwrap();
+        // 3 nodes × 2 = 6 faults, no equivalences.
+        let collapsed = collapse(&c, &fault_universe(&c));
+        assert_eq!(collapsed.len(), 6);
+    }
+
+    #[test]
+    fn dff_boundary_not_collapsed() {
+        // a -> BUF -> d -> DFF -> q -> out buffer. The BUF collapses, the
+        // DFF does not.
+        let mut b = CircuitBuilder::new("dffb");
+        b.add_input("a");
+        b.add_gate("d", bist_netlist::GateKind::Buf, ["a"]);
+        b.add_dff("q", "d");
+        b.add_gate("y", bist_netlist::GateKind::Buf, ["q"]);
+        b.add_output("y");
+        let c = b.finish().unwrap();
+        let collapsed = collapse(&c, &fault_universe(&c));
+        // Lines: a,d,q,y stems = 8 faults. a≡d (2 merges), q≡y (2 merges),
+        // but d NOT≡ q. → 4 classes.
+        assert_eq!(collapsed.len(), 4);
+    }
+
+    #[test]
+    fn nand_rule_polarity() {
+        let mut b = CircuitBuilder::new("nand");
+        b.add_input("a");
+        b.add_input("b");
+        b.add_gate("y", bist_netlist::GateKind::Nand, ["a", "b"]);
+        b.add_output("y");
+        let c = b.finish().unwrap();
+        let universe = fault_universe(&c);
+        let collapsed = collapse(&c, &universe);
+        // a s-a-0, b s-a-0, y s-a-1 merge: 6 - 2 = 4 classes.
+        assert_eq!(collapsed.len(), 4);
+        let a = c.find("a").unwrap();
+        let y = c.find("y").unwrap();
+        assert_eq!(
+            collapsed.representative_of(Fault::output(a, false)),
+            collapsed.representative_of(Fault::output(y, true))
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Fault coverage bookkeeping.
+
+use crate::Fault;
+
+/// A fault list paired with first-detection times — the result of fault
+/// simulating a sequence, and the raw material of the paper's Procedure 1
+/// (which needs the detected set `F` and the detection times `udet(f)`).
+///
+/// # Example
+///
+/// ```
+/// use bist_expand::TestSequence;
+/// use bist_netlist::benchmarks;
+/// use bist_sim::{collapse, fault_universe, FaultCoverage, FaultSimulator};
+///
+/// let c = benchmarks::s27();
+/// let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+/// let t0: TestSequence =
+///     "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse()?;
+/// let cov = FaultCoverage::simulate(&FaultSimulator::new(&c), &t0, faults)?;
+/// assert_eq!(cov.detected_count(), 32);
+/// assert_eq!(cov.max_detection_time(), Some(9));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultCoverage {
+    faults: Vec<Fault>,
+    times: Vec<Option<usize>>,
+}
+
+impl FaultCoverage {
+    /// Pairs a fault list with detection times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn new(faults: Vec<Fault>, times: Vec<Option<usize>>) -> Self {
+        assert_eq!(faults.len(), times.len(), "faults/times length mismatch");
+        FaultCoverage { faults, times }
+    }
+
+    /// Runs the simulator and builds the coverage in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn simulate(
+        sim: &crate::FaultSimulator<'_>,
+        seq: &bist_expand::TestSequence,
+        faults: Vec<Fault>,
+    ) -> Result<Self, crate::SimError> {
+        let times = sim.detection_times(seq, &faults)?;
+        Ok(FaultCoverage::new(faults, times))
+    }
+
+    /// The fault list.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Detection times aligned with [`faults`](Self::faults).
+    #[must_use]
+    pub fn times(&self) -> &[Option<usize>] {
+        &self.times
+    }
+
+    /// Total number of faults.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Number of detected faults.
+    #[must_use]
+    pub fn detected_count(&self) -> usize {
+        self.times.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Coverage fraction in `[0, 1]` (0 for an empty list).
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.faults.is_empty() {
+            0.0
+        } else {
+            self.detected_count() as f64 / self.total() as f64
+        }
+    }
+
+    /// Iterates over `(fault, udet)` for the detected faults.
+    pub fn detected(&self) -> impl Iterator<Item = (Fault, usize)> + '_ {
+        self.faults
+            .iter()
+            .zip(&self.times)
+            .filter_map(|(&f, &t)| t.map(|u| (f, u)))
+    }
+
+    /// Iterates over the undetected faults.
+    pub fn undetected(&self) -> impl Iterator<Item = Fault> + '_ {
+        self.faults
+            .iter()
+            .zip(&self.times)
+            .filter_map(|(&f, &t)| if t.is_none() { Some(f) } else { None })
+    }
+
+    /// The latest first-detection time, if anything was detected — used by
+    /// Procedure 1 to pick the hardest target fault.
+    #[must_use]
+    pub fn max_detection_time(&self) -> Option<usize> {
+        self.times.iter().flatten().copied().max()
+    }
+
+    /// The detection time of a specific fault (`None` if undetected or
+    /// not in the list).
+    #[must_use]
+    pub fn detection_time(&self, fault: Fault) -> Option<usize> {
+        self.faults.iter().position(|&f| f == fault).and_then(|i| self.times[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::NodeId;
+
+    fn fake(n: usize) -> Vec<Fault> {
+        (0..n).map(|i| Fault::output(NodeId::from_index(i), i % 2 == 0)).collect()
+    }
+
+    #[test]
+    fn counts_and_fraction() {
+        let cov = FaultCoverage::new(fake(4), vec![Some(0), None, Some(3), None]);
+        assert_eq!(cov.total(), 4);
+        assert_eq!(cov.detected_count(), 2);
+        assert!((cov.fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(cov.max_detection_time(), Some(3));
+    }
+
+    #[test]
+    fn empty_coverage() {
+        let cov = FaultCoverage::new(vec![], vec![]);
+        assert_eq!(cov.fraction(), 0.0);
+        assert_eq!(cov.max_detection_time(), None);
+    }
+
+    #[test]
+    fn detected_and_undetected_partition() {
+        let faults = fake(5);
+        let cov =
+            FaultCoverage::new(faults.clone(), vec![Some(1), None, Some(2), None, Some(0)]);
+        let det: Vec<Fault> = cov.detected().map(|(f, _)| f).collect();
+        let undet: Vec<Fault> = cov.undetected().collect();
+        assert_eq!(det.len() + undet.len(), 5);
+        assert_eq!(det, vec![faults[0], faults[2], faults[4]]);
+        assert_eq!(undet, vec![faults[1], faults[3]]);
+    }
+
+    #[test]
+    fn detection_time_lookup() {
+        let faults = fake(3);
+        let cov = FaultCoverage::new(faults.clone(), vec![Some(7), None, Some(1)]);
+        assert_eq!(cov.detection_time(faults[0]), Some(7));
+        assert_eq!(cov.detection_time(faults[1]), None);
+        assert_eq!(cov.detection_time(Fault::output(NodeId::from_index(99), true)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = FaultCoverage::new(fake(2), vec![None]);
+    }
+}

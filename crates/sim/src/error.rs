@@ -1,0 +1,49 @@
+use std::fmt;
+
+/// Errors from the simulation engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The test sequence width does not match the circuit's input count.
+    WidthMismatch {
+        /// Number of primary inputs of the circuit.
+        circuit_inputs: usize,
+        /// Width of the supplied sequence.
+        sequence_width: usize,
+    },
+    /// An empty test sequence was supplied where at least one vector is
+    /// required.
+    EmptySequence,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WidthMismatch { circuit_inputs, sequence_width } => write!(
+                f,
+                "sequence width {sequence_width} does not match circuit input count {circuit_inputs}"
+            ),
+            SimError::EmptySequence => write!(f, "test sequence is empty"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::WidthMismatch { circuit_inputs: 4, sequence_width: 3 };
+        assert!(e.to_string().contains('4'));
+        assert!(!SimError::EmptySequence.to_string().is_empty());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,159 @@
+//! The single stuck-at fault model.
+//!
+//! Faults are placed on *lines*: every node output (stem) carries two
+//! faults, and every gate/flip-flop input pin fed by a multi-fanout stem
+//! (a fanout *branch*) carries two more. Single-fanout branches are the
+//! same physical line as their stem and get no separate faults — this is
+//! the standard structural fault universe and yields 52 uncollapsed
+//! faults on `s27`, collapsing to the 32 the paper enumerates in Table 2.
+
+use bist_netlist::{Circuit, NodeId};
+use std::fmt;
+
+/// Where a stuck-at fault sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// On the output (stem) of a node — a primary input, gate or DFF.
+    Output(NodeId),
+    /// On a fanout branch: the wire entering `node` at fanin position
+    /// `pin`.
+    Input {
+        /// The consuming node (gate or DFF).
+        node: NodeId,
+        /// The fanin position (0-based).
+        pin: u32,
+    },
+}
+
+/// A single stuck-at fault.
+///
+/// # Example
+///
+/// ```
+/// use bist_netlist::benchmarks;
+/// use bist_sim::fault_universe;
+///
+/// let s27 = benchmarks::s27();
+/// let faults = fault_universe(&s27);
+/// assert_eq!(faults.len(), 52);   // the classic s27 uncollapsed count
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// The faulty line.
+    pub site: FaultSite,
+    /// The stuck value: `true` = stuck-at-1, `false` = stuck-at-0.
+    pub stuck: bool,
+}
+
+impl Fault {
+    /// Constructs a stem fault.
+    #[must_use]
+    pub fn output(node: NodeId, stuck: bool) -> Self {
+        Fault { site: FaultSite::Output(node), stuck }
+    }
+
+    /// Constructs a branch fault on `node`'s fanin `pin`.
+    #[must_use]
+    pub fn input(node: NodeId, pin: u32, stuck: bool) -> Self {
+        Fault { site: FaultSite::Input { node, pin }, stuck }
+    }
+
+    /// Human-readable description using the circuit's signal names, e.g.
+    /// `"G8 s-a-1"` or `"G15.1 s-a-0"`.
+    #[must_use]
+    pub fn describe(&self, circuit: &Circuit) -> String {
+        let sa = if self.stuck { "s-a-1" } else { "s-a-0" };
+        match self.site {
+            FaultSite::Output(n) => format!("{} {sa}", circuit.node(n).name()),
+            FaultSite::Input { node, pin } => {
+                format!("{}.{pin} {sa}", circuit.node(node).name())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sa = if self.stuck { "s-a-1" } else { "s-a-0" };
+        match self.site {
+            FaultSite::Output(n) => write!(f, "{n} {sa}"),
+            FaultSite::Input { node, pin } => write!(f, "{node}.{pin} {sa}"),
+        }
+    }
+}
+
+/// Generates the full (uncollapsed) structural fault universe: two faults
+/// per stem and two per multi-fanout branch.
+#[must_use]
+pub fn fault_universe(circuit: &Circuit) -> Vec<Fault> {
+    let fanout = circuit.fanout_table();
+    let mut faults = Vec::new();
+    for i in 0..circuit.num_nodes() {
+        let id = NodeId::from_index(i);
+        faults.push(Fault::output(id, false));
+        faults.push(Fault::output(id, true));
+    }
+    // Branch faults only where the stem actually branches.
+    for (src_idx, refs) in fanout.iter().enumerate() {
+        if refs.len() <= 1 {
+            continue;
+        }
+        let _ = src_idx;
+        for r in refs {
+            faults.push(Fault::input(r.node, r.pin, false));
+            faults.push(Fault::input(r.node, r.pin, true));
+        }
+    }
+    faults.sort();
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::benchmarks;
+
+    #[test]
+    fn s27_universe_is_52() {
+        let c = benchmarks::s27();
+        let faults = fault_universe(&c);
+        assert_eq!(faults.len(), 52);
+        // 17 nodes × 2 = 34 stem faults.
+        let stems = faults.iter().filter(|f| matches!(f.site, FaultSite::Output(_))).count();
+        assert_eq!(stems, 34);
+        assert_eq!(faults.len() - stems, 18);
+    }
+
+    #[test]
+    fn universe_is_sorted_and_unique() {
+        let c = benchmarks::s27();
+        let faults = fault_universe(&c);
+        let mut sorted = faults.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(faults, sorted);
+    }
+
+    #[test]
+    fn no_branch_faults_on_single_fanout_nets() {
+        let c = benchmarks::shift_register3();
+        // q0 -> q1 -> q2 all single fanout; din/en feed one AND gate.
+        let faults = fault_universe(&c);
+        assert!(faults.iter().all(|f| matches!(f.site, FaultSite::Output(_))));
+        assert_eq!(faults.len(), 2 * c.num_nodes());
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let c = benchmarks::s27();
+        let g8 = c.find("G8").unwrap();
+        assert_eq!(Fault::output(g8, true).describe(&c), "G8 s-a-1");
+        assert_eq!(Fault::input(g8, 1, false).describe(&c), "G8.1 s-a-0");
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let f = Fault::output(NodeId::from_index(3), false);
+        assert_eq!(f.to_string(), "n3 s-a-0");
+    }
+}

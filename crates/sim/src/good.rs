@@ -1,0 +1,258 @@
+//! Fault-free (good-machine) and single-faulty-machine scalar simulation.
+
+use crate::{Fault, FaultSite, Logic, SimError};
+use bist_expand::TestSequence;
+use bist_netlist::{Circuit, NodeKind};
+
+/// The fault-free response of a circuit to a test sequence, starting from
+/// the all-unknown state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoodTrace {
+    /// `po[t][i]` = value of the `i`-th primary output at time unit `t`.
+    pub po: Vec<Vec<Logic>>,
+    /// Flip-flop values after the last vector (circuit DFF order).
+    pub final_state: Vec<Logic>,
+}
+
+impl GoodTrace {
+    /// Number of simulated time units.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.po.len()
+    }
+
+    /// True if no time units were simulated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.po.is_empty()
+    }
+
+    /// First time unit at which *every* primary output is binary, if any —
+    /// the earliest point from which a MISR can start compacting without
+    /// capturing unknowns.
+    #[must_use]
+    pub fn first_fully_binary_time(&self) -> Option<usize> {
+        self.po.iter().position(|outs| outs.iter().all(|v| v.is_binary()))
+    }
+}
+
+/// Simulates the fault-free circuit under `seq` from the all-`X` state.
+///
+/// # Errors
+///
+/// [`SimError::WidthMismatch`] if the sequence width differs from the
+/// circuit's primary input count; [`SimError::EmptySequence`] for an empty
+/// sequence.
+pub fn simulate_good(circuit: &Circuit, seq: &TestSequence) -> Result<GoodTrace, SimError> {
+    simulate_machine(circuit, seq, None)
+}
+
+/// Simulates the circuit with a single stuck-at fault injected, from the
+/// all-`X` state — the faulty machine a MISR would observe.
+///
+/// # Errors
+///
+/// Same as [`simulate_good`].
+pub fn simulate_faulty(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    fault: Fault,
+) -> Result<GoodTrace, SimError> {
+    simulate_machine(circuit, seq, Some(fault))
+}
+
+fn simulate_machine(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    fault: Option<Fault>,
+) -> Result<GoodTrace, SimError> {
+    if seq.width() != circuit.num_inputs() {
+        return Err(SimError::WidthMismatch {
+            circuit_inputs: circuit.num_inputs(),
+            sequence_width: seq.width(),
+        });
+    }
+    if seq.is_empty() {
+        return Err(SimError::EmptySequence);
+    }
+
+    // Decompose the fault into the two injection hooks the sweep needs.
+    let out_force: Option<(usize, Logic)> = match fault {
+        Some(Fault { site: FaultSite::Output(n), stuck }) => {
+            Some((n.index(), Logic::from_bool(stuck)))
+        }
+        _ => None,
+    };
+    let in_force: Option<(usize, u32, Logic)> = match fault {
+        Some(Fault { site: FaultSite::Input { node, pin }, stuck }) => {
+            Some((node.index(), pin, Logic::from_bool(stuck)))
+        }
+        _ => None,
+    };
+    let read = |values: &[Logic], consumer: usize, pin: u32, src: usize| -> Logic {
+        match in_force {
+            Some((n, p, v)) if n == consumer && p == pin => v,
+            _ => values[src],
+        }
+    };
+    let force_out = |node: usize, v: Logic| -> Logic {
+        match out_force {
+            Some((n, f)) if n == node => f,
+            _ => v,
+        }
+    };
+
+    let n = circuit.num_nodes();
+    let mut values = vec![Logic::X; n];
+    let mut state = vec![Logic::X; circuit.num_dffs()];
+    let mut po = Vec::with_capacity(seq.len());
+
+    for vector in seq {
+        // Drive sources.
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            values[pi.index()] = force_out(pi.index(), Logic::from_bool(vector.get(i)));
+        }
+        for (k, &dff) in circuit.dffs().iter().enumerate() {
+            values[dff.index()] = force_out(dff.index(), state[k]);
+        }
+        // Combinational sweep.
+        for &g in circuit.eval_order() {
+            let node = circuit.node(g);
+            let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
+            let gi = g.index();
+            let v = crate::eval::eval_scalar_fold(
+                *kind,
+                node.fanin()
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &f)| read(&values, gi, p as u32, f.index())),
+            );
+            values[gi] = force_out(gi, v);
+        }
+        // Observe.
+        po.push(circuit.outputs().iter().map(|&o| values[o.index()]).collect());
+        // Clock (with D-pin injection).
+        for (k, &dff) in circuit.dffs().iter().enumerate() {
+            let src = circuit.node(dff).fanin()[0];
+            state[k] = read(&values, dff.index(), 0, src.index());
+        }
+    }
+
+    Ok(GoodTrace { po, final_state: state })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_expand::TestSequence;
+    use bist_netlist::benchmarks;
+
+    fn seq(s: &str) -> TestSequence {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn shift_register_propagates_after_unknown_flush() {
+        let c = benchmarks::shift_register3();
+        // din=1,en=1 for 5 cycles: q2 = X,X,X then 1s.
+        let t = simulate_good(&c, &seq("11 11 11 11 11")).unwrap();
+        assert_eq!(t.po[0][0], Logic::X);
+        assert_eq!(t.po[1][0], Logic::X);
+        assert_eq!(t.po[2][0], Logic::X);
+        assert_eq!(t.po[3][0], Logic::One);
+        assert_eq!(t.po[4][0], Logic::One);
+        assert_eq!(t.first_fully_binary_time(), Some(3));
+    }
+
+    #[test]
+    fn shift_register_delays_by_three() {
+        let c = benchmarks::shift_register3();
+        // Pattern 1,0,1,1,0 on din with en=1: q2 at t = din at t-3.
+        let t = simulate_good(&c, &seq("11 01 11 11 01 01 01 01")).unwrap();
+        let dins = [true, false, true, true, false];
+        for (i, &d) in dins.iter().enumerate() {
+            assert_eq!(t.po[i + 3][0], Logic::from_bool(d), "t={}", i + 3);
+        }
+    }
+
+    #[test]
+    fn toggle_counts() {
+        let c = benchmarks::toggle();
+        // en=1 first cycle resolves nothing (q unknown: X xor 1 = X).
+        let t = simulate_good(&c, &seq("1 1 1")).unwrap();
+        assert_eq!(t.po[0][0], Logic::X);
+        assert_eq!(t.po[2][0], Logic::X, "toggle never self-synchronizes from X");
+    }
+
+    #[test]
+    fn comb_mix_truth() {
+        let c = benchmarks::comb_mix();
+        // inputs a,b,c = 1,1,0: maj=1, par=0, out=NAND(1,0)=1.
+        let t = simulate_good(&c, &seq("110")).unwrap();
+        assert_eq!(t.po[0], vec![Logic::One, Logic::Zero, Logic::One]);
+        // 1,1,1: maj=1, par=1, out=0.
+        let t = simulate_good(&c, &seq("111")).unwrap();
+        assert_eq!(t.po[0], vec![Logic::One, Logic::One, Logic::Zero]);
+    }
+
+    #[test]
+    fn s27_synchronizes() {
+        // The s27 state is fully determined after a few vectors of the
+        // paper's Table 2 sequence.
+        let c = benchmarks::s27();
+        let t0 = seq("0111 1001 0111 1001 0100 1011 1001 0000 0000 1011");
+        let t = simulate_good(&c, &t0).unwrap();
+        assert_eq!(t.len(), 10);
+        assert!(t.first_fully_binary_time().is_some());
+        assert!(t.final_state.iter().all(|v| v.is_binary()));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let c = benchmarks::s27();
+        assert_eq!(
+            simulate_good(&c, &seq("000")),
+            Err(SimError::WidthMismatch { circuit_inputs: 4, sequence_width: 3 })
+        );
+    }
+
+    #[test]
+    fn final_state_feeds_forward() {
+        let c = benchmarks::shift_register3();
+        let t = simulate_good(&c, &seq("11 11 11 11")).unwrap();
+        assert_eq!(t.final_state, vec![Logic::One; 3]);
+    }
+
+    #[test]
+    fn faulty_trace_differs_where_simulator_detects() {
+        use crate::{Fault, FaultSimulator};
+        let c = benchmarks::shift_register3();
+        let q2 = c.find("q2").unwrap();
+        let f = Fault::output(q2, false);
+        let s = seq("11 11 11 11 11");
+        let good = simulate_good(&c, &s).unwrap();
+        let bad = simulate_faulty(&c, &s, f).unwrap();
+        // Detection time from the packed simulator must be exactly the
+        // first time the scalar traces differ with binary values.
+        let t = FaultSimulator::new(&c).first_detection(&s, f).unwrap().unwrap();
+        assert_ne!(good.po[t], bad.po[t]);
+        for u in 0..t {
+            let observable = good.po[u]
+                .iter()
+                .zip(&bad.po[u])
+                .any(|(g, b)| g.is_binary() && b.is_binary() && g != b);
+            assert!(!observable, "difference before detection time at u={u}");
+        }
+    }
+
+    #[test]
+    fn faulty_trace_with_input_pin_fault() {
+        use crate::Fault;
+        let c = benchmarks::s27();
+        let g17 = c.find("G17").unwrap();
+        let s = seq("0111 1001 0111 1001 0100 1011 1001 0000 0000 1011");
+        let good = simulate_good(&c, &s).unwrap();
+        let bad = simulate_faulty(&c, &s, Fault::input(g17, 0, true)).unwrap();
+        assert_ne!(good.po, bad.po, "branch fault must perturb the PO trace");
+    }
+}

@@ -1,0 +1,65 @@
+//! Three-valued logic simulation and sequential stuck-at fault simulation.
+//!
+//! This crate is the simulation substrate for the `subseq-bist` workspace
+//! (a reproduction of Pomeranz & Reddy, DAC 1999). It provides:
+//!
+//! * [`Logic`] — scalar `0/1/X` values with the standard pessimistic
+//!   three-valued algebra, and [`PackedValue`] — 64 such values packed
+//!   into two machine words for bit-parallel evaluation.
+//! * [`fault_universe`] / [`collapse`] — the single stuck-at fault model
+//!   (stem + fanout-branch faults) with classic gate-local equivalence
+//!   collapsing. On `s27` this yields the 52 → 32 fault counts the paper
+//!   works with.
+//! * [`simulate_good`] — fault-free simulation from the all-unknown state.
+//! * [`FaultSimulator`] — the sequential fault simulator: 64 faulty
+//!   machines per pass (one per lane), fault dropping, early exit, and
+//!   first-detection-time reporting (the `udet(f)` of Procedure 1).
+//! * [`FaultCoverage`] — fault list + detection times bookkeeping.
+//!
+//! # Example
+//!
+//! ```
+//! use bist_expand::TestSequence;
+//! use bist_netlist::benchmarks;
+//! use bist_sim::{collapse, fault_universe, FaultSimulator};
+//!
+//! let c = benchmarks::s27();
+//! let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+//! assert_eq!(faults.len(), 32);
+//!
+//! let sim = FaultSimulator::new(&c);
+//! let t0: TestSequence =
+//!     "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse()?;
+//! let times = sim.detection_times(&t0, &faults)?;
+//! assert!(times.iter().all(|t| t.is_some()));   // full coverage
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collapse;
+mod coverage;
+mod error;
+pub mod eval;
+mod fault;
+mod good;
+mod logic;
+mod packed;
+mod simulator;
+mod stepped;
+pub mod transition;
+
+pub use collapse::{collapse, CollapsedFaults};
+pub use coverage::FaultCoverage;
+pub use error::SimError;
+pub use eval::{eval_gate, eval_gate_scalar};
+pub use fault::{fault_universe, Fault, FaultSite};
+pub use good::{simulate_faulty, simulate_good, GoodTrace};
+pub use logic::Logic;
+pub use packed::PackedValue;
+pub use simulator::FaultSimulator;
+pub use stepped::SteppedSim;
+pub use transition::{
+    detects_transition, transition_detection_times, transition_universe, TransitionFault,
+};

@@ -1,0 +1,201 @@
+use std::fmt;
+
+/// A three-valued logic value: `0`, `1`, or unknown (`X`).
+///
+/// Sequential circuits are simulated from the *all-unspecified* state
+/// (paper §3.1: a subsequence detects a fault *"assuming that both the
+/// fault free and the faulty circuits are in the all-unspecified states
+/// before the subsequence is applied"*), so unknowns must be first-class.
+/// The usual pessimistic 3-valued algebra is used.
+///
+/// # Example
+///
+/// ```
+/// use bist_sim::Logic;
+///
+/// assert_eq!(Logic::Zero.and(Logic::X), Logic::Zero); // 0 controls AND
+/// assert_eq!(Logic::One.and(Logic::X), Logic::X);
+/// assert_eq!(Logic::One.or(Logic::X), Logic::One);    // 1 controls OR
+/// assert_eq!(!Logic::X, Logic::X);  // NOT via std::ops::Not
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// Converts a boolean.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for binary values, `None` for `X`.
+    #[must_use]
+    pub fn to_option(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// Whether the value is 0 or 1 (not `X`).
+    #[must_use]
+    pub fn is_binary(self) -> bool {
+        self != Logic::X
+    }
+
+    /// Three-valued AND.
+    #[must_use]
+    pub fn and(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Three-valued OR.
+    #[must_use]
+    pub fn or(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Three-valued XOR.
+    #[must_use]
+    pub fn xor(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Logic::X, _) | (_, Logic::X) => Logic::X,
+            (a, b) => Logic::from_bool(a != b),
+        }
+    }
+}
+
+impl std::ops::Not for Logic {
+    type Output = Logic;
+
+    /// Three-valued NOT.
+    fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Logic::Zero => "0",
+            Logic::One => "1",
+            Logic::X => "x",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ops::Not;
+    use Logic::{One, X, Zero};
+
+    const ALL: [Logic; 3] = [Zero, One, X];
+
+    #[test]
+    fn not_truth_table() {
+        assert_eq!(Zero.not(), One);
+        assert_eq!(One.not(), Zero);
+        assert_eq!(X.not(), X);
+    }
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Zero.and(Zero), Zero);
+        assert_eq!(Zero.and(One), Zero);
+        assert_eq!(One.and(One), One);
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(X.and(Zero), Zero);
+        assert_eq!(One.and(X), X);
+        assert_eq!(X.and(X), X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Zero.or(Zero), Zero);
+        assert_eq!(One.or(Zero), One);
+        assert_eq!(One.or(X), One);
+        assert_eq!(X.or(One), One);
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(X.or(X), X);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        assert_eq!(Zero.xor(Zero), Zero);
+        assert_eq!(Zero.xor(One), One);
+        assert_eq!(One.xor(One), Zero);
+        for v in ALL {
+            assert_eq!(v.xor(X), X);
+            assert_eq!(X.xor(v), X);
+        }
+    }
+
+    #[test]
+    fn operators_are_commutative() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                assert_eq!(a.xor(b), b.xor(a));
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds_in_three_values() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Logic::from(true), One);
+        assert_eq!(Logic::from(false), Zero);
+        assert_eq!(One.to_option(), Some(true));
+        assert_eq!(X.to_option(), None);
+        assert!(One.is_binary());
+        assert!(!X.is_binary());
+        assert_eq!(Logic::default(), X);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{Zero}{One}{X}"), "01x");
+    }
+}

@@ -1,0 +1,236 @@
+use crate::Logic;
+use std::fmt;
+
+/// 64 three-valued logic values packed into two machine words.
+///
+/// Lane `i` is encoded by bit `i` of two words: `ones` (the lane is 1) and
+/// `zeros` (the lane is 0). Exactly one of the bits is set for a binary
+/// value; neither is set for `X`. Both set is an illegal state that the
+/// algebra never produces from legal inputs (checked by
+/// [`is_valid`](Self::is_valid) and a property test).
+///
+/// This encoding makes every gate a handful of bitwise operations over all
+/// 64 lanes at once — the workhorse of the parallel-fault simulator, where
+/// each lane carries one faulty machine.
+///
+/// # Example
+///
+/// ```
+/// use bist_sim::{Logic, PackedValue};
+///
+/// let a = PackedValue::splat(Logic::One);
+/// let mut b = PackedValue::splat(Logic::X);
+/// b.set_lane(3, Logic::Zero);
+/// let c = a.and(b);
+/// assert_eq!(c.lane(3), Logic::Zero);
+/// assert_eq!(c.lane(0), Logic::X);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackedValue {
+    /// Bit `i` set ⇔ lane `i` is logic 1.
+    pub ones: u64,
+    /// Bit `i` set ⇔ lane `i` is logic 0.
+    pub zeros: u64,
+}
+
+impl PackedValue {
+    /// Number of lanes.
+    pub const LANES: usize = 64;
+
+    /// All lanes `X`.
+    pub const ALL_X: PackedValue = PackedValue { ones: 0, zeros: 0 };
+
+    /// All lanes 0.
+    pub const ALL_ZERO: PackedValue = PackedValue { ones: 0, zeros: u64::MAX };
+
+    /// All lanes 1.
+    pub const ALL_ONE: PackedValue = PackedValue { ones: u64::MAX, zeros: 0 };
+
+    /// Broadcasts one value to all lanes.
+    #[must_use]
+    pub fn splat(v: Logic) -> Self {
+        match v {
+            Logic::Zero => Self::ALL_ZERO,
+            Logic::One => Self::ALL_ONE,
+            Logic::X => Self::ALL_X,
+        }
+    }
+
+    /// Reads lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    #[must_use]
+    pub fn lane(self, i: usize) -> Logic {
+        assert!(i < Self::LANES, "lane {i} out of range");
+        let bit = 1u64 << i;
+        match (self.ones & bit != 0, self.zeros & bit != 0) {
+            (true, false) => Logic::One,
+            (false, true) => Logic::Zero,
+            (false, false) => Logic::X,
+            (true, true) => unreachable!("invalid packed encoding in lane {i}"),
+        }
+    }
+
+    /// Writes lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    pub fn set_lane(&mut self, i: usize, v: Logic) {
+        assert!(i < Self::LANES, "lane {i} out of range");
+        let bit = 1u64 << i;
+        self.ones &= !bit;
+        self.zeros &= !bit;
+        match v {
+            Logic::One => self.ones |= bit,
+            Logic::Zero => self.zeros |= bit,
+            Logic::X => {}
+        }
+    }
+
+    /// True if no lane has both bits set.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self.ones & self.zeros == 0
+    }
+
+    /// Lane-wise three-valued AND.
+    #[must_use]
+    pub fn and(self, rhs: Self) -> Self {
+        PackedValue { ones: self.ones & rhs.ones, zeros: self.zeros | rhs.zeros }
+    }
+
+    /// Lane-wise three-valued OR.
+    #[must_use]
+    pub fn or(self, rhs: Self) -> Self {
+        PackedValue { ones: self.ones | rhs.ones, zeros: self.zeros & rhs.zeros }
+    }
+
+    /// Lane-wise three-valued XOR.
+    #[must_use]
+    pub fn xor(self, rhs: Self) -> Self {
+        PackedValue {
+            ones: (self.ones & rhs.zeros) | (self.zeros & rhs.ones),
+            zeros: (self.ones & rhs.ones) | (self.zeros & rhs.zeros),
+        }
+    }
+
+    /// Bitmask of lanes holding binary (non-`X`) values.
+    #[must_use]
+    pub fn binary_mask(self) -> u64 {
+        self.ones | self.zeros
+    }
+}
+
+impl std::ops::Not for PackedValue {
+    type Output = PackedValue;
+
+    /// Lane-wise three-valued NOT (swap the planes).
+    fn not(self) -> PackedValue {
+        PackedValue { ones: self.zeros, zeros: self.ones }
+    }
+}
+
+impl Default for PackedValue {
+    fn default() -> Self {
+        Self::ALL_X
+    }
+}
+
+impl fmt::Display for PackedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..Self::LANES {
+            write!(f, "{}", self.lane(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ops::Not;
+    use Logic::{One, X, Zero};
+
+    const ALL: [Logic; 3] = [Zero, One, X];
+
+    #[test]
+    fn splat_and_lane_round_trip() {
+        for v in ALL {
+            let p = PackedValue::splat(v);
+            assert!(p.is_valid());
+            for i in [0, 1, 31, 63] {
+                assert_eq!(p.lane(i), v);
+            }
+        }
+    }
+
+    #[test]
+    fn set_lane_round_trip() {
+        let mut p = PackedValue::ALL_X;
+        p.set_lane(0, One);
+        p.set_lane(63, Zero);
+        p.set_lane(17, One);
+        p.set_lane(17, X); // overwrite back to X
+        assert_eq!(p.lane(0), One);
+        assert_eq!(p.lane(63), Zero);
+        assert_eq!(p.lane(17), X);
+        assert_eq!(p.lane(5), X);
+        assert!(p.is_valid());
+    }
+
+    /// The packed algebra must agree with the scalar algebra in all lanes.
+    #[test]
+    fn packed_matches_scalar_exhaustively() {
+        for a in ALL {
+            for b in ALL {
+                let pa = PackedValue::splat(a);
+                let pb = PackedValue::splat(b);
+                assert_eq!(pa.and(pb).lane(7), a.and(b), "and {a} {b}");
+                assert_eq!(pa.or(pb).lane(7), a.or(b), "or {a} {b}");
+                assert_eq!(pa.xor(pb).lane(7), a.xor(b), "xor {a} {b}");
+                assert_eq!(pa.not().lane(7), a.not(), "not {a}");
+                assert!(pa.and(pb).is_valid());
+                assert!(pa.or(pb).is_valid());
+                assert!(pa.xor(pb).is_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_lanes_evaluate_independently() {
+        let mut a = PackedValue::ALL_X;
+        let mut b = PackedValue::ALL_X;
+        // lane 0: 1 AND 1; lane 1: 0 AND X; lane 2: X AND X.
+        a.set_lane(0, One);
+        b.set_lane(0, One);
+        a.set_lane(1, Zero);
+        let c = a.and(b);
+        assert_eq!(c.lane(0), One);
+        assert_eq!(c.lane(1), Zero);
+        assert_eq!(c.lane(2), X);
+    }
+
+    #[test]
+    fn binary_mask() {
+        let mut p = PackedValue::ALL_X;
+        p.set_lane(2, One);
+        p.set_lane(5, Zero);
+        assert_eq!(p.binary_mask(), (1 << 2) | (1 << 5));
+        assert_eq!(PackedValue::ALL_ONE.binary_mask(), u64::MAX);
+        assert_eq!(PackedValue::ALL_X.binary_mask(), 0);
+    }
+
+    #[test]
+    fn default_is_all_x() {
+        assert_eq!(PackedValue::default(), PackedValue::ALL_X);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lane_out_of_range_panics() {
+        let _ = PackedValue::ALL_X.lane(64);
+    }
+}

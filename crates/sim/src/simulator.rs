@@ -1,0 +1,447 @@
+//! The sequential stuck-at fault simulator.
+//!
+//! Faults are simulated 64 at a time: each lane of a [`PackedValue`]
+//! carries one faulty machine, and the fault-free machine is simulated
+//! once (scalar) as the comparison reference. Both machines start from the
+//! all-unknown state. A fault is *detected* at time unit `u` if some
+//! primary output has a binary value in the fault-free circuit and the
+//! complementary binary value in the faulty circuit at time `u` — the
+//! standard pessimistic three-valued criterion, matching the paper's
+//! definition of a subsequence detecting a fault from the all-unspecified
+//! state.
+
+use std::ops::Not;
+use crate::good::{simulate_good, GoodTrace};
+use crate::{eval, Fault, FaultSite, Logic, PackedValue, SimError};
+use bist_expand::TestSequence;
+use bist_netlist::{Circuit, NodeId, NodeKind};
+
+/// Sparse per-chunk fault injection tables, allocated once per simulator
+/// run and cleared between chunks.
+struct Injector {
+    /// Nodes with output (stem) forces in the current chunk.
+    out_touched: Vec<usize>,
+    out_forces: Vec<Vec<(usize, Logic)>>,
+    /// Nodes with input (branch) forces in the current chunk.
+    in_touched: Vec<usize>,
+    in_forces: Vec<Vec<(u32, usize, Logic)>>,
+}
+
+impl Injector {
+    fn new(num_nodes: usize) -> Self {
+        Injector {
+            out_touched: Vec::new(),
+            out_forces: vec![Vec::new(); num_nodes],
+            in_touched: Vec::new(),
+            in_forces: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    fn clear(&mut self) {
+        for &i in &self.out_touched {
+            self.out_forces[i].clear();
+        }
+        for &i in &self.in_touched {
+            self.in_forces[i].clear();
+        }
+        self.out_touched.clear();
+        self.in_touched.clear();
+    }
+
+    fn load(&mut self, chunk: &[Fault]) {
+        self.clear();
+        for (lane, fault) in chunk.iter().enumerate() {
+            let forced = Logic::from_bool(fault.stuck);
+            match fault.site {
+                FaultSite::Output(node) => {
+                    let i = node.index();
+                    if self.out_forces[i].is_empty() {
+                        self.out_touched.push(i);
+                    }
+                    self.out_forces[i].push((lane, forced));
+                }
+                FaultSite::Input { node, pin } => {
+                    let i = node.index();
+                    if self.in_forces[i].is_empty() {
+                        self.in_touched.push(i);
+                    }
+                    self.in_forces[i].push((pin, lane, forced));
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn force_output(&self, node: usize, mut value: PackedValue) -> PackedValue {
+        for &(lane, forced) in &self.out_forces[node] {
+            value.set_lane(lane, forced);
+        }
+        value
+    }
+
+    #[inline]
+    fn has_input_forces(&self, node: usize) -> bool {
+        !self.in_forces[node].is_empty()
+    }
+
+    /// Value of `node`'s fanin `pin` as seen by the gate, with branch
+    /// forces applied.
+    #[inline]
+    fn forced_input(&self, node: usize, pin: u32, mut value: PackedValue) -> PackedValue {
+        for &(p, lane, forced) in &self.in_forces[node] {
+            if p == pin {
+                value.set_lane(lane, forced);
+            }
+        }
+        value
+    }
+}
+
+/// Packed gate evaluation reading straight from the value table
+/// (allocation-free fast path).
+#[inline]
+fn eval_fold(values: &[PackedValue], fanin: &[NodeId], kind: bist_netlist::GateKind) -> PackedValue {
+    use bist_netlist::GateKind;
+    let first = values[fanin[0].index()];
+    let rest = fanin[1..].iter().map(|f| values[f.index()]);
+    match kind {
+        GateKind::Buf => first,
+        GateKind::Not => first.not(),
+        GateKind::And => rest.fold(first, PackedValue::and),
+        GateKind::Nand => rest.fold(first, PackedValue::and).not(),
+        GateKind::Or => rest.fold(first, PackedValue::or),
+        GateKind::Nor => rest.fold(first, PackedValue::or).not(),
+        GateKind::Xor => rest.fold(first, PackedValue::xor),
+        GateKind::Xnor => rest.fold(first, PackedValue::xor).not(),
+    }
+}
+
+/// Sequential stuck-at fault simulator for one circuit.
+///
+/// # Example
+///
+/// ```
+/// use bist_expand::TestSequence;
+/// use bist_netlist::benchmarks;
+/// use bist_sim::{collapse, fault_universe, FaultSimulator};
+///
+/// let c = benchmarks::s27();
+/// let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+/// let sim = FaultSimulator::new(&c);
+/// // The paper's Table 2 sequence detects 32 of the 32 collapsed faults.
+/// let t0: TestSequence =
+///     "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse()?;
+/// let times = sim.detection_times(&t0, &faults)?;
+/// assert_eq!(times.iter().filter(|t| t.is_some()).count(), 32);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSimulator<'c> {
+    circuit: &'c Circuit,
+}
+
+impl<'c> FaultSimulator<'c> {
+    /// Creates a simulator bound to `circuit`.
+    #[must_use]
+    pub fn new(circuit: &'c Circuit) -> Self {
+        FaultSimulator { circuit }
+    }
+
+    /// The simulated circuit.
+    #[must_use]
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Fault-free simulation (see [`simulate_good`]).
+    ///
+    /// # Errors
+    ///
+    /// Width mismatch / empty sequence.
+    pub fn good(&self, seq: &TestSequence) -> Result<GoodTrace, SimError> {
+        simulate_good(self.circuit, seq)
+    }
+
+    /// First detection time of every fault in `faults` under `seq`, or
+    /// `None` if undetected. Faults are simulated 64 per pass with early
+    /// exit once every fault in a pass is detected.
+    ///
+    /// # Errors
+    ///
+    /// Width mismatch / empty sequence.
+    pub fn detection_times(
+        &self,
+        seq: &TestSequence,
+        faults: &[Fault],
+    ) -> Result<Vec<Option<usize>>, SimError> {
+        let good = self.good(seq)?;
+        let mut times = vec![None; faults.len()];
+        let mut injector = Injector::new(self.circuit.num_nodes());
+        let mut values = vec![PackedValue::ALL_X; self.circuit.num_nodes()];
+        for (ci, chunk) in faults.chunks(PackedValue::LANES).enumerate() {
+            self.run_chunk(
+                seq,
+                &good,
+                chunk,
+                &mut times[ci * PackedValue::LANES..ci * PackedValue::LANES + chunk.len()],
+                &mut injector,
+                &mut values,
+            );
+        }
+        Ok(times)
+    }
+
+    /// First detection time of a single fault (early exit at detection).
+    ///
+    /// # Errors
+    ///
+    /// Width mismatch / empty sequence.
+    pub fn first_detection(
+        &self,
+        seq: &TestSequence,
+        fault: Fault,
+    ) -> Result<Option<usize>, SimError> {
+        Ok(self.detection_times(seq, &[fault])?[0])
+    }
+
+    /// Whether `seq` detects `fault` (early exit at detection).
+    ///
+    /// # Errors
+    ///
+    /// Width mismatch / empty sequence.
+    pub fn detects(&self, seq: &TestSequence, fault: Fault) -> Result<bool, SimError> {
+        Ok(self.first_detection(seq, fault)?.is_some())
+    }
+
+    fn run_chunk(
+        &self,
+        seq: &TestSequence,
+        good: &GoodTrace,
+        chunk: &[Fault],
+        times: &mut [Option<usize>],
+        injector: &mut Injector,
+        values: &mut [PackedValue],
+    ) {
+        let circuit = self.circuit;
+        injector.load(chunk);
+        values.fill(PackedValue::ALL_X);
+
+        let used: u64 = if chunk.len() == PackedValue::LANES {
+            u64::MAX
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        let mut undetected = used;
+        let mut state = vec![PackedValue::ALL_X; circuit.num_dffs()];
+        let mut scratch: Vec<PackedValue> = Vec::new();
+
+        for (t, vector) in seq.iter().enumerate() {
+            // Drive primary inputs (with stem forces: a stuck PI is stuck
+            // every cycle).
+            for (i, &pi) in circuit.inputs().iter().enumerate() {
+                let v = PackedValue::splat(Logic::from_bool(vector.get(i)));
+                values[pi.index()] = injector.force_output(pi.index(), v);
+            }
+            // Present state.
+            for (k, &dff) in circuit.dffs().iter().enumerate() {
+                values[dff.index()] = injector.force_output(dff.index(), state[k]);
+            }
+            // Combinational sweep.
+            for &g in circuit.eval_order() {
+                let node = circuit.node(g);
+                let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
+                let gi = g.index();
+                let v = if injector.has_input_forces(gi) {
+                    scratch.clear();
+                    for (pin, &f) in node.fanin().iter().enumerate() {
+                        scratch.push(injector.forced_input(gi, pin as u32, values[f.index()]));
+                    }
+                    eval::eval_gate(*kind, &scratch)
+                } else {
+                    eval_fold(values, node.fanin(), *kind)
+                };
+                values[gi] = injector.force_output(gi, v);
+            }
+            // Compare primary outputs against the good machine.
+            for (oi, &o) in circuit.outputs().iter().enumerate() {
+                let diff = match good.po[t][oi] {
+                    Logic::One => values[o.index()].zeros,
+                    Logic::Zero => values[o.index()].ones,
+                    Logic::X => continue,
+                };
+                let newly = diff & undetected;
+                if newly != 0 {
+                    let mut bits = newly;
+                    while bits != 0 {
+                        let lane = bits.trailing_zeros() as usize;
+                        times[lane] = Some(t);
+                        bits &= bits - 1;
+                    }
+                    undetected &= !newly;
+                }
+            }
+            if undetected == 0 {
+                break;
+            }
+            // Clock: latch next state (with D-pin branch forces).
+            for (k, &dff) in circuit.dffs().iter().enumerate() {
+                let di = dff.index();
+                let src = circuit.node(dff).fanin()[0];
+                let mut v = values[src.index()];
+                if injector.has_input_forces(di) {
+                    v = injector.forced_input(di, 0, v);
+                }
+                state[k] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{collapse, fault_universe};
+    use bist_netlist::benchmarks;
+
+    fn seq(s: &str) -> TestSequence {
+        s.parse().unwrap()
+    }
+
+    /// The paper's Table 2 sequence for s27.
+    fn table2_t0() -> TestSequence {
+        seq("0111 1001 0111 1001 0100 1011 1001 0000 0000 1011")
+    }
+
+    #[test]
+    fn table2_sequence_detects_all_32_collapsed_faults() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        assert_eq!(faults.len(), 32);
+        let sim = FaultSimulator::new(&c);
+        let times = sim.detection_times(&table2_t0(), &faults).unwrap();
+        let detected = times.iter().filter(|t| t.is_some()).count();
+        // Table 2 shows every one of the 32 faults detected by time 9.
+        assert_eq!(detected, 32);
+        assert!(times.iter().flatten().all(|&t| t <= 9));
+    }
+
+    #[test]
+    fn table2_detection_time_histogram_matches_paper() {
+        // Table 2 lists how many faults are first detected at each time
+        // unit: u=1:9, u=2:4, u=4:1, u=5:11, u=6:2, u=8:3, u=9:2.
+        // Our fault numbering differs but the histogram is an invariant of
+        // the circuit + sequence (for the same collapsed universe).
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let sim = FaultSimulator::new(&c);
+        let times = sim.detection_times(&table2_t0(), &faults).unwrap();
+        let mut hist = [0usize; 10];
+        for t in times.iter().flatten() {
+            hist[*t] += 1;
+        }
+        assert_eq!(hist, [0, 9, 4, 0, 1, 11, 2, 0, 3, 2]);
+    }
+
+    #[test]
+    fn stuck_output_detected_in_shift_register() {
+        let c = benchmarks::shift_register3();
+        let sim = FaultSimulator::new(&c);
+        let q2 = c.find("q2").unwrap();
+        // q2 s-a-0: drive 1s through; good q2 becomes 1 at t=3.
+        let f = Fault::output(q2, false);
+        let t = sim.first_detection(&seq("11 11 11 11 11"), f).unwrap();
+        assert_eq!(t, Some(3));
+        // q2 s-a-1: good q2 is X until t=3 (all-1 stream), so drive 0s.
+        let f1 = Fault::output(q2, true);
+        let t1 = sim.first_detection(&seq("01 01 01 01 01"), f1).unwrap();
+        assert_eq!(t1, Some(3));
+    }
+
+    #[test]
+    fn undetectable_without_activation() {
+        let c = benchmarks::shift_register3();
+        let sim = FaultSimulator::new(&c);
+        let q2 = c.find("q2").unwrap();
+        // q2 s-a-0 cannot be seen while only 0s are shifted in.
+        let f = Fault::output(q2, false);
+        assert_eq!(sim.first_detection(&seq("01 01 01 01"), f).unwrap(), None);
+    }
+
+    #[test]
+    fn x_state_blocks_detection() {
+        let c = benchmarks::shift_register3();
+        let sim = FaultSimulator::new(&c);
+        let q2 = c.find("q2").unwrap();
+        let f = Fault::output(q2, false);
+        // Only 2 vectors: good q2 still X at both times — no detection.
+        assert_eq!(sim.first_detection(&seq("11 11"), f).unwrap(), None);
+    }
+
+    #[test]
+    fn input_branch_fault_differs_from_stem() {
+        let c = benchmarks::s27();
+        let universe = fault_universe(&c);
+        let sim = FaultSimulator::new(&c);
+        // G11 branches to G17, G10 and the DFF G6. The branch fault
+        // G17.0 s-a-1 and the stem fault G11 s-a-1 may have different
+        // detection times under T0.
+        let g17 = c.find("G17").unwrap();
+        let g11 = c.find("G11").unwrap();
+        let branch = Fault::input(g17, 0, true);
+        let stem = Fault::output(g11, true);
+        assert!(universe.contains(&branch));
+        let tb = sim.first_detection(&table2_t0(), branch).unwrap();
+        let ts = sim.first_detection(&table2_t0(), stem).unwrap();
+        // The stem fault affects strictly more paths: it must be detected
+        // no later than the branch fault here.
+        assert!(tb.is_some());
+        assert!(ts.is_some());
+        assert!(ts.unwrap() <= tb.unwrap());
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_s27() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let sim = FaultSimulator::new(&c);
+        let t0 = table2_t0();
+        let parallel = sim.detection_times(&t0, &faults).unwrap();
+        for (i, &f) in faults.iter().enumerate() {
+            let serial = sim.first_detection(&t0, f).unwrap();
+            assert_eq!(serial, parallel[i], "fault {}", f.describe(&c));
+        }
+    }
+
+    #[test]
+    fn more_than_64_faults_chunk_correctly() {
+        let c = benchmarks::s27();
+        let universe = fault_universe(&c); // 52 faults
+        // Duplicate the universe to exceed one chunk; duplicated faults
+        // must get identical times.
+        let mut doubled = universe.clone();
+        doubled.extend(universe.iter().copied());
+        let sim = FaultSimulator::new(&c);
+        let times = sim.detection_times(&table2_t0(), &doubled).unwrap();
+        for i in 0..universe.len() {
+            assert_eq!(times[i], times[i + universe.len()]);
+        }
+    }
+
+    #[test]
+    fn empty_fault_list_is_fine() {
+        let c = benchmarks::s27();
+        let sim = FaultSimulator::new(&c);
+        let times = sim.detection_times(&table2_t0(), &[]).unwrap();
+        assert!(times.is_empty());
+    }
+
+    #[test]
+    fn width_mismatch_propagates() {
+        let c = benchmarks::s27();
+        let sim = FaultSimulator::new(&c);
+        assert!(matches!(
+            sim.detection_times(&seq("000"), &[]),
+            Err(SimError::WidthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,244 @@
+//! An interactive, clock-by-clock circuit simulator.
+//!
+//! [`SteppedSim`] plays the role of the chip in hardware-in-the-loop
+//! style tests: feed one input vector per call, get the primary-output
+//! response, and keep the flip-flop state across calls. An optional
+//! stuck-at fault turns it into the defective chip. The batch simulators
+//! in [`crate::simulate_good`] / [`crate::simulate_faulty`] are the
+//! reference; equivalence is unit- and property-tested.
+
+use crate::{eval, Fault, FaultSite, Logic, SimError};
+use bist_expand::TestVector;
+use bist_netlist::{Circuit, NodeKind};
+
+/// A stateful one-vector-at-a-time simulator.
+///
+/// # Example
+///
+/// ```
+/// use bist_netlist::benchmarks;
+/// use bist_sim::{Logic, SteppedSim};
+/// use bist_expand::TestVector;
+///
+/// let c = benchmarks::shift_register3();
+/// let mut sim = SteppedSim::new(&c);
+/// let ones: TestVector = "11".parse()?;
+/// for _ in 0..3 {
+///     sim.step(&ones)?;          // flush the unknown state
+/// }
+/// assert_eq!(sim.step(&ones)?, vec![Logic::One]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SteppedSim<'c> {
+    circuit: &'c Circuit,
+    values: Vec<Logic>,
+    state: Vec<Logic>,
+    fault: Option<Fault>,
+    cycles: usize,
+}
+
+impl<'c> SteppedSim<'c> {
+    /// Creates a fault-free simulator in the all-unknown state.
+    #[must_use]
+    pub fn new(circuit: &'c Circuit) -> Self {
+        SteppedSim {
+            circuit,
+            values: vec![Logic::X; circuit.num_nodes()],
+            state: vec![Logic::X; circuit.num_dffs()],
+            fault: None,
+            cycles: 0,
+        }
+    }
+
+    /// Creates a simulator with a stuck-at fault injected.
+    #[must_use]
+    pub fn with_fault(circuit: &'c Circuit, fault: Fault) -> Self {
+        let mut sim = SteppedSim::new(circuit);
+        sim.fault = Some(fault);
+        sim
+    }
+
+    /// The injected fault, if any.
+    #[must_use]
+    pub fn fault(&self) -> Option<Fault> {
+        self.fault
+    }
+
+    /// Number of clock cycles applied since construction or
+    /// [`reset`](Self::reset).
+    #[must_use]
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// The current flip-flop values (circuit DFF order).
+    #[must_use]
+    pub fn state(&self) -> &[Logic] {
+        &self.state
+    }
+
+    /// Returns to the all-unknown power-on state.
+    pub fn reset(&mut self) {
+        self.values.fill(Logic::X);
+        self.state.fill(Logic::X);
+        self.cycles = 0;
+    }
+
+    /// Applies one input vector: evaluates the combinational logic,
+    /// returns the primary-output values, and clocks the flip-flops.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WidthMismatch`] if the vector width differs from the
+    /// circuit's input count.
+    pub fn step(&mut self, vector: &TestVector) -> Result<Vec<Logic>, SimError> {
+        let circuit = self.circuit;
+        if vector.width() != circuit.num_inputs() {
+            return Err(SimError::WidthMismatch {
+                circuit_inputs: circuit.num_inputs(),
+                sequence_width: vector.width(),
+            });
+        }
+
+        let out_force: Option<(usize, Logic)> = match self.fault {
+            Some(Fault { site: FaultSite::Output(n), stuck }) => {
+                Some((n.index(), Logic::from_bool(stuck)))
+            }
+            _ => None,
+        };
+        let in_force: Option<(usize, u32, Logic)> = match self.fault {
+            Some(Fault { site: FaultSite::Input { node, pin }, stuck }) => {
+                Some((node.index(), pin, Logic::from_bool(stuck)))
+            }
+            _ => None,
+        };
+        let force_out = |node: usize, v: Logic| match out_force {
+            Some((n, f)) if n == node => f,
+            _ => v,
+        };
+
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            self.values[pi.index()] = force_out(pi.index(), Logic::from_bool(vector.get(i)));
+        }
+        for (k, &dff) in circuit.dffs().iter().enumerate() {
+            self.values[dff.index()] = force_out(dff.index(), self.state[k]);
+        }
+        for &g in circuit.eval_order() {
+            let node = circuit.node(g);
+            let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
+            let gi = g.index();
+            let v = eval::eval_scalar_fold(
+                *kind,
+                node.fanin().iter().enumerate().map(|(p, &f)| match in_force {
+                    Some((n, pin, forced)) if n == gi && pin == p as u32 => forced,
+                    _ => self.values[f.index()],
+                }),
+            );
+            self.values[gi] = force_out(gi, v);
+        }
+        let outputs =
+            circuit.outputs().iter().map(|&o| self.values[o.index()]).collect();
+        for (k, &dff) in circuit.dffs().iter().enumerate() {
+            let src = circuit.node(dff).fanin()[0];
+            self.state[k] = match in_force {
+                Some((n, 0, forced)) if n == dff.index() => forced,
+                _ => self.values[src.index()],
+            };
+        }
+        self.cycles += 1;
+        Ok(outputs)
+    }
+
+    /// Reads the current value of a node (after the last
+    /// [`step`](Self::step)); useful for debugging and waveform dumps.
+    #[must_use]
+    pub fn value(&self, node: bist_netlist::NodeId) -> Logic {
+        self.values[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_faulty, simulate_good};
+    use bist_expand::TestSequence;
+    use bist_netlist::benchmarks;
+
+    fn seq(s: &str) -> TestSequence {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn stepped_matches_batch_good() {
+        let c = benchmarks::s27();
+        let t0 = seq("0111 1001 0111 1001 0100 1011 1001 0000 0000 1011");
+        let batch = simulate_good(&c, &t0).unwrap();
+        let mut sim = SteppedSim::new(&c);
+        for (u, v) in t0.iter().enumerate() {
+            assert_eq!(sim.step(v).unwrap(), batch.po[u], "u={u}");
+        }
+        assert_eq!(sim.state(), &batch.final_state[..]);
+        assert_eq!(sim.cycles(), 10);
+    }
+
+    #[test]
+    fn stepped_matches_batch_faulty() {
+        let c = benchmarks::s27();
+        let g8 = c.find("G8").unwrap();
+        let t0 = seq("0111 1001 0111 1001 0100 1011");
+        for fault in [Fault::output(g8, true), Fault::input(g8, 0, false)] {
+            let batch = simulate_faulty(&c, &t0, fault).unwrap();
+            let mut sim = SteppedSim::with_fault(&c, fault);
+            assert_eq!(sim.fault(), Some(fault));
+            for (u, v) in t0.iter().enumerate() {
+                assert_eq!(sim.step(v).unwrap(), batch.po[u], "u={u} {fault}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let c = benchmarks::shift_register3();
+        let mut sim = SteppedSim::new(&c);
+        let v: TestVector = "11".parse().unwrap();
+        for _ in 0..4 {
+            sim.step(&v).unwrap();
+        }
+        assert!(sim.state().iter().all(|s| s.is_binary()));
+        sim.reset();
+        assert!(sim.state().iter().all(|s| !s.is_binary()));
+        assert_eq!(sim.cycles(), 0);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let c = benchmarks::s27();
+        let mut sim = SteppedSim::new(&c);
+        let v: TestVector = "01".parse().unwrap();
+        assert!(matches!(sim.step(&v), Err(SimError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn value_inspection() {
+        let c = benchmarks::comb_mix();
+        let mut sim = SteppedSim::new(&c);
+        sim.step(&"110".parse().unwrap()).unwrap();
+        let maj = c.find("maj").unwrap();
+        assert_eq!(sim.value(maj), Logic::One);
+    }
+
+    #[test]
+    fn dff_input_pin_fault_latches_forced_value() {
+        // A branch fault on a DFF's D pin must affect the *next* cycle.
+        let c = benchmarks::s27();
+        let g5 = c.dffs()[0]; // G5 = DFF(G10)
+        let fault = Fault::input(g5, 0, true);
+        let t0 = seq("0111 1001 0111 1001");
+        let batch = simulate_faulty(&c, &t0, fault).unwrap();
+        let mut sim = SteppedSim::with_fault(&c, fault);
+        for (u, v) in t0.iter().enumerate() {
+            assert_eq!(sim.step(v).unwrap(), batch.po[u], "u={u}");
+        }
+    }
+}

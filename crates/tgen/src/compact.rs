@@ -1,0 +1,190 @@
+//! Static compaction of test sequences by vector omission.
+//!
+//! Substitute for the vector-restoration compaction of Pomeranz & Reddy
+//! \[12\]: vectors are tentatively omitted (in random order) and each
+//! omission is kept if the sequence still detects every fault of the
+//! target set. Because sequential-circuit fault simulation is the cost
+//! driver, the procedure takes an explicit *budget* of trial simulations.
+
+use bist_expand::TestSequence;
+use bist_netlist::Circuit;
+use bist_sim::{Fault, FaultSimulator, SimError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The outcome of static compaction.
+#[derive(Debug, Clone)]
+pub struct CompactionStats {
+    /// The compacted sequence (detects the whole target set).
+    pub sequence: TestSequence,
+    /// Length before compaction.
+    pub original_len: usize,
+    /// Number of vectors removed.
+    pub removed: usize,
+    /// Number of trial fault simulations spent.
+    pub trials: usize,
+}
+
+impl CompactionStats {
+    /// Fraction of vectors removed.
+    #[must_use]
+    pub fn reduction(&self) -> f64 {
+        if self.original_len == 0 {
+            0.0
+        } else {
+            self.removed as f64 / self.original_len as f64
+        }
+    }
+}
+
+/// Compacts `sequence` while preserving detection of every fault in
+/// `keep`.
+///
+/// Vectors are tried in random order (seeded); after a successful
+/// omission all positions are reconsidered, exactly like the omission loop
+/// of the paper's Procedure 2 but with a whole fault set as the criterion.
+/// Stops when no further vector can be omitted or `budget` trial
+/// simulations have been spent.
+///
+/// # Errors
+///
+/// Propagates simulator errors (e.g. width mismatch).
+///
+/// # Panics
+///
+/// Panics if `keep` contains a fault the input sequence does not detect —
+/// callers must pass the detected set.
+pub fn static_compact(
+    circuit: &Circuit,
+    sequence: &TestSequence,
+    keep: &[Fault],
+    budget: usize,
+    seed: u64,
+) -> Result<CompactionStats, SimError> {
+    let sim = FaultSimulator::new(circuit);
+    let detects_all = |seq: &TestSequence| -> Result<bool, SimError> {
+        if seq.is_empty() {
+            return Ok(keep.is_empty());
+        }
+        let times = sim.detection_times(seq, keep)?;
+        Ok(times.iter().all(Option::is_some))
+    };
+    assert!(
+        detects_all(sequence)?,
+        "static_compact requires the input sequence to detect every kept fault"
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut current = sequence.clone();
+    let original_len = sequence.len();
+    let mut trials = 0usize;
+
+    'outer: loop {
+        if current.len() <= 1 {
+            break;
+        }
+        let mut order: Vec<usize> = (0..current.len()).collect();
+        order.shuffle(&mut rng);
+        for &u in &order {
+            if trials >= budget {
+                break 'outer;
+            }
+            // Positions shift as vectors are removed; clamp.
+            if u >= current.len() {
+                continue;
+            }
+            let candidate = current.without(u);
+            if candidate.is_empty() {
+                continue;
+            }
+            trials += 1;
+            if detects_all(&candidate)? {
+                current = candidate;
+                // Restart the scan over the shortened sequence.
+                continue 'outer;
+            }
+        }
+        break;
+    }
+
+    Ok(CompactionStats {
+        removed: original_len - current.len(),
+        original_len,
+        sequence: current,
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::benchmarks;
+    use bist_sim::{collapse, fault_universe};
+
+    fn seq(s: &str) -> TestSequence {
+        s.parse().unwrap()
+    }
+
+    fn s27_t0() -> TestSequence {
+        seq("0111 1001 0111 1001 0100 1011 1001 0000 0000 1011")
+    }
+
+    #[test]
+    fn compaction_preserves_coverage() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let stats = static_compact(&c, &s27_t0(), &faults, 200, 1).unwrap();
+        let sim = FaultSimulator::new(&c);
+        let times = sim.detection_times(&stats.sequence, &faults).unwrap();
+        assert!(times.iter().all(Option::is_some), "coverage lost");
+        assert!(stats.sequence.len() <= 10);
+        assert_eq!(stats.original_len, 10);
+        assert_eq!(stats.removed, 10 - stats.sequence.len());
+    }
+
+    #[test]
+    fn budget_zero_changes_nothing() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let stats = static_compact(&c, &s27_t0(), &faults, 0, 1).unwrap();
+        assert_eq!(stats.sequence, s27_t0());
+        assert_eq!(stats.trials, 0);
+    }
+
+    #[test]
+    fn empty_keep_set_compacts_to_one_vector() {
+        let c = benchmarks::s27();
+        let stats = static_compact(&c, &s27_t0(), &[], 100, 1).unwrap();
+        assert_eq!(stats.sequence.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let a = static_compact(&c, &s27_t0(), &faults, 200, 5).unwrap();
+        let b = static_compact(&c, &s27_t0(), &faults, 200, 5).unwrap();
+        assert_eq!(a.sequence, b.sequence);
+    }
+
+    #[test]
+    #[should_panic(expected = "detect every kept fault")]
+    fn undetected_keep_fault_panics() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        // A single vector cannot detect everything.
+        let _ = static_compact(&c, &seq("0000"), &faults, 10, 1);
+    }
+
+    #[test]
+    fn reduction_statistic() {
+        let stats = CompactionStats {
+            sequence: seq("01"),
+            original_len: 4,
+            removed: 3,
+            trials: 9,
+        };
+        assert!((stats.reduction() - 0.75).abs() < 1e-12);
+    }
+}

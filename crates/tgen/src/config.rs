@@ -1,0 +1,100 @@
+/// Configuration for [`generate_t0`](crate::generate_t0) (builder-style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TgenConfig {
+    pub(crate) seed: u64,
+    pub(crate) burst_len: usize,
+    pub(crate) max_stall: usize,
+    pub(crate) hold_probability: f64,
+    pub(crate) max_length: usize,
+    pub(crate) compaction_budget: usize,
+}
+
+impl TgenConfig {
+    /// Defaults: seed 0, bursts of 8 vectors, stop after 40 consecutive
+    /// useless bursts, 30% hold probability, length cap 4096, compaction
+    /// budget 400 trial simulations.
+    #[must_use]
+    pub fn new() -> Self {
+        TgenConfig {
+            seed: 0,
+            burst_len: 8,
+            max_stall: 40,
+            hold_probability: 0.3,
+            max_length: 4096,
+            compaction_budget: 400,
+        }
+    }
+
+    /// RNG seed — generation is fully deterministic per seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of vectors per candidate burst (≥ 1).
+    #[must_use]
+    pub fn burst_len(mut self, n: usize) -> Self {
+        self.burst_len = n.max(1);
+        self
+    }
+
+    /// Consecutive useless bursts tolerated before giving up.
+    #[must_use]
+    pub fn max_stall(mut self, n: usize) -> Self {
+        self.max_stall = n.max(1);
+        self
+    }
+
+    /// Probability of repeating the previous vector instead of drawing a
+    /// fresh random one (the "hold" heuristic of Nachman et al. \[3\];
+    /// clamped to `[0, 1)`).
+    #[must_use]
+    pub fn hold_probability(mut self, p: f64) -> Self {
+        self.hold_probability = p.clamp(0.0, 0.999);
+        self
+    }
+
+    /// Hard cap on the generated sequence length.
+    #[must_use]
+    pub fn max_length(mut self, n: usize) -> Self {
+        self.max_length = n.max(1);
+        self
+    }
+
+    /// Maximum number of trial fault simulations spent in static
+    /// compaction (0 disables compaction).
+    #[must_use]
+    pub fn compaction_budget(mut self, n: usize) -> Self {
+        self.compaction_budget = n;
+        self
+    }
+}
+
+impl Default for TgenConfig {
+    fn default() -> Self {
+        TgenConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = TgenConfig::new();
+        assert!(c.burst_len >= 1);
+        assert!(c.max_stall >= 1);
+        assert!((0.0..1.0).contains(&c.hold_probability));
+        assert_eq!(TgenConfig::default(), c);
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let c = TgenConfig::new().burst_len(0).max_stall(0).hold_probability(2.0);
+        assert_eq!(c.burst_len, 1);
+        assert_eq!(c.max_stall, 1);
+        assert!(c.hold_probability < 1.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Fault-simulation-guided test sequence generation (STRATEGATE
+//! substitute).
+
+use crate::{static_compact, RandomSequence, TgenConfig};
+use bist_expand::TestSequence;
+use bist_netlist::Circuit;
+use bist_sim::{collapse, fault_universe, Fault, FaultCoverage, FaultSimulator, SimError};
+
+/// The result of test generation: the sequence `T0` and its coverage of
+/// the collapsed fault universe (with first-detection times `udet`).
+#[derive(Debug, Clone)]
+pub struct GeneratedTest {
+    /// The generated (and compacted) test sequence.
+    pub sequence: TestSequence,
+    /// Coverage of the collapsed fault universe under
+    /// [`sequence`](Self::sequence), including detection times.
+    pub coverage: FaultCoverage,
+}
+
+impl GeneratedTest {
+    /// The detected-fault set `F` of the paper's Procedure 1.
+    #[must_use]
+    pub fn detected_faults(&self) -> Vec<Fault> {
+        self.coverage.detected().map(|(f, _)| f).collect()
+    }
+}
+
+/// Generates a deterministic test sequence for `circuit`.
+///
+/// Candidate bursts of hold-biased random vectors are appended to the
+/// sequence only if fault simulation shows they detect at least one
+/// not-yet-detected fault of the collapsed universe. Generation stops when
+/// every fault is detected, the stall limit is reached, or the length cap
+/// is hit; the sequence is then statically compacted while preserving the
+/// detected set, and finally re-simulated to obtain definitive detection
+/// times.
+///
+/// # Errors
+///
+/// Propagates simulator errors (these indicate impossible configurations
+/// — e.g. a circuit with zero-width vectors — and do not occur for valid
+/// circuits).
+pub fn generate_t0(circuit: &Circuit, config: &TgenConfig) -> Result<GeneratedTest, SimError> {
+    let faults = collapse(circuit, &fault_universe(circuit)).representatives().to_vec();
+    let sim = FaultSimulator::new(circuit);
+    let mut source =
+        RandomSequence::new(circuit.num_inputs(), config.hold_probability, config.seed);
+
+    let mut t0: Option<TestSequence> = None;
+    let mut remaining: Vec<Fault> = faults.clone();
+    let mut stall = 0usize;
+    let mut burst_len = config.burst_len;
+
+    while !remaining.is_empty() && stall < config.max_stall {
+        let current_len = t0.as_ref().map_or(0, TestSequence::len);
+        if current_len >= config.max_length {
+            break;
+        }
+        let burst = source.burst(burst_len.min(config.max_length - current_len));
+        let candidate = match &t0 {
+            None => burst,
+            Some(prefix) => prefix.concat(&burst).expect("same width"),
+        };
+        let times = sim.detection_times(&candidate, &remaining)?;
+        let newly = times.iter().filter(|t| t.is_some()).count();
+        if newly > 0 {
+            remaining = remaining
+                .iter()
+                .zip(&times)
+                .filter_map(|(&f, &t)| if t.is_none() { Some(f) } else { None })
+                .collect();
+            // Truncate the useless tail of the burst: nothing after the
+            // last new detection contributes (new detections always fall
+            // inside the freshly appended burst, so earlier detections are
+            // unaffected).
+            let last_useful =
+                times.iter().flatten().copied().max().expect("newly > 0 implies a time");
+            t0 = Some(candidate.subsequence(0, last_useful));
+            stall = 0;
+        } else {
+            stall += 1;
+            // Occasionally try longer bursts: deep faults need longer
+            // justification sequences.
+            if stall.is_multiple_of(10) {
+                burst_len = (burst_len * 2).min(128);
+            }
+        }
+    }
+
+    let t0 = match t0 {
+        Some(seq) => seq,
+        // Degenerate: nothing was ever detected; keep one burst so the
+        // contract (nonempty sequence) holds.
+        None => source.burst(config.burst_len),
+    };
+
+    // Compact while preserving the detected set, then re-simulate for
+    // final detection times.
+    let detected: Vec<Fault> = {
+        let times = sim.detection_times(&t0, &faults)?;
+        faults
+            .iter()
+            .zip(&times)
+            .filter_map(|(&f, &t)| if t.is_some() { Some(f) } else { None })
+            .collect()
+    };
+    let compacted = if config.compaction_budget > 0 && !detected.is_empty() {
+        static_compact(circuit, &t0, &detected, config.compaction_budget, config.seed)?.sequence
+    } else {
+        t0
+    };
+    let coverage = FaultCoverage::simulate(&sim, &compacted, faults)?;
+    Ok(GeneratedTest { sequence: compacted, coverage })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::benchmarks;
+    use bist_netlist::generate::GeneratorSpec;
+
+    #[test]
+    fn s27_reaches_full_coverage() {
+        let c = benchmarks::s27();
+        let t0 = generate_t0(&c, &TgenConfig::new().seed(7)).unwrap();
+        // All 32 collapsed faults of s27 are detectable; random generation
+        // finds them quickly.
+        assert_eq!(t0.coverage.total(), 32);
+        assert_eq!(t0.coverage.detected_count(), 32);
+        assert!(!t0.sequence.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = benchmarks::s27();
+        let a = generate_t0(&c, &TgenConfig::new().seed(3)).unwrap();
+        let b = generate_t0(&c, &TgenConfig::new().seed(3)).unwrap();
+        assert_eq!(a.sequence, b.sequence);
+        let d = generate_t0(&c, &TgenConfig::new().seed(4)).unwrap();
+        assert!(a.sequence != d.sequence || a.coverage == d.coverage);
+    }
+
+    #[test]
+    fn respects_length_cap() {
+        let c = benchmarks::s27();
+        let t0 = generate_t0(&c, &TgenConfig::new().seed(1).max_length(6)).unwrap();
+        assert!(t0.sequence.len() <= 6);
+    }
+
+    #[test]
+    fn covers_synthetic_circuit_reasonably() {
+        let c = GeneratorSpec::new("cov").inputs(5).outputs(4).dffs(6).gates(60).seed(2)
+            .build()
+            .unwrap();
+        let t0 = generate_t0(&c, &TgenConfig::new().seed(5)).unwrap();
+        assert!(
+            t0.coverage.fraction() > 0.5,
+            "coverage too low: {:.2}",
+            t0.coverage.fraction()
+        );
+    }
+
+    #[test]
+    fn detected_faults_matches_coverage() {
+        let c = benchmarks::s27();
+        let t0 = generate_t0(&c, &TgenConfig::new().seed(2)).unwrap();
+        assert_eq!(t0.detected_faults().len(), t0.coverage.detected_count());
+    }
+
+    #[test]
+    fn shift_register_detectable_faults_found() {
+        let c = benchmarks::shift_register3();
+        let t0 = generate_t0(&c, &TgenConfig::new().seed(11)).unwrap();
+        // All faults of the shift register are detectable.
+        assert_eq!(t0.coverage.fraction(), 1.0);
+    }
+}

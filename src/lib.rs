@@ -1,0 +1,57 @@
+//! # subseq-bist — built-in test sequence generation by loading and
+//! expansion of test subsequences
+//!
+//! A full Rust reproduction of **Pomeranz & Reddy, "Built-In Test
+//! Sequence Generation for Synchronous Sequential Circuits Based on
+//! Loading and Expansion of Test Subsequences", DAC 1999**, including
+//! every substrate the paper depends on: a gate-level netlist model with
+//! ISCAS-89 `.bench` I/O, a three-valued sequential fault simulator, a
+//! deterministic test generator standing in for STRATEGATE, the on-chip
+//! expansion hardware at register-transfer accuracy, and the paper's
+//! Procedures 1 & 2 with the §3.2 static compaction.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`netlist`] — circuits, `.bench` parsing, benchmark generators
+//! * [`sim`] — 3-valued logic + stuck-at fault simulation
+//! * [`expand`] — test sequences, the `Sexp` expansion, hardware model
+//! * [`tgen`] — `T0` generation and static compaction
+//! * [`core`] — subsequence selection (the paper's contribution)
+//!
+//! # Quickstart
+//!
+//! ```
+//! use subseq_bist::core::{run_scheme, SchemeConfig};
+//! use subseq_bist::netlist::benchmarks;
+//! use subseq_bist::sim::{collapse, fault_universe, FaultCoverage, FaultSimulator};
+//! use subseq_bist::tgen::{generate_t0, TgenConfig};
+//!
+//! // 1. A circuit (the paper's worked example).
+//! let circuit = benchmarks::s27();
+//!
+//! // 2. An off-chip test sequence T0 with known coverage.
+//! let t0 = generate_t0(&circuit, &TgenConfig::new().seed(1999))?;
+//!
+//! // 3. Select the subsequences to load and expand on chip.
+//! let sim = FaultSimulator::new(&circuit);
+//! let result = run_scheme(&sim, &t0.sequence, &t0.coverage, &SchemeConfig::new())?;
+//! let best = result.best_run();
+//! println!(
+//!     "load {} vectors (T0 has {}), memory depth {}",
+//!     best.after.total_len,
+//!     t0.sequence.len(),
+//!     best.after.max_len,
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use bist_core as core;
+pub use bist_expand as expand;
+pub use bist_netlist as netlist;
+pub use bist_sim as sim;
+pub use bist_tgen as tgen;

@@ -1,0 +1,206 @@
+//! Cross-crate integration tests: the complete flow from netlist to
+//! verified on-chip test session.
+
+use subseq_bist::core::{
+    run_scheme, verify_full_coverage, SchemeConfig,
+};
+use subseq_bist::expand::expansion::ExpansionConfig;
+use subseq_bist::expand::hardware::OnChipExpander;
+use subseq_bist::netlist::benchmarks::{self, suite};
+use subseq_bist::sim::{collapse, fault_universe, FaultCoverage, FaultSimulator};
+use subseq_bist::tgen::{generate_t0, TgenConfig};
+
+/// The paper's central guarantee, end to end on s27: generate T0, select
+/// subsequences, and confirm the union of the *hardware-generated*
+/// expansions detects every fault T0 detects.
+#[test]
+fn s27_hardware_expansions_cover_everything_t0_detects() {
+    let circuit = benchmarks::s27();
+    let t0 = generate_t0(&circuit, &TgenConfig::new().seed(11)).expect("t0 generates");
+    assert_eq!(t0.coverage.detected_count(), 32, "s27 is fully coverable");
+
+    let sim = FaultSimulator::new(&circuit);
+    let scheme = run_scheme(
+        &sim,
+        &t0.sequence,
+        &t0.coverage,
+        &SchemeConfig::new().ns(vec![2, 4]).seed(11),
+    )
+    .expect("scheme runs");
+    let best = scheme.best_run();
+    let expansion = ExpansionConfig::new(best.n).expect("valid n");
+
+    // Stream every expansion through the cycle-accurate hardware model
+    // and fault simulate the streamed sequences.
+    let mut remaining: Vec<_> = t0.coverage.detected().map(|(f, _)| f).collect();
+    let max_len = best.after.max_len.max(1);
+    let mut hw = OnChipExpander::new(max_len, circuit.num_inputs(), expansion);
+    for sel in &best.sequences {
+        hw.load(&sel.sequence).expect("fits in the sized memory");
+        let streamed = hw.run().expect("loaded");
+        assert_eq!(streamed, expansion.expand(&sel.sequence), "hardware == software");
+        let times = sim.detection_times(&streamed, &remaining).expect("simulates");
+        remaining = remaining
+            .into_iter()
+            .zip(times)
+            .filter_map(|(f, t)| if t.is_none() { Some(f) } else { None })
+            .collect();
+    }
+    assert!(
+        remaining.is_empty(),
+        "{} faults escaped the hardware-applied session",
+        remaining.len()
+    );
+}
+
+/// The same guarantee on a mid-size synthetic analog, via the software
+/// path (hardware equivalence is covered above and by property tests).
+#[test]
+fn synthetic_analog_scheme_guarantee() {
+    let entry = &suite()[1]; // a298
+    let circuit = entry.build().expect("builds");
+    let t0 = generate_t0(
+        &circuit,
+        &TgenConfig::new().seed(5).max_length(256).compaction_budget(60),
+    )
+    .expect("t0 generates");
+    assert!(t0.coverage.detected_count() > 0);
+
+    let sim = FaultSimulator::new(&circuit);
+    let scheme = run_scheme(
+        &sim,
+        &t0.sequence,
+        &t0.coverage,
+        &SchemeConfig::new().ns(vec![4]).seed(5),
+    )
+    .expect("scheme runs");
+    let best = scheme.best_run();
+    let detected: Vec<_> = t0.coverage.detected().map(|(f, _)| f).collect();
+    assert!(verify_full_coverage(
+        &sim,
+        &best.sequences,
+        &ExpansionConfig::new(best.n).expect("valid"),
+        &detected
+    )
+    .expect("verifies"));
+
+    // The paper's two headline structural claims, qualitatively: the
+    // loaded total is (much) shorter than T0 would be, and the memory
+    // depth is a fraction of |T0|.
+    assert!(best.after.total_len <= t0.sequence.len());
+    assert!(best.after.max_len <= t0.sequence.len());
+}
+
+/// Collapsed fault classes behave identically through the whole pipeline:
+/// targeting a representative also covers its class members.
+#[test]
+fn class_members_covered_by_representative_selection() {
+    let circuit = benchmarks::s27();
+    let universe = fault_universe(&circuit);
+    let collapsed = collapse(&circuit, &universe);
+    let sim = FaultSimulator::new(&circuit);
+    let t0 = generate_t0(&circuit, &TgenConfig::new().seed(3)).expect("t0");
+
+    let scheme = run_scheme(
+        &sim,
+        &t0.sequence,
+        &t0.coverage,
+        &SchemeConfig::new().ns(vec![2]).seed(3),
+    )
+    .expect("scheme");
+    let best = scheme.best_run();
+
+    // Simulate the full *uncollapsed* universe under the expansions: every
+    // fault whose representative was detected by T0 must be covered.
+    let expansion = ExpansionConfig::new(best.n).expect("valid");
+    let mut remaining = universe.clone();
+    for sel in &best.sequences {
+        let times = sim
+            .detection_times(&expansion.expand(&sel.sequence), &remaining)
+            .expect("simulates");
+        remaining = remaining
+            .into_iter()
+            .zip(times)
+            .filter_map(|(f, t)| if t.is_none() { Some(f) } else { None })
+            .collect();
+    }
+    for f in remaining {
+        let rep = collapsed.representative_of(f).expect("in universe");
+        assert!(
+            t0.coverage.detection_time(rep).is_none(),
+            "fault {} escaped although its class was covered",
+            f.describe(&circuit)
+        );
+    }
+}
+
+/// Determinism across the whole pipeline: identical seeds, identical
+/// results (sequences, stats, coverage).
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let circuit = benchmarks::s27();
+        let t0 = generate_t0(&circuit, &TgenConfig::new().seed(77)).expect("t0");
+        let sim = FaultSimulator::new(&circuit);
+        let scheme = run_scheme(
+            &sim,
+            &t0.sequence,
+            &t0.coverage,
+            &SchemeConfig::new().ns(vec![2, 8]).seed(77),
+        )
+        .expect("scheme");
+        let best = scheme.best_run();
+        (
+            t0.sequence.to_string(),
+            best.n,
+            best.sequences
+                .iter()
+                .map(|s| s.sequence.to_string())
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// The expanded sequences must work from the all-unknown state — no
+/// dependence on the state left by previous subsequences. Shuffling the
+/// application order must not lose coverage.
+#[test]
+fn subsequences_are_order_independent() {
+    let circuit = benchmarks::s27();
+    let t0 = generate_t0(&circuit, &TgenConfig::new().seed(13)).expect("t0");
+    let sim = FaultSimulator::new(&circuit);
+    let scheme = run_scheme(
+        &sim,
+        &t0.sequence,
+        &t0.coverage,
+        &SchemeConfig::new().ns(vec![2]).seed(13),
+    )
+    .expect("scheme");
+    let best = scheme.best_run();
+    let detected: Vec<_> = t0.coverage.detected().map(|(f, _)| f).collect();
+
+    let mut reversed = best.sequences.clone();
+    reversed.reverse();
+    assert!(verify_full_coverage(
+        &sim,
+        &reversed,
+        &ExpansionConfig::new(best.n).expect("valid"),
+        &detected
+    )
+    .expect("verifies"));
+}
+
+/// FaultCoverage::simulate and the simulator agree (API-level glue).
+#[test]
+fn coverage_api_consistency() {
+    let circuit = benchmarks::s27();
+    let faults = collapse(&circuit, &fault_universe(&circuit)).representatives().to_vec();
+    let sim = FaultSimulator::new(&circuit);
+    let t0: subseq_bist::expand::TestSequence =
+        "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().expect("valid");
+    let cov = FaultCoverage::simulate(&sim, &t0, faults.clone()).expect("simulates");
+    let times = sim.detection_times(&t0, &faults).expect("simulates");
+    assert_eq!(cov.times(), &times[..]);
+    assert_eq!(cov.detected_count(), 32);
+}
