@@ -1,45 +1,72 @@
-//! Expansion micro-benchmarks: software reference vs the cycle-accurate
-//! hardware model, across loaded-sequence lengths and repetition counts.
+//! Expansion micro-benchmarks: streaming vs materialized expansion, the
+//! cycle-accurate hardware model, and packed vs scalar fault-simulation
+//! backends on benchmark circuits.
+//!
+//! Writes `BENCH_expansion.json` into the workspace root — the first
+//! point of the performance trajectory tracked across PRs.
+//!
+//! The paper's own tables use ISCAS-89 circuits (s208 etc.); this suite
+//! embeds the real `s27` plus synthetic analogs, so the backend
+//! comparison runs on `s27` and the `a298` analog.
 
-use bist_expand::expansion::ExpansionConfig;
-use bist_expand::hardware::OnChipExpander;
-use bist_expand::{TestSequence, TestVector};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use bist_bench::timing::Report;
+use subseq_bist::expand::expansion::{Expand, ExpansionConfig};
+use subseq_bist::expand::hardware::OnChipExpander;
+use subseq_bist::expand::{TestSequence, TestVector, VectorSource};
+use subseq_bist::netlist::benchmarks;
+use subseq_bist::sim::{collapse, fault_universe, FaultSimulator};
 
 fn sample_sequence(len: usize, width: usize) -> TestSequence {
     TestSequence::from_vectors(
-        (0..len)
-            .map(|i| TestVector::from_fn(width, |b| (i * 7 + b * 3) % 5 < 2))
-            .collect(),
+        (0..len).map(|i| TestVector::from_fn(width, |b| (i * 7 + b * 3) % 5 < 2)).collect(),
     )
     .expect("nonempty")
 }
 
-fn bench_expansion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("expansion");
+fn main() {
+    let mut report = Report::new("expansion");
+
+    // Streaming vs materialized expansion (pure sequence manipulation).
     for &(len, n) in &[(8usize, 2usize), (32, 8), (128, 16)] {
         let s = sample_sequence(len, 16);
         let cfg = ExpansionConfig::new(n).expect("n >= 1");
-        group.bench_with_input(
-            BenchmarkId::new("software", format!("len{len}_n{n}")),
-            &s,
-            |b, s| b.iter(|| black_box(cfg.expand(black_box(s)))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("hardware_model", format!("len{len}_n{n}")),
-            &s,
-            |b, s| {
-                b.iter(|| {
-                    let mut hw = OnChipExpander::new(s.len(), s.width(), cfg);
-                    hw.load(s).expect("fits");
-                    black_box(hw.run().expect("loaded"))
-                })
-            },
-        );
+        report.run(format!("expand/materialized/len{len}_n{n}"), || cfg.expand(&s));
+        report.run(format!("expand/streamed/len{len}_n{n}"), || {
+            // Walk the lazy stream to completion without materializing.
+            let mut ones = 0usize;
+            cfg.stream(&s).visit(&mut |_, v| {
+                ones += v.count_ones();
+                true
+            });
+            ones
+        });
+        report.run(format!("expand/hardware_model/len{len}_n{n}"), || {
+            let mut hw = OnChipExpander::new(s.len(), s.width(), cfg);
+            hw.load(&s).expect("fits");
+            hw.run().expect("loaded")
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_expansion);
-criterion_main!(benches);
+    // Packed vs scalar backend, simulating a streamed expansion over the
+    // full collapsed fault list (the scheme's hot operation).
+    for circuit in [benchmarks::s27(), benchmarks::suite()[1].build().expect("a298 builds")] {
+        let faults = collapse(&circuit, &fault_universe(&circuit)).representatives().to_vec();
+        let s = sample_sequence(8, circuit.num_inputs());
+        let cfg = ExpansionConfig::new(4).expect("n >= 1");
+        let name = circuit.name().to_string();
+        let packed = FaultSimulator::new(&circuit);
+        let scalar = FaultSimulator::scalar(&circuit);
+        report.run(format!("detect/packed64/{name}"), || {
+            packed.detection_times_stream(&cfg.stream(&s), &faults).expect("ok")
+        });
+        report.run(format!("detect/scalar/{name}"), || {
+            scalar.detection_times_stream(&cfg.stream(&s), &faults).expect("ok")
+        });
+        report.run(format!("detect/packed64_materialized/{name}"), || {
+            packed.detection_times(&cfg.expand(&s), &faults).expect("ok")
+        });
+    }
+
+    let path = report.write_json().expect("write BENCH_expansion.json");
+    println!("wrote {}", path.display());
+}

@@ -1,48 +1,36 @@
-//! Fault-simulation benchmarks, including the parallel-vs-serial ablation
-//! called out in DESIGN.md: 64 packed fault machines per pass vs one
-//! fault at a time.
+//! Fault-simulation benchmarks: 64 packed fault machines per pass vs one
+//! fault at a time (both as the serial use of the packed engine and as
+//! the dedicated scalar backend), plus the good-machine baseline.
+//!
+//! Writes `BENCH_fault_sim.json` into the workspace root.
 
-use bist_netlist::benchmarks;
-use bist_sim::{collapse, fault_universe, FaultSimulator};
-use bist_tgen::Lfsr;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use bist_bench::timing::Report;
+use subseq_bist::netlist::benchmarks;
+use subseq_bist::sim::{collapse, fault_universe, FaultSimulator};
+use subseq_bist::tgen::Lfsr;
 
-fn bench_fault_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_sim");
-    group.sample_size(20);
+fn main() {
+    let mut report = Report::new("fault_sim");
 
-    let circuits = vec![
-        benchmarks::s27(),
-        benchmarks::suite()[1].build().expect("a298 builds"),
-    ];
+    let circuits = vec![benchmarks::s27(), benchmarks::suite()[1].build().expect("a298 builds")];
     for circuit in &circuits {
         let faults = collapse(circuit, &fault_universe(circuit)).representatives().to_vec();
         let sim = FaultSimulator::new(circuit);
+        let scalar = FaultSimulator::scalar(circuit);
         let seq = Lfsr::new(42).sequence(circuit.num_inputs(), 64);
+        let name = circuit.name().to_string();
 
-        group.bench_with_input(
-            BenchmarkId::new("parallel64", circuit.name()),
-            &(),
-            |b, ()| b.iter(|| black_box(sim.detection_times(&seq, &faults).expect("ok"))),
-        );
-        group.bench_with_input(BenchmarkId::new("serial", circuit.name()), &(), |b, ()| {
-            b.iter(|| {
-                let times: Vec<_> = faults
-                    .iter()
-                    .map(|&f| sim.first_detection(&seq, f).expect("ok"))
-                    .collect();
-                black_box(times)
-            })
+        report
+            .run(format!("parallel64/{name}"), || sim.detection_times(&seq, &faults).expect("ok"));
+        report.run(format!("serial/{name}"), || {
+            faults.iter().map(|&f| sim.first_detection(&seq, f).expect("ok")).collect::<Vec<_>>()
         });
-        group.bench_with_input(
-            BenchmarkId::new("good_only", circuit.name()),
-            &(),
-            |b, ()| b.iter(|| black_box(sim.good(&seq).expect("ok"))),
-        );
+        report.run(format!("scalar_backend/{name}"), || {
+            scalar.detection_times(&seq, &faults).expect("ok")
+        });
+        report.run(format!("good_only/{name}"), || sim.good(&seq).expect("ok"));
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_fault_sim);
-criterion_main!(benches);
+    let path = report.write_json().expect("write BENCH_fault_sim.json");
+    println!("wrote {}", path.display());
+}

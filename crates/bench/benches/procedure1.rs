@@ -2,16 +2,21 @@
 //! and the §3.2 static compaction, across repetition counts. The ratio of
 //! these times to the `t0_simulation_baseline` is the quantity Table 4
 //! reports.
+//!
+//! Writes `BENCH_procedure1.json` into the workspace root.
 
-use bist_core::{compact_set, find_subsequence_with_growth, select_subsequences, WindowGrowth};
-use bist_expand::expansion::ExpansionConfig;
-use bist_expand::TestSequence;
-use bist_netlist::benchmarks;
-use bist_sim::{collapse, fault_universe, Fault, FaultCoverage, FaultSimulator};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use bist_bench::timing::Report;
+use subseq_bist::core::{
+    compact_set, find_subsequence_with_growth, select_subsequences, WindowGrowth,
+};
+use subseq_bist::expand::expansion::ExpansionConfig;
+use subseq_bist::expand::TestSequence;
+use subseq_bist::netlist::benchmarks;
+use subseq_bist::sim::{collapse, fault_universe, Fault, FaultCoverage, FaultSimulator};
 
-fn bench_procedures(c: &mut Criterion) {
+fn main() {
+    let mut report = Report::new("procedure1");
+
     let circuit = benchmarks::s27();
     let faults: Vec<Fault> =
         collapse(&circuit, &fault_universe(&circuit)).representatives().to_vec();
@@ -20,51 +25,33 @@ fn bench_procedures(c: &mut Criterion) {
         "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().expect("valid");
     let cov = FaultCoverage::simulate(&sim, &t0, faults.clone()).expect("simulates");
 
-    let mut group = c.benchmark_group("procedure1");
     for n in [1usize, 4, 16] {
         let expansion = ExpansionConfig::new(n).expect("n >= 1");
-        group.bench_with_input(BenchmarkId::new("select", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(select_subsequences(&sim, &t0, &cov, &expansion, 0).expect("ok"))
-            })
+        report.run(format!("select/n{n}"), || {
+            select_subsequences(&sim, &t0, &cov, &expansion, 0).expect("ok")
         });
         let selection = select_subsequences(&sim, &t0, &cov, &expansion, 0).expect("ok");
         let detected: Vec<Fault> = cov.detected().map(|(f, _)| f).collect();
-        group.bench_with_input(BenchmarkId::new("compact", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    compact_set(&sim, selection.sequences.clone(), &detected, &expansion)
-                        .expect("ok"),
-                )
-            })
+        report.run(format!("compact/n{n}"), || {
+            compact_set(&sim, selection.sequences.clone(), &detected, &expansion).expect("ok")
         });
     }
-    group.bench_function("t0_simulation_baseline", |b| {
-        b.iter(|| black_box(sim.detection_times(&t0, &faults).expect("ok")))
-    });
+    report.run("t0_simulation_baseline", || sim.detection_times(&t0, &faults).expect("ok"));
 
     // Ablation: the paper's linear window growth vs. the exponential
     // heuristic, over every detected fault.
     let expansion = ExpansionConfig::new(2).expect("valid");
-    for (label, growth) in [
-        ("grow_linear", WindowGrowth::Linear),
-        ("grow_exponential", WindowGrowth::Exponential),
-    ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                for (f, udet) in cov.detected() {
-                    black_box(
-                        find_subsequence_with_growth(
-                            &sim, &t0, f, udet, &expansion, 0, growth,
-                        )
-                        .expect("ok"),
-                    );
-                }
-            })
+    for (label, growth) in
+        [("grow_linear", WindowGrowth::Linear), ("grow_exponential", WindowGrowth::Exponential)]
+    {
+        report.run(label, || {
+            for (f, udet) in cov.detected() {
+                find_subsequence_with_growth(&sim, &t0, f, udet, &expansion, 0, growth)
+                    .expect("ok");
+            }
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_procedures);
-criterion_main!(benches);
+    let path = report.write_json().expect("write BENCH_procedure1.json");
+    println!("wrote {}", path.display());
+}

@@ -3,54 +3,44 @@
 //! Each benchmark measures producing one table's row for `s27` from
 //! scratch (the full pipeline for Tables 3/4/5, the detection-table dump
 //! for Table 2, the window map for Figure 1).
+//!
+//! Writes `BENCH_tables.json` into the workspace root.
 
+use bist_bench::timing::Report;
 use bist_bench::{run_pipeline, PipelineConfig};
-use bist_core::figure1;
-use bist_expand::TestSequence;
-use bist_netlist::benchmarks;
-use bist_sim::{collapse, fault_universe, FaultSimulator};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use subseq_bist::core::figure1;
+use subseq_bist::expand::TestSequence;
+use subseq_bist::netlist::benchmarks;
+use subseq_bist::sim::{collapse, fault_universe, FaultSimulator};
 
 fn quick_config() -> PipelineConfig {
     PipelineConfig { seed: 3, ns: vec![1, 2], t0_compaction_budget: 50, t0_max_length: 64 }
 }
 
-fn bench_tables(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(10);
+fn main() {
+    let mut report = Report::new("tables");
 
     let entry = benchmarks::suite().into_iter().next().expect("s27 entry");
 
-    group.bench_function("table2_row_s27", |b| {
+    {
         let circuit = benchmarks::s27();
-        let faults =
-            collapse(&circuit, &fault_universe(&circuit)).representatives().to_vec();
+        let faults = collapse(&circuit, &fault_universe(&circuit)).representatives().to_vec();
         let sim = FaultSimulator::new(&circuit);
         let t0: TestSequence =
             "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().expect("valid");
-        b.iter(|| black_box(sim.detection_times(&t0, &faults).expect("ok")))
-    });
+        report.run("table2_row_s27", || sim.detection_times(&t0, &faults).expect("ok"));
+    }
 
-    group.bench_function("table3_row_s27", |b| {
-        b.iter(|| black_box(run_pipeline(&entry, &quick_config()).expect("ok").table3_row()))
-    });
+    report
+        .run("table3_row_s27", || run_pipeline(&entry, &quick_config()).expect("ok").table3_row());
+    report
+        .run("table4_row_s27", || run_pipeline(&entry, &quick_config()).expect("ok").table4_row());
+    report
+        .run("table5_row_s27", || run_pipeline(&entry, &quick_config()).expect("ok").table5_row());
 
-    group.bench_function("table4_row_s27", |b| {
-        b.iter(|| black_box(run_pipeline(&entry, &quick_config()).expect("ok").table4_row()))
-    });
+    let out = run_pipeline(&entry, &quick_config()).expect("ok");
+    report.run("figure1_s27", || figure1(out.t0_len, &out.scheme.best_run().sequences));
 
-    group.bench_function("table5_row_s27", |b| {
-        b.iter(|| black_box(run_pipeline(&entry, &quick_config()).expect("ok").table5_row()))
-    });
-
-    group.bench_function("figure1_s27", |b| {
-        let out = run_pipeline(&entry, &quick_config()).expect("ok");
-        b.iter(|| black_box(figure1(out.t0_len, &out.scheme.best_run().sequences)))
-    });
-
-    group.finish();
+    let path = report.write_json().expect("write BENCH_tables.json");
+    println!("wrote {}", path.display());
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

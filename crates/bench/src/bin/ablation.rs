@@ -8,11 +8,11 @@
 //!
 //! Usage: `ablation [circuit ...]` (default: `s27 a298 a344`).
 
-use bist_core::{compact_set, select_subsequences};
-use bist_expand::expansion::{CustomExpansion, Expand};
-use bist_netlist::benchmarks::suite;
-use bist_sim::{Fault, FaultSimulator};
-use bist_tgen::{generate_t0, TgenConfig};
+use subseq_bist::core::{compact_set, select_subsequences};
+use subseq_bist::expand::expansion::{CustomExpansion, Expand};
+use subseq_bist::netlist::benchmarks::suite;
+use subseq_bist::sim::{Fault, FaultSimulator};
+use subseq_bist::tgen::{generate_t0, TgenConfig};
 
 fn recipes() -> Vec<(String, CustomExpansion)> {
     let base = |n: usize| CustomExpansion::new(n).expect("n >= 1");
@@ -23,10 +23,7 @@ fn recipes() -> Vec<(String, CustomExpansion)> {
         ("n4 + shift".to_string(), base(4).shift(true)),
         ("n4 + reverse".to_string(), base(4).reverse(true)),
         ("n4 + compl + shift".to_string(), base(4).complement(true).shift(true)),
-        (
-            "full recipe (n4)".to_string(),
-            base(4).complement(true).shift(true).reverse(true),
-        ),
+        ("full recipe (n4)".to_string(), base(4).complement(true).shift(true).reverse(true)),
     ];
     for (name, r) in &mut out {
         *name = format!("{name:<20} [{}]", r.describe());
@@ -34,7 +31,7 @@ fn recipes() -> Vec<(String, CustomExpansion)> {
     out
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), subseq_bist::BistError> {
     let mut names: Vec<String> = std::env::args().skip(1).collect();
     if names.is_empty() {
         names = vec!["s27".into(), "a298".into(), "a344".into()];
@@ -45,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let entry = entries
             .iter()
             .find(|e| e.name == name.as_str())
-            .ok_or_else(|| format!("unknown circuit `{name}`"))?;
+            .ok_or_else(|| subseq_bist::BistError::Config(format!("unknown circuit `{name}`")))?;
         let circuit = entry.build()?;
         let t0 = generate_t0(
             &circuit,
@@ -63,10 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "recipe", "|S|", "tot len", "max len", "applied"
         );
         for (label, recipe) in recipes() {
-            let selection =
-                select_subsequences(&sim, &t0.sequence, &t0.coverage, &recipe, 1999)?;
-            let (compacted, _) =
-                compact_set(&sim, selection.sequences, &detected, &recipe)?;
+            let selection = select_subsequences(&sim, &t0.sequence, &t0.coverage, &recipe, 1999)?;
+            let (compacted, _) = compact_set(&sim, selection.sequences, &detected, &recipe)?;
             let tot: usize = compacted.iter().map(|s| s.len()).sum();
             let max = compacted.iter().map(|s| s.len()).max().unwrap_or(0);
             println!(

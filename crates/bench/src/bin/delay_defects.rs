@@ -12,12 +12,12 @@
 //!
 //! Usage: `delay_defects [circuit ...]` (default: `s27 a298 a382`).
 
-use bist_expand::expansion::ExpansionConfig;
-use bist_netlist::benchmarks::suite;
-use bist_sim::{transition_detection_times, transition_universe, FaultSimulator};
-use bist_tgen::{generate_t0, TgenConfig};
+use subseq_bist::expand::expansion::ExpansionConfig;
+use subseq_bist::netlist::benchmarks::suite;
+use subseq_bist::sim::{transition_detection_times, transition_universe, FaultSimulator};
+use subseq_bist::tgen::{generate_t0, TgenConfig};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), subseq_bist::BistError> {
     let mut names: Vec<String> = std::env::args().skip(1).collect();
     if names.is_empty() {
         names = vec!["s27".into(), "a298".into(), "a382".into()];
@@ -32,18 +32,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let entry = entries
             .iter()
             .find(|e| e.name == name.as_str())
-            .ok_or_else(|| format!("unknown circuit `{name}`"))?;
+            .ok_or_else(|| subseq_bist::BistError::Config(format!("unknown circuit `{name}`")))?;
         let circuit = entry.build()?;
         let t0 = generate_t0(
             &circuit,
             &TgenConfig::new().seed(1999).max_length(512).compaction_budget(150),
         )?;
         let sim = FaultSimulator::new(&circuit);
-        let scheme = bist_core::run_scheme(
+        let scheme = subseq_bist::core::run_scheme(
             &sim,
             &t0.sequence,
             &t0.coverage,
-            &bist_core::SchemeConfig::new().ns(vec![4, 8]).seed(1999),
+            &subseq_bist::core::SchemeConfig::new().ns(vec![4, 8]).seed(1999),
         )?;
         let best = scheme.best_run();
         let expansion = ExpansionConfig::new(best.n)?;

@@ -5,15 +5,16 @@
 
 use bist_bench::tables::{print_context, print_figure1};
 use bist_bench::{run_pipeline, PipelineConfig};
-use bist_netlist::benchmarks::suite;
+use subseq_bist::netlist::benchmarks::suite;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), subseq_bist::BistError> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "s27".to_string());
     let entries = suite();
-    let entry = entries
-        .iter()
-        .find(|e| e.name == name)
-        .ok_or_else(|| format!("unknown circuit `{name}`; try one of: s27, a298, a344, ..."))?;
+    let entry = entries.iter().find(|e| e.name == name).ok_or_else(|| {
+        subseq_bist::BistError::Config(format!(
+            "unknown circuit `{name}`; try one of: s27, a298, a344, ..."
+        ))
+    })?;
     let out = run_pipeline(entry, &PipelineConfig::new())?;
     print_context(&out);
     print_figure1(&out);

@@ -6,9 +6,9 @@
 use bist_bench::pipeline::max_gates_from_args;
 use bist_bench::tables::{print_context, print_figure1, print_table3, print_table4, print_table5};
 use bist_bench::{run_pipeline, PipelineConfig};
-use bist_netlist::benchmarks::suite_up_to;
+use subseq_bist::netlist::benchmarks::suite_up_to;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), subseq_bist::BistError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cap = max_gates_from_args(&args);
     let entries = suite_up_to(cap);

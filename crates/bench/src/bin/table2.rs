@@ -5,16 +5,16 @@
 //! Table 2 (validating that our simulator reproduces the published
 //! per-time-unit detection counts), and the `T0` our generator produces.
 
-use bist_expand::TestSequence;
-use bist_netlist::benchmarks;
-use bist_sim::{collapse, fault_universe, FaultSimulator};
-use bist_tgen::{generate_t0, TgenConfig};
+use subseq_bist::expand::TestSequence;
+use subseq_bist::netlist::benchmarks;
+use subseq_bist::sim::{collapse, fault_universe, FaultSimulator};
+use subseq_bist::tgen::{generate_t0, TgenConfig};
 
 fn print_detection_table(
-    circuit: &bist_netlist::Circuit,
+    circuit: &subseq_bist::netlist::Circuit,
     seq: &TestSequence,
     title: &str,
-) -> Result<(), Box<dyn std::error::Error>> {
+) -> Result<(), subseq_bist::BistError> {
     let faults = collapse(circuit, &fault_universe(circuit)).representatives().to_vec();
     let sim = FaultSimulator::new(circuit);
     let times = sim.detection_times(seq, &faults)?;
@@ -34,11 +34,10 @@ fn print_detection_table(
     Ok(())
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), subseq_bist::BistError> {
     let s27 = benchmarks::s27();
 
-    let paper_t0: TestSequence =
-        "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse()?;
+    let paper_t0: TestSequence = "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse()?;
     print_detection_table(
         &s27,
         &paper_t0,

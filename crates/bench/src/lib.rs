@@ -9,10 +9,13 @@
 //! * `table4` — normalized run times
 //! * `table5` — comparison with `T0` (the headline 0.46 / 0.10 ratios)
 //! * `reproduce` — everything above in one run
+//! * `ablation` / `delay_defects` — extensions beyond the paper's tables
 //!
-//! The shared pipeline lives in [`run_pipeline`]; the paper's published
-//! numbers live in [`paper`]. See `EXPERIMENTS.md` for recorded
-//! paper-vs-measured results.
+//! The shared pipeline lives in [`run_pipeline`] and drives one
+//! [`Session`](subseq_bist::Session) per circuit; the paper's published
+//! numbers live in [`paper`]. The `benches/` targets use the [`timing`]
+//! harness (criterion is unavailable offline) and write `BENCH_*.json`
+//! trajectory files into the workspace root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,5 +23,6 @@
 pub mod paper;
 pub mod pipeline;
 pub mod tables;
+pub mod timing;
 
 pub use pipeline::{run_pipeline, CircuitOutcome, PipelineConfig};

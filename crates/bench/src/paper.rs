@@ -55,18 +55,186 @@ impl PaperRow {
 
 /// Tables 3-5 of the paper, in publication order.
 pub const PAPER_ROWS: [PaperRow; 12] = [
-    PaperRow { circuit: "s298", faults_total: 308, faults_detected: 265, t0_len: 117, n: 16, count_before: 7, total_before: 42, max_before: 17, count_after: 4, total_after: 27, max_after: 17, proc1_normalized: 30.62, compact_normalized: 64.59 },
-    PaperRow { circuit: "s344", faults_total: 342, faults_detected: 329, t0_len: 57, n: 8, count_before: 7, total_before: 19, max_before: 6, count_after: 5, total_after: 14, max_after: 6, proc1_normalized: 10.99, compact_normalized: 19.16 },
-    PaperRow { circuit: "s382", faults_total: 399, faults_detected: 364, t0_len: 516, n: 16, count_before: 9, total_before: 337, max_before: 94, count_after: 5, total_after: 272, max_after: 94, proc1_normalized: 308.27, compact_normalized: 137.66 },
-    PaperRow { circuit: "s400", faults_total: 421, faults_detected: 380, t0_len: 611, n: 16, count_before: 6, total_before: 261, max_before: 100, count_after: 5, total_after: 259, max_after: 100, proc1_normalized: 224.93, compact_normalized: 147.31 },
-    PaperRow { circuit: "s526", faults_total: 555, faults_detected: 454, t0_len: 1006, n: 16, count_before: 12, total_before: 717, max_before: 122, count_after: 9, total_after: 637, max_after: 122, proc1_normalized: 328.57, compact_normalized: 93.67 },
-    PaperRow { circuit: "s641", faults_total: 467, faults_detected: 404, t0_len: 101, n: 16, count_before: 20, total_before: 42, max_before: 8, count_after: 13, total_after: 29, max_after: 8, proc1_normalized: 43.76, compact_normalized: 62.44 },
-    PaperRow { circuit: "s820", faults_total: 850, faults_detected: 814, t0_len: 491, n: 4, count_before: 54, total_before: 534, max_before: 15, count_after: 45, total_after: 454, max_after: 15, proc1_normalized: 83.03, compact_normalized: 71.49 },
-    PaperRow { circuit: "s1196", faults_total: 1242, faults_detected: 1239, t0_len: 238, n: 4, count_before: 110, total_before: 152, max_before: 2, count_after: 100, total_after: 137, max_after: 2, proc1_normalized: 13.27, compact_normalized: 47.14 },
-    PaperRow { circuit: "s1423", faults_total: 1515, faults_detected: 1414, t0_len: 1024, n: 8, count_before: 24, total_before: 464, max_before: 82, count_after: 21, total_after: 422, max_after: 82, proc1_normalized: 103.10, compact_normalized: 56.45 },
-    PaperRow { circuit: "s1488", faults_total: 1486, faults_detected: 1444, t0_len: 455, n: 8, count_before: 19, total_before: 254, max_before: 44, count_after: 15, total_after: 220, max_after: 44, proc1_normalized: 41.16, compact_normalized: 77.17 },
-    PaperRow { circuit: "s5378", faults_total: 4603, faults_detected: 3639, t0_len: 646, n: 8, count_before: 43, total_before: 348, max_before: 29, count_after: 38, total_after: 326, max_after: 29, proc1_normalized: 9.46, compact_normalized: 20.74 },
-    PaperRow { circuit: "s35932", faults_total: 39094, faults_detected: 35100, t0_len: 257, n: 8, count_before: 20, total_before: 406, max_before: 32, count_after: 6, total_after: 77, max_after: 32, proc1_normalized: 6.71, compact_normalized: 16.08 },
+    PaperRow {
+        circuit: "s298",
+        faults_total: 308,
+        faults_detected: 265,
+        t0_len: 117,
+        n: 16,
+        count_before: 7,
+        total_before: 42,
+        max_before: 17,
+        count_after: 4,
+        total_after: 27,
+        max_after: 17,
+        proc1_normalized: 30.62,
+        compact_normalized: 64.59,
+    },
+    PaperRow {
+        circuit: "s344",
+        faults_total: 342,
+        faults_detected: 329,
+        t0_len: 57,
+        n: 8,
+        count_before: 7,
+        total_before: 19,
+        max_before: 6,
+        count_after: 5,
+        total_after: 14,
+        max_after: 6,
+        proc1_normalized: 10.99,
+        compact_normalized: 19.16,
+    },
+    PaperRow {
+        circuit: "s382",
+        faults_total: 399,
+        faults_detected: 364,
+        t0_len: 516,
+        n: 16,
+        count_before: 9,
+        total_before: 337,
+        max_before: 94,
+        count_after: 5,
+        total_after: 272,
+        max_after: 94,
+        proc1_normalized: 308.27,
+        compact_normalized: 137.66,
+    },
+    PaperRow {
+        circuit: "s400",
+        faults_total: 421,
+        faults_detected: 380,
+        t0_len: 611,
+        n: 16,
+        count_before: 6,
+        total_before: 261,
+        max_before: 100,
+        count_after: 5,
+        total_after: 259,
+        max_after: 100,
+        proc1_normalized: 224.93,
+        compact_normalized: 147.31,
+    },
+    PaperRow {
+        circuit: "s526",
+        faults_total: 555,
+        faults_detected: 454,
+        t0_len: 1006,
+        n: 16,
+        count_before: 12,
+        total_before: 717,
+        max_before: 122,
+        count_after: 9,
+        total_after: 637,
+        max_after: 122,
+        proc1_normalized: 328.57,
+        compact_normalized: 93.67,
+    },
+    PaperRow {
+        circuit: "s641",
+        faults_total: 467,
+        faults_detected: 404,
+        t0_len: 101,
+        n: 16,
+        count_before: 20,
+        total_before: 42,
+        max_before: 8,
+        count_after: 13,
+        total_after: 29,
+        max_after: 8,
+        proc1_normalized: 43.76,
+        compact_normalized: 62.44,
+    },
+    PaperRow {
+        circuit: "s820",
+        faults_total: 850,
+        faults_detected: 814,
+        t0_len: 491,
+        n: 4,
+        count_before: 54,
+        total_before: 534,
+        max_before: 15,
+        count_after: 45,
+        total_after: 454,
+        max_after: 15,
+        proc1_normalized: 83.03,
+        compact_normalized: 71.49,
+    },
+    PaperRow {
+        circuit: "s1196",
+        faults_total: 1242,
+        faults_detected: 1239,
+        t0_len: 238,
+        n: 4,
+        count_before: 110,
+        total_before: 152,
+        max_before: 2,
+        count_after: 100,
+        total_after: 137,
+        max_after: 2,
+        proc1_normalized: 13.27,
+        compact_normalized: 47.14,
+    },
+    PaperRow {
+        circuit: "s1423",
+        faults_total: 1515,
+        faults_detected: 1414,
+        t0_len: 1024,
+        n: 8,
+        count_before: 24,
+        total_before: 464,
+        max_before: 82,
+        count_after: 21,
+        total_after: 422,
+        max_after: 82,
+        proc1_normalized: 103.10,
+        compact_normalized: 56.45,
+    },
+    PaperRow {
+        circuit: "s1488",
+        faults_total: 1486,
+        faults_detected: 1444,
+        t0_len: 455,
+        n: 8,
+        count_before: 19,
+        total_before: 254,
+        max_before: 44,
+        count_after: 15,
+        total_after: 220,
+        max_after: 44,
+        proc1_normalized: 41.16,
+        compact_normalized: 77.17,
+    },
+    PaperRow {
+        circuit: "s5378",
+        faults_total: 4603,
+        faults_detected: 3639,
+        t0_len: 646,
+        n: 8,
+        count_before: 43,
+        total_before: 348,
+        max_before: 29,
+        count_after: 38,
+        total_after: 326,
+        max_after: 29,
+        proc1_normalized: 9.46,
+        compact_normalized: 20.74,
+    },
+    PaperRow {
+        circuit: "s35932",
+        faults_total: 39094,
+        faults_detected: 35100,
+        t0_len: 257,
+        n: 8,
+        count_before: 20,
+        total_before: 406,
+        max_before: 32,
+        count_after: 6,
+        total_after: 77,
+        max_after: 32,
+        proc1_normalized: 6.71,
+        compact_normalized: 16.08,
+    },
 ];
 
 /// Looks up the published row for an ISCAS-89 circuit.
@@ -94,9 +262,8 @@ mod tests {
     #[test]
     fn test_len_column_matches_table5() {
         // Table 5's last column, as printed in the paper.
-        let expected = [
-            3456, 896, 34816, 33152, 81536, 3712, 14528, 4384, 27008, 14080, 20864, 4928,
-        ];
+        let expected =
+            [3456, 896, 34816, 33152, 81536, 3712, 14528, 4384, 27008, 14080, 20864, 4928];
         for (row, want) in PAPER_ROWS.iter().zip(expected) {
             assert_eq!(row.test_len(), want, "{}", row.circuit);
         }

@@ -1,11 +1,11 @@
-//! The shared experiment pipeline: circuit → `T0` → scheme sweep.
+//! The shared experiment pipeline: one [`Session`] run per suite circuit.
 
-use bist_core::{run_scheme, SchemeConfig, SchemeResult, Table3Row, Table4Row, Table5Row};
-use bist_netlist::benchmarks::SuiteEntry;
-use bist_netlist::Circuit;
-use bist_sim::{FaultCoverage, FaultSimulator};
-use bist_tgen::{generate_t0, TgenConfig};
-use std::time::Instant;
+use subseq_bist::core::{SchemeResult, Table3Row, Table4Row, Table5Row};
+use subseq_bist::netlist::benchmarks::SuiteEntry;
+use subseq_bist::netlist::Circuit;
+use subseq_bist::sim::FaultCoverage;
+use subseq_bist::tgen::TgenConfig;
+use subseq_bist::{BistError, Session};
 
 /// Configuration of a pipeline run.
 #[derive(Debug, Clone)]
@@ -57,7 +57,7 @@ pub struct CircuitOutcome {
     /// Coverage of `T0` (detected set + `udet`).
     pub coverage: FaultCoverage,
     /// The generated `T0`.
-    pub t0: bist_expand::TestSequence,
+    pub t0: subseq_bist::expand::TestSequence,
     /// The scheme sweep result.
     pub scheme: SchemeResult,
     /// Wall-clock seconds for `T0` generation (not part of the paper's
@@ -111,9 +111,9 @@ impl CircuitOutcome {
     }
 }
 
-/// Runs the full pipeline for one suite entry: build the circuit,
-/// generate and compact `T0`, fault simulate it, and sweep the scheme
-/// over `config.ns`.
+/// Runs the full pipeline for one suite entry through [`Session`]: build
+/// the circuit, generate and compact `T0`, fault simulate it, and sweep
+/// the scheme over `config.ns`.
 ///
 /// # Errors
 ///
@@ -122,34 +122,30 @@ impl CircuitOutcome {
 pub fn run_pipeline(
     entry: &SuiteEntry,
     config: &PipelineConfig,
-) -> Result<CircuitOutcome, Box<dyn std::error::Error>> {
-    let circuit = entry.build()?;
-    let started = Instant::now();
-    let generated = generate_t0(
-        &circuit,
-        &TgenConfig::new()
-            .seed(config.seed)
-            .compaction_budget(config.t0_compaction_budget)
-            .max_length(config.t0_max_length),
-    )?;
-    let tgen_seconds = started.elapsed().as_secs_f64();
-
-    let t0 = generated.sequence;
-    let coverage = generated.coverage;
-    let sim = FaultSimulator::new(&circuit);
-    let scheme_cfg = SchemeConfig::new().ns(config.ns.clone()).seed(config.seed);
-    let scheme = run_scheme(&sim, &t0, &coverage, &scheme_cfg)?;
+) -> Result<CircuitOutcome, BistError> {
+    let parts = Session::builder()
+        .circuit(entry.build()?)
+        .tgen(
+            TgenConfig::new()
+                .compaction_budget(config.t0_compaction_budget)
+                .max_length(config.t0_max_length),
+        )
+        .ns(config.ns.clone())
+        .seed(config.seed)
+        .verify(false)
+        .run()?
+        .into_parts();
 
     Ok(CircuitOutcome {
         analog_of: entry.analog_of,
-        faults_total: coverage.total(),
-        faults_detected: coverage.detected_count(),
-        t0_len: t0.len(),
-        coverage,
-        t0,
-        scheme,
-        tgen_seconds,
-        circuit,
+        faults_total: parts.faults_total,
+        faults_detected: parts.coverage.detected_count(),
+        t0_len: parts.t0.len(),
+        coverage: parts.coverage,
+        t0: parts.t0,
+        scheme: parts.scheme,
+        tgen_seconds: parts.t0_seconds,
+        circuit: parts.circuit,
     })
 }
 
@@ -178,17 +174,13 @@ pub fn max_gates_from_args(args: &[String]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bist_netlist::benchmarks::suite;
+    use subseq_bist::netlist::benchmarks::suite;
 
     #[test]
     fn pipeline_runs_on_s27() {
         let entries = suite();
-        let cfg = PipelineConfig {
-            seed: 3,
-            ns: vec![1, 2],
-            t0_compaction_budget: 50,
-            t0_max_length: 64,
-        };
+        let cfg =
+            PipelineConfig { seed: 3, ns: vec![1, 2], t0_compaction_budget: 50, t0_max_length: 64 };
         let out = run_pipeline(&entries[0], &cfg).unwrap();
         assert_eq!(out.circuit.name(), "s27");
         assert_eq!(out.faults_total, 32);

@@ -2,7 +2,7 @@
 
 use crate::paper::{paper_row, PAPER_AVG_MAX_RATIO, PAPER_AVG_TOTAL_RATIO};
 use crate::pipeline::CircuitOutcome;
-use bist_core::{figure1, Table3Row, Table4Row, Table5Row};
+use subseq_bist::core::{figure1, Table3Row, Table4Row, Table5Row};
 
 /// Prints Table 3 (selection results) with the paper's row under each
 /// measured row.
@@ -74,10 +74,7 @@ pub fn print_table5(outcomes: &[CircuitOutcome]) {
     }
     let k = outcomes.len() as f64;
     if k > 0.0 {
-        println!(
-            "{:<8} {:>24} {:>6.2} {:>15.2}",
-            "average", "", sum_total / k, sum_max / k
-        );
+        println!("{:<8} {:>24} {:>6.2} {:>15.2}", "average", "", sum_total / k, sum_max / k);
         println!(
             "  paper {:<8} {:>17} {PAPER_AVG_TOTAL_RATIO:>6.2} {PAPER_AVG_MAX_RATIO:>15.2}",
             "average", ""
@@ -88,11 +85,7 @@ pub fn print_table5(outcomes: &[CircuitOutcome]) {
 /// Prints Figure 1 (subsequence windows over `T0`) for one circuit.
 pub fn print_figure1(out: &CircuitOutcome) {
     let best = out.scheme.best_run();
-    println!(
-        "Figure 1: sequences selected from T0 for {} (n = {})",
-        out.circuit.name(),
-        best.n
-    );
+    println!("Figure 1: sequences selected from T0 for {} (n = {})", out.circuit.name(), best.n);
     print!("{}", figure1(out.t0_len, &best.sequences));
 }
 

@@ -1,0 +1,187 @@
+//! A dependency-free micro-benchmark harness with JSON trajectory output.
+//!
+//! The build environment cannot fetch `criterion`, so the `benches/`
+//! targets use this self-calibrating timer instead: each benchmark is run
+//! for enough iterations to swamp timer noise, several samples are taken,
+//! and the per-iteration median is reported. [`Report::write_json`] emits
+//! a `BENCH_<name>.json` file so successive PRs can track performance
+//! trajectories.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark's measured timings (nanoseconds per iteration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark name (e.g. `"expand/materialized/len32_n8"`).
+    pub name: String,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+    /// Median of the per-iteration sample means.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Mean across samples.
+    pub mean_ns: f64,
+}
+
+/// Target wall-clock time per calibration/sample batch.
+const BATCH_NANOS: u128 = 20_000_000; // 20 ms
+/// Samples per benchmark.
+const SAMPLES: usize = 7;
+
+/// Times `f`, auto-calibrating the iteration count. The closure's return
+/// value is passed through [`black_box`] so the computation cannot be
+/// optimized away.
+pub fn bench<T>(name: impl Into<String>, mut f: impl FnMut() -> T) -> Measurement {
+    // Warm-up + calibration: double iterations until a batch takes long
+    // enough to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed().as_nanos();
+        if elapsed >= BATCH_NANOS || iters >= 1 << 24 {
+            break;
+        }
+        // Jump close to the target in one step once we have a estimate.
+        let factor = (BATCH_NANOS / elapsed.max(1)).clamp(2, 128) as u64;
+        iters = iters.saturating_mul(factor).min(1 << 24);
+    }
+
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median_ns = samples[samples.len() / 2];
+    let min_ns = samples[0];
+    let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+
+    let m = Measurement { name: name.into(), iters, median_ns, min_ns, mean_ns };
+    println!(
+        "{:<48} {:>12.0} ns/iter (min {:>10.0}, {} iters/sample)",
+        m.name, m.median_ns, m.min_ns, m.iters
+    );
+    m
+}
+
+/// A named collection of measurements, serializable to `BENCH_<name>.json`.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Report name (the benchmark target).
+    pub name: String,
+    /// All measurements, in run order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Report { name: name.into(), measurements: Vec::new() }
+    }
+
+    /// Runs and records one benchmark.
+    pub fn run<T>(&mut self, name: impl Into<String>, f: impl FnMut() -> T) -> &Measurement {
+        let m = bench(name, f);
+        self.measurements.push(m);
+        self.measurements.last().expect("just pushed")
+    }
+
+    /// The recorded measurement with the given name, if any.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| m.name == name)
+    }
+
+    /// Renders the report as a JSON document (hand-rolled: no serde in
+    /// this environment; names are ASCII identifiers by convention).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.name)));
+        out.push_str("  \"results\": [\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters\": {}, \"median_ns\": {:.1}, \
+                 \"min_ns\": {:.1}, \"mean_ns\": {:.1}}}{}\n",
+                escape(&m.name),
+                m.iters,
+                m.median_ns,
+                m.min_ns,
+                m.mean_ns,
+                if i + 1 == self.measurements.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into the workspace root.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the write.
+    pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let m = bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns);
+        assert!(m.iters >= 1);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut r = Report::new("unit");
+        r.measurements.push(Measurement {
+            name: "a\"b".into(),
+            iters: 10,
+            median_ns: 1.5,
+            min_ns: 1.0,
+            mean_ns: 2.0,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"bench\": \"unit\""));
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("\"median_ns\": 1.5"));
+        assert!(r.get("a\"b").is_some());
+        assert!(r.get("missing").is_none());
+    }
+}

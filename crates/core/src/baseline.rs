@@ -177,8 +177,7 @@ mod tests {
 
     fn s27_setup() -> (bist_netlist::Circuit, TestSequence, Vec<Fault>) {
         let c = benchmarks::s27();
-        let t0: TestSequence =
-            "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap();
+        let t0: TestSequence = "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap();
         let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
         (c, t0, faults)
     }

@@ -67,8 +67,8 @@ fn run_pass(
             stats.dropped += 1;
             continue;
         }
-        let expanded = expansion.expand(&sequences[idx].0.sequence);
-        let times = sim.detection_times(&expanded, &remaining)?;
+        let times =
+            sim.detection_times_stream(&expansion.stream(&sequences[idx].0.sequence), &remaining)?;
         stats.simulations += 1;
         let detected = times.iter().filter(|t| t.is_some()).count();
         sequences[idx].1 = detected;
@@ -103,8 +103,7 @@ pub fn compact_set(
     let mut stats = CompactionStats::default();
     // Track (sequence, previous-pass detection count); generation order is
     // the original index, preserved as we only ever retain in order.
-    let mut seqs: Vec<(SelectedSequence, usize)> =
-        sequences.into_iter().map(|s| (s, 0)).collect();
+    let mut seqs: Vec<(SelectedSequence, usize)> = sequences.into_iter().map(|s| (s, 0)).collect();
 
     for pass in PAPER_SCHEDULE {
         if seqs.is_empty() {
@@ -142,8 +141,9 @@ mod tests {
         "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap()
     }
 
-    fn setup(n: usize) -> (bist_netlist::Circuit, Vec<Fault>, Vec<SelectedSequence>, ExpansionConfig)
-    {
+    fn setup(
+        n: usize,
+    ) -> (bist_netlist::Circuit, Vec<Fault>, Vec<SelectedSequence>, ExpansionConfig) {
         let c = benchmarks::s27();
         let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
         let sim = FaultSimulator::new(&c);
@@ -193,14 +193,9 @@ mod tests {
         let sim = FaultSimulator::new(&c);
         // Keep only the first sequence and only the faults it detects.
         let first = sequences[0].clone();
-        let times = sim
-            .detection_times(&expansion.expand(&first.sequence), &faults)
-            .unwrap();
-        let covered: Vec<Fault> = faults
-            .iter()
-            .zip(&times)
-            .filter_map(|(&f, t)| t.map(|_| f))
-            .collect();
+        let times = sim.detection_times(&expansion.expand(&first.sequence), &faults).unwrap();
+        let covered: Vec<Fault> =
+            faults.iter().zip(&times).filter_map(|(&f, t)| t.map(|_| f)).collect();
         let (after, _) = compact_set(&sim, vec![first], &covered, &expansion).unwrap();
         assert_eq!(after.len(), 1);
     }

@@ -117,14 +117,14 @@ pub fn select_subsequences(
         let (selected, p2) = find_subsequence(sim, t0, fault, udet, expansion, seed)?;
         stats.absorb(p2);
 
-        // Step 4: drop everything the expansion detects.
-        let expanded = expansion.expand(&selected.sequence);
+        // Step 4: drop everything the expansion detects (streamed — the
+        // expansion is replayed lazily, never materialized).
         let fault_list: Vec<Fault> = targets.iter().map(|&(f, _)| f).collect();
-        let times = sim.detection_times(&expanded, &fault_list)?;
+        let times =
+            sim.detection_times_stream(&expansion.stream(&selected.sequence), &fault_list)?;
         stats.drop_simulations += 1;
         debug_assert!(
-            times[targets.iter().position(|&(f, _)| f == fault).expect("target present")]
-                .is_some(),
+            times[targets.iter().position(|&(f, _)| f == fault).expect("target present")].is_some(),
             "Procedure 2 guarantees the target is detected"
         );
         targets = targets
@@ -142,6 +142,9 @@ pub fn select_subsequences(
 /// Checks the paper's guarantee: the expansions of `sequences` jointly
 /// detect every fault in `faults`.
 ///
+/// Each expansion is *streamed* through the simulator — no `Sexp` is ever
+/// materialized, exactly as the on-chip hardware applies it.
+///
 /// # Errors
 ///
 /// Propagates simulator errors.
@@ -156,7 +159,7 @@ pub fn verify_full_coverage(
         if remaining.is_empty() {
             break;
         }
-        let times = sim.detection_times(&expansion.expand(&sel.sequence), &remaining)?;
+        let times = sim.detection_times_stream(&expansion.stream(&sel.sequence), &remaining)?;
         remaining = remaining
             .into_iter()
             .zip(times)
@@ -192,8 +195,13 @@ mod tests {
     fn s27_selection_covers_all_faults() {
         let (c, faults, result) = run_s27(1);
         let sim = FaultSimulator::new(&c);
-        assert!(verify_full_coverage(&sim, &result.sequences, &ExpansionConfig::new(1).unwrap(), &faults)
-            .unwrap());
+        assert!(verify_full_coverage(
+            &sim,
+            &result.sequences,
+            &ExpansionConfig::new(1).unwrap(),
+            &faults
+        )
+        .unwrap());
         assert!(result.count() >= 1);
         assert!(result.total_len() <= s27_t0().len() * result.count());
     }

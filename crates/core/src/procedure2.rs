@@ -124,9 +124,12 @@ pub fn find_subsequence_with_growth(
     let mut stats = Procedure2Stats::default();
 
     // Step 1: grow the window backwards until the expansion detects f.
+    // The expansion is streamed (never materialized): each probe replays
+    // the window through the phase schedule exactly as the hardware would.
     let probe = |ustart: usize, stats: &mut Procedure2Stats| -> Result<bool, SimError> {
         stats.grow_simulations += 1;
-        sim.detects(&expansion.expand(&t0.subsequence(ustart, udet)), fault)
+        let window = t0.subsequence(ustart, udet);
+        sim.detects_stream(&expansion.stream(&window), fault)
     };
     let ustart = match growth {
         WindowGrowth::Linear => {
@@ -185,7 +188,7 @@ pub fn find_subsequence_with_growth(
         for &u in &order {
             let candidate = current.without(u);
             stats.omit_simulations += 1;
-            if sim.detects(&expansion.expand(&candidate), fault)? {
+            if sim.detects_stream(&expansion.stream(&candidate), fault)? {
                 current = candidate;
                 stats.omitted += 1;
                 continue 'scan;
@@ -217,8 +220,8 @@ fn mix(fault: Fault) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bist_netlist::benchmarks;
     use bist_expand::expansion::ExpansionConfig;
+    use bist_netlist::benchmarks;
     use bist_sim::{collapse, fault_universe, FaultCoverage, FaultSimulator};
 
     fn s27_t0() -> TestSequence {
@@ -312,11 +315,23 @@ mod tests {
         let mut exp_probes = 0usize;
         for (f, udet) in cov.detected() {
             let (lin, lin_stats) = find_subsequence_with_growth(
-                &sim, &t0, f, udet, &expansion, 9, WindowGrowth::Linear,
+                &sim,
+                &t0,
+                f,
+                udet,
+                &expansion,
+                9,
+                WindowGrowth::Linear,
             )
             .unwrap();
             let (exp, exp_stats) = find_subsequence_with_growth(
-                &sim, &t0, f, udet, &expansion, 9, WindowGrowth::Exponential,
+                &sim,
+                &t0,
+                f,
+                udet,
+                &expansion,
+                9,
+                WindowGrowth::Exponential,
             )
             .unwrap();
             // Both must produce detecting sequences.
@@ -342,7 +357,13 @@ mod tests {
         let (f, udet) = cov.detected().max_by_key(|&(_, u)| u).unwrap();
         let expansion = ExpansionConfig::new(2).unwrap();
         let (sel, _) = find_subsequence_with_growth(
-            &sim, &t0, f, udet, &expansion, 0, WindowGrowth::Exponential,
+            &sim,
+            &t0,
+            f,
+            udet,
+            &expansion,
+            0,
+            WindowGrowth::Exponential,
         )
         .unwrap();
         assert_eq!(sel.window.1, udet);

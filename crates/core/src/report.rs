@@ -42,8 +42,17 @@ impl Table3Row {
     pub fn header() -> String {
         format!(
             "{:<8} {:>6} {:>6} {:>5} {:>3} | {:>4} {:>7} {:>7} | {:>4} {:>7} {:>7}",
-            "circuit", "tot", "det", "len", "n", "|S|", "tot len", "max len", "|S|",
-            "tot len", "max len"
+            "circuit",
+            "tot",
+            "det",
+            "len",
+            "n",
+            "|S|",
+            "tot len",
+            "max len",
+            "|S|",
+            "tot len",
+            "max len"
         )
     }
 }
@@ -249,11 +258,8 @@ mod tests {
 
     #[test]
     fn table4_row_formats() {
-        let row = Table4Row {
-            circuit: "s27".into(),
-            proc1_normalized: 30.62,
-            compact_normalized: 64.59,
-        };
+        let row =
+            Table4Row { circuit: "s27".into(), proc1_normalized: 30.62, compact_normalized: 64.59 };
         assert!(row.to_string().contains("30.62"));
     }
 

@@ -232,8 +232,7 @@ mod tests {
 
     fn s27_setup() -> (bist_netlist::Circuit, TestSequence, Vec<Fault>) {
         let c = benchmarks::s27();
-        let t0: TestSequence =
-            "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap();
+        let t0: TestSequence = "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap();
         let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
         (c, t0, faults)
     }
@@ -243,8 +242,7 @@ mod tests {
         let (c, t0, faults) = s27_setup();
         let sim = FaultSimulator::new(&c);
         let cov = FaultCoverage::simulate(&sim, &t0, faults.clone()).unwrap();
-        let result =
-            run_scheme(&sim, &t0, &cov, &SchemeConfig::new().ns(vec![1, 2, 4])).unwrap();
+        let result = run_scheme(&sim, &t0, &cov, &SchemeConfig::new().ns(vec![1, 2, 4])).unwrap();
         assert_eq!(result.runs.len(), 3);
         for run in &result.runs {
             assert!(
@@ -269,8 +267,7 @@ mod tests {
         let (c, t0, faults) = s27_setup();
         let sim = FaultSimulator::new(&c);
         let cov = FaultCoverage::simulate(&sim, &t0, faults).unwrap();
-        let result =
-            run_scheme(&sim, &t0, &cov, &SchemeConfig::new().ns(vec![1, 2, 4])).unwrap();
+        let result = run_scheme(&sim, &t0, &cov, &SchemeConfig::new().ns(vec![1, 2, 4])).unwrap();
         let best = result.best_run();
         for run in &result.runs {
             assert!(best.after.max_len <= run.after.max_len);

@@ -18,6 +18,7 @@
 //! complement/shift/direction mux settings — which is exactly what the
 //! hardware FSM executes. Unit tests prove both views identical.
 
+use crate::stream::ExpansionIter;
 use crate::{ExpandError, TestSequence, TestVector};
 use std::fmt;
 
@@ -28,12 +29,30 @@ use std::fmt;
 /// the ablation study). The selection procedures in `bist-core` are
 /// written against this trait, so the whole scheme can be re-run under a
 /// weaker expander to measure what each operation buys.
+///
+/// Every recipe is equivalent to a flat [`Phase`] schedule — a list of
+/// memory walks with fixed mux settings — which is what the on-chip
+/// hardware executes and what [`stream`](Expand::stream) replays lazily.
+/// The hot paths in `bist-core` consume the stream, so the full
+/// `length_factor()·|S|`-vector expansion is never materialized there.
 pub trait Expand {
-    /// Expands `s` into the sequence applied to the circuit.
+    /// Expands `s` into the sequence applied to the circuit
+    /// (materialized; prefer [`stream`](Expand::stream) on hot paths).
     fn expand(&self, s: &TestSequence) -> TestSequence;
 
     /// The fixed length multiplier: `expand(s).len() == length_factor() * s.len()`.
     fn length_factor(&self) -> usize;
+
+    /// The flat phase schedule equivalent to [`expand`](Expand::expand):
+    /// each entry re-walks the loaded memory with fixed complement /
+    /// shift / direction settings.
+    fn phase_schedule(&self) -> Vec<Phase>;
+
+    /// A lazy, replayable view of `expand(s)` computed one vector at a
+    /// time from the phase schedule — no `Sexp` allocation.
+    fn stream<'s>(&self, s: &'s TestSequence) -> ExpansionIter<'s> {
+        ExpansionIter::new(s, self.phase_schedule())
+    }
 }
 
 /// One of the eight segments of `Sexp`.
@@ -188,6 +207,10 @@ impl Expand for ExpansionConfig {
     fn length_factor(&self) -> usize {
         8 * self.n
     }
+
+    fn phase_schedule(&self) -> Vec<Phase> {
+        self.phases().to_vec()
+    }
 }
 
 /// An arbitrary subset of the paper's expansion recipe, for ablation.
@@ -292,6 +315,30 @@ impl Expand for CustomExpansion {
             * (1 << (usize::from(self.use_complement)
                 + usize::from(self.use_shift)
                 + usize::from(self.use_reverse)))
+    }
+
+    fn phase_schedule(&self) -> Vec<Phase> {
+        // Each enabled doubling stage concatenates the current stream
+        // with a transformed copy of itself; on the phase schedule that
+        // is "append every phase with one mux toggled". Reversal also
+        // flips segment order and walk direction (r(A·B) = rB·rA).
+        let mut phases =
+            vec![Phase { reverse: false, shift: false, complement: false, reps: self.repeat }];
+        if self.use_complement {
+            let tail: Vec<Phase> =
+                phases.iter().map(|p| Phase { complement: !p.complement, ..*p }).collect();
+            phases.extend(tail);
+        }
+        if self.use_shift {
+            let tail: Vec<Phase> = phases.iter().map(|p| Phase { shift: !p.shift, ..*p }).collect();
+            phases.extend(tail);
+        }
+        if self.use_reverse {
+            let tail: Vec<Phase> =
+                phases.iter().rev().map(|p| Phase { reverse: !p.reverse, ..*p }).collect();
+            phases.extend(tail);
+        }
+        phases
     }
 }
 

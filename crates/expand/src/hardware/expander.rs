@@ -191,11 +191,7 @@ impl OnChipExpander {
             Some(f) => {
                 let per_walk = f.len;
                 let done_in_phase = f.rep * per_walk
-                    + if f.phase().reverse {
-                        f.len - 1 - f.address()
-                    } else {
-                        f.address()
-                    };
+                    + if f.phase().reverse { f.len - 1 - f.address() } else { f.address() };
                 let done_before: usize =
                     f.phases[..f.phase_index()].iter().map(|p| p.reps * per_walk).sum();
                 f.total_cycles() - done_before - done_in_phase

@@ -124,10 +124,7 @@ mod tests {
     #[test]
     fn width_mismatch_rejected() {
         let mut m = TestMemory::new(4, 3);
-        assert_eq!(
-            m.load(&seq("0101")),
-            Err(ExpandError::WidthMismatch { expected: 3, got: 4 })
-        );
+        assert_eq!(m.load(&seq("0101")), Err(ExpandError::WidthMismatch { expected: 3, got: 4 }));
     }
 
     #[test]

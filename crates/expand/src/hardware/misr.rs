@@ -46,10 +46,7 @@ impl Misr {
         assert!(width > 0, "misr width must be positive");
         // A fixed, width-independent spread of taps. Primitivity is not
         // required for the reproduction; only determinism and mixing are.
-        let taps = [1, 2, 7, 9, 12, 21, 38]
-            .into_iter()
-            .filter(|&t| t < width)
-            .collect();
+        let taps = [1, 2, 7, 9, 12, 21, 38].into_iter().filter(|&t| t < width).collect();
         Misr { state: TestVector::zeros(width), taps }
     }
 

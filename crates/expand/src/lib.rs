@@ -14,10 +14,17 @@
 //!
 //! so that `|Sexp| = 8·n·|S|`.
 //!
-//! Two implementations are provided and cross-checked against each other:
+//! Three implementations are provided and cross-checked against each
+//! other:
 //!
 //! * [`expansion::expand`](expansion::ExpansionConfig::expand) — the
-//!   software reference, built from the sequence operations in [`ops`].
+//!   software reference, built from the sequence operations in [`ops`];
+//!   materializes all `8·n·|S|` vectors.
+//! * [`ExpansionIter`] (via [`Expand::stream`](expansion::Expand::stream))
+//!   — the lazy stream: one vector at a time from the flat phase
+//!   schedule, clock-for-clock identical to the hardware. The fault
+//!   simulators consume this through [`VectorSource`], so `Sexp` is never
+//!   allocated on hot paths.
 //! * [`hardware::OnChipExpander`] — a cycle-accurate register-transfer
 //!   model of the paper's on-chip hardware: a test memory, an up/down
 //!   address counter, a repetition counter, complement/shift multiplexers
@@ -52,7 +59,9 @@ pub mod encoding;
 pub mod expansion;
 pub mod hardware;
 pub mod ops;
+pub mod stream;
 
 pub use error::ExpandError;
 pub use sequence::TestSequence;
+pub use stream::{ExpansionIter, VectorSource};
 pub use vector::TestVector;

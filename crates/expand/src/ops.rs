@@ -150,10 +150,7 @@ mod tests {
     #[test]
     fn hold_repeats_each_vector() {
         let s = seq("01 10 11");
-        assert_eq!(
-            SequenceOp::Hold(2).apply(&s).unwrap().to_string(),
-            "01 01 10 10 11 11"
-        );
+        assert_eq!(SequenceOp::Hold(2).apply(&s).unwrap().to_string(), "01 01 10 10 11 11");
         assert_eq!(SequenceOp::Hold(1).apply(&s).unwrap(), s);
         assert!(SequenceOp::Hold(0).apply(&s).is_err());
         assert_eq!(SequenceOp::Hold(3).length_factor(), 3);
@@ -171,11 +168,9 @@ mod tests {
     #[test]
     fn apply_all_chains() {
         let s = seq("01 10");
-        let out = apply_all(
-            &s,
-            &[SequenceOp::Repeat(2), SequenceOp::Complement, SequenceOp::Reverse],
-        )
-        .unwrap();
+        let out =
+            apply_all(&s, &[SequenceOp::Repeat(2), SequenceOp::Complement, SequenceOp::Reverse])
+                .unwrap();
         assert_eq!(out.to_string(), "01 10 01 10");
     }
 }

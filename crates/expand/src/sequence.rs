@@ -237,10 +237,8 @@ impl FromStr for TestSequence {
     type Err = ExpandError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let vectors = s
-            .split_whitespace()
-            .map(str::parse)
-            .collect::<Result<Vec<TestVector>, _>>()?;
+        let vectors =
+            s.split_whitespace().map(str::parse).collect::<Result<Vec<TestVector>, _>>()?;
         TestSequence::from_vectors(vectors)
     }
 }

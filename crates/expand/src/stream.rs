@@ -1,0 +1,333 @@
+//! Streaming (lazy) views of test-vector sequences.
+//!
+//! The materialized [`expand`](crate::expansion::ExpansionConfig::expand)
+//! allocates all `8·n·|S|` vectors of `Sexp` up front. The on-chip
+//! hardware never does that: it re-walks the loaded memory once per phase,
+//! producing one vector per clock. [`ExpansionIter`] is the software
+//! equivalent — it computes each vector of `Sexp` on the fly from the
+//! loaded sequence and the flat phase schedule, clock-for-clock identical
+//! to [`OnChipExpander`](crate::hardware::OnChipExpander).
+//!
+//! [`VectorSource`] abstracts "a finite, replayable stream of equally
+//! wide vectors" so that fault simulators can consume either a stored
+//! [`TestSequence`] or a lazy expansion without the caller materializing
+//! anything.
+
+use crate::expansion::Phase;
+use crate::{TestSequence, TestVector};
+
+/// A finite, replayable stream of equally wide test vectors.
+///
+/// Implementors must produce the same vectors on every [`visit`] — fault
+/// simulators replay the stream once per 64-fault chunk.
+///
+/// [`visit`]: VectorSource::visit
+pub trait VectorSource {
+    /// The vector width (number of primary inputs driven).
+    fn width(&self) -> usize;
+
+    /// Number of vectors in the stream.
+    fn num_vectors(&self) -> usize;
+
+    /// Whether the stream holds no vectors.
+    fn is_empty(&self) -> bool {
+        self.num_vectors() == 0
+    }
+
+    /// Visits every vector in application order. The visitor receives the
+    /// time unit and the vector and returns `true` to continue; returning
+    /// `false` stops the walk early (used by simulators once every fault
+    /// of a pass has been detected).
+    fn visit(&self, visitor: &mut dyn FnMut(usize, &TestVector) -> bool);
+
+    /// Collects the stream into a stored sequence (mainly for tests and
+    /// hardware co-simulation; defeats the purpose on hot paths).
+    fn materialize(&self) -> TestSequence {
+        let mut out = TestSequence::new(self.width());
+        self.visit(&mut |_, v| {
+            out.push(v.clone()).expect("uniform width by contract");
+            true
+        });
+        out
+    }
+}
+
+impl VectorSource for TestSequence {
+    fn width(&self) -> usize {
+        TestSequence::width(self)
+    }
+
+    fn num_vectors(&self) -> usize {
+        TestSequence::len(self)
+    }
+
+    fn visit(&self, visitor: &mut dyn FnMut(usize, &TestVector) -> bool) {
+        for (t, v) in self.iter().enumerate() {
+            if !visitor(t, v) {
+                return;
+            }
+        }
+    }
+}
+
+/// A lazy `Sexp` stream: the expansion of a loaded sequence, produced one
+/// vector at a time from a flat [`Phase`] schedule.
+///
+/// Obtained from [`Expand::stream`](crate::expansion::Expand::stream).
+/// Implements [`Iterator`] for consumption and [`VectorSource`] for
+/// replayable simulation; `visit` always replays the *entire* expansion,
+/// regardless of how far the iterator cursor has advanced.
+///
+/// # Example
+///
+/// ```
+/// use bist_expand::expansion::{Expand, ExpansionConfig};
+/// use bist_expand::{TestSequence, VectorSource};
+///
+/// let s: TestSequence = "000 110".parse()?;
+/// let cfg = ExpansionConfig::new(2)?;
+/// let streamed = TestSequence::from_vectors(cfg.stream(&s).collect())?;
+/// assert_eq!(streamed, cfg.expand(&s));
+/// assert_eq!(cfg.stream(&s).len(), 8 * 2 * s.len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpansionIter<'s> {
+    seq: &'s TestSequence,
+    phases: Vec<Phase>,
+    /// Current phase index (== `phases.len()` when exhausted).
+    phase_idx: usize,
+    /// Completed walks within the current phase.
+    rep: usize,
+    /// Offset within the current walk (0-based regardless of direction).
+    pos: usize,
+}
+
+impl<'s> ExpansionIter<'s> {
+    /// Creates a stream over `seq` for the given phase schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is empty or the schedule has a zero-rep phase.
+    #[must_use]
+    pub fn new(seq: &'s TestSequence, phases: Vec<Phase>) -> Self {
+        assert!(!seq.is_empty(), "cannot stream the expansion of an empty sequence");
+        assert!(phases.iter().all(|p| p.reps > 0), "zero-rep phase in schedule");
+        ExpansionIter { seq, phases, phase_idx: 0, rep: 0, pos: 0 }
+    }
+
+    /// The loaded sequence being expanded.
+    #[must_use]
+    pub fn loaded(&self) -> &'s TestSequence {
+        self.seq
+    }
+
+    /// The phase schedule driving the stream.
+    #[must_use]
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total stream length: `|S| · Σ reps`.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.seq.len() * self.phases.iter().map(|p| p.reps).sum::<usize>()
+    }
+
+    /// Vectors already emitted through the iterator cursor.
+    #[must_use]
+    pub fn emitted(&self) -> usize {
+        let walk = self.seq.len();
+        let before: usize = self.phases[..self.phase_idx].iter().map(|p| p.reps * walk).sum();
+        before + self.rep * walk + self.pos
+    }
+
+    /// The memory address read by phase `p` at walk offset `pos`.
+    fn address(&self, p: &Phase, pos: usize) -> usize {
+        if p.reverse {
+            self.seq.len() - 1 - pos
+        } else {
+            pos
+        }
+    }
+}
+
+impl Iterator for ExpansionIter<'_> {
+    type Item = TestVector;
+
+    fn next(&mut self) -> Option<TestVector> {
+        if self.phase_idx == self.phases.len() {
+            return None;
+        }
+        let phase = self.phases[self.phase_idx];
+        let out = phase.transform(&self.seq[self.address(&phase, self.pos)]);
+        self.pos += 1;
+        if self.pos == self.seq.len() {
+            self.pos = 0;
+            self.rep += 1;
+            if self.rep == phase.reps {
+                self.rep = 0;
+                self.phase_idx += 1;
+            }
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.total_len() - self.emitted();
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ExpansionIter<'_> {}
+
+impl VectorSource for ExpansionIter<'_> {
+    fn width(&self) -> usize {
+        self.seq.width()
+    }
+
+    fn num_vectors(&self) -> usize {
+        self.total_len()
+    }
+
+    fn visit(&self, visitor: &mut dyn FnMut(usize, &TestVector) -> bool) {
+        // Replay through a cursor-reset copy so the walk logic lives only
+        // in `Iterator::next`.
+        let fresh = ExpansionIter::new(self.seq, self.phases.clone());
+        for (t, v) in fresh.enumerate() {
+            if !visitor(t, &v) {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::{CustomExpansion, Expand, ExpansionConfig};
+
+    fn seq(s: &str) -> TestSequence {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn iterator_equals_materialized_table1() {
+        let s = seq("000 110");
+        let cfg = ExpansionConfig::new(2).unwrap();
+        let collected = TestSequence::from_vectors(cfg.stream(&s).collect()).unwrap();
+        assert_eq!(collected, cfg.expand(&s));
+    }
+
+    #[test]
+    fn visit_equals_iterator_and_restarts() {
+        let s = seq("0010 1101 0111");
+        for n in [1, 2, 4, 8, 16] {
+            let cfg = ExpansionConfig::new(n).unwrap();
+            let stream = cfg.stream(&s);
+            let via_iter: Vec<TestVector> = stream.clone().collect();
+            // visit twice: the stream must replay identically.
+            for _ in 0..2 {
+                let mut via_visit = Vec::new();
+                stream.visit(&mut |t, v| {
+                    assert_eq!(t, via_visit.len());
+                    via_visit.push(v.clone());
+                    true
+                });
+                assert_eq!(via_visit, via_iter, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn visit_ignores_iterator_cursor() {
+        let s = seq("01 10 11");
+        let cfg = ExpansionConfig::new(2).unwrap();
+        let mut stream = cfg.stream(&s);
+        let full: Vec<TestVector> = stream.clone().collect();
+        let _ = stream.next();
+        let _ = stream.next();
+        let mut replay = Vec::new();
+        stream.visit(&mut |_, v| {
+            replay.push(v.clone());
+            true
+        });
+        assert_eq!(replay, full, "visit replays from the start");
+    }
+
+    #[test]
+    fn early_exit_stops_walk() {
+        let s = seq("01 10");
+        let cfg = ExpansionConfig::new(4).unwrap();
+        let stream = cfg.stream(&s);
+        let mut seen = 0usize;
+        stream.visit(&mut |_, _| {
+            seen += 1;
+            seen < 5
+        });
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn exact_size_counts_down() {
+        let s = seq("011 101");
+        let cfg = ExpansionConfig::new(2).unwrap();
+        let mut stream = cfg.stream(&s);
+        let total = stream.total_len();
+        assert_eq!(total, 8 * 2 * 2);
+        for left in (0..total).rev() {
+            assert_eq!(stream.len(), left + 1);
+            stream.next().unwrap();
+        }
+        assert_eq!(stream.len(), 0);
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn custom_recipe_streams_equal_expand() {
+        let s = seq("001 110 010 101");
+        for (c, sh, r) in [
+            (false, false, false),
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+            (true, true, false),
+            (true, false, true),
+            (false, true, true),
+            (true, true, true),
+        ] {
+            for n in [1, 2, 3] {
+                let recipe = CustomExpansion::new(n).unwrap().complement(c).shift(sh).reverse(r);
+                let streamed = TestSequence::from_vectors(recipe.stream(&s).collect()).unwrap();
+                assert_eq!(
+                    streamed,
+                    Expand::expand(&recipe, &s),
+                    "recipe {} n={n}",
+                    recipe.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn materialize_round_trips() {
+        let s = seq("0110 1001");
+        let cfg = ExpansionConfig::new(3).unwrap();
+        assert_eq!(cfg.stream(&s).materialize(), cfg.expand(&s));
+        assert_eq!(VectorSource::materialize(&s), s);
+    }
+
+    #[test]
+    fn sequence_is_a_vector_source() {
+        let s = seq("01 10 11");
+        assert_eq!(VectorSource::num_vectors(&s), 3);
+        assert_eq!(VectorSource::width(&s), 2);
+        let mut seen = Vec::new();
+        VectorSource::visit(&s, &mut |t, v| {
+            seen.push((t, v.clone()));
+            true
+        });
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[2].1, s[2]);
+    }
+}

@@ -1,105 +1,210 @@
-//! Property-based tests of the sequence algebra and the hardware model.
+//! Property-based tests of the sequence algebra, the streaming expansion
+//! and the hardware model, over seeded random sequences (the offline
+//! environment has no proptest; a deterministic sample loop plays its
+//! role).
 
-use bist_expand::expansion::ExpansionConfig;
+use bist_expand::expansion::{CustomExpansion, Expand, ExpansionConfig};
 use bist_expand::hardware::OnChipExpander;
-use bist_expand::{TestSequence, TestVector};
-use proptest::prelude::*;
+use bist_expand::{TestSequence, TestVector, VectorSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a test sequence with 1..=12 vectors of width 1..=20.
-fn sequences() -> impl Strategy<Value = TestSequence> {
-    (1usize..=20, 1usize..=12).prop_flat_map(|(width, len)| {
-        proptest::collection::vec(proptest::collection::vec(any::<bool>(), width), len)
-            .prop_map(|rows| {
-                TestSequence::from_vectors(
-                    rows.iter().map(|bits| TestVector::from_bits(bits)).collect(),
-                )
-                .expect("nonempty, uniform width")
-            })
-    })
+const CASES: usize = 96;
+
+/// A random test sequence with 1..=12 vectors of width 1..=20.
+fn random_sequence(rng: &mut StdRng) -> TestSequence {
+    let width = rng.gen_range(1usize..=20);
+    let len = rng.gen_range(1usize..=12);
+    TestSequence::from_vectors(
+        (0..len).map(|_| TestVector::from_fn(width, |_| rng.gen_bool(0.5))).collect(),
+    )
+    .expect("nonempty, uniform width")
 }
 
-proptest! {
-    #[test]
-    fn expansion_length_is_8nl(s in sequences(), n in 1usize..=6) {
-        let cfg = ExpansionConfig::new(n).unwrap();
-        prop_assert_eq!(cfg.expand(&s).len(), 8 * n * s.len());
+fn for_each_case(mut f: impl FnMut(&mut StdRng, TestSequence)) {
+    let mut rng = StdRng::seed_from_u64(0x5eed_ca5e);
+    for _ in 0..CASES {
+        let s = random_sequence(&mut rng);
+        f(&mut rng, s);
     }
+}
 
-    #[test]
-    fn expansion_starts_with_s(s in sequences(), n in 1usize..=4) {
-        // Sexp begins with S itself — the property Procedure 2's
-        // termination argument relies on.
+#[test]
+fn expansion_length_is_8nl() {
+    for_each_case(|rng, s| {
+        let n = rng.gen_range(1usize..=6);
+        let cfg = ExpansionConfig::new(n).unwrap();
+        assert_eq!(cfg.expand(&s).len(), 8 * n * s.len());
+    });
+}
+
+#[test]
+fn expansion_starts_with_s() {
+    // Sexp begins with S itself — the property Procedure 2's
+    // termination argument relies on.
+    for_each_case(|rng, s| {
+        let n = rng.gen_range(1usize..=4);
         let cfg = ExpansionConfig::new(n).unwrap();
         let sexp = cfg.expand(&s);
         for (i, v) in s.iter().enumerate() {
-            prop_assert_eq!(&sexp[i], v);
+            assert_eq!(&sexp[i], v);
         }
-    }
+    });
+}
 
-    #[test]
-    fn expansion_is_palindromic(s in sequences(), n in 1usize..=4) {
+#[test]
+fn expansion_is_palindromic() {
+    for_each_case(|rng, s| {
+        let n = rng.gen_range(1usize..=4);
         let cfg = ExpansionConfig::new(n).unwrap();
         let sexp = cfg.expand(&s);
-        prop_assert_eq!(sexp.reversed(), sexp);
-    }
+        assert_eq!(sexp.reversed(), sexp);
+    });
+}
 
-    #[test]
-    fn phases_equal_reference(s in sequences(), n in 1usize..=4) {
+#[test]
+fn phases_equal_reference() {
+    for_each_case(|rng, s| {
+        let n = rng.gen_range(1usize..=4);
         let cfg = ExpansionConfig::new(n).unwrap();
-        prop_assert_eq!(cfg.expand_by_phases(&s), cfg.expand(&s));
-    }
+        assert_eq!(cfg.expand_by_phases(&s), cfg.expand(&s));
+    });
+}
 
-    #[test]
-    fn hardware_equals_software(s in sequences(), n in 1usize..=4) {
+/// The tentpole equivalence, for every paper `n`: the lazy streaming
+/// iterator, the materialized software reference and the cycle-accurate
+/// hardware model produce the identical `Sexp`, vector for vector.
+#[test]
+fn streaming_equals_materialized_equals_hardware_for_paper_ns() {
+    let mut rng = StdRng::seed_from_u64(1999);
+    for _ in 0..CASES {
+        let s = random_sequence(&mut rng);
+        for n in [2usize, 4, 8, 16] {
+            let cfg = ExpansionConfig::new(n).unwrap();
+            let materialized = cfg.expand(&s);
+
+            // Iterator view.
+            let streamed = TestSequence::from_vectors(cfg.stream(&s).collect()).unwrap();
+            assert_eq!(streamed, materialized, "iterator view, n={n}");
+
+            // Replayable visit view (what the simulators consume).
+            let mut visited = Vec::new();
+            cfg.stream(&s).visit(&mut |t, v| {
+                assert_eq!(t, visited.len());
+                visited.push(v.clone());
+                true
+            });
+            assert_eq!(
+                TestSequence::from_vectors(visited).unwrap(),
+                materialized,
+                "visit view, n={n}"
+            );
+
+            // Hardware model, clock for clock.
+            let mut hw = OnChipExpander::new(s.len(), s.width(), cfg);
+            hw.load(&s).unwrap();
+            let mut stream = cfg.stream(&s);
+            let mut clocks = 0usize;
+            while let Some(hw_vector) = hw.clock() {
+                assert_eq!(Some(hw_vector), stream.next(), "clock {clocks} diverges, n={n}");
+                clocks += 1;
+            }
+            assert!(stream.next().is_none(), "stream longer than hardware, n={n}");
+            assert_eq!(clocks, 8 * n * s.len());
+        }
+    }
+}
+
+#[test]
+fn custom_recipes_stream_like_they_expand() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..CASES {
+        let s = random_sequence(&mut rng);
+        let recipe = CustomExpansion::new(rng.gen_range(1usize..=4))
+            .unwrap()
+            .complement(rng.gen_bool(0.5))
+            .shift(rng.gen_bool(0.5))
+            .reverse(rng.gen_bool(0.5));
+        let streamed = TestSequence::from_vectors(recipe.stream(&s).collect()).unwrap();
+        assert_eq!(streamed, Expand::expand(&recipe, &s), "{}", recipe.describe());
+        assert_eq!(
+            recipe.stream(&s).num_vectors(),
+            recipe.length_factor() * s.len(),
+            "{}",
+            recipe.describe()
+        );
+    }
+}
+
+#[test]
+fn hardware_equals_software() {
+    for_each_case(|rng, s| {
+        let n = rng.gen_range(1usize..=4);
         let cfg = ExpansionConfig::new(n).unwrap();
         let mut hw = OnChipExpander::new(s.len(), s.width(), cfg);
         hw.load(&s).unwrap();
-        prop_assert_eq!(hw.run().unwrap(), cfg.expand(&s));
-    }
+        assert_eq!(hw.run().unwrap(), cfg.expand(&s));
+    });
+}
 
-    #[test]
-    fn complement_is_involution(s in sequences()) {
-        prop_assert_eq!(s.complemented().complemented(), s.clone());
-    }
+#[test]
+fn complement_is_involution() {
+    for_each_case(|_, s| {
+        assert_eq!(s.complemented().complemented(), s);
+    });
+}
 
-    #[test]
-    fn reverse_is_involution(s in sequences()) {
-        prop_assert_eq!(s.reversed().reversed(), s.clone());
-    }
+#[test]
+fn reverse_is_involution() {
+    for_each_case(|_, s| {
+        assert_eq!(s.reversed().reversed(), s);
+    });
+}
 
-    #[test]
-    fn shift_has_period_width(s in sequences()) {
+#[test]
+fn shift_has_period_width() {
+    for_each_case(|_, s| {
         let w = s.width();
-        prop_assert_eq!(s.shifted(w), s.clone());
-        prop_assert_eq!(s.shifted(1).shifted(w - 1), s.clone());
-    }
+        assert_eq!(s.shifted(w), s);
+        assert_eq!(s.shifted(1).shifted(w - 1), s);
+    });
+}
 
-    #[test]
-    fn shift_commutes_with_complement(s in sequences(), k in 0usize..8) {
-        prop_assert_eq!(s.shifted(k).complemented(), s.complemented().shifted(k));
-    }
+#[test]
+fn shift_commutes_with_complement() {
+    for_each_case(|rng, s| {
+        let k = rng.gen_range(0usize..8);
+        assert_eq!(s.shifted(k).complemented(), s.complemented().shifted(k));
+    });
+}
 
-    #[test]
-    fn repetition_multiplies_length(s in sequences(), n in 1usize..=5) {
+#[test]
+fn repetition_multiplies_length() {
+    for_each_case(|rng, s| {
+        let n = rng.gen_range(1usize..=5);
         let r = s.repeated(n).unwrap();
-        prop_assert_eq!(r.len(), n * s.len());
+        assert_eq!(r.len(), n * s.len());
         // Every copy equals the original.
         for copy in 0..n {
             for u in 0..s.len() {
-                prop_assert_eq!(&r[copy * s.len() + u], &s[u]);
+                assert_eq!(&r[copy * s.len() + u], &s[u]);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn display_parse_round_trip(s in sequences()) {
+#[test]
+fn display_parse_round_trip() {
+    for_each_case(|_, s| {
         let text = s.to_string();
         let back: TestSequence = text.parse().unwrap();
-        prop_assert_eq!(back, s);
-    }
+        assert_eq!(back, s);
+    });
+}
 
-    #[test]
-    fn storage_bits_consistent(s in sequences()) {
-        prop_assert_eq!(s.storage_bits(), s.len() * s.width());
-    }
+#[test]
+fn storage_bits_consistent() {
+    for_each_case(|_, s| {
+        assert_eq!(s.storage_bits(), s.len() * s.width());
+    });
 }

@@ -222,8 +222,7 @@ mod tests {
         let g11 = c.find("G11").unwrap();
         let node = c.node(g11);
         assert_eq!(node.fanin().len(), 2);
-        let names: Vec<&str> =
-            node.fanin().iter().map(|&f| c.node(f).name()).collect();
+        let names: Vec<&str> = node.fanin().iter().map(|&f| c.node(f).name()).collect();
         assert_eq!(names, vec!["G5", "G9"]);
     }
 

@@ -151,11 +151,8 @@ impl CircuitBuilder {
         // Assign dense ids: inputs, then DFFs, then gates (definition order;
         // the topological order is computed separately below).
         let mut id_of: HashMap<&str, NodeId> = HashMap::new();
-        let ordered: Vec<&String> = input_names
-            .iter()
-            .chain(dff_names.iter())
-            .chain(gate_names.iter())
-            .collect();
+        let ordered: Vec<&String> =
+            input_names.iter().chain(dff_names.iter()).chain(gate_names.iter()).collect();
         for (i, name) in ordered.iter().enumerate() {
             id_of.insert(name.as_str(), NodeId::from_index(i));
         }
@@ -173,16 +170,12 @@ impl CircuitBuilder {
             let def_idx = self.defined[*name];
             let (_, kind) = &self.defs[def_idx];
             let node = match kind {
-                PendingKind::Input => Node {
-                    name: (*name).clone(),
-                    kind: NodeKind::Input,
-                    fanin: Vec::new(),
-                },
-                PendingKind::Dff { d } => Node {
-                    name: (*name).clone(),
-                    kind: NodeKind::Dff,
-                    fanin: vec![resolve(d)?],
-                },
+                PendingKind::Input => {
+                    Node { name: (*name).clone(), kind: NodeKind::Input, fanin: Vec::new() }
+                }
+                PendingKind::Dff { d } => {
+                    Node { name: (*name).clone(), kind: NodeKind::Dff, fanin: vec![resolve(d)?] }
+                }
                 PendingKind::Gate { kind, fanin } => {
                     if !kind.accepts_arity(fanin.len()) {
                         return Err(NetlistError::BadArity {
@@ -191,15 +184,8 @@ impl CircuitBuilder {
                             got: fanin.len(),
                         });
                     }
-                    let fanin = fanin
-                        .iter()
-                        .map(|f| resolve(f))
-                        .collect::<Result<Vec<_>, _>>()?;
-                    Node {
-                        name: (*name).clone(),
-                        kind: NodeKind::Gate(*kind),
-                        fanin,
-                    }
+                    let fanin = fanin.iter().map(|f| resolve(f)).collect::<Result<Vec<_>, _>>()?;
+                    Node { name: (*name).clone(), kind: NodeKind::Gate(*kind), fanin }
                 }
             };
             nodes.push(node);
@@ -264,25 +250,12 @@ impl CircuitBuilder {
         // Levelization (longest path from a source).
         let mut levels = vec![0u32; n];
         for &g in &eval_order {
-            let lvl = nodes[g.index()]
-                .fanin
-                .iter()
-                .map(|&s| levels[s.index()])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let lvl =
+                nodes[g.index()].fanin.iter().map(|&s| levels[s.index()]).max().unwrap_or(0) + 1;
             levels[g.index()] = lvl;
         }
 
-        Ok(Circuit {
-            name: self.name,
-            nodes,
-            inputs,
-            outputs,
-            dffs,
-            eval_order,
-            levels,
-        })
+        Ok(Circuit { name: self.name, nodes, inputs, outputs, dffs, eval_order, levels })
     }
 }
 

@@ -227,10 +227,7 @@ impl Circuit {
     /// Looks up a node by name.
     #[must_use]
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
-            .map(NodeId::from_index)
+        self.nodes.iter().position(|n| n.name == name).map(NodeId::from_index)
     }
 
     /// Computes the fanout table: for every node, the list of (consumer,
@@ -240,10 +237,7 @@ impl Circuit {
         let mut table = vec![Vec::new(); self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
             for (pin, &src) in node.fanin.iter().enumerate() {
-                table[src.index()].push(FanoutRef {
-                    node: NodeId::from_index(i),
-                    pin: pin as u32,
-                });
+                table[src.index()].push(FanoutRef { node: NodeId::from_index(i), pin: pin as u32 });
             }
         }
         table

@@ -265,8 +265,7 @@ pub fn generate(spec: &GeneratorSpec) -> Result<Circuit, NetlistError> {
             let i = rng.gen_range(0..unused.len());
             unused.swap_remove(i)
         } else {
-            let pool: &[String] =
-                if gate_idx > 0 { &gate_names[..gate_idx] } else { &sources };
+            let pool: &[String] = if gate_idx > 0 { &gate_names[..gate_idx] } else { &sources };
             pool.choose(&mut rng).expect("nonempty").clone()
         };
         if reserve > 0 {
@@ -415,7 +414,12 @@ mod tests {
 
     #[test]
     fn combinational_generation_works() {
-        let c = GeneratorSpec::new("comb").inputs(5).outputs(3).dffs(0).gates(30).seed(9)
+        let c = GeneratorSpec::new("comb")
+            .inputs(5)
+            .outputs(3)
+            .dffs(0)
+            .gates(30)
+            .seed(9)
             .build()
             .unwrap();
         assert_eq!(c.num_dffs(), 0);
@@ -423,7 +427,12 @@ mod tests {
 
     #[test]
     fn tiny_circuit_works() {
-        let c = GeneratorSpec::new("tiny").inputs(2).outputs(1).dffs(1).gates(3).seed(1)
+        let c = GeneratorSpec::new("tiny")
+            .inputs(2)
+            .outputs(1)
+            .dffs(1)
+            .gates(3)
+            .seed(1)
             .build()
             .unwrap();
         assert_eq!(c.num_gates(), 3);

@@ -82,11 +82,8 @@ pub fn parse_bench(name: impl Into<String>, source: &str) -> Result<Circuit, Net
         }
         let kind_str = rhs[..open].trim();
         let args_str = &rhs[open + 1..rhs.len() - 1];
-        let args: Vec<&str> = args_str
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .collect();
+        let args: Vec<&str> =
+            args_str.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
         if args.is_empty() {
             return Err(NetlistError::ParseLine {
                 line: lineno,
@@ -146,9 +143,7 @@ fn parse_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
 /// Signal names: nonempty, no whitespace/parens/commas/`=`.
 fn validate_name<'a>(name: &'a str, line: usize, raw: &str) -> Result<&'a str, NetlistError> {
     let bad = name.is_empty()
-        || name
-            .chars()
-            .any(|c| c.is_whitespace() || matches!(c, '(' | ')' | ',' | '=' | '#'));
+        || name.chars().any(|c| c.is_whitespace() || matches!(c, '(' | ')' | ',' | '=' | '#'));
     if bad {
         return Err(NetlistError::ParseLine {
             line,

@@ -39,12 +39,7 @@ pub fn to_bench(circuit: &Circuit) -> String {
     }
     for &d in circuit.dffs() {
         let node = circuit.node(d);
-        let _ = writeln!(
-            out,
-            "{} = DFF({})",
-            node.name(),
-            circuit.node(node.fanin()[0]).name()
-        );
+        let _ = writeln!(out, "{} = DFF({})", node.name(), circuit.node(node.fanin()[0]).name());
     }
     for &g in circuit.eval_order() {
         let node = circuit.node(g);

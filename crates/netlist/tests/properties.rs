@@ -1,43 +1,47 @@
-//! Property-based tests: every generated circuit is valid, serializes to
-//! `.bench`, and parses back to an equivalent structure.
+//! Property-based tests over seeded random generator specs: every
+//! generated circuit is valid, serializes to `.bench`, and parses back to
+//! an equivalent structure.
 
 use bist_netlist::generate::GeneratorSpec;
 use bist_netlist::{parser::parse_bench, writer::to_bench, NodeKind};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn specs() -> impl Strategy<Value = GeneratorSpec> {
-    (1usize..=8, 1usize..=6, 0usize..=10, 1usize..=80, 2usize..=10, any::<u64>()).prop_map(
-        |(pis, pos, ffs, gates, depth, seed)| {
-            GeneratorSpec::new("prop")
-                .inputs(pis)
-                .outputs(pos)
-                .dffs(ffs)
-                .gates(gates)
-                .target_depth(depth)
-                .seed(seed)
-        },
-    )
+const CASES: usize = 64;
+
+fn random_spec(rng: &mut StdRng) -> GeneratorSpec {
+    GeneratorSpec::new("prop")
+        .inputs(rng.gen_range(1usize..=8))
+        .outputs(rng.gen_range(1usize..=6))
+        .dffs(rng.gen_range(0usize..=10))
+        .gates(rng.gen_range(1usize..=80))
+        .target_depth(rng.gen_range(2usize..=10))
+        .seed(rng.gen::<u64>())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn generated_circuits_are_valid_and_round_trip(spec in specs()) {
-        let c = spec.build().unwrap();
-        // Counts match the spec.
-        prop_assert_eq!(c.num_gates(), {
-            let text = to_bench(&c);
-            let back = parse_bench("prop", &text).unwrap();
-            prop_assert_eq!(back.num_inputs(), c.num_inputs());
-            prop_assert_eq!(back.num_outputs(), c.num_outputs());
-            prop_assert_eq!(back.num_dffs(), c.num_dffs());
-            back.num_gates()
-        });
+fn for_each_spec(mut f: impl FnMut(GeneratorSpec)) {
+    let mut rng = StdRng::seed_from_u64(0xbe1c_4a57);
+    for _ in 0..CASES {
+        f(random_spec(&mut rng));
     }
+}
 
-    #[test]
-    fn eval_order_is_always_topological(spec in specs()) {
+#[test]
+fn generated_circuits_are_valid_and_round_trip() {
+    for_each_spec(|spec| {
+        let c = spec.build().unwrap();
+        let text = to_bench(&c);
+        let back = parse_bench("prop", &text).unwrap();
+        assert_eq!(back.num_inputs(), c.num_inputs());
+        assert_eq!(back.num_outputs(), c.num_outputs());
+        assert_eq!(back.num_dffs(), c.num_dffs());
+        assert_eq!(back.num_gates(), c.num_gates());
+    });
+}
+
+#[test]
+fn eval_order_is_always_topological() {
+    for_each_spec(|spec| {
         let c = spec.build().unwrap();
         let mut ready = vec![false; c.num_nodes()];
         for &i in c.inputs() {
@@ -48,38 +52,48 @@ proptest! {
         }
         for &g in c.eval_order() {
             for &f in c.node(g).fanin() {
-                prop_assert!(ready[f.index()]);
+                assert!(ready[f.index()]);
             }
             ready[g.index()] = true;
         }
-        prop_assert!(ready.iter().all(|&b| b));
-    }
+        assert!(ready.iter().all(|&b| b));
+    });
+}
 
-    #[test]
-    fn gate_arities_are_legal(spec in specs()) {
+#[test]
+fn gate_arities_are_legal() {
+    for_each_spec(|spec| {
         let c = spec.build().unwrap();
         for &g in c.eval_order() {
             let node = c.node(g);
             let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
-            prop_assert!(kind.accepts_arity(node.fanin().len()),
-                "{} has {} fanins", kind, node.fanin().len());
+            assert!(
+                kind.accepts_arity(node.fanin().len()),
+                "{} has {} fanins",
+                kind,
+                node.fanin().len()
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn dffs_have_exactly_one_fanin(spec in specs()) {
+#[test]
+fn dffs_have_exactly_one_fanin() {
+    for_each_spec(|spec| {
         let c = spec.build().unwrap();
         for &d in c.dffs() {
-            prop_assert_eq!(c.node(d).fanin().len(), 1);
+            assert_eq!(c.node(d).fanin().len(), 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn levels_bounded_by_depth(spec in specs()) {
+#[test]
+fn levels_bounded_by_depth() {
+    for_each_spec(|spec| {
         let c = spec.build().unwrap();
         let depth = c.depth();
         for i in 0..c.num_nodes() {
-            prop_assert!(c.level(bist_netlist::NodeId::from_index(i)) <= depth);
+            assert!(c.level(bist_netlist::NodeId::from_index(i)) <= depth);
         }
-    }
+    });
 }

@@ -1,0 +1,398 @@
+//! Pluggable fault-simulation backends.
+//!
+//! [`SimBackend`] is the engine interface behind
+//! [`FaultSimulator`](crate::FaultSimulator): given a circuit, a
+//! replayable stream of input vectors and a fault list, produce the first
+//! detection time of every fault. Two engines are provided:
+//!
+//! * [`PackedBackend`] — the production engine: 64 faulty machines per
+//!   pass, one per [`PackedValue`] lane, with fault dropping and early
+//!   exit. This is the default everywhere.
+//! * [`ScalarBackend`] — a deliberately simple reference: one faulty
+//!   machine at a time over the scalar [`Logic`](crate::Logic) algebra.
+//!   Exists for differential testing of the packed engine and as the
+//!   template for future backends (wider bit-parallel words, sharded or
+//!   threaded engines) that can slot in without touching any caller.
+//!
+//! Both consume [`VectorSource`] streams, so the expanded sequences of the
+//! paper's scheme are simulated directly from the lazy
+//! [`ExpansionIter`](bist_expand::ExpansionIter) — `Sexp` is never
+//! materialized on the selection or verification paths.
+//! (The fault-free PO trace — `stream length × num_outputs` `Logic`
+//! values — is still collected once per call; fusing the good machine
+//! into the fault passes is a ROADMAP item.)
+
+use crate::good::stream_machine;
+use crate::{eval, Fault, FaultSite, Logic, PackedValue, SimError};
+use bist_expand::VectorSource;
+use bist_netlist::{Circuit, NodeId, NodeKind};
+use std::fmt;
+use std::ops::Not;
+
+/// A sequential stuck-at fault-simulation engine.
+///
+/// Implementations must treat `source` as replayable: it may be streamed
+/// once per internal pass. All engines implement the same detection
+/// criterion — a fault is detected at time `u` if some primary output is
+/// binary in the fault-free machine and the complementary binary value in
+/// the faulty machine at `u`, both machines starting from the all-`X`
+/// state.
+pub trait SimBackend: fmt::Debug + Send + Sync {
+    /// Short engine name for reports (e.g. `"packed64"`).
+    fn name(&self) -> &'static str;
+
+    /// First detection time of every fault in `faults` under the vector
+    /// stream, or `None` if undetected.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WidthMismatch`] / [`SimError::EmptySequence`].
+    fn detection_times(
+        &self,
+        circuit: &Circuit,
+        source: &dyn VectorSource,
+        faults: &[Fault],
+    ) -> Result<Vec<Option<usize>>, SimError>;
+}
+
+/// Streams the fault-free machine once, collecting the PO trace. Also
+/// the input validation point shared by both engines: `stream_machine`
+/// rejects width mismatches and empty streams before anything runs.
+fn good_po_trace(
+    circuit: &Circuit,
+    source: &dyn VectorSource,
+) -> Result<Vec<Vec<Logic>>, SimError> {
+    let mut po = Vec::with_capacity(source.num_vectors());
+    stream_machine(circuit, source, None, &mut |_, outs| {
+        po.push(outs.to_vec());
+        true
+    })?;
+    Ok(po)
+}
+
+// ---------------------------------------------------------------------
+// Packed engine (64 faulty machines per pass)
+// ---------------------------------------------------------------------
+
+/// Sparse per-chunk fault injection tables, allocated once per simulator
+/// run and cleared between chunks.
+struct Injector {
+    /// Nodes with output (stem) forces in the current chunk.
+    out_touched: Vec<usize>,
+    out_forces: Vec<Vec<(usize, Logic)>>,
+    /// Nodes with input (branch) forces in the current chunk.
+    in_touched: Vec<usize>,
+    in_forces: Vec<Vec<(u32, usize, Logic)>>,
+}
+
+impl Injector {
+    fn new(num_nodes: usize) -> Self {
+        Injector {
+            out_touched: Vec::new(),
+            out_forces: vec![Vec::new(); num_nodes],
+            in_touched: Vec::new(),
+            in_forces: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    fn clear(&mut self) {
+        for &i in &self.out_touched {
+            self.out_forces[i].clear();
+        }
+        for &i in &self.in_touched {
+            self.in_forces[i].clear();
+        }
+        self.out_touched.clear();
+        self.in_touched.clear();
+    }
+
+    fn load(&mut self, chunk: &[Fault]) {
+        self.clear();
+        for (lane, fault) in chunk.iter().enumerate() {
+            let forced = Logic::from_bool(fault.stuck);
+            match fault.site {
+                FaultSite::Output(node) => {
+                    let i = node.index();
+                    if self.out_forces[i].is_empty() {
+                        self.out_touched.push(i);
+                    }
+                    self.out_forces[i].push((lane, forced));
+                }
+                FaultSite::Input { node, pin } => {
+                    let i = node.index();
+                    if self.in_forces[i].is_empty() {
+                        self.in_touched.push(i);
+                    }
+                    self.in_forces[i].push((pin, lane, forced));
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn force_output(&self, node: usize, mut value: PackedValue) -> PackedValue {
+        for &(lane, forced) in &self.out_forces[node] {
+            value.set_lane(lane, forced);
+        }
+        value
+    }
+
+    #[inline]
+    fn has_input_forces(&self, node: usize) -> bool {
+        !self.in_forces[node].is_empty()
+    }
+
+    /// Value of `node`'s fanin `pin` as seen by the gate, with branch
+    /// forces applied.
+    #[inline]
+    fn forced_input(&self, node: usize, pin: u32, mut value: PackedValue) -> PackedValue {
+        for &(p, lane, forced) in &self.in_forces[node] {
+            if p == pin {
+                value.set_lane(lane, forced);
+            }
+        }
+        value
+    }
+}
+
+/// Packed gate evaluation reading straight from the value table
+/// (allocation-free fast path).
+#[inline]
+fn eval_fold(
+    values: &[PackedValue],
+    fanin: &[NodeId],
+    kind: bist_netlist::GateKind,
+) -> PackedValue {
+    use bist_netlist::GateKind;
+    let first = values[fanin[0].index()];
+    let rest = fanin[1..].iter().map(|f| values[f.index()]);
+    match kind {
+        GateKind::Buf => first,
+        GateKind::Not => first.not(),
+        GateKind::And => rest.fold(first, PackedValue::and),
+        GateKind::Nand => rest.fold(first, PackedValue::and).not(),
+        GateKind::Or => rest.fold(first, PackedValue::or),
+        GateKind::Nor => rest.fold(first, PackedValue::or).not(),
+        GateKind::Xor => rest.fold(first, PackedValue::xor),
+        GateKind::Xnor => rest.fold(first, PackedValue::xor).not(),
+    }
+}
+
+/// The production engine: faults are simulated 64 at a time, each lane of
+/// a [`PackedValue`] carrying one faulty machine, with the fault-free
+/// machine simulated once (scalar) as the comparison reference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackedBackend;
+
+impl PackedBackend {
+    #[allow(clippy::too_many_arguments)] // engine inner loop, all hot state
+    fn run_chunk(
+        circuit: &Circuit,
+        source: &dyn VectorSource,
+        good_po: &[Vec<Logic>],
+        chunk: &[Fault],
+        times: &mut [Option<usize>],
+        injector: &mut Injector,
+        values: &mut [PackedValue],
+    ) {
+        injector.load(chunk);
+        values.fill(PackedValue::ALL_X);
+
+        let used: u64 =
+            if chunk.len() == PackedValue::LANES { u64::MAX } else { (1u64 << chunk.len()) - 1 };
+        let mut undetected = used;
+        let mut state = vec![PackedValue::ALL_X; circuit.num_dffs()];
+        let mut scratch: Vec<PackedValue> = Vec::new();
+
+        source.visit(&mut |t, vector| {
+            // Drive primary inputs (with stem forces: a stuck PI is stuck
+            // every cycle).
+            for (i, &pi) in circuit.inputs().iter().enumerate() {
+                let v = PackedValue::splat(Logic::from_bool(vector.get(i)));
+                values[pi.index()] = injector.force_output(pi.index(), v);
+            }
+            // Present state.
+            for (k, &dff) in circuit.dffs().iter().enumerate() {
+                values[dff.index()] = injector.force_output(dff.index(), state[k]);
+            }
+            // Combinational sweep.
+            for &g in circuit.eval_order() {
+                let node = circuit.node(g);
+                let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
+                let gi = g.index();
+                let v = if injector.has_input_forces(gi) {
+                    scratch.clear();
+                    for (pin, &f) in node.fanin().iter().enumerate() {
+                        scratch.push(injector.forced_input(gi, pin as u32, values[f.index()]));
+                    }
+                    eval::eval_gate(*kind, &scratch)
+                } else {
+                    eval_fold(values, node.fanin(), *kind)
+                };
+                values[gi] = injector.force_output(gi, v);
+            }
+            // Compare primary outputs against the good machine.
+            for (oi, &o) in circuit.outputs().iter().enumerate() {
+                let diff = match good_po[t][oi] {
+                    Logic::One => values[o.index()].zeros,
+                    Logic::Zero => values[o.index()].ones,
+                    Logic::X => continue,
+                };
+                let newly = diff & undetected;
+                if newly != 0 {
+                    let mut bits = newly;
+                    while bits != 0 {
+                        let lane = bits.trailing_zeros() as usize;
+                        times[lane] = Some(t);
+                        bits &= bits - 1;
+                    }
+                    undetected &= !newly;
+                }
+            }
+            if undetected == 0 {
+                return false;
+            }
+            // Clock: latch next state (with D-pin branch forces).
+            for (k, &dff) in circuit.dffs().iter().enumerate() {
+                let di = dff.index();
+                let src = circuit.node(dff).fanin()[0];
+                let mut v = values[src.index()];
+                if injector.has_input_forces(di) {
+                    v = injector.forced_input(di, 0, v);
+                }
+                state[k] = v;
+            }
+            true
+        });
+    }
+}
+
+impl SimBackend for PackedBackend {
+    fn name(&self) -> &'static str {
+        "packed64"
+    }
+
+    fn detection_times(
+        &self,
+        circuit: &Circuit,
+        source: &dyn VectorSource,
+        faults: &[Fault],
+    ) -> Result<Vec<Option<usize>>, SimError> {
+        let good_po = good_po_trace(circuit, source)?;
+        let mut times = vec![None; faults.len()];
+        let mut injector = Injector::new(circuit.num_nodes());
+        let mut values = vec![PackedValue::ALL_X; circuit.num_nodes()];
+        for (ci, chunk) in faults.chunks(PackedValue::LANES).enumerate() {
+            Self::run_chunk(
+                circuit,
+                source,
+                &good_po,
+                chunk,
+                &mut times[ci * PackedValue::LANES..ci * PackedValue::LANES + chunk.len()],
+                &mut injector,
+                &mut values,
+            );
+        }
+        Ok(times)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar reference engine
+// ---------------------------------------------------------------------
+
+/// The reference engine: one faulty machine at a time over the scalar
+/// three-valued algebra. Roughly 64× slower than [`PackedBackend`] on
+/// large fault lists; exists for differential testing and as the simplest
+/// possible template for new backends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScalarBackend;
+
+impl SimBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn detection_times(
+        &self,
+        circuit: &Circuit,
+        source: &dyn VectorSource,
+        faults: &[Fault],
+    ) -> Result<Vec<Option<usize>>, SimError> {
+        let good_po = good_po_trace(circuit, source)?;
+        let mut times = vec![None; faults.len()];
+        for (slot, &fault) in times.iter_mut().zip(faults) {
+            let mut first = None;
+            stream_machine(circuit, source, Some(fault), &mut |t, outs| {
+                let observable = good_po[t]
+                    .iter()
+                    .zip(outs)
+                    .any(|(g, b)| g.is_binary() && b.is_binary() && g != b);
+                if observable {
+                    first = Some(t);
+                    return false;
+                }
+                true
+            })?;
+            *slot = first;
+        }
+        Ok(times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{collapse, fault_universe};
+    use bist_expand::expansion::{Expand, ExpansionConfig};
+    use bist_expand::TestSequence;
+    use bist_netlist::benchmarks;
+
+    fn table2_t0() -> TestSequence {
+        "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap()
+    }
+
+    #[test]
+    fn scalar_matches_packed_on_s27() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let t0 = table2_t0();
+        let packed = PackedBackend.detection_times(&c, &t0, &faults).unwrap();
+        let scalar = ScalarBackend.detection_times(&c, &t0, &faults).unwrap();
+        assert_eq!(packed, scalar);
+        assert_eq!(packed.iter().filter(|t| t.is_some()).count(), 32);
+    }
+
+    #[test]
+    fn backends_agree_on_streamed_expansion() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let s: TestSequence = "1011 0100".parse().unwrap();
+        let cfg = ExpansionConfig::new(2).unwrap();
+        let stream = cfg.stream(&s);
+        let packed = PackedBackend.detection_times(&c, &stream, &faults).unwrap();
+        let scalar = ScalarBackend.detection_times(&c, &stream, &faults).unwrap();
+        assert_eq!(packed, scalar);
+        // And both equal simulating the materialized expansion.
+        let materialized = cfg.expand(&s);
+        let reference = PackedBackend.detection_times(&c, &materialized, &faults).unwrap();
+        assert_eq!(packed, reference);
+    }
+
+    #[test]
+    fn validation_shared_by_backends() {
+        let c = benchmarks::s27();
+        let bad: TestSequence = "000".parse().unwrap();
+        for backend in [&PackedBackend as &dyn SimBackend, &ScalarBackend] {
+            assert!(matches!(
+                backend.detection_times(&c, &bad, &[]),
+                Err(SimError::WidthMismatch { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn names_differ() {
+        assert_ne!(PackedBackend.name(), ScalarBackend.name());
+    }
+}

@@ -90,10 +90,7 @@ impl FaultCoverage {
 
     /// Iterates over `(fault, udet)` for the detected faults.
     pub fn detected(&self) -> impl Iterator<Item = (Fault, usize)> + '_ {
-        self.faults
-            .iter()
-            .zip(&self.times)
-            .filter_map(|(&f, &t)| t.map(|u| (f, u)))
+        self.faults.iter().zip(&self.times).filter_map(|(&f, &t)| t.map(|u| (f, u)))
     }
 
     /// Iterates over the undetected faults.
@@ -147,8 +144,7 @@ mod tests {
     #[test]
     fn detected_and_undetected_partition() {
         let faults = fake(5);
-        let cov =
-            FaultCoverage::new(faults.clone(), vec![Some(1), None, Some(2), None, Some(0)]);
+        let cov = FaultCoverage::new(faults.clone(), vec![Some(1), None, Some(2), None, Some(0)]);
         let det: Vec<Fault> = cov.detected().map(|(f, _)| f).collect();
         let undet: Vec<Fault> = cov.undetected().collect();
         assert_eq!(det.len() + undet.len(), 5);

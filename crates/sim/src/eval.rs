@@ -1,8 +1,8 @@
 //! Gate evaluation over packed three-valued values.
 
-use std::ops::Not;
 use crate::{Logic, PackedValue};
 use bist_netlist::GateKind;
+use std::ops::Not;
 
 /// Evaluates a gate over packed fanin values (all 64 lanes at once).
 ///
@@ -69,7 +69,7 @@ pub fn eval_scalar_fold(kind: GateKind, mut fanin: impl Iterator<Item = Logic>) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use Logic::{One, X, Zero};
+    use Logic::{One, Zero, X};
 
     const ALL: [Logic; 3] = [Zero, One, X];
 

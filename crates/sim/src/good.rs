@@ -1,7 +1,7 @@
 //! Fault-free (good-machine) and single-faulty-machine scalar simulation.
 
 use crate::{Fault, FaultSite, Logic, SimError};
-use bist_expand::TestSequence;
+use bist_expand::{TestSequence, VectorSource};
 use bist_netlist::{Circuit, NodeKind};
 
 /// The fault-free response of a circuit to a test sequence, starting from
@@ -61,18 +61,28 @@ pub fn simulate_faulty(
     simulate_machine(circuit, seq, Some(fault))
 }
 
-fn simulate_machine(
+/// Streams one machine (fault-free or single-fault) over a vector source,
+/// delivering the primary-output values of each time unit to `on_po`.
+/// The visitor returns `true` to continue; returning `false` stops the
+/// stream early. Returns the flip-flop state after the last simulated
+/// vector.
+///
+/// This is the scalar simulation core shared by [`simulate_good`],
+/// [`simulate_faulty`] and the scalar reference backend — it never
+/// materializes the stream.
+pub(crate) fn stream_machine(
     circuit: &Circuit,
-    seq: &TestSequence,
+    source: &dyn VectorSource,
     fault: Option<Fault>,
-) -> Result<GoodTrace, SimError> {
-    if seq.width() != circuit.num_inputs() {
+    on_po: &mut dyn FnMut(usize, &[Logic]) -> bool,
+) -> Result<Vec<Logic>, SimError> {
+    if source.width() != circuit.num_inputs() {
         return Err(SimError::WidthMismatch {
             circuit_inputs: circuit.num_inputs(),
-            sequence_width: seq.width(),
+            sequence_width: source.width(),
         });
     }
-    if seq.is_empty() {
+    if source.is_empty() {
         return Err(SimError::EmptySequence);
     }
 
@@ -105,9 +115,9 @@ fn simulate_machine(
     let n = circuit.num_nodes();
     let mut values = vec![Logic::X; n];
     let mut state = vec![Logic::X; circuit.num_dffs()];
-    let mut po = Vec::with_capacity(seq.len());
+    let mut po_scratch: Vec<Logic> = Vec::with_capacity(circuit.num_outputs());
 
-    for vector in seq {
+    source.visit(&mut |t, vector| {
         // Drive sources.
         for (i, &pi) in circuit.inputs().iter().enumerate() {
             values[pi.index()] = force_out(pi.index(), Logic::from_bool(vector.get(i)));
@@ -130,15 +140,31 @@ fn simulate_machine(
             values[gi] = force_out(gi, v);
         }
         // Observe.
-        po.push(circuit.outputs().iter().map(|&o| values[o.index()]).collect());
+        po_scratch.clear();
+        po_scratch.extend(circuit.outputs().iter().map(|&o| values[o.index()]));
+        let go_on = on_po(t, &po_scratch);
         // Clock (with D-pin injection).
         for (k, &dff) in circuit.dffs().iter().enumerate() {
             let src = circuit.node(dff).fanin()[0];
             state[k] = read(&values, dff.index(), 0, src.index());
         }
-    }
+        go_on
+    });
 
-    Ok(GoodTrace { po, final_state: state })
+    Ok(state)
+}
+
+fn simulate_machine(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    fault: Option<Fault>,
+) -> Result<GoodTrace, SimError> {
+    let mut po = Vec::with_capacity(seq.len());
+    let final_state = stream_machine(circuit, seq, fault, &mut |_, outs| {
+        po.push(outs.to_vec());
+        true
+    })?;
+    Ok(GoodTrace { po, final_state })
 }
 
 #[cfg(test)]

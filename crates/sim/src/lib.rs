@@ -11,9 +11,14 @@
 //!   collapsing. On `s27` this yields the 52 → 32 fault counts the paper
 //!   works with.
 //! * [`simulate_good`] — fault-free simulation from the all-unknown state.
-//! * [`FaultSimulator`] — the sequential fault simulator: 64 faulty
-//!   machines per pass (one per lane), fault dropping, early exit, and
-//!   first-detection-time reporting (the `udet(f)` of Procedure 1).
+//! * [`FaultSimulator`] — the sequential fault simulator facade over a
+//!   pluggable [`SimBackend`]: the default [`PackedBackend`] runs 64
+//!   faulty machines per pass (one per lane) with fault dropping and
+//!   early exit; the [`ScalarBackend`] reference engine runs one machine
+//!   at a time for differential testing. Both report first detection
+//!   times (the `udet(f)` of Procedure 1) and consume replayable
+//!   [`VectorSource`] streams, so lazily expanded sequences simulate
+//!   without materialization.
 //! * [`FaultCoverage`] — fault list + detection times bookkeeping.
 //!
 //! # Example
@@ -38,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod collapse;
 mod coverage;
 mod error;
@@ -50,6 +56,10 @@ mod simulator;
 mod stepped;
 pub mod transition;
 
+pub use backend::{PackedBackend, ScalarBackend, SimBackend};
+/// Re-exported from `bist-expand`: the replayable vector-stream trait the
+/// backends consume.
+pub use bist_expand::VectorSource;
 pub use collapse::{collapse, CollapsedFaults};
 pub use coverage::FaultCoverage;
 pub use error::SimError;

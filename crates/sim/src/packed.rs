@@ -152,7 +152,7 @@ impl fmt::Display for PackedValue {
 mod tests {
     use super::*;
     use std::ops::Not;
-    use Logic::{One, X, Zero};
+    use Logic::{One, Zero, X};
 
     const ALL: [Logic; 3] = [Zero, One, X];
 

@@ -1,120 +1,27 @@
-//! The sequential stuck-at fault simulator.
+//! The sequential stuck-at fault simulator facade.
 //!
-//! Faults are simulated 64 at a time: each lane of a [`PackedValue`]
-//! carries one faulty machine, and the fault-free machine is simulated
-//! once (scalar) as the comparison reference. Both machines start from the
-//! all-unknown state. A fault is *detected* at time unit `u` if some
-//! primary output has a binary value in the fault-free circuit and the
-//! complementary binary value in the faulty circuit at time `u` — the
-//! standard pessimistic three-valued criterion, matching the paper's
+//! [`FaultSimulator`] binds a circuit to a [`SimBackend`] engine. The
+//! default engine simulates faults 64 at a time (one faulty machine per
+//! [`PackedValue`](crate::PackedValue) lane); a scalar reference engine is
+//! available for differential testing via
+//! [`FaultSimulator::with_backend`]. A fault is *detected* at time unit
+//! `u` if some primary output has a binary value in the fault-free circuit
+//! and the complementary binary value in the faulty circuit at time `u` —
+//! the standard pessimistic three-valued criterion, matching the paper's
 //! definition of a subsequence detecting a fault from the all-unspecified
 //! state.
+//!
+//! Every query has a `*_stream` variant taking a [`VectorSource`], so the
+//! expanded sequences of the paper's scheme can be simulated straight from
+//! the lazy [`ExpansionIter`](bist_expand::ExpansionIter) without ever
+//! materializing `Sexp`.
 
-use std::ops::Not;
+use crate::backend::{PackedBackend, ScalarBackend, SimBackend};
 use crate::good::{simulate_good, GoodTrace};
-use crate::{eval, Fault, FaultSite, Logic, PackedValue, SimError};
-use bist_expand::TestSequence;
-use bist_netlist::{Circuit, NodeId, NodeKind};
-
-/// Sparse per-chunk fault injection tables, allocated once per simulator
-/// run and cleared between chunks.
-struct Injector {
-    /// Nodes with output (stem) forces in the current chunk.
-    out_touched: Vec<usize>,
-    out_forces: Vec<Vec<(usize, Logic)>>,
-    /// Nodes with input (branch) forces in the current chunk.
-    in_touched: Vec<usize>,
-    in_forces: Vec<Vec<(u32, usize, Logic)>>,
-}
-
-impl Injector {
-    fn new(num_nodes: usize) -> Self {
-        Injector {
-            out_touched: Vec::new(),
-            out_forces: vec![Vec::new(); num_nodes],
-            in_touched: Vec::new(),
-            in_forces: vec![Vec::new(); num_nodes],
-        }
-    }
-
-    fn clear(&mut self) {
-        for &i in &self.out_touched {
-            self.out_forces[i].clear();
-        }
-        for &i in &self.in_touched {
-            self.in_forces[i].clear();
-        }
-        self.out_touched.clear();
-        self.in_touched.clear();
-    }
-
-    fn load(&mut self, chunk: &[Fault]) {
-        self.clear();
-        for (lane, fault) in chunk.iter().enumerate() {
-            let forced = Logic::from_bool(fault.stuck);
-            match fault.site {
-                FaultSite::Output(node) => {
-                    let i = node.index();
-                    if self.out_forces[i].is_empty() {
-                        self.out_touched.push(i);
-                    }
-                    self.out_forces[i].push((lane, forced));
-                }
-                FaultSite::Input { node, pin } => {
-                    let i = node.index();
-                    if self.in_forces[i].is_empty() {
-                        self.in_touched.push(i);
-                    }
-                    self.in_forces[i].push((pin, lane, forced));
-                }
-            }
-        }
-    }
-
-    #[inline]
-    fn force_output(&self, node: usize, mut value: PackedValue) -> PackedValue {
-        for &(lane, forced) in &self.out_forces[node] {
-            value.set_lane(lane, forced);
-        }
-        value
-    }
-
-    #[inline]
-    fn has_input_forces(&self, node: usize) -> bool {
-        !self.in_forces[node].is_empty()
-    }
-
-    /// Value of `node`'s fanin `pin` as seen by the gate, with branch
-    /// forces applied.
-    #[inline]
-    fn forced_input(&self, node: usize, pin: u32, mut value: PackedValue) -> PackedValue {
-        for &(p, lane, forced) in &self.in_forces[node] {
-            if p == pin {
-                value.set_lane(lane, forced);
-            }
-        }
-        value
-    }
-}
-
-/// Packed gate evaluation reading straight from the value table
-/// (allocation-free fast path).
-#[inline]
-fn eval_fold(values: &[PackedValue], fanin: &[NodeId], kind: bist_netlist::GateKind) -> PackedValue {
-    use bist_netlist::GateKind;
-    let first = values[fanin[0].index()];
-    let rest = fanin[1..].iter().map(|f| values[f.index()]);
-    match kind {
-        GateKind::Buf => first,
-        GateKind::Not => first.not(),
-        GateKind::And => rest.fold(first, PackedValue::and),
-        GateKind::Nand => rest.fold(first, PackedValue::and).not(),
-        GateKind::Or => rest.fold(first, PackedValue::or),
-        GateKind::Nor => rest.fold(first, PackedValue::or).not(),
-        GateKind::Xor => rest.fold(first, PackedValue::xor),
-        GateKind::Xnor => rest.fold(first, PackedValue::xor).not(),
-    }
-}
+use crate::{Fault, SimError};
+use bist_expand::{TestSequence, VectorSource};
+use bist_netlist::Circuit;
+use std::sync::Arc;
 
 /// Sequential stuck-at fault simulator for one circuit.
 ///
@@ -138,19 +45,40 @@ fn eval_fold(values: &[PackedValue], fanin: &[NodeId], kind: bist_netlist::GateK
 #[derive(Debug, Clone)]
 pub struct FaultSimulator<'c> {
     circuit: &'c Circuit,
+    backend: Arc<dyn SimBackend>,
 }
 
 impl<'c> FaultSimulator<'c> {
-    /// Creates a simulator bound to `circuit`.
+    /// Creates a simulator bound to `circuit` with the default 64-lane
+    /// packed engine.
     #[must_use]
     pub fn new(circuit: &'c Circuit) -> Self {
-        FaultSimulator { circuit }
+        FaultSimulator::with_backend(circuit, Arc::new(PackedBackend))
+    }
+
+    /// Creates a simulator using the scalar reference engine (one faulty
+    /// machine at a time) — for differential testing.
+    #[must_use]
+    pub fn scalar(circuit: &'c Circuit) -> Self {
+        FaultSimulator::with_backend(circuit, Arc::new(ScalarBackend))
+    }
+
+    /// Creates a simulator with an explicit engine.
+    #[must_use]
+    pub fn with_backend(circuit: &'c Circuit, backend: Arc<dyn SimBackend>) -> Self {
+        FaultSimulator { circuit, backend }
     }
 
     /// The simulated circuit.
     #[must_use]
     pub fn circuit(&self) -> &'c Circuit {
         self.circuit
+    }
+
+    /// The engine behind this simulator.
+    #[must_use]
+    pub fn backend(&self) -> &dyn SimBackend {
+        &*self.backend
     }
 
     /// Fault-free simulation (see [`simulate_good`]).
@@ -163,8 +91,7 @@ impl<'c> FaultSimulator<'c> {
     }
 
     /// First detection time of every fault in `faults` under `seq`, or
-    /// `None` if undetected. Faults are simulated 64 per pass with early
-    /// exit once every fault in a pass is detected.
+    /// `None` if undetected.
     ///
     /// # Errors
     ///
@@ -174,21 +101,21 @@ impl<'c> FaultSimulator<'c> {
         seq: &TestSequence,
         faults: &[Fault],
     ) -> Result<Vec<Option<usize>>, SimError> {
-        let good = self.good(seq)?;
-        let mut times = vec![None; faults.len()];
-        let mut injector = Injector::new(self.circuit.num_nodes());
-        let mut values = vec![PackedValue::ALL_X; self.circuit.num_nodes()];
-        for (ci, chunk) in faults.chunks(PackedValue::LANES).enumerate() {
-            self.run_chunk(
-                seq,
-                &good,
-                chunk,
-                &mut times[ci * PackedValue::LANES..ci * PackedValue::LANES + chunk.len()],
-                &mut injector,
-                &mut values,
-            );
-        }
-        Ok(times)
+        self.detection_times_stream(seq, faults)
+    }
+
+    /// [`detection_times`](Self::detection_times) over any replayable
+    /// vector stream — e.g. a lazy expansion — without materializing it.
+    ///
+    /// # Errors
+    ///
+    /// Width mismatch / empty stream.
+    pub fn detection_times_stream(
+        &self,
+        source: &dyn VectorSource,
+        faults: &[Fault],
+    ) -> Result<Vec<Option<usize>>, SimError> {
+        self.backend.detection_times(self.circuit, source, faults)
     }
 
     /// First detection time of a single fault (early exit at detection).
@@ -213,87 +140,18 @@ impl<'c> FaultSimulator<'c> {
         Ok(self.first_detection(seq, fault)?.is_some())
     }
 
-    fn run_chunk(
+    /// Whether the vector stream detects `fault` (early exit at
+    /// detection), without materializing the stream.
+    ///
+    /// # Errors
+    ///
+    /// Width mismatch / empty stream.
+    pub fn detects_stream(
         &self,
-        seq: &TestSequence,
-        good: &GoodTrace,
-        chunk: &[Fault],
-        times: &mut [Option<usize>],
-        injector: &mut Injector,
-        values: &mut [PackedValue],
-    ) {
-        let circuit = self.circuit;
-        injector.load(chunk);
-        values.fill(PackedValue::ALL_X);
-
-        let used: u64 = if chunk.len() == PackedValue::LANES {
-            u64::MAX
-        } else {
-            (1u64 << chunk.len()) - 1
-        };
-        let mut undetected = used;
-        let mut state = vec![PackedValue::ALL_X; circuit.num_dffs()];
-        let mut scratch: Vec<PackedValue> = Vec::new();
-
-        for (t, vector) in seq.iter().enumerate() {
-            // Drive primary inputs (with stem forces: a stuck PI is stuck
-            // every cycle).
-            for (i, &pi) in circuit.inputs().iter().enumerate() {
-                let v = PackedValue::splat(Logic::from_bool(vector.get(i)));
-                values[pi.index()] = injector.force_output(pi.index(), v);
-            }
-            // Present state.
-            for (k, &dff) in circuit.dffs().iter().enumerate() {
-                values[dff.index()] = injector.force_output(dff.index(), state[k]);
-            }
-            // Combinational sweep.
-            for &g in circuit.eval_order() {
-                let node = circuit.node(g);
-                let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
-                let gi = g.index();
-                let v = if injector.has_input_forces(gi) {
-                    scratch.clear();
-                    for (pin, &f) in node.fanin().iter().enumerate() {
-                        scratch.push(injector.forced_input(gi, pin as u32, values[f.index()]));
-                    }
-                    eval::eval_gate(*kind, &scratch)
-                } else {
-                    eval_fold(values, node.fanin(), *kind)
-                };
-                values[gi] = injector.force_output(gi, v);
-            }
-            // Compare primary outputs against the good machine.
-            for (oi, &o) in circuit.outputs().iter().enumerate() {
-                let diff = match good.po[t][oi] {
-                    Logic::One => values[o.index()].zeros,
-                    Logic::Zero => values[o.index()].ones,
-                    Logic::X => continue,
-                };
-                let newly = diff & undetected;
-                if newly != 0 {
-                    let mut bits = newly;
-                    while bits != 0 {
-                        let lane = bits.trailing_zeros() as usize;
-                        times[lane] = Some(t);
-                        bits &= bits - 1;
-                    }
-                    undetected &= !newly;
-                }
-            }
-            if undetected == 0 {
-                break;
-            }
-            // Clock: latch next state (with D-pin branch forces).
-            for (k, &dff) in circuit.dffs().iter().enumerate() {
-                let di = dff.index();
-                let src = circuit.node(dff).fanin()[0];
-                let mut v = values[src.index()];
-                if injector.has_input_forces(di) {
-                    v = injector.forced_input(di, 0, v);
-                }
-                state[k] = v;
-            }
-        }
+        source: &dyn VectorSource,
+        fault: Fault,
+    ) -> Result<bool, SimError> {
+        Ok(self.detection_times_stream(source, &[fault])?[0].is_some())
     }
 }
 
@@ -301,6 +159,7 @@ impl<'c> FaultSimulator<'c> {
 mod tests {
     use super::*;
     use crate::{collapse, fault_universe};
+    use bist_expand::expansion::{Expand, ExpansionConfig};
     use bist_netlist::benchmarks;
 
     fn seq(s: &str) -> TestSequence {
@@ -413,11 +272,37 @@ mod tests {
     }
 
     #[test]
+    fn scalar_backend_matches_packed_backend_times() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let packed = FaultSimulator::new(&c);
+        let scalar = FaultSimulator::scalar(&c);
+        assert_ne!(packed.backend().name(), scalar.backend().name());
+        let t0 = table2_t0();
+        assert_eq!(
+            packed.detection_times(&t0, &faults).unwrap(),
+            scalar.detection_times(&t0, &faults).unwrap()
+        );
+    }
+
+    #[test]
+    fn streamed_expansion_matches_materialized() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let sim = FaultSimulator::new(&c);
+        let s = seq("1011 0100 0111");
+        let cfg = ExpansionConfig::new(2).unwrap();
+        let streamed = sim.detection_times_stream(&cfg.stream(&s), &faults).unwrap();
+        let materialized = sim.detection_times(&cfg.expand(&s), &faults).unwrap();
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
     fn more_than_64_faults_chunk_correctly() {
         let c = benchmarks::s27();
         let universe = fault_universe(&c); // 52 faults
-        // Duplicate the universe to exceed one chunk; duplicated faults
-        // must get identical times.
+                                           // Duplicate the universe to exceed one chunk; duplicated faults
+                                           // must get identical times.
         let mut doubled = universe.clone();
         doubled.extend(universe.iter().copied());
         let sim = FaultSimulator::new(&c);

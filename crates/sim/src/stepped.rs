@@ -137,8 +137,7 @@ impl<'c> SteppedSim<'c> {
             );
             self.values[gi] = force_out(gi, v);
         }
-        let outputs =
-            circuit.outputs().iter().map(|&o| self.values[o.index()]).collect();
+        let outputs = circuit.outputs().iter().map(|&o| self.values[o.index()]).collect();
         for (k, &dff) in circuit.dffs().iter().enumerate() {
             let src = circuit.node(dff).fanin()[0];
             self.state[k] = match in_force {

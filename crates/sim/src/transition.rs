@@ -111,14 +111,10 @@ pub fn detects_transition(
         for &g in circuit.eval_order() {
             let node = circuit.node(g);
             let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
-            gval[g.index()] = eval::eval_scalar_fold(
-                *kind,
-                node.fanin().iter().map(|&f| gval[f.index()]),
-            );
-            let computed = eval::eval_scalar_fold(
-                *kind,
-                node.fanin().iter().map(|&f| bval[f.index()]),
-            );
+            gval[g.index()] =
+                eval::eval_scalar_fold(*kind, node.fanin().iter().map(|&f| gval[f.index()]));
+            let computed =
+                eval::eval_scalar_fold(*kind, node.fanin().iter().map(|&f| bval[f.index()]));
             bval[g.index()] = if g.index() == fi {
                 let out = delayed(prev_at_fault, computed, fault.slow_to_rise);
                 prev_at_fault = computed;

@@ -1,47 +1,50 @@
-//! Property-based tests of the simulation engines on random circuits and
-//! sequences.
+//! Property-based tests of the simulation engines on seeded random
+//! circuits and sequences, including the packed-vs-scalar backend
+//! differential.
 
 use bist_expand::{TestSequence, TestVector};
 use bist_netlist::generate::GeneratorSpec;
 use bist_netlist::Circuit;
 use bist_sim::{
-    collapse, fault_universe, simulate_faulty, simulate_good, FaultSimulator, Logic,
-    PackedValue,
+    collapse, fault_universe, simulate_faulty, simulate_good, FaultSimulator, Logic, PackedValue,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn circuit_and_sequence() -> impl Strategy<Value = (Circuit, TestSequence)> {
-    (1usize..=6, 0usize..=6, 4usize..=40, any::<u64>(), 1usize..=24).prop_flat_map(
-        |(pis, ffs, gates, seed, len)| {
-            let c = GeneratorSpec::new("sim-prop")
-                .inputs(pis)
-                .outputs(2)
-                .dffs(ffs)
-                .gates(gates)
-                .seed(seed)
-                .build()
-                .expect("valid spec");
-            let width = c.num_inputs();
-            proptest::collection::vec(proptest::collection::vec(any::<bool>(), width), len)
-                .prop_map(move |rows| {
-                    let seq = TestSequence::from_vectors(
-                        rows.iter().map(|b| TestVector::from_bits(b)).collect(),
-                    )
-                    .expect("uniform");
-                    (c.clone(), seq)
-                })
-        },
+const CASES: usize = 48;
+
+fn random_circuit_and_sequence(rng: &mut StdRng) -> (Circuit, TestSequence) {
+    let c = GeneratorSpec::new("sim-prop")
+        .inputs(rng.gen_range(1usize..=6))
+        .outputs(2)
+        .dffs(rng.gen_range(0usize..=6))
+        .gates(rng.gen_range(4usize..=40))
+        .seed(rng.gen::<u64>())
+        .build()
+        .expect("valid spec");
+    let width = c.num_inputs();
+    let len = rng.gen_range(1usize..=24);
+    let seq = TestSequence::from_vectors(
+        (0..len).map(|_| TestVector::from_fn(width, |_| rng.gen_bool(0.5))).collect(),
     )
+    .expect("uniform");
+    (c, seq)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn for_each_case(mut f: impl FnMut(&mut StdRng, Circuit, TestSequence)) {
+    let mut rng = StdRng::seed_from_u64(0x51b_ca5e5);
+    for _ in 0..CASES {
+        let (c, seq) = random_circuit_and_sequence(&mut rng);
+        f(&mut rng, c, seq);
+    }
+}
 
-    /// The packed parallel engine must agree with per-fault scalar
-    /// simulation: a fault is detected at time u iff the scalar good and
-    /// faulty traces first differ (both binary) at time u.
-    #[test]
-    fn parallel_engine_matches_scalar_traces((c, seq) in circuit_and_sequence()) {
+/// The packed parallel engine must agree with per-fault scalar
+/// simulation: a fault is detected at time u iff the scalar good and
+/// faulty traces first differ (both binary) at time u.
+#[test]
+fn parallel_engine_matches_scalar_traces() {
+    for_each_case(|_, c, seq| {
         let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
         let sim = FaultSimulator::new(&c);
         let times = sim.detection_times(&seq, &faults).unwrap();
@@ -50,19 +53,36 @@ proptest! {
         for (i, &fault) in faults.iter().enumerate().step_by(7) {
             let bad = simulate_faulty(&c, &seq, fault).unwrap();
             let scalar_first = (0..seq.len()).find(|&u| {
-                good.po[u].iter().zip(&bad.po[u]).any(|(g, b)| {
-                    g.is_binary() && b.is_binary() && g != b
-                })
+                good.po[u]
+                    .iter()
+                    .zip(&bad.po[u])
+                    .any(|(g, b)| g.is_binary() && b.is_binary() && g != b)
             });
-            prop_assert_eq!(times[i], scalar_first, "fault {}", fault.describe(&c));
+            assert_eq!(times[i], scalar_first, "fault {}", fault.describe(&c));
         }
-    }
+    });
+}
 
-    /// Detection times never exceed the sequence length and coverage is
-    /// monotone under sequence extension.
-    #[test]
-    fn coverage_monotone_in_sequence_length((c, seq) in circuit_and_sequence()) {
-        prop_assume!(seq.len() >= 2);
+/// The scalar backend is a drop-in engine: identical detection times to
+/// the packed backend on the full collapsed fault list of any circuit.
+#[test]
+fn scalar_backend_matches_packed_backend() {
+    for_each_case(|_, c, seq| {
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let packed = FaultSimulator::new(&c).detection_times(&seq, &faults).unwrap();
+        let scalar = FaultSimulator::scalar(&c).detection_times(&seq, &faults).unwrap();
+        assert_eq!(packed, scalar, "backends diverge on {}", c.name());
+    });
+}
+
+/// Detection times never exceed the sequence length and coverage is
+/// monotone under sequence extension.
+#[test]
+fn coverage_monotone_in_sequence_length() {
+    for_each_case(|_, c, seq| {
+        if seq.len() < 2 {
+            return;
+        }
         let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
         let sim = FaultSimulator::new(&c);
         let half = seq.subsequence(0, seq.len() / 2 - 1);
@@ -71,18 +91,20 @@ proptest! {
         for (h, f) in t_half.iter().zip(&t_full) {
             if let Some(u) = h {
                 // A prefix detection persists with the same time.
-                prop_assert_eq!(*f, Some(*u));
+                assert_eq!(*f, Some(*u));
             }
             if let Some(u) = f {
-                prop_assert!(*u < seq.len());
+                assert!(*u < seq.len());
             }
         }
-    }
+    });
+}
 
-    /// Equivalent (collapsed-together) faults have identical detection
-    /// times under any sequence.
-    #[test]
-    fn equivalent_faults_detected_together((c, seq) in circuit_and_sequence()) {
+/// Equivalent (collapsed-together) faults have identical detection
+/// times under any sequence.
+#[test]
+fn equivalent_faults_detected_together() {
+    for_each_case(|_, c, seq| {
         let universe = fault_universe(&c);
         let collapsed = collapse(&c, &universe);
         let sim = FaultSimulator::new(&c);
@@ -92,51 +114,64 @@ proptest! {
         for (i, &f) in universe.iter().enumerate().step_by(3) {
             let rep = collapsed.representative_of(f).unwrap();
             match class_time.entry(rep) {
-                std::collections::hash_map::Entry::Vacant(e) => { e.insert(times[i]); }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(times[i]);
+                }
                 std::collections::hash_map::Entry::Occupied(e) => {
-                    prop_assert_eq!(*e.get(), times[i],
-                        "fault {} disagrees with its class", f.describe(&c));
+                    assert_eq!(
+                        *e.get(),
+                        times[i],
+                        "fault {} disagrees with its class",
+                        f.describe(&c)
+                    );
                 }
             }
         }
-    }
+    });
+}
 
-    /// The good machine is deterministic and X-monotone: a PO that is
-    /// binary never depends on how many leading vectors were simulated.
-    #[test]
-    fn good_simulation_prefix_consistent((c, seq) in circuit_and_sequence()) {
-        prop_assume!(seq.len() >= 2);
+/// The good machine is deterministic and X-monotone: a PO that is
+/// binary never depends on how many leading vectors were simulated.
+#[test]
+fn good_simulation_prefix_consistent() {
+    for_each_case(|_, c, seq| {
+        if seq.len() < 2 {
+            return;
+        }
         let full = simulate_good(&c, &seq).unwrap();
         let prefix = simulate_good(&c, &seq.subsequence(0, seq.len() - 2)).unwrap();
         for u in 0..prefix.len() {
-            prop_assert_eq!(&full.po[u], &prefix.po[u]);
+            assert_eq!(&full.po[u], &prefix.po[u]);
         }
-    }
+    });
 }
 
-proptest! {
-    /// Packed three-valued algebra agrees with scalar algebra lane-wise.
-    #[test]
-    fn packed_algebra_matches_scalar(
-        a in proptest::collection::vec(0u8..3, 64),
-        b in proptest::collection::vec(0u8..3, 64),
-    ) {
-        let to_logic = |x: u8| match x { 0 => Logic::Zero, 1 => Logic::One, _ => Logic::X };
+/// Packed three-valued algebra agrees with scalar algebra lane-wise.
+#[test]
+fn packed_algebra_matches_scalar() {
+    let mut rng = StdRng::seed_from_u64(64);
+    let to_logic = |x: u64| match x % 3 {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        _ => Logic::X,
+    };
+    for _ in 0..256 {
+        let a: Vec<Logic> = (0..64).map(|_| to_logic(rng.gen::<u64>())).collect();
+        let b: Vec<Logic> = (0..64).map(|_| to_logic(rng.gen::<u64>())).collect();
         let mut pa = PackedValue::ALL_X;
         let mut pb = PackedValue::ALL_X;
         for i in 0..64 {
-            pa.set_lane(i, to_logic(a[i]));
-            pb.set_lane(i, to_logic(b[i]));
+            pa.set_lane(i, a[i]);
+            pb.set_lane(i, b[i]);
         }
         let and = pa.and(pb);
         let or = pa.or(pb);
         let xor = pa.xor(pb);
-        prop_assert!(and.is_valid() && or.is_valid() && xor.is_valid());
+        assert!(and.is_valid() && or.is_valid() && xor.is_valid());
         for i in 0..64 {
-            let (la, lb) = (to_logic(a[i]), to_logic(b[i]));
-            prop_assert_eq!(and.lane(i), la.and(lb));
-            prop_assert_eq!(or.lane(i), la.or(lb));
-            prop_assert_eq!(xor.lane(i), la.xor(lb));
+            assert_eq!(and.lane(i), a[i].and(b[i]));
+            assert_eq!(or.lane(i), a[i].or(b[i]));
+            assert_eq!(xor.lane(i), a[i].xor(b[i]));
         }
     }
 }

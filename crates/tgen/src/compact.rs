@@ -179,12 +179,7 @@ mod tests {
 
     #[test]
     fn reduction_statistic() {
-        let stats = CompactionStats {
-            sequence: seq("01"),
-            original_len: 4,
-            removed: 3,
-            trials: 9,
-        };
+        let stats = CompactionStats { sequence: seq("01"), original_len: 4, removed: 3, trials: 9 };
         assert!((stats.reduction() - 0.75).abs() < 1e-12);
     }
 }

@@ -149,15 +149,16 @@ mod tests {
 
     #[test]
     fn covers_synthetic_circuit_reasonably() {
-        let c = GeneratorSpec::new("cov").inputs(5).outputs(4).dffs(6).gates(60).seed(2)
+        let c = GeneratorSpec::new("cov")
+            .inputs(5)
+            .outputs(4)
+            .dffs(6)
+            .gates(60)
+            .seed(2)
             .build()
             .unwrap();
         let t0 = generate_t0(&c, &TgenConfig::new().seed(5)).unwrap();
-        assert!(
-            t0.coverage.fraction() > 0.5,
-            "coverage too low: {:.2}",
-            t0.coverage.fraction()
-        );
+        assert!(t0.coverage.fraction() > 0.5, "coverage too low: {:.2}", t0.coverage.fraction());
     }
 
     #[test]

@@ -170,11 +170,7 @@ mod tests {
     fn random_sequence_holds() {
         let mut src = RandomSequence::new(6, 0.95, 3);
         let burst = src.burst(50);
-        let repeats = burst
-            .vectors()
-            .windows(2)
-            .filter(|w| w[0] == w[1])
-            .count();
+        let repeats = burst.vectors().windows(2).filter(|w| w[0] == w[1]).count();
         assert!(repeats > 25, "hold probability should produce many repeats, got {repeats}");
     }
 

@@ -11,44 +11,31 @@
 //! cargo run --release --example baselines [circuit]
 //! ```
 
-use subseq_bist::core::{
-    lfsr_hold_baseline, partition_baseline, run_scheme, SchemeConfig,
-};
-use subseq_bist::netlist::benchmarks::suite;
+use subseq_bist::core::{lfsr_hold_baseline, partition_baseline};
 use subseq_bist::sim::FaultSimulator;
-use subseq_bist::tgen::{generate_t0, TgenConfig};
+use subseq_bist::{BistError, Session};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), BistError> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "a298".to_string());
-    let entries = suite();
-    let entry = entries
-        .iter()
-        .find(|e| e.name == name)
-        .ok_or_else(|| format!("unknown circuit `{name}`"))?;
-    let circuit = entry.build()?;
+
+    // The scheme, via one Session run.
+    let report = Session::builder().suite_circuit(&name).seed(1999).run()?;
+    let circuit = report.circuit();
     println!("circuit: {circuit}\n");
 
-    let t0 = generate_t0(&circuit, &TgenConfig::new().seed(1999))?;
-    let detected: Vec<_> = t0.coverage.detected().map(|(f, _)| f).collect();
-    println!(
-        "T0: {} vectors, F = {} detected faults",
-        t0.sequence.len(),
-        detected.len()
-    );
+    let detected: Vec<_> = report.coverage().detected().map(|(f, _)| f).collect();
+    println!("T0: {} vectors, F = {} detected faults", report.t0().len(), detected.len());
 
-    let sim = FaultSimulator::new(&circuit);
-
-    // The scheme.
-    let scheme = run_scheme(&sim, &t0.sequence, &t0.coverage, &SchemeConfig::new())?;
-    let best = scheme.best_run();
+    let best = report.best();
     println!("\n== proposed scheme (n = {}) ==", best.n);
     println!("  loaded vectors : {}", best.after.total_len);
     println!("  memory depth   : {}", best.after.max_len);
     println!("  applied length : {}", best.applied_test_len());
-    println!("  coverage of F  : guaranteed (verified by construction)");
+    println!("  coverage of F  : guaranteed (verified: {:?})", report.verified());
 
     // Partition baseline.
-    let part = partition_baseline(&sim, &t0.sequence, &detected, 32)?;
+    let sim = FaultSimulator::new(circuit);
+    let part = partition_baseline(&sim, report.t0(), &detected, 32)?;
     println!("\n== partition T0 into blocks and load each ==");
     println!("  loaded vectors : {} (always |T0|)", part.total_len);
     println!("  memory depth   : {} ({} blocks)", part.max_len, part.blocks);
@@ -72,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nsummary: the scheme loads {:.0}% of T0 with a {}-deep memory while keeping\n\
          the coverage guarantee; partitioning loads 100%; the LFSR loads nothing but\n\
          leaves {:.1}% of F undetected at the same applied length.",
-        100.0 * best.after.total_len as f64 / t0.sequence.len() as f64,
+        100.0 * report.loaded_fraction(),
         best.after.max_len,
         100.0 * (1.0 - lfsr.fraction())
     );

@@ -1,5 +1,6 @@
 //! Using the library on your own circuit: parse an ISCAS-89 `.bench`
-//! netlist, run the scheme, and size the on-chip test hardware.
+//! netlist, run the scheme through [`Session`], and size the on-chip test
+//! hardware.
 //!
 //! ```text
 //! cargo run --release --example custom_circuit [path/to/circuit.bench]
@@ -7,11 +8,8 @@
 //!
 //! Without an argument, a built-in Gray-code counter netlist is used.
 
-use subseq_bist::core::{monolithic_cost, run_scheme, scheme_cost, SchemeConfig};
 use subseq_bist::expand::encoding::RleSequence;
-use subseq_bist::netlist::parser::parse_bench;
-use subseq_bist::sim::FaultSimulator;
-use subseq_bist::tgen::{generate_t0, TgenConfig};
+use subseq_bist::{BistError, Session};
 
 /// A 3-bit Gray-code counter with enable and synchronous clear — the kind
 /// of small control logic the paper's scheme targets.
@@ -41,38 +39,30 @@ n2    = XOR(g2, up2)
 d2    = AND(n2, nclr)
 ";
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let circuit = match std::env::args().nth(1) {
-        Some(path) => {
-            let text = std::fs::read_to_string(&path)?;
-            let name = path.rsplit('/').next().unwrap_or(&path).trim_end_matches(".bench");
-            parse_bench(name.to_string(), &text)?
-        }
-        None => parse_bench("gray3", GRAY_COUNTER)?,
+fn main() -> Result<(), BistError> {
+    let builder = match std::env::args().nth(1) {
+        Some(path) => Session::builder().bench_file(path),
+        None => Session::builder().bench("gray3", GRAY_COUNTER),
     };
-    println!("circuit: {circuit}");
+    let report = builder.seed(2024).run()?;
+    println!("circuit: {}", report.circuit());
 
-    let t0 = generate_t0(&circuit, &TgenConfig::new().seed(2024))?;
     println!(
         "T0: {} vectors, coverage {}/{} ({:.1}%)",
-        t0.sequence.len(),
-        t0.coverage.detected_count(),
-        t0.coverage.total(),
-        100.0 * t0.coverage.fraction()
+        report.t0().len(),
+        report.coverage().detected_count(),
+        report.faults_total(),
+        100.0 * report.coverage().fraction()
     );
 
-    let sim = FaultSimulator::new(&circuit);
-    let scheme = run_scheme(&sim, &t0.sequence, &t0.coverage, &SchemeConfig::new())?;
-    let best = scheme.best_run();
+    let best = report.best();
     println!(
         "\nscheme: n = {}, |S| = {}, tot len = {}, max len = {}",
         best.n, best.after.count, best.after.total_len, best.after.max_len
     );
 
     // Hardware sizing: the paper's memory argument, in numbers.
-    let width = circuit.num_inputs();
-    let ours = scheme_cost(best.after.max_len.max(1), width, best.n);
-    let mono = monolithic_cost(t0.sequence.len(), width);
+    let (ours, mono) = report.memory_costs();
     println!("\non-chip cost comparison:");
     println!(
         "  store whole T0 : {} memory bits + {} counter bits",
@@ -84,20 +74,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ours.addr_counter_bits + ours.rep_counter_bits + ours.phase_bits,
         ours.mux_count
     );
-    println!(
-        "  memory saving  : {:.1}x",
-        mono.data_bits as f64 / ours.data_bits as f64
-    );
+    println!("  memory saving  : {:.1}x", mono.data_bits as f64 / ours.data_bits as f64);
 
     // Extension (paper §1, ref [5]): run-length encoding can shrink the
     // memory further if at-speed application is relaxed.
-    let rle = RleSequence::encode(&t0.sequence);
+    let rle = RleSequence::encode(report.t0());
     println!("\nencoding extension (at-speed relaxed):");
     println!(
         "  RLE of T0      : {} runs, {} bits vs {} raw ({:.0}% of raw)",
         rle.runs(),
         rle.storage_bits(),
-        t0.sequence.storage_bits(),
+        report.t0().storage_bits(),
         100.0 * rle.ratio()
     );
     Ok(())

@@ -16,8 +16,9 @@ use subseq_bist::expand::expansion::ExpansionConfig;
 use subseq_bist::expand::TestSequence;
 use subseq_bist::netlist::benchmarks;
 use subseq_bist::sim::{collapse, fault_universe, FaultCoverage, FaultSimulator};
+use subseq_bist::BistError;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), BistError> {
     let circuit = benchmarks::s27();
     // The exact sequence of the paper's Table 2.
     let t0: TestSequence = "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse()?;

@@ -1,37 +1,28 @@
 //! Quickstart: run the full scheme on the paper's worked example (`s27`)
-//! and print the quantities the paper reports.
+//! and print the quantities the paper reports — all through [`Session`].
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use subseq_bist::core::{run_scheme, verify_full_coverage, SchemeConfig};
-use subseq_bist::expand::expansion::ExpansionConfig;
-use subseq_bist::netlist::benchmarks;
-use subseq_bist::sim::{collapse, fault_universe, FaultSimulator};
-use subseq_bist::tgen::{generate_t0, TgenConfig};
+use subseq_bist::{BistError, Session};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // The paper's worked example circuit: 4 inputs, 3 flip-flops, 1 output.
-    let circuit = benchmarks::s27();
-    println!("circuit: {circuit}");
+fn main() -> Result<(), BistError> {
+    // The paper's worked example circuit: 4 inputs, 3 flip-flops, 1
+    // output. T0 generation, fault collapsing, the n ∈ {2,4,8,16} sweep,
+    // compaction and verification all happen inside `run`.
+    let report = Session::builder().s27().seed(1999).run()?;
 
-    let faults = collapse(&circuit, &fault_universe(&circuit)).representatives().to_vec();
-    println!("collapsed stuck-at faults: {}", faults.len());
-
-    // Off-chip test generation (substitute for STRATEGATE + compaction).
-    let t0 = generate_t0(&circuit, &TgenConfig::new().seed(1999))?;
+    println!("circuit: {}", report.circuit());
+    println!("collapsed stuck-at faults: {}", report.faults_total());
     println!(
         "T0: {} vectors, detects {}/{} faults",
-        t0.sequence.len(),
-        t0.coverage.detected_count(),
-        t0.coverage.total()
+        report.t0().len(),
+        report.coverage().detected_count(),
+        report.faults_total()
     );
 
-    // The scheme: select subsequences, sweep n in {2,4,8,16}, compact.
-    let sim = FaultSimulator::new(&circuit);
-    let result = run_scheme(&sim, &t0.sequence, &t0.coverage, &SchemeConfig::new().seed(1999))?;
-    let best = result.best_run();
+    let best = report.best();
     println!("\nbest n = {}", best.n);
     println!(
         "before compaction: |S| = {}, tot len = {}, max len = {}",
@@ -44,20 +35,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "loaded vectors: {} of {} in T0 ({:.0}%), applied at speed: {}",
         best.after.total_len,
-        t0.sequence.len(),
-        100.0 * best.after.total_len as f64 / t0.sequence.len() as f64,
+        report.t0().len(),
+        100.0 * report.loaded_fraction(),
         best.applied_test_len()
     );
 
-    // The paper's central guarantee, checked explicitly.
-    let detected: Vec<_> = t0.coverage.detected().map(|(f, _)| f).collect();
-    let ok = verify_full_coverage(
-        &sim,
-        &best.sequences,
-        &ExpansionConfig::new(best.n)?,
-        &detected,
-    )?;
-    println!("\nexpanded subsequences cover every fault T0 detects: {ok}");
-    assert!(ok);
+    // The paper's central guarantee, checked by the session itself via
+    // the streaming expansion path.
+    println!(
+        "\nexpanded subsequences cover every fault T0 detects: {}",
+        report.verified().expect("verification is on by default")
+    );
+    assert_eq!(report.verified(), Some(true));
     Ok(())
 }

@@ -1,0 +1,106 @@
+//! The workspace-wide error type.
+//!
+//! Each crate keeps its own precise error enum (`NetlistError`,
+//! `SimError`, `ExpandError`); [`BistError`] unifies them at the facade
+//! boundary so that applications — the [`Session`](crate::Session)
+//! pipeline, examples, benchmark binaries — handle one type instead of
+//! `Box<dyn Error>` plumbing.
+
+use bist_expand::ExpandError;
+use bist_netlist::NetlistError;
+use bist_sim::SimError;
+use std::fmt;
+
+/// Any error the `subseq-bist` pipeline can produce.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BistError {
+    /// Circuit construction or `.bench` parsing failed.
+    Netlist(NetlistError),
+    /// Simulation rejected its input (width mismatch, empty sequence).
+    Sim(SimError),
+    /// Sequence construction or expansion configuration failed.
+    Expand(ExpandError),
+    /// Reading a circuit file failed.
+    Io(std::io::Error),
+    /// A [`Session`](crate::Session) was configured inconsistently.
+    Config(String),
+}
+
+impl fmt::Display for BistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BistError::Netlist(e) => write!(f, "netlist error: {e}"),
+            BistError::Sim(e) => write!(f, "simulation error: {e}"),
+            BistError::Expand(e) => write!(f, "expansion error: {e}"),
+            BistError::Io(e) => write!(f, "i/o error: {e}"),
+            BistError::Config(msg) => write!(f, "session configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BistError::Netlist(e) => Some(e),
+            BistError::Sim(e) => Some(e),
+            BistError::Expand(e) => Some(e),
+            BistError::Io(e) => Some(e),
+            BistError::Config(_) => None,
+        }
+    }
+}
+
+impl From<NetlistError> for BistError {
+    fn from(e: NetlistError) -> Self {
+        BistError::Netlist(e)
+    }
+}
+
+impl From<SimError> for BistError {
+    fn from(e: SimError) -> Self {
+        BistError::Sim(e)
+    }
+}
+
+impl From<ExpandError> for BistError {
+    fn from(e: ExpandError) -> Self {
+        BistError::Expand(e)
+    }
+}
+
+impl From<std::io::Error> for BistError {
+    fn from(e: std::io::Error) -> Self {
+        BistError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e: BistError = SimError::EmptySequence.into();
+        assert!(e.to_string().contains("simulation"));
+        assert!(e.source().is_some());
+        let c = BistError::Config("bad".into());
+        assert!(c.source().is_none());
+        assert!(c.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn from_conversions() {
+        fn takes(_: BistError) {}
+        takes(NetlistError::NoInputs.into());
+        takes(ExpandError::Empty.into());
+        takes(std::io::Error::new(std::io::ErrorKind::NotFound, "x").into());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<BistError>();
+    }
+}

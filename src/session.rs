@@ -1,0 +1,611 @@
+//! The unified `Session` pipeline: one entry point for the whole scheme.
+//!
+//! A [`Session`] owns everything the paper's flow needs — the circuit, the
+//! off-chip test sequence `T0`, the fault universe, the scheme
+//! configuration and the simulation backend — and runs
+//! circuit → `T0` → fault simulation → Procedure 1/2 → §3.2 compaction →
+//! verification in one call. [`SessionBuilder`] is the only configuration
+//! surface; no direct imports from `bist_sim` / `bist_expand` internals
+//! are needed:
+//!
+//! ```
+//! use subseq_bist::Session;
+//!
+//! let report = Session::builder().s27().seed(1999).run()?;
+//! assert_eq!(report.verified(), Some(true));
+//! println!("{}", report.summary());
+//! # Ok::<(), subseq_bist::BistError>(())
+//! ```
+//!
+//! The expanded sequences are simulated through the streaming
+//! [`ExpansionIter`](bist_expand::ExpansionIter) path: `Sexp` is never
+//! materialized during selection, compaction or verification.
+
+use crate::BistError;
+use bist_core::{
+    monolithic_cost, run_scheme, scheme_cost, verify_full_coverage, MemoryCost, SchemeConfig,
+    SchemeResult, SchemeRun,
+};
+use bist_expand::expansion::ExpansionConfig;
+use bist_expand::TestSequence;
+use bist_netlist::{benchmarks, Circuit};
+use bist_sim::{collapse, fault_universe, Fault, FaultCoverage, FaultSimulator, SimBackend};
+use bist_tgen::{generate_t0, TgenConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which fault-simulation engine a session uses.
+///
+/// Maps onto the [`SimBackend`](bist_sim::SimBackend) implementations of
+/// `bist-sim`; the scalar engine exists for differential testing and is
+/// dramatically slower on large fault lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// 64 faulty machines per pass (the default production engine).
+    #[default]
+    Packed,
+    /// One faulty machine at a time (reference engine).
+    Scalar,
+}
+
+impl Backend {
+    fn engine(self) -> Arc<dyn SimBackend> {
+        match self {
+            Backend::Packed => Arc::new(bist_sim::PackedBackend),
+            Backend::Scalar => Arc::new(bist_sim::ScalarBackend),
+        }
+    }
+}
+
+/// Where a session's circuit comes from.
+#[derive(Debug, Clone)]
+enum CircuitSource {
+    /// The paper's worked example (ISCAS-89 `s27`).
+    S27,
+    /// A circuit supplied directly.
+    Owned(Box<Circuit>),
+    /// Inline ISCAS-89 `.bench` text.
+    Bench { name: String, text: String },
+    /// An ISCAS-89 `.bench` file on disk.
+    File(PathBuf),
+    /// A named entry of the built-in benchmark suite (`s27`, `a298`, ...).
+    Suite(String),
+}
+
+impl CircuitSource {
+    fn build(&self) -> Result<Circuit, BistError> {
+        match self {
+            CircuitSource::S27 => Ok(benchmarks::s27()),
+            CircuitSource::Owned(c) => Ok((**c).clone()),
+            CircuitSource::Bench { name, text } => {
+                Ok(bist_netlist::parser::parse_bench(name.clone(), text)?)
+            }
+            CircuitSource::File(path) => {
+                let text = std::fs::read_to_string(path)?;
+                let name =
+                    path.file_stem().and_then(|s| s.to_str()).unwrap_or("circuit").to_string();
+                Ok(bist_netlist::parser::parse_bench(name, &text)?)
+            }
+            CircuitSource::Suite(name) => {
+                let entries = benchmarks::suite();
+                let entry = entries.iter().find(|e| e.name == name).ok_or_else(|| {
+                    let known: Vec<&str> = entries.iter().map(|e| e.name).collect();
+                    BistError::Config(format!(
+                        "unknown suite circuit `{name}`; known: {}",
+                        known.join(", ")
+                    ))
+                })?;
+                Ok(entry.build()?)
+            }
+        }
+    }
+}
+
+/// Builder for a [`Session`]. Obtained from [`Session::builder`].
+///
+/// Defaults: the `s27` circuit, a generated `T0` (seed 0), the paper's
+/// `n ∈ {2, 4, 8, 16}` sweep with §3.2 postprocessing, the packed
+/// backend, and post-run coverage verification.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    source: CircuitSource,
+    tgen: TgenConfig,
+    scheme: SchemeConfig,
+    engine: Arc<dyn SimBackend>,
+    seed: Option<u64>,
+    t0: Option<TestSequence>,
+    verify: bool,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            source: CircuitSource::S27,
+            tgen: TgenConfig::new(),
+            scheme: SchemeConfig::new(),
+            engine: Backend::Packed.engine(),
+            seed: None,
+            t0: None,
+            verify: true,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Uses the paper's worked example circuit (ISCAS-89 `s27`).
+    #[must_use]
+    pub fn s27(mut self) -> Self {
+        self.source = CircuitSource::S27;
+        self
+    }
+
+    /// Uses a circuit built elsewhere.
+    #[must_use]
+    pub fn circuit(mut self, circuit: Circuit) -> Self {
+        self.source = CircuitSource::Owned(Box::new(circuit));
+        self
+    }
+
+    /// Parses an ISCAS-89 `.bench` netlist from text.
+    #[must_use]
+    pub fn bench(mut self, name: impl Into<String>, text: impl Into<String>) -> Self {
+        self.source = CircuitSource::Bench { name: name.into(), text: text.into() };
+        self
+    }
+
+    /// Reads an ISCAS-89 `.bench` netlist from a file.
+    #[must_use]
+    pub fn bench_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.source = CircuitSource::File(path.into());
+        self
+    }
+
+    /// Uses a circuit of the built-in benchmark suite by name
+    /// (`"s27"`, `"a298"`, ...).
+    #[must_use]
+    pub fn suite_circuit(mut self, name: impl Into<String>) -> Self {
+        self.source = CircuitSource::Suite(name.into());
+        self
+    }
+
+    /// Supplies `T0` directly instead of generating it. Its coverage
+    /// (detected faults + `udet`) is obtained by fault simulation.
+    #[must_use]
+    pub fn t0(mut self, t0: TestSequence) -> Self {
+        self.t0 = Some(t0);
+        self
+    }
+
+    /// Seeds both `T0` generation and Procedure 2's omission order.
+    ///
+    /// Applied at [`build`](Self::build) time, so the call order relative
+    /// to [`tgen`](Self::tgen) does not matter.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The repetition counts to sweep (the paper's default is
+    /// `[2, 4, 8, 16]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is empty or contains 0.
+    #[must_use]
+    pub fn ns(mut self, ns: impl Into<Vec<usize>>) -> Self {
+        self.scheme = self.scheme.ns(ns.into());
+        self
+    }
+
+    /// Enables/disables the §3.2 static compaction of `S`.
+    #[must_use]
+    pub fn postprocess(mut self, on: bool) -> Self {
+        self.scheme = self.scheme.postprocess(on);
+        self
+    }
+
+    /// Selects one of the built-in fault-simulation engines.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.engine = backend.engine();
+        self
+    }
+
+    /// Plugs in any [`SimBackend`] implementation — the extension point
+    /// for engines beyond the built-in two (sharded, wider-word, ...).
+    #[must_use]
+    pub fn backend_impl(mut self, engine: Arc<dyn SimBackend>) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Replaces the `T0`-generation configuration wholesale (burst length,
+    /// stall limit, hold probability, length cap, compaction budget).
+    #[must_use]
+    pub fn tgen(mut self, config: TgenConfig) -> Self {
+        self.tgen = config;
+        self
+    }
+
+    /// Enables/disables the post-run coverage verification (streamed
+    /// re-simulation of the best run's expansions; on by default).
+    #[must_use]
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Materializes the circuit and fixes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Circuit construction / file / configuration errors.
+    pub fn build(self) -> Result<Session, BistError> {
+        let circuit = self.source.build()?;
+        if let Some(t0) = &self.t0 {
+            if t0.width() != circuit.num_inputs() {
+                return Err(BistError::Config(format!(
+                    "supplied T0 width {} does not match circuit input count {}",
+                    t0.width(),
+                    circuit.num_inputs()
+                )));
+            }
+        }
+        let (mut tgen, mut scheme) = (self.tgen, self.scheme);
+        if let Some(seed) = self.seed {
+            tgen = tgen.seed(seed);
+            scheme = scheme.seed(seed);
+        }
+        Ok(Session { circuit, t0: self.t0, tgen, scheme, engine: self.engine, verify: self.verify })
+    }
+
+    /// [`build`](Self::build) + [`Session::run`] in one call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`build`](Self::build) and [`Session::run`].
+    pub fn run(self) -> Result<SessionReport, BistError> {
+        self.build()?.run()
+    }
+}
+
+/// A fully configured pipeline over one circuit.
+///
+/// Create with [`Session::builder`]; [`run`](Session::run) executes the
+/// complete flow and can be called repeatedly (it is deterministic for a
+/// fixed configuration).
+#[derive(Debug, Clone)]
+pub struct Session {
+    circuit: Circuit,
+    t0: Option<TestSequence>,
+    tgen: TgenConfig,
+    scheme: SchemeConfig,
+    engine: Arc<dyn SimBackend>,
+    verify: bool,
+}
+
+impl Session {
+    /// Starts configuring a session.
+    #[must_use]
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The circuit under test.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Runs the full pipeline: collapse the fault universe, obtain `T0`
+    /// and its coverage, sweep the scheme over the configured `n` values,
+    /// and (unless disabled) verify the best run's joint coverage through
+    /// the streaming expansion path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors (these indicate impossible
+    /// configurations and do not occur for valid circuits).
+    pub fn run(&self) -> Result<SessionReport, BistError> {
+        let faults =
+            collapse(&self.circuit, &fault_universe(&self.circuit)).representatives().to_vec();
+        let sim = FaultSimulator::with_backend(&self.circuit, Arc::clone(&self.engine));
+
+        let started = Instant::now();
+        let (t0, coverage) = match &self.t0 {
+            Some(seq) => (seq.clone(), FaultCoverage::simulate(&sim, seq, faults.clone())?),
+            None => {
+                let generated = generate_t0(&self.circuit, &self.tgen)?;
+                (generated.sequence, generated.coverage)
+            }
+        };
+        let t0_seconds = started.elapsed().as_secs_f64();
+
+        let scheme = run_scheme(&sim, &t0, &coverage, &self.scheme)?;
+
+        let verified = if self.verify {
+            let best = scheme.best_run();
+            let detected: Vec<Fault> = coverage.detected().map(|(f, _)| f).collect();
+            Some(verify_full_coverage(
+                &sim,
+                &best.sequences,
+                &ExpansionConfig::new(best.n)?,
+                &detected,
+            )?)
+        } else {
+            None
+        };
+
+        Ok(SessionReport {
+            circuit: self.circuit.clone(),
+            backend: sim.backend().name(),
+            faults_total: faults.len(),
+            t0,
+            coverage,
+            scheme,
+            verified,
+            t0_seconds,
+        })
+    }
+}
+
+/// A [`SessionReport`] decomposed into owned pieces — for consumers that
+/// keep the data (pipelines, caches) without re-cloning what the report
+/// already owns. See [`SessionReport::into_parts`].
+#[derive(Debug, Clone)]
+pub struct SessionParts {
+    /// The circuit under test.
+    pub circuit: Circuit,
+    /// Name of the fault-simulation engine used.
+    pub backend: &'static str,
+    /// Size of the collapsed fault universe.
+    pub faults_total: usize,
+    /// The off-chip test sequence the scheme started from.
+    pub t0: TestSequence,
+    /// Coverage of `T0` (detected set + `udet` times).
+    pub coverage: FaultCoverage,
+    /// The full sweep result.
+    pub scheme: SchemeResult,
+    /// Outcome of the post-run verification (`None` if disabled).
+    pub verified: Option<bool>,
+    /// Wall-clock seconds spent obtaining `T0` and its coverage.
+    pub t0_seconds: f64,
+}
+
+/// Everything one pipeline run produced.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    circuit: Circuit,
+    backend: &'static str,
+    faults_total: usize,
+    t0: TestSequence,
+    coverage: FaultCoverage,
+    scheme: SchemeResult,
+    verified: Option<bool>,
+    t0_seconds: f64,
+}
+
+impl SessionReport {
+    /// The circuit under test.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Name of the fault-simulation engine used.
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        self.backend
+    }
+
+    /// Size of the collapsed fault universe.
+    #[must_use]
+    pub fn faults_total(&self) -> usize {
+        self.faults_total
+    }
+
+    /// The off-chip test sequence the scheme started from.
+    #[must_use]
+    pub fn t0(&self) -> &TestSequence {
+        &self.t0
+    }
+
+    /// Coverage of `T0` (detected set + `udet` times).
+    #[must_use]
+    pub fn coverage(&self) -> &FaultCoverage {
+        &self.coverage
+    }
+
+    /// Wall-clock seconds spent obtaining `T0` and its coverage.
+    #[must_use]
+    pub fn t0_seconds(&self) -> f64 {
+        self.t0_seconds
+    }
+
+    /// The full sweep result (one run per `n`).
+    #[must_use]
+    pub fn scheme(&self) -> &SchemeResult {
+        &self.scheme
+    }
+
+    /// The best run per the paper's rule (smallest max len, then total
+    /// len, then run time).
+    #[must_use]
+    pub fn best(&self) -> &SchemeRun {
+        self.scheme.best_run()
+    }
+
+    /// Whether the best run's expansions were re-verified to cover every
+    /// fault `T0` detects (`None` if verification was disabled).
+    #[must_use]
+    pub fn verified(&self) -> Option<bool> {
+        self.verified
+    }
+
+    /// Loaded vectors as a fraction of `|T0|` — the paper's headline
+    /// *tot len / |T0|* ratio (Table 5 averages 0.46).
+    #[must_use]
+    pub fn loaded_fraction(&self) -> f64 {
+        self.best().after.total_len as f64 / self.t0.len().max(1) as f64
+    }
+
+    /// On-chip memory cost of the best run vs. storing all of `T0`.
+    #[must_use]
+    pub fn memory_costs(&self) -> (MemoryCost, MemoryCost) {
+        let width = self.circuit.num_inputs();
+        let best = self.best();
+        (
+            scheme_cost(best.after.max_len.max(1), width, best.n),
+            monolithic_cost(self.t0.len().max(1), width),
+        )
+    }
+
+    /// Decomposes the report into its owned pieces (no cloning).
+    #[must_use]
+    pub fn into_parts(self) -> SessionParts {
+        SessionParts {
+            circuit: self.circuit,
+            backend: self.backend,
+            faults_total: self.faults_total,
+            t0: self.t0,
+            coverage: self.coverage,
+            scheme: self.scheme,
+            verified: self.verified,
+            t0_seconds: self.t0_seconds,
+        }
+    }
+
+    /// A compact human-readable summary of the run.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let best = self.best();
+        let verified = match self.verified {
+            Some(true) => "verified",
+            Some(false) => "FAILED VERIFICATION",
+            None => "not verified",
+        };
+        format!(
+            "{}: T0 = {} vectors covering {}/{} faults; best n = {}: |S| = {}, \
+             tot len = {} ({:.0}% of T0), max len = {}, applied at speed = {} \
+             [{} backend, coverage {}]",
+            self.circuit.name(),
+            self.t0.len(),
+            self.coverage.detected_count(),
+            self.faults_total,
+            best.n,
+            best.after.count,
+            best.after.total_len,
+            100.0 * self.loaded_fraction(),
+            best.after.max_len,
+            best.applied_test_len(),
+            self.backend,
+            verified,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_session_runs_s27() {
+        let report = Session::builder().seed(1999).ns(vec![1, 2]).run().unwrap();
+        assert_eq!(report.circuit().name(), "s27");
+        assert_eq!(report.faults_total(), 32);
+        assert_eq!(report.coverage().detected_count(), 32);
+        assert_eq!(report.verified(), Some(true));
+        assert!(report.loaded_fraction() <= 1.0);
+        assert!(report.summary().contains("s27"));
+    }
+
+    #[test]
+    fn supplied_t0_is_used_verbatim() {
+        let t0: TestSequence = "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap();
+        let report = Session::builder().s27().t0(t0.clone()).ns(vec![1]).run().unwrap();
+        assert_eq!(report.t0(), &t0);
+        assert_eq!(report.coverage().detected_count(), 32);
+    }
+
+    #[test]
+    fn t0_width_mismatch_is_a_config_error() {
+        let t0: TestSequence = "000 111".parse().unwrap();
+        let err = Session::builder().s27().t0(t0).build().unwrap_err();
+        assert!(matches!(err, BistError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_suite_circuit_is_a_config_error() {
+        let err = Session::builder().suite_circuit("nope").build().unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn scalar_backend_matches_packed_results() {
+        let t0: TestSequence = "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap();
+        let run = |backend| {
+            Session::builder().s27().t0(t0.clone()).ns(vec![1]).backend(backend).run().unwrap()
+        };
+        let packed = run(Backend::Packed);
+        let scalar = run(Backend::Scalar);
+        assert_eq!(packed.backend_name(), "packed64");
+        assert_eq!(scalar.backend_name(), "scalar");
+        // Identical detection times drive identical selections.
+        assert_eq!(packed.coverage().times(), scalar.coverage().times());
+        assert_eq!(packed.best().after.total_len, scalar.best().after.total_len);
+    }
+
+    #[test]
+    fn custom_backend_impl_plugs_in() {
+        let t0: TestSequence = "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap();
+        let report = Session::builder()
+            .s27()
+            .t0(t0)
+            .ns(vec![1])
+            .backend_impl(Arc::new(bist_sim::ScalarBackend))
+            .run()
+            .unwrap();
+        assert_eq!(report.backend_name(), "scalar");
+        assert_eq!(report.verified(), Some(true));
+    }
+
+    #[test]
+    fn into_parts_decomposes_without_loss() {
+        let report = Session::builder().s27().seed(2).ns(vec![1]).run().unwrap();
+        let total = report.best().after.total_len;
+        let parts = report.into_parts();
+        assert_eq!(parts.circuit.name(), "s27");
+        assert_eq!(parts.scheme.best_run().after.total_len, total);
+        assert_eq!(parts.coverage.detected_count(), 32);
+        assert_eq!(parts.verified, Some(true));
+    }
+
+    #[test]
+    fn session_is_reusable_and_deterministic() {
+        let session = Session::builder().s27().seed(7).ns(vec![2]).build().unwrap();
+        let a = session.run().unwrap();
+        let b = session.run().unwrap();
+        assert_eq!(a.t0(), b.t0());
+        assert_eq!(a.best().after.total_len, b.best().after.total_len);
+    }
+
+    #[test]
+    fn bench_text_source() {
+        let report = Session::builder()
+            .bench("s27", bist_netlist::benchmarks::S27_BENCH)
+            .seed(3)
+            .ns(vec![1])
+            .run()
+            .unwrap();
+        assert_eq!(report.circuit().num_inputs(), 4);
+    }
+
+    #[test]
+    fn memory_costs_favor_the_scheme() {
+        let report = Session::builder().s27().seed(1999).ns(vec![2]).run().unwrap();
+        let (ours, mono) = report.memory_costs();
+        assert!(ours.data_bits <= mono.data_bits);
+    }
+}

@@ -1,44 +1,48 @@
 //! Cross-crate integration tests: the complete flow from netlist to
-//! verified on-chip test session.
+//! verified on-chip test session, driven through the `Session` pipeline.
 
-use subseq_bist::core::{
-    run_scheme, verify_full_coverage, SchemeConfig,
-};
-use subseq_bist::expand::expansion::ExpansionConfig;
+use subseq_bist::expand::expansion::{Expand, ExpansionConfig};
 use subseq_bist::expand::hardware::OnChipExpander;
-use subseq_bist::netlist::benchmarks::{self, suite};
+use subseq_bist::expand::TestSequence;
+use subseq_bist::netlist::benchmarks;
 use subseq_bist::sim::{collapse, fault_universe, FaultCoverage, FaultSimulator};
-use subseq_bist::tgen::{generate_t0, TgenConfig};
+use subseq_bist::tgen::TgenConfig;
+use subseq_bist::Session;
 
 /// The paper's central guarantee, end to end on s27: generate T0, select
 /// subsequences, and confirm the union of the *hardware-generated*
 /// expansions detects every fault T0 detects.
 #[test]
 fn s27_hardware_expansions_cover_everything_t0_detects() {
-    let circuit = benchmarks::s27();
-    let t0 = generate_t0(&circuit, &TgenConfig::new().seed(11)).expect("t0 generates");
-    assert_eq!(t0.coverage.detected_count(), 32, "s27 is fully coverable");
+    let report = Session::builder()
+        .s27()
+        .seed(11)
+        .ns(vec![2, 4])
+        .verify(false) // verified by hand below, through the hardware model
+        .run()
+        .expect("session runs");
+    assert_eq!(report.coverage().detected_count(), 32, "s27 is fully coverable");
 
-    let sim = FaultSimulator::new(&circuit);
-    let scheme = run_scheme(
-        &sim,
-        &t0.sequence,
-        &t0.coverage,
-        &SchemeConfig::new().ns(vec![2, 4]).seed(11),
-    )
-    .expect("scheme runs");
-    let best = scheme.best_run();
+    let circuit = report.circuit();
+    let sim = FaultSimulator::new(circuit);
+    let best = report.best();
     let expansion = ExpansionConfig::new(best.n).expect("valid n");
 
     // Stream every expansion through the cycle-accurate hardware model
     // and fault simulate the streamed sequences.
-    let mut remaining: Vec<_> = t0.coverage.detected().map(|(f, _)| f).collect();
+    let mut remaining: Vec<_> = report.coverage().detected().map(|(f, _)| f).collect();
     let max_len = best.after.max_len.max(1);
     let mut hw = OnChipExpander::new(max_len, circuit.num_inputs(), expansion);
     for sel in &best.sequences {
         hw.load(&sel.sequence).expect("fits in the sized memory");
         let streamed = hw.run().expect("loaded");
         assert_eq!(streamed, expansion.expand(&sel.sequence), "hardware == software");
+        // The lazy ExpansionIter must agree with the RTL model too.
+        assert_eq!(
+            streamed,
+            TestSequence::from_vectors(expansion.stream(&sel.sequence).collect()).expect("uniform"),
+            "hardware == streaming iterator"
+        );
         let times = sim.detection_times(&streamed, &remaining).expect("simulates");
         remaining = remaining
             .into_iter()
@@ -53,70 +57,49 @@ fn s27_hardware_expansions_cover_everything_t0_detects() {
     );
 }
 
-/// The same guarantee on a mid-size synthetic analog, via the software
-/// path (hardware equivalence is covered above and by property tests).
+/// The same guarantee on a mid-size synthetic analog, via the session's
+/// own streamed verification (hardware equivalence is covered above and
+/// by property tests).
 #[test]
 fn synthetic_analog_scheme_guarantee() {
-    let entry = &suite()[1]; // a298
-    let circuit = entry.build().expect("builds");
-    let t0 = generate_t0(
-        &circuit,
-        &TgenConfig::new().seed(5).max_length(256).compaction_budget(60),
-    )
-    .expect("t0 generates");
-    assert!(t0.coverage.detected_count() > 0);
-
-    let sim = FaultSimulator::new(&circuit);
-    let scheme = run_scheme(
-        &sim,
-        &t0.sequence,
-        &t0.coverage,
-        &SchemeConfig::new().ns(vec![4]).seed(5),
-    )
-    .expect("scheme runs");
-    let best = scheme.best_run();
-    let detected: Vec<_> = t0.coverage.detected().map(|(f, _)| f).collect();
-    assert!(verify_full_coverage(
-        &sim,
-        &best.sequences,
-        &ExpansionConfig::new(best.n).expect("valid"),
-        &detected
-    )
-    .expect("verifies"));
+    let report = Session::builder()
+        .suite_circuit("a298")
+        .tgen(TgenConfig::new().max_length(256).compaction_budget(60))
+        .seed(5)
+        .ns(vec![4])
+        .run()
+        .expect("session runs");
+    assert!(report.coverage().detected_count() > 0);
+    assert_eq!(report.verified(), Some(true));
 
     // The paper's two headline structural claims, qualitatively: the
     // loaded total is (much) shorter than T0 would be, and the memory
     // depth is a fraction of |T0|.
-    assert!(best.after.total_len <= t0.sequence.len());
-    assert!(best.after.max_len <= t0.sequence.len());
+    let best = report.best();
+    assert!(best.after.total_len <= report.t0().len());
+    assert!(best.after.max_len <= report.t0().len());
+    assert!(report.loaded_fraction() <= 1.0);
 }
 
 /// Collapsed fault classes behave identically through the whole pipeline:
 /// targeting a representative also covers its class members.
 #[test]
 fn class_members_covered_by_representative_selection() {
-    let circuit = benchmarks::s27();
-    let universe = fault_universe(&circuit);
-    let collapsed = collapse(&circuit, &universe);
-    let sim = FaultSimulator::new(&circuit);
-    let t0 = generate_t0(&circuit, &TgenConfig::new().seed(3)).expect("t0");
-
-    let scheme = run_scheme(
-        &sim,
-        &t0.sequence,
-        &t0.coverage,
-        &SchemeConfig::new().ns(vec![2]).seed(3),
-    )
-    .expect("scheme");
-    let best = scheme.best_run();
+    let report = Session::builder().s27().seed(3).ns(vec![2]).run().expect("session runs");
+    let circuit = report.circuit();
+    let universe = fault_universe(circuit);
+    let collapsed = collapse(circuit, &universe);
+    let sim = FaultSimulator::new(circuit);
+    let best = report.best();
 
     // Simulate the full *uncollapsed* universe under the expansions: every
-    // fault whose representative was detected by T0 must be covered.
+    // fault whose representative was detected by T0 must be covered. The
+    // expansions are streamed, never materialized.
     let expansion = ExpansionConfig::new(best.n).expect("valid");
     let mut remaining = universe.clone();
     for sel in &best.sequences {
         let times = sim
-            .detection_times(&expansion.expand(&sel.sequence), &remaining)
+            .detection_times_stream(&expansion.stream(&sel.sequence), &remaining)
             .expect("simulates");
         remaining = remaining
             .into_iter()
@@ -127,9 +110,9 @@ fn class_members_covered_by_representative_selection() {
     for f in remaining {
         let rep = collapsed.representative_of(f).expect("in universe");
         assert!(
-            t0.coverage.detection_time(rep).is_none(),
+            report.coverage().detection_time(rep).is_none(),
             "fault {} escaped although its class was covered",
-            f.describe(&circuit)
+            f.describe(circuit)
         );
     }
 }
@@ -139,24 +122,12 @@ fn class_members_covered_by_representative_selection() {
 #[test]
 fn pipeline_is_deterministic() {
     let run = || {
-        let circuit = benchmarks::s27();
-        let t0 = generate_t0(&circuit, &TgenConfig::new().seed(77)).expect("t0");
-        let sim = FaultSimulator::new(&circuit);
-        let scheme = run_scheme(
-            &sim,
-            &t0.sequence,
-            &t0.coverage,
-            &SchemeConfig::new().ns(vec![2, 8]).seed(77),
-        )
-        .expect("scheme");
-        let best = scheme.best_run();
+        let report = Session::builder().s27().seed(77).ns(vec![2, 8]).run().expect("session runs");
+        let best = report.best();
         (
-            t0.sequence.to_string(),
+            report.t0().to_string(),
             best.n,
-            best.sequences
-                .iter()
-                .map(|s| s.sequence.to_string())
-                .collect::<Vec<_>>(),
+            best.sequences.iter().map(|s| s.sequence.to_string()).collect::<Vec<_>>(),
         )
     };
     assert_eq!(run(), run());
@@ -167,22 +138,14 @@ fn pipeline_is_deterministic() {
 /// application order must not lose coverage.
 #[test]
 fn subsequences_are_order_independent() {
-    let circuit = benchmarks::s27();
-    let t0 = generate_t0(&circuit, &TgenConfig::new().seed(13)).expect("t0");
-    let sim = FaultSimulator::new(&circuit);
-    let scheme = run_scheme(
-        &sim,
-        &t0.sequence,
-        &t0.coverage,
-        &SchemeConfig::new().ns(vec![2]).seed(13),
-    )
-    .expect("scheme");
-    let best = scheme.best_run();
-    let detected: Vec<_> = t0.coverage.detected().map(|(f, _)| f).collect();
+    let report = Session::builder().s27().seed(13).ns(vec![2]).run().expect("session runs");
+    let sim = FaultSimulator::new(report.circuit());
+    let best = report.best();
+    let detected: Vec<_> = report.coverage().detected().map(|(f, _)| f).collect();
 
     let mut reversed = best.sequences.clone();
     reversed.reverse();
-    assert!(verify_full_coverage(
+    assert!(subseq_bist::core::verify_full_coverage(
         &sim,
         &reversed,
         &ExpansionConfig::new(best.n).expect("valid"),
@@ -191,13 +154,39 @@ fn subsequences_are_order_independent() {
     .expect("verifies"));
 }
 
+/// A session over the scalar reference backend selects sequences with the
+/// same coverage guarantee (and identical detection times drive identical
+/// structure) — the backend is genuinely pluggable end to end.
+#[test]
+fn scalar_backend_session_end_to_end() {
+    let t0: TestSequence =
+        "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().expect("valid");
+    let packed =
+        Session::builder().s27().t0(t0.clone()).ns(vec![1]).seed(0).run().expect("packed session");
+    let scalar = Session::builder()
+        .s27()
+        .t0(t0)
+        .ns(vec![1])
+        .seed(0)
+        .backend(subseq_bist::Backend::Scalar)
+        .run()
+        .expect("scalar session");
+    assert_eq!(packed.verified(), Some(true));
+    assert_eq!(scalar.verified(), Some(true));
+    assert_eq!(packed.coverage().times(), scalar.coverage().times());
+    let (p, s) = (packed.best(), scalar.best());
+    assert_eq!(p.after.count, s.after.count);
+    assert_eq!(p.after.total_len, s.after.total_len);
+    assert_eq!(p.after.max_len, s.after.max_len);
+}
+
 /// FaultCoverage::simulate and the simulator agree (API-level glue).
 #[test]
 fn coverage_api_consistency() {
     let circuit = benchmarks::s27();
     let faults = collapse(&circuit, &fault_universe(&circuit)).representatives().to_vec();
     let sim = FaultSimulator::new(&circuit);
-    let t0: subseq_bist::expand::TestSequence =
+    let t0: TestSequence =
         "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().expect("valid");
     let cov = FaultCoverage::simulate(&sim, &t0, faults.clone()).expect("simulates");
     let times = sim.detection_times(&t0, &faults).expect("simulates");
