@@ -9,7 +9,7 @@
 //! embeds the real `s27` plus synthetic analogs, so the backend
 //! comparison runs on `s27` and the `a298` analog.
 
-use bist_bench::timing::Report;
+use bist_bench::timing::{self, Report};
 use subseq_bist::expand::expansion::{Expand, ExpansionConfig};
 use subseq_bist::expand::hardware::OnChipExpander;
 use subseq_bist::expand::{TestSequence, TestVector, VectorSource};
@@ -24,6 +24,7 @@ fn sample_sequence(len: usize, width: usize) -> TestSequence {
 }
 
 fn main() {
+    timing::init_cli();
     let mut report = Report::new("expansion");
 
     // Streaming vs materialized expansion (pure sequence manipulation).

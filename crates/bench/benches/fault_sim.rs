@@ -1,17 +1,28 @@
-//! Fault-simulation benchmarks: 64 packed fault machines per pass vs one
-//! fault at a time (both as the serial use of the packed engine and as
-//! the dedicated scalar backend), plus the good-machine baseline.
+//! Fault-simulation benchmarks: the engine ladder from one-fault-at-a-time
+//! scalar simulation up to the thread-sharded 256/512-lane wide-word
+//! engine, on small circuits and on the `a5378`/`a35932` analogs where
+//! throughput on the expanded vector stream is the binding constraint.
 //!
-//! Writes `BENCH_fault_sim.json` into the workspace root.
+//! Writes `BENCH_fault_sim.json` into the workspace root. Run with
+//! `--smoke` (as CI does) for a fast schema-checking pass.
 
-use bist_bench::timing::Report;
+use bist_bench::timing::{self, Report};
+use subseq_bist::expand::expansion::{Expand, ExpansionConfig};
 use subseq_bist::netlist::benchmarks;
-use subseq_bist::sim::{collapse, fault_universe, FaultSimulator};
+use subseq_bist::sim::{
+    collapse, fault_universe, Fault, FaultSimulator, ShardedBackend, SimBackend, WordWidth,
+};
 use subseq_bist::tgen::Lfsr;
 
+/// The sharded-engine sweep: a progression of thread counts and word
+/// widths over the same fault list.
+const SWEEP: [(usize, usize); 6] = [(1, 64), (2, 64), (4, 64), (1, 256), (4, 256), (4, 512)];
+
 fn main() {
+    timing::init_cli();
     let mut report = Report::new("fault_sim");
 
+    // Small circuits: the full ladder including the scalar oracle.
     let circuits = vec![benchmarks::s27(), benchmarks::suite()[1].build().expect("a298 builds")];
     for circuit in &circuits {
         let faults = collapse(circuit, &fault_universe(circuit)).representatives().to_vec();
@@ -29,6 +40,48 @@ fn main() {
             scalar.detection_times(&seq, &faults).expect("ok")
         });
         report.run(format!("good_only/{name}"), || sim.good(&seq).expect("ok"));
+    }
+
+    // Large analogs: packed vs the sharded sweep on an expanded stream —
+    // the workload the paper's scheme actually runs (8·n·|S| vectors).
+    let large: &[(&str, usize, usize)] = if timing::smoke() {
+        &[("a5378", 256, 2)] // tiny sample: schema check only
+    } else {
+        &[("a5378", 2048, 4), ("a35932", 1024, 2)]
+    };
+    for &(name, max_faults, s_len) in large {
+        let entry =
+            benchmarks::suite().into_iter().find(|e| e.name == name).expect("analog in suite");
+        let circuit = entry.build().expect("analog builds");
+        let mut faults: Vec<Fault> =
+            collapse(&circuit, &fault_universe(&circuit)).representatives().to_vec();
+        faults.truncate(max_faults);
+        let s = Lfsr::new(5378).sequence(circuit.num_inputs(), s_len);
+        let cfg = ExpansionConfig::new(2).expect("n >= 1");
+        let stream = cfg.stream(&s);
+        let packed = FaultSimulator::new(&circuit);
+
+        let baseline = report
+            .run(format!("packed64/{name}/f{max_faults}"), || {
+                packed.detection_times_stream(&stream, &faults).expect("ok")
+            })
+            .median_ns;
+        let mut best = f64::INFINITY;
+        for (threads, width) in SWEEP {
+            let engine =
+                ShardedBackend::new(threads, WordWidth::from_lanes(width).expect("valid width"))
+                    .expect("threads >= 1");
+            let m = report.run(format!("sharded/{name}/w{width}_t{threads}"), || {
+                engine.detection_times(&circuit, &stream, &faults).expect("ok")
+            });
+            best = best.min(m.median_ns);
+        }
+        println!(
+            "{name}: packed64 {:.1} ms vs best sharded {:.1} ms ({:.2}x)",
+            baseline / 1e6,
+            best / 1e6,
+            baseline / best
+        );
     }
 
     let path = report.write_json().expect("write BENCH_fault_sim.json");

@@ -5,7 +5,7 @@
 //!
 //! Writes `BENCH_procedure1.json` into the workspace root.
 
-use bist_bench::timing::Report;
+use bist_bench::timing::{self, Report};
 use subseq_bist::core::{
     compact_set, find_subsequence_with_growth, select_subsequences, WindowGrowth,
 };
@@ -15,6 +15,7 @@ use subseq_bist::netlist::benchmarks;
 use subseq_bist::sim::{collapse, fault_universe, Fault, FaultCoverage, FaultSimulator};
 
 fn main() {
+    timing::init_cli();
     let mut report = Report::new("procedure1");
 
     let circuit = benchmarks::s27();

@@ -6,7 +6,7 @@
 //!
 //! Writes `BENCH_tables.json` into the workspace root.
 
-use bist_bench::timing::Report;
+use bist_bench::timing::{self, Report};
 use bist_bench::{run_pipeline, PipelineConfig};
 use subseq_bist::core::figure1;
 use subseq_bist::expand::TestSequence;
@@ -18,6 +18,7 @@ fn quick_config() -> PipelineConfig {
 }
 
 fn main() {
+    timing::init_cli();
     let mut report = Report::new("tables");
 
     let entry = benchmarks::suite().into_iter().next().expect("s27 entry");

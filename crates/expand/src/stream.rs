@@ -19,10 +19,13 @@ use crate::{TestSequence, TestVector};
 /// A finite, replayable stream of equally wide test vectors.
 ///
 /// Implementors must produce the same vectors on every [`visit`] — fault
-/// simulators replay the stream once per 64-fault chunk.
+/// simulators replay the stream once per fault chunk. `Sync` is a
+/// supertrait so that thread-sharded simulators can replay one stream
+/// concurrently from several worker threads; [`visit`] takes `&self`, so
+/// implementors need no interior mutability to satisfy it.
 ///
 /// [`visit`]: VectorSource::visit
-pub trait VectorSource {
+pub trait VectorSource: Sync {
     /// The vector width (number of primary inputs driven).
     fn width(&self) -> usize;
 
@@ -106,13 +109,13 @@ pub struct ExpansionIter<'s> {
 impl<'s> ExpansionIter<'s> {
     /// Creates a stream over `seq` for the given phase schedule.
     ///
-    /// # Panics
-    ///
-    /// Panics if `seq` is empty or the schedule has a zero-rep phase.
+    /// Degenerate inputs are well-defined rather than panics: an empty
+    /// loaded sequence (or an all-zero-rep schedule) yields an empty
+    /// stream — [`next`](Iterator::next) returns `None` and
+    /// [`visit`](VectorSource::visit) makes no calls — identically on
+    /// every replay. Zero-rep phases are skipped.
     #[must_use]
     pub fn new(seq: &'s TestSequence, phases: Vec<Phase>) -> Self {
-        assert!(!seq.is_empty(), "cannot stream the expansion of an empty sequence");
-        assert!(phases.iter().all(|p| p.reps > 0), "zero-rep phase in schedule");
         ExpansionIter { seq, phases, phase_idx: 0, rep: 0, pos: 0 }
     }
 
@@ -156,6 +159,13 @@ impl Iterator for ExpansionIter<'_> {
     type Item = TestVector;
 
     fn next(&mut self) -> Option<TestVector> {
+        if self.seq.is_empty() {
+            return None;
+        }
+        // Skip zero-rep phases (degenerate but legal schedules).
+        while self.phase_idx < self.phases.len() && self.phases[self.phase_idx].reps == 0 {
+            self.phase_idx += 1;
+        }
         if self.phase_idx == self.phases.len() {
             return None;
         }
@@ -306,6 +316,63 @@ mod tests {
                     recipe.describe()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn empty_sequence_streams_empty_on_every_replay() {
+        let s = TestSequence::new(3);
+        let cfg = ExpansionConfig::new(4).unwrap();
+        let mut stream = cfg.stream(&s);
+        assert_eq!(stream.total_len(), 0);
+        assert_eq!(VectorSource::num_vectors(&stream), 0);
+        assert!(VectorSource::is_empty(&stream));
+        assert!(stream.next().is_none());
+        assert!(stream.next().is_none(), "stays exhausted");
+        // visit must make no calls — identically on every replay.
+        for _ in 0..3 {
+            stream.visit(&mut |_, _| panic!("empty stream must not visit"));
+        }
+        assert_eq!(stream.materialize(), s);
+        // The materialized expansion of an empty sequence is empty too.
+        assert_eq!(cfg.expand(&s), s);
+    }
+
+    #[test]
+    fn zero_rep_phases_are_skipped() {
+        let s = seq("01 10");
+        let phases = vec![
+            Phase { reverse: false, shift: false, complement: false, reps: 0 },
+            Phase { reverse: false, shift: false, complement: true, reps: 1 },
+            Phase { reverse: false, shift: false, complement: false, reps: 0 },
+        ];
+        let stream = ExpansionIter::new(&s, phases);
+        assert_eq!(stream.total_len(), 2);
+        let out = TestSequence::from_vectors(stream.clone().collect()).unwrap();
+        assert_eq!(out.to_string(), "10 01");
+        // Replay through visit matches the iterator.
+        assert_eq!(stream.materialize(), out);
+        // All-zero-rep schedules are an empty stream.
+        let none = ExpansionIter::new(
+            &s,
+            vec![Phase { reverse: true, shift: true, complement: true, reps: 0 }],
+        );
+        assert_eq!(none.total_len(), 0);
+        assert_eq!(none.clone().count(), 0);
+        none.visit(&mut |_, _| panic!("must not visit"));
+    }
+
+    #[test]
+    fn single_vector_sequence_replays_consistently() {
+        let s = seq("1011");
+        for n in [1, 2, 4] {
+            let cfg = ExpansionConfig::new(n).unwrap();
+            let stream = cfg.stream(&s);
+            assert_eq!(stream.total_len(), 8 * n);
+            let first = stream.materialize();
+            let second = stream.materialize();
+            assert_eq!(first, second, "replays identical at n={n}");
+            assert_eq!(first, cfg.expand(&s), "stream equals materialized at n={n}");
         }
     }
 

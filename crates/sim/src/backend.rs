@@ -3,31 +3,40 @@
 //! [`SimBackend`] is the engine interface behind
 //! [`FaultSimulator`](crate::FaultSimulator): given a circuit, a
 //! replayable stream of input vectors and a fault list, produce the first
-//! detection time of every fault. Two engines are provided:
+//! detection time of every fault. Three engines are provided:
 //!
-//! * [`PackedBackend`] — the production engine: 64 faulty machines per
-//!   pass, one per [`PackedValue`] lane, with fault dropping and early
-//!   exit. This is the default everywhere.
+//! * [`PackedBackend`] — the single-threaded production engine: 63 faulty
+//!   machines per pass, one per [`PackedValue`] lane, with the good
+//!   machine fused into the last lane, fault dropping and early exit.
+//! * [`ShardedBackend`] — the scaled engine: the fault list is split into
+//!   contiguous shards across OS threads (scoped threads, no runtime
+//!   dependencies), and each shard runs the same chunked pass at a
+//!   configurable [`WordWidth`] — 64, 256 or 512 machines per word. The
+//!   wide words are `[u64; N]` planes whose gate operations autovectorize,
+//!   so one pass can advance 255 or 511 faulty machines.
 //! * [`ScalarBackend`] — a deliberately simple reference: one faulty
-//!   machine at a time over the scalar [`Logic`](crate::Logic) algebra.
-//!   Exists for differential testing of the packed engine and as the
-//!   template for future backends (wider bit-parallel words, sharded or
-//!   threaded engines) that can slot in without touching any caller.
+//!   machine at a time over the scalar [`Logic`](crate::Logic) algebra,
+//!   run in lockstep with its own fault-free machine. Exists for
+//!   differential testing of the packed engines.
 //!
-//! Both consume [`VectorSource`] streams, so the expanded sequences of the
-//! paper's scheme are simulated directly from the lazy
-//! [`ExpansionIter`](bist_expand::ExpansionIter) — `Sexp` is never
-//! materialized on the selection or verification paths.
-//! (The fault-free PO trace — `stream length × num_outputs` `Logic`
-//! values — is still collected once per call; fusing the good machine
-//! into the fault passes is a ROADMAP item.)
+//! All engines fuse the good machine into the fault passes: the packed
+//! engines reserve the top lane of every word for the fault-free machine
+//! and the scalar engine streams a good/faulty pair, so the fault-free
+//! primary-output trace is **never** collected up front and detection is
+//! O(1) in stream length. Combined with the lazy
+//! [`ExpansionIter`](bist_expand::ExpansionIter) this keeps the whole
+//! `8·n·|S|`-vector pipeline allocation-flat.
+//!
+//! Every engine validates its inputs at the boundary — width mismatches,
+//! empty streams and oversized fault chunks surface as typed
+//! [`SimError`]s rather than panics deep inside the engine.
 
-use crate::good::stream_machine;
-use crate::{eval, Fault, FaultSite, Logic, PackedValue, SimError};
+use crate::good::{stream_machine_fused, validate_source};
+use crate::packed::{LaneMask, PackedWord};
+use crate::{Fault, FaultSite, Logic, PackedValue, PackedValue256, PackedValue512, SimError};
 use bist_expand::VectorSource;
 use bist_netlist::{Circuit, NodeId, NodeKind};
 use std::fmt;
-use std::ops::Not;
 
 /// A sequential stuck-at fault-simulation engine.
 ///
@@ -46,7 +55,9 @@ pub trait SimBackend: fmt::Debug + Send + Sync {
     ///
     /// # Errors
     ///
-    /// [`SimError::WidthMismatch`] / [`SimError::EmptySequence`].
+    /// [`SimError::WidthMismatch`] / [`SimError::EmptySequence`] for bad
+    /// streams; [`SimError::LaneOutOfRange`] / [`SimError::ZeroThreads`]
+    /// for invalid engine configurations.
     fn detection_times(
         &self,
         circuit: &Circuit,
@@ -55,27 +66,14 @@ pub trait SimBackend: fmt::Debug + Send + Sync {
     ) -> Result<Vec<Option<usize>>, SimError>;
 }
 
-/// Streams the fault-free machine once, collecting the PO trace. Also
-/// the input validation point shared by both engines: `stream_machine`
-/// rejects width mismatches and empty streams before anything runs.
-fn good_po_trace(
-    circuit: &Circuit,
-    source: &dyn VectorSource,
-) -> Result<Vec<Vec<Logic>>, SimError> {
-    let mut po = Vec::with_capacity(source.num_vectors());
-    stream_machine(circuit, source, None, &mut |_, outs| {
-        po.push(outs.to_vec());
-        true
-    })?;
-    Ok(po)
-}
-
 // ---------------------------------------------------------------------
-// Packed engine (64 faulty machines per pass)
+// Generic chunked engine (any PackedWord width, fused good machine)
 // ---------------------------------------------------------------------
 
-/// Sparse per-chunk fault injection tables, allocated once per simulator
-/// run and cleared between chunks.
+/// Sparse per-chunk fault injection tables, allocated once per shard and
+/// cleared between chunks. Lane indices are validated against the word
+/// width at [`load`](Injector::load) time, so an oversized chunk surfaces
+/// a typed error instead of panicking inside `set_lane`.
 struct Injector {
     /// Nodes with output (stem) forces in the current chunk.
     out_touched: Vec<usize>,
@@ -106,7 +104,13 @@ impl Injector {
         self.in_touched.clear();
     }
 
-    fn load(&mut self, chunk: &[Fault]) {
+    /// Loads one chunk of faults, one lane each. `fault_lanes` is the
+    /// engine's per-pass capacity (word width minus the good-machine
+    /// lane).
+    fn load(&mut self, chunk: &[Fault], fault_lanes: usize) -> Result<(), SimError> {
+        if chunk.len() > fault_lanes {
+            return Err(SimError::LaneOutOfRange { lane: chunk.len() - 1, lanes: fault_lanes });
+        }
         self.clear();
         for (lane, fault) in chunk.iter().enumerate() {
             let forced = Logic::from_bool(fault.stuck);
@@ -127,10 +131,11 @@ impl Injector {
                 }
             }
         }
+        Ok(())
     }
 
     #[inline]
-    fn force_output(&self, node: usize, mut value: PackedValue) -> PackedValue {
+    fn force_output<W: PackedWord>(&self, node: usize, mut value: W) -> W {
         for &(lane, forced) in &self.out_forces[node] {
             value.set_lane(lane, forced);
         }
@@ -145,7 +150,7 @@ impl Injector {
     /// Value of `node`'s fanin `pin` as seen by the gate, with branch
     /// forces applied.
     #[inline]
-    fn forced_input(&self, node: usize, pin: u32, mut value: PackedValue) -> PackedValue {
+    fn forced_input<W: PackedWord>(&self, node: usize, pin: u32, mut value: W) -> W {
         for &(p, lane, forced) in &self.in_forces[node] {
             if p == pin {
                 value.set_lane(lane, forced);
@@ -158,114 +163,150 @@ impl Injector {
 /// Packed gate evaluation reading straight from the value table
 /// (allocation-free fast path).
 #[inline]
-fn eval_fold(
-    values: &[PackedValue],
-    fanin: &[NodeId],
-    kind: bist_netlist::GateKind,
-) -> PackedValue {
-    use bist_netlist::GateKind;
+fn eval_fold<W: PackedWord>(values: &[W], fanin: &[NodeId], kind: bist_netlist::GateKind) -> W {
     let first = values[fanin[0].index()];
     let rest = fanin[1..].iter().map(|f| values[f.index()]);
-    match kind {
-        GateKind::Buf => first,
-        GateKind::Not => first.not(),
-        GateKind::And => rest.fold(first, PackedValue::and),
-        GateKind::Nand => rest.fold(first, PackedValue::and).not(),
-        GateKind::Or => rest.fold(first, PackedValue::or),
-        GateKind::Nor => rest.fold(first, PackedValue::or).not(),
-        GateKind::Xor => rest.fold(first, PackedValue::xor),
-        GateKind::Xnor => rest.fold(first, PackedValue::xor).not(),
-    }
+    crate::eval::eval_gate_fold(kind, first, rest)
 }
 
-/// The production engine: faults are simulated 64 at a time, each lane of
-/// a [`PackedValue`] carrying one faulty machine, with the fault-free
-/// machine simulated once (scalar) as the comparison reference.
+/// One pass over the stream with up to `W::LANES - 1` faulty machines in
+/// the low lanes and the fault-free machine fused into the top lane. The
+/// good machine sees no forces (the injector never loads its lane), so
+/// each output word carries the reference value and all faulty values of
+/// that output in the same pass — no precollected PO trace.
+fn run_chunk<W: PackedWord>(
+    circuit: &Circuit,
+    source: &dyn VectorSource,
+    chunk: &[Fault],
+    times: &mut [Option<usize>],
+    injector: &mut Injector,
+    values: &mut [W],
+) -> Result<(), SimError> {
+    let good_lane = W::LANES - 1;
+    injector.load(chunk, good_lane)?;
+    values.fill(W::ALL_X);
+
+    let used = W::Mask::first_n(chunk.len());
+    let mut undetected = used;
+    let mut state = vec![W::ALL_X; circuit.num_dffs()];
+    let mut scratch: Vec<W> = Vec::new();
+
+    source.visit(&mut |t, vector| {
+        // Drive primary inputs (with stem forces: a stuck PI is stuck
+        // every cycle).
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            let v = W::splat(Logic::from_bool(vector.get(i)));
+            values[pi.index()] = injector.force_output(pi.index(), v);
+        }
+        // Present state.
+        for (k, &dff) in circuit.dffs().iter().enumerate() {
+            values[dff.index()] = injector.force_output(dff.index(), state[k]);
+        }
+        // Combinational sweep.
+        for &g in circuit.eval_order() {
+            let node = circuit.node(g);
+            let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
+            let gi = g.index();
+            let v = if injector.has_input_forces(gi) {
+                scratch.clear();
+                for (pin, &f) in node.fanin().iter().enumerate() {
+                    scratch.push(injector.forced_input(gi, pin as u32, values[f.index()]));
+                }
+                crate::eval::eval_gate(*kind, &scratch)
+            } else {
+                eval_fold(values, node.fanin(), *kind)
+            };
+            values[gi] = injector.force_output(gi, v);
+        }
+        // Compare the faulty lanes against the fused good lane.
+        for &o in circuit.outputs() {
+            let w = values[o.index()];
+            let diff = match w.lane(good_lane) {
+                Logic::One => w.zeros_mask(),
+                Logic::Zero => w.ones_mask(),
+                Logic::X => continue,
+            };
+            let newly = diff.intersect(undetected);
+            if !newly.is_empty() {
+                newly.for_each_lane(|lane| times[lane] = Some(t));
+                undetected = undetected.subtract(newly);
+            }
+        }
+        if undetected.is_empty() {
+            return false;
+        }
+        // Clock: latch next state (with D-pin branch forces).
+        for (k, &dff) in circuit.dffs().iter().enumerate() {
+            let di = dff.index();
+            let src = circuit.node(dff).fanin()[0];
+            let mut v = values[src.index()];
+            if injector.has_input_forces(di) {
+                v = injector.forced_input(di, 0, v);
+            }
+            state[k] = v;
+        }
+        true
+    });
+    Ok(())
+}
+
+/// Runs one contiguous shard of the fault list through chunked passes of
+/// `W::LANES - 1` faults each.
+fn run_shard<W: PackedWord>(
+    circuit: &Circuit,
+    source: &dyn VectorSource,
+    faults: &[Fault],
+    times: &mut [Option<usize>],
+) -> Result<(), SimError> {
+    let per_chunk = W::LANES - 1;
+    let mut injector = Injector::new(circuit.num_nodes());
+    let mut values = vec![W::ALL_X; circuit.num_nodes()];
+    for (chunk, slots) in faults.chunks(per_chunk).zip(times.chunks_mut(per_chunk)) {
+        run_chunk::<W>(circuit, source, chunk, slots, &mut injector, &mut values)?;
+    }
+    Ok(())
+}
+
+/// Splits the fault list across `threads` scoped OS threads, each running
+/// [`run_shard`] on its own contiguous slice of faults and result slots.
+/// Shard boundaries are rounded to whole chunks so no pass is wasted on a
+/// partial word mid-list.
+fn run_sharded<W: PackedWord>(
+    circuit: &Circuit,
+    source: &dyn VectorSource,
+    faults: &[Fault],
+    times: &mut [Option<usize>],
+    threads: usize,
+) -> Result<(), SimError> {
+    let per_chunk = W::LANES - 1;
+    let shard = faults.len().div_ceil(threads).div_ceil(per_chunk).max(1) * per_chunk;
+    if threads == 1 || faults.len() <= shard {
+        return run_shard::<W>(circuit, source, faults, times);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = faults
+            .chunks(shard)
+            .zip(times.chunks_mut(shard))
+            .map(|(chunk, slots)| {
+                scope.spawn(move || run_shard::<W>(circuit, source, chunk, slots))
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("shard thread panicked")?;
+        }
+        Ok(())
+    })
+}
+
+// ---------------------------------------------------------------------
+// Packed engine (63 faulty machines + fused good machine per pass)
+// ---------------------------------------------------------------------
+
+/// The single-threaded production engine: faults are simulated 63 at a
+/// time, each low lane of a [`PackedValue`] carrying one faulty machine
+/// and the top lane the fused fault-free machine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PackedBackend;
-
-impl PackedBackend {
-    #[allow(clippy::too_many_arguments)] // engine inner loop, all hot state
-    fn run_chunk(
-        circuit: &Circuit,
-        source: &dyn VectorSource,
-        good_po: &[Vec<Logic>],
-        chunk: &[Fault],
-        times: &mut [Option<usize>],
-        injector: &mut Injector,
-        values: &mut [PackedValue],
-    ) {
-        injector.load(chunk);
-        values.fill(PackedValue::ALL_X);
-
-        let used: u64 =
-            if chunk.len() == PackedValue::LANES { u64::MAX } else { (1u64 << chunk.len()) - 1 };
-        let mut undetected = used;
-        let mut state = vec![PackedValue::ALL_X; circuit.num_dffs()];
-        let mut scratch: Vec<PackedValue> = Vec::new();
-
-        source.visit(&mut |t, vector| {
-            // Drive primary inputs (with stem forces: a stuck PI is stuck
-            // every cycle).
-            for (i, &pi) in circuit.inputs().iter().enumerate() {
-                let v = PackedValue::splat(Logic::from_bool(vector.get(i)));
-                values[pi.index()] = injector.force_output(pi.index(), v);
-            }
-            // Present state.
-            for (k, &dff) in circuit.dffs().iter().enumerate() {
-                values[dff.index()] = injector.force_output(dff.index(), state[k]);
-            }
-            // Combinational sweep.
-            for &g in circuit.eval_order() {
-                let node = circuit.node(g);
-                let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
-                let gi = g.index();
-                let v = if injector.has_input_forces(gi) {
-                    scratch.clear();
-                    for (pin, &f) in node.fanin().iter().enumerate() {
-                        scratch.push(injector.forced_input(gi, pin as u32, values[f.index()]));
-                    }
-                    eval::eval_gate(*kind, &scratch)
-                } else {
-                    eval_fold(values, node.fanin(), *kind)
-                };
-                values[gi] = injector.force_output(gi, v);
-            }
-            // Compare primary outputs against the good machine.
-            for (oi, &o) in circuit.outputs().iter().enumerate() {
-                let diff = match good_po[t][oi] {
-                    Logic::One => values[o.index()].zeros,
-                    Logic::Zero => values[o.index()].ones,
-                    Logic::X => continue,
-                };
-                let newly = diff & undetected;
-                if newly != 0 {
-                    let mut bits = newly;
-                    while bits != 0 {
-                        let lane = bits.trailing_zeros() as usize;
-                        times[lane] = Some(t);
-                        bits &= bits - 1;
-                    }
-                    undetected &= !newly;
-                }
-            }
-            if undetected == 0 {
-                return false;
-            }
-            // Clock: latch next state (with D-pin branch forces).
-            for (k, &dff) in circuit.dffs().iter().enumerate() {
-                let di = dff.index();
-                let src = circuit.node(dff).fanin()[0];
-                let mut v = values[src.index()];
-                if injector.has_input_forces(di) {
-                    v = injector.forced_input(di, 0, v);
-                }
-                state[k] = v;
-            }
-            true
-        });
-    }
-}
 
 impl SimBackend for PackedBackend {
     fn name(&self) -> &'static str {
@@ -278,20 +319,153 @@ impl SimBackend for PackedBackend {
         source: &dyn VectorSource,
         faults: &[Fault],
     ) -> Result<Vec<Option<usize>>, SimError> {
-        let good_po = good_po_trace(circuit, source)?;
+        validate_source(circuit, source)?;
         let mut times = vec![None; faults.len()];
-        let mut injector = Injector::new(circuit.num_nodes());
-        let mut values = vec![PackedValue::ALL_X; circuit.num_nodes()];
-        for (ci, chunk) in faults.chunks(PackedValue::LANES).enumerate() {
-            Self::run_chunk(
-                circuit,
-                source,
-                &good_po,
-                chunk,
-                &mut times[ci * PackedValue::LANES..ci * PackedValue::LANES + chunk.len()],
-                &mut injector,
-                &mut values,
-            );
+        run_shard::<PackedValue>(circuit, source, faults, &mut times)?;
+        Ok(times)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded wide-word engine
+// ---------------------------------------------------------------------
+
+/// The packed word width a [`ShardedBackend`] simulates with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WordWidth {
+    /// 64 lanes ([`PackedValue`]): 63 faults + good machine per pass.
+    W64,
+    /// 256 lanes ([`PackedValue256`]): 255 faults + good machine per pass.
+    #[default]
+    W256,
+    /// 512 lanes ([`PackedValue512`]): 511 faults + good machine per pass.
+    W512,
+}
+
+impl WordWidth {
+    /// Number of lanes of this width.
+    #[must_use]
+    pub fn lanes(self) -> usize {
+        match self {
+            WordWidth::W64 => 64,
+            WordWidth::W256 => 256,
+            WordWidth::W512 => 512,
+        }
+    }
+
+    /// The width with exactly `lanes` lanes, if one exists.
+    #[must_use]
+    pub fn from_lanes(lanes: usize) -> Option<Self> {
+        match lanes {
+            64 => Some(WordWidth::W64),
+            256 => Some(WordWidth::W256),
+            512 => Some(WordWidth::W512),
+            _ => None,
+        }
+    }
+}
+
+/// The scaled engine: fault-list sharding across OS threads × wide-word
+/// lane packing, behind the same [`SimBackend`] trait.
+///
+/// Each thread owns a contiguous shard of the collapsed fault list and
+/// runs the chunked fused-good-machine pass at the configured
+/// [`WordWidth`]. Threads share nothing but the circuit and the replayable
+/// stream, so results are deterministic and bit-identical to
+/// [`ScalarBackend`] at any `threads`/`width` combination.
+///
+/// # Example
+///
+/// ```
+/// use bist_expand::TestSequence;
+/// use bist_netlist::benchmarks;
+/// use bist_sim::{collapse, fault_universe, ShardedBackend, SimBackend, WordWidth};
+///
+/// let c = benchmarks::s27();
+/// let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+/// let t0: TestSequence =
+///     "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse()?;
+/// let engine = ShardedBackend::new(2, WordWidth::W256)?;
+/// let times = engine.detection_times(&c, &t0, &faults)?;
+/// assert_eq!(times.iter().filter(|t| t.is_some()).count(), 32);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedBackend {
+    threads: usize,
+    width: WordWidth,
+}
+
+impl ShardedBackend {
+    /// Creates an engine with `threads` worker threads at `width` lanes
+    /// per word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ZeroThreads`] if `threads == 0`.
+    pub fn new(threads: usize, width: WordWidth) -> Result<Self, SimError> {
+        if threads == 0 {
+            return Err(SimError::ZeroThreads);
+        }
+        Ok(ShardedBackend { threads, width })
+    }
+
+    /// An engine sized to the host: one thread per available core at the
+    /// default 256-lane width.
+    #[must_use]
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        ShardedBackend { threads, width: WordWidth::default() }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured word width.
+    #[must_use]
+    pub fn width(&self) -> WordWidth {
+        self.width
+    }
+}
+
+impl Default for ShardedBackend {
+    fn default() -> Self {
+        ShardedBackend::auto()
+    }
+}
+
+impl SimBackend for ShardedBackend {
+    fn name(&self) -> &'static str {
+        match self.width {
+            WordWidth::W64 => "sharded64",
+            WordWidth::W256 => "sharded256",
+            WordWidth::W512 => "sharded512",
+        }
+    }
+
+    fn detection_times(
+        &self,
+        circuit: &Circuit,
+        source: &dyn VectorSource,
+        faults: &[Fault],
+    ) -> Result<Vec<Option<usize>>, SimError> {
+        validate_source(circuit, source)?;
+        // threads >= 1 is a construction invariant of every constructor.
+        debug_assert!(self.threads >= 1);
+        let mut times = vec![None; faults.len()];
+        match self.width {
+            WordWidth::W64 => {
+                run_sharded::<PackedValue>(circuit, source, faults, &mut times, self.threads)?;
+            }
+            WordWidth::W256 => {
+                run_sharded::<PackedValue256>(circuit, source, faults, &mut times, self.threads)?;
+            }
+            WordWidth::W512 => {
+                run_sharded::<PackedValue512>(circuit, source, faults, &mut times, self.threads)?;
+            }
         }
         Ok(times)
     }
@@ -302,9 +476,10 @@ impl SimBackend for PackedBackend {
 // ---------------------------------------------------------------------
 
 /// The reference engine: one faulty machine at a time over the scalar
-/// three-valued algebra. Roughly 64× slower than [`PackedBackend`] on
-/// large fault lists; exists for differential testing and as the simplest
-/// possible template for new backends.
+/// three-valued algebra, streamed in lockstep with its own fault-free
+/// machine (the scalar form of good-machine fusion). Dramatically slower
+/// than the packed engines on large fault lists; exists for differential
+/// testing and as the simplest possible template for new backends.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScalarBackend;
 
@@ -319,15 +494,13 @@ impl SimBackend for ScalarBackend {
         source: &dyn VectorSource,
         faults: &[Fault],
     ) -> Result<Vec<Option<usize>>, SimError> {
-        let good_po = good_po_trace(circuit, source)?;
+        validate_source(circuit, source)?;
         let mut times = vec![None; faults.len()];
         for (slot, &fault) in times.iter_mut().zip(faults) {
             let mut first = None;
-            stream_machine(circuit, source, Some(fault), &mut |t, outs| {
-                let observable = good_po[t]
-                    .iter()
-                    .zip(outs)
-                    .any(|(g, b)| g.is_binary() && b.is_binary() && g != b);
+            stream_machine_fused(circuit, source, fault, &mut |t, good, bad| {
+                let observable =
+                    good.iter().zip(bad).any(|(g, b)| g.is_binary() && b.is_binary() && g != b);
                 if observable {
                     first = Some(t);
                     return false;
@@ -352,6 +525,16 @@ mod tests {
         "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap()
     }
 
+    fn all_engines() -> Vec<Box<dyn SimBackend>> {
+        vec![
+            Box::new(PackedBackend),
+            Box::new(ScalarBackend),
+            Box::new(ShardedBackend::new(1, WordWidth::W64).unwrap()),
+            Box::new(ShardedBackend::new(2, WordWidth::W256).unwrap()),
+            Box::new(ShardedBackend::new(4, WordWidth::W512).unwrap()),
+        ]
+    }
+
     #[test]
     fn scalar_matches_packed_on_s27() {
         let c = benchmarks::s27();
@@ -364,35 +547,87 @@ mod tests {
     }
 
     #[test]
-    fn backends_agree_on_streamed_expansion() {
+    fn every_engine_agrees_on_streamed_expansion() {
         let c = benchmarks::s27();
         let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
         let s: TestSequence = "1011 0100".parse().unwrap();
         let cfg = ExpansionConfig::new(2).unwrap();
         let stream = cfg.stream(&s);
-        let packed = PackedBackend.detection_times(&c, &stream, &faults).unwrap();
-        let scalar = ScalarBackend.detection_times(&c, &stream, &faults).unwrap();
-        assert_eq!(packed, scalar);
-        // And both equal simulating the materialized expansion.
+        let reference = ScalarBackend.detection_times(&c, &stream, &faults).unwrap();
+        for engine in all_engines() {
+            let times = engine.detection_times(&c, &stream, &faults).unwrap();
+            assert_eq!(times, reference, "{}", engine.name());
+        }
+        // And the stream equals simulating the materialized expansion.
         let materialized = cfg.expand(&s);
-        let reference = PackedBackend.detection_times(&c, &materialized, &faults).unwrap();
-        assert_eq!(packed, reference);
+        let on_mat = PackedBackend.detection_times(&c, &materialized, &faults).unwrap();
+        assert_eq!(on_mat, reference);
     }
 
     #[test]
     fn validation_shared_by_backends() {
         let c = benchmarks::s27();
         let bad: TestSequence = "000".parse().unwrap();
-        for backend in [&PackedBackend as &dyn SimBackend, &ScalarBackend] {
-            assert!(matches!(
-                backend.detection_times(&c, &bad, &[]),
-                Err(SimError::WidthMismatch { .. })
-            ));
+        for engine in all_engines() {
+            assert!(
+                matches!(
+                    engine.detection_times(&c, &bad, &[]),
+                    Err(SimError::WidthMismatch { .. })
+                ),
+                "{}",
+                engine.name()
+            );
         }
+    }
+
+    #[test]
+    fn sharded_zero_threads_is_a_typed_error() {
+        assert_eq!(ShardedBackend::new(0, WordWidth::W256), Err(SimError::ZeroThreads));
+    }
+
+    #[test]
+    fn oversized_chunk_surfaces_lane_error() {
+        let c = benchmarks::s27();
+        let faults = fault_universe(&c);
+        let mut injector = Injector::new(c.num_nodes());
+        // 52 faults into a 4-lane budget: typed error, no panic.
+        let err = injector.load(&faults, 4);
+        assert_eq!(err, Err(SimError::LaneOutOfRange { lane: faults.len() - 1, lanes: 4 }));
+        // Within budget loads fine.
+        assert_eq!(injector.load(&faults[..4], 4), Ok(()));
+    }
+
+    #[test]
+    fn sharded_more_threads_than_chunks() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let t0 = table2_t0();
+        let reference = ScalarBackend.detection_times(&c, &t0, &faults).unwrap();
+        // 32 faults, 8 threads, 511 faults/chunk: everything lands in one
+        // shard; the engine must degrade gracefully.
+        let engine = ShardedBackend::new(8, WordWidth::W512).unwrap();
+        assert_eq!(engine.detection_times(&c, &t0, &faults).unwrap(), reference);
+    }
+
+    #[test]
+    fn sharded_accessors_and_auto() {
+        let e = ShardedBackend::new(3, WordWidth::W64).unwrap();
+        assert_eq!(e.threads(), 3);
+        assert_eq!(e.width(), WordWidth::W64);
+        assert_eq!(e.name(), "sharded64");
+        assert!(ShardedBackend::auto().threads() >= 1);
+        assert_eq!(ShardedBackend::default().width(), WordWidth::W256);
+        assert_eq!(WordWidth::from_lanes(256), Some(WordWidth::W256));
+        assert_eq!(WordWidth::from_lanes(128), None);
+        assert_eq!(WordWidth::W512.lanes(), 512);
     }
 
     #[test]
     fn names_differ() {
         assert_ne!(PackedBackend.name(), ScalarBackend.name());
+        assert_ne!(
+            ShardedBackend::new(1, WordWidth::W64).unwrap().name(),
+            ShardedBackend::new(1, WordWidth::W256).unwrap().name()
+        );
     }
 }

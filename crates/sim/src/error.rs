@@ -14,6 +14,18 @@ pub enum SimError {
     /// An empty test sequence was supplied where at least one vector is
     /// required.
     EmptySequence,
+    /// A lane index addressed a lane beyond what the operation has
+    /// available — e.g. reading past a packed word's width, or a fault
+    /// chunk larger than an engine's per-pass capacity (word width minus
+    /// the reserved good-machine lane).
+    LaneOutOfRange {
+        /// The offending lane index.
+        lane: usize,
+        /// Number of lanes available to the operation.
+        lanes: usize,
+    },
+    /// A sharded backend was configured with zero worker threads.
+    ZeroThreads,
 }
 
 impl fmt::Display for SimError {
@@ -24,6 +36,12 @@ impl fmt::Display for SimError {
                 "sequence width {sequence_width} does not match circuit input count {circuit_inputs}"
             ),
             SimError::EmptySequence => write!(f, "test sequence is empty"),
+            SimError::LaneOutOfRange { lane, lanes } => {
+                write!(f, "lane {lane} out of range ({lanes} lanes available)")
+            }
+            SimError::ZeroThreads => {
+                write!(f, "sharded backend requires at least one worker thread")
+            }
         }
     }
 }
@@ -39,6 +57,9 @@ mod tests {
         let e = SimError::WidthMismatch { circuit_inputs: 4, sequence_width: 3 };
         assert!(e.to_string().contains('4'));
         assert!(!SimError::EmptySequence.to_string().is_empty());
+        let lane = SimError::LaneOutOfRange { lane: 64, lanes: 64 };
+        assert!(lane.to_string().contains("64"));
+        assert!(SimError::ZeroThreads.to_string().contains("thread"));
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Gate evaluation over packed three-valued values.
 
-use crate::{Logic, PackedValue};
+use crate::{Logic, PackedWord};
 use bist_netlist::GateKind;
 use std::ops::Not;
 
-/// Evaluates a gate over packed fanin values (all 64 lanes at once).
+/// Evaluates a gate over packed fanin values (all lanes at once).
+///
+/// Generic over any [`PackedWord`] width — the same code evaluates 64
+/// machines per [`PackedValue`](crate::PackedValue) or 256/512 per
+/// [`PackedVec`](crate::PackedVec).
 ///
 /// # Panics
 ///
@@ -24,18 +28,26 @@ use std::ops::Not;
 /// assert_eq!(eval_gate(GateKind::Nand, &[z, b]).lane(0), Logic::One);
 /// ```
 #[must_use]
-pub fn eval_gate(kind: GateKind, fanin: &[PackedValue]) -> PackedValue {
+pub fn eval_gate<W: PackedWord>(kind: GateKind, fanin: &[W]) -> W {
     assert!(!fanin.is_empty(), "gate must have at least one fanin");
-    let first = fanin[0];
+    eval_gate_fold(kind, fanin[0], fanin[1..].iter().copied())
+}
+
+/// Folds a gate over `first` and the remaining fanin values — the single
+/// definition of packed gate semantics, shared by [`eval_gate`] and the
+/// engines' allocation-free table-reading fast path.
+#[inline]
+#[must_use]
+pub fn eval_gate_fold<W: PackedWord>(kind: GateKind, first: W, rest: impl Iterator<Item = W>) -> W {
     match kind {
         GateKind::Buf => first,
-        GateKind::Not => first.not(),
-        GateKind::And => fanin[1..].iter().fold(first, |acc, &v| acc.and(v)),
-        GateKind::Nand => fanin[1..].iter().fold(first, |acc, &v| acc.and(v)).not(),
-        GateKind::Or => fanin[1..].iter().fold(first, |acc, &v| acc.or(v)),
-        GateKind::Nor => fanin[1..].iter().fold(first, |acc, &v| acc.or(v)).not(),
-        GateKind::Xor => fanin[1..].iter().fold(first, |acc, &v| acc.xor(v)),
-        GateKind::Xnor => fanin[1..].iter().fold(first, |acc, &v| acc.xor(v)).not(),
+        GateKind::Not => W::not(first),
+        GateKind::And => rest.fold(first, W::and),
+        GateKind::Nand => W::not(rest.fold(first, W::and)),
+        GateKind::Or => rest.fold(first, W::or),
+        GateKind::Nor => W::not(rest.fold(first, W::or)),
+        GateKind::Xor => rest.fold(first, W::xor),
+        GateKind::Xnor => W::not(rest.fold(first, W::xor)),
     }
 }
 
@@ -69,6 +81,7 @@ pub fn eval_scalar_fold(kind: GateKind, mut fanin: impl Iterator<Item = Logic>) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{PackedValue, PackedValue256};
     use Logic::{One, Zero, X};
 
     const ALL: [Logic; 3] = [Zero, One, X];
@@ -126,8 +139,24 @@ mod tests {
     }
 
     #[test]
+    fn wide_words_evaluate_like_narrow() {
+        for kind in [GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Xor] {
+            for a in ALL {
+                for b in ALL {
+                    let narrow =
+                        eval_gate(kind, &[PackedValue::splat(a), PackedValue::splat(b)]).lane(10);
+                    let wide =
+                        eval_gate(kind, &[PackedValue256::splat(a), PackedValue256::splat(b)])
+                            .lane(200);
+                    assert_eq!(narrow, wide, "{kind:?} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one fanin")]
     fn empty_fanin_panics() {
-        let _ = eval_gate(GateKind::And, &[]);
+        let _ = eval_gate::<PackedValue>(GateKind::And, &[]);
     }
 }

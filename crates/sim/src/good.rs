@@ -76,15 +76,7 @@ pub(crate) fn stream_machine(
     fault: Option<Fault>,
     on_po: &mut dyn FnMut(usize, &[Logic]) -> bool,
 ) -> Result<Vec<Logic>, SimError> {
-    if source.width() != circuit.num_inputs() {
-        return Err(SimError::WidthMismatch {
-            circuit_inputs: circuit.num_inputs(),
-            sequence_width: source.width(),
-        });
-    }
-    if source.is_empty() {
-        return Err(SimError::EmptySequence);
-    }
+    validate_source(circuit, source)?;
 
     // Decompose the fault into the two injection hooks the sweep needs.
     let out_force: Option<(usize, Logic)> = match fault {
@@ -152,6 +144,116 @@ pub(crate) fn stream_machine(
     });
 
     Ok(state)
+}
+
+/// The input-validation point shared by every simulation engine: rejects
+/// width mismatches and empty streams before anything runs, so all
+/// backends fail identically on bad input — including with an empty fault
+/// list.
+pub(crate) fn validate_source(
+    circuit: &Circuit,
+    source: &dyn VectorSource,
+) -> Result<(), SimError> {
+    if source.width() != circuit.num_inputs() {
+        return Err(SimError::WidthMismatch {
+            circuit_inputs: circuit.num_inputs(),
+            sequence_width: source.width(),
+        });
+    }
+    if source.is_empty() {
+        return Err(SimError::EmptySequence);
+    }
+    Ok(())
+}
+
+/// Visitor of the fused pair walk: receives the time unit, the fault-free
+/// primary outputs and the faulty primary outputs; returns `true` to keep
+/// streaming.
+pub(crate) type PairVisitor<'v> = dyn FnMut(usize, &[Logic], &[Logic]) -> bool + 'v;
+
+/// Streams the fault-free machine and one faulty machine in lockstep,
+/// delivering both primary-output slices per time unit — the fused
+/// good-machine walk of the scalar reference backend. Nothing is
+/// collected: detection is O(1) in stream length.
+pub(crate) fn stream_machine_fused(
+    circuit: &Circuit,
+    source: &dyn VectorSource,
+    fault: Fault,
+    on_po: &mut PairVisitor<'_>,
+) -> Result<(), SimError> {
+    validate_source(circuit, source)?;
+
+    let out_force: Option<(usize, Logic)> = match fault {
+        Fault { site: FaultSite::Output(n), stuck } => Some((n.index(), Logic::from_bool(stuck))),
+        _ => None,
+    };
+    let in_force: Option<(usize, u32, Logic)> = match fault {
+        Fault { site: FaultSite::Input { node, pin }, stuck } => {
+            Some((node.index(), pin, Logic::from_bool(stuck)))
+        }
+        _ => None,
+    };
+    let read = |values: &[Logic], consumer: usize, pin: u32, src: usize| -> Logic {
+        match in_force {
+            Some((n, p, v)) if n == consumer && p == pin => v,
+            _ => values[src],
+        }
+    };
+    let force_out = |node: usize, v: Logic| -> Logic {
+        match out_force {
+            Some((n, f)) if n == node => f,
+            _ => v,
+        }
+    };
+
+    let n = circuit.num_nodes();
+    let mut good = vec![Logic::X; n];
+    let mut bad = vec![Logic::X; n];
+    let mut good_state = vec![Logic::X; circuit.num_dffs()];
+    let mut bad_state = vec![Logic::X; circuit.num_dffs()];
+    let mut good_po: Vec<Logic> = Vec::with_capacity(circuit.num_outputs());
+    let mut bad_po: Vec<Logic> = Vec::with_capacity(circuit.num_outputs());
+
+    source.visit(&mut |t, vector| {
+        // Drive sources on both machines.
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            let v = Logic::from_bool(vector.get(i));
+            good[pi.index()] = v;
+            bad[pi.index()] = force_out(pi.index(), v);
+        }
+        for (k, &dff) in circuit.dffs().iter().enumerate() {
+            good[dff.index()] = good_state[k];
+            bad[dff.index()] = force_out(dff.index(), bad_state[k]);
+        }
+        // One combinational sweep over both value tables.
+        for &g in circuit.eval_order() {
+            let node = circuit.node(g);
+            let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
+            let gi = g.index();
+            good[gi] =
+                crate::eval::eval_scalar_fold(*kind, node.fanin().iter().map(|&f| good[f.index()]));
+            let v = crate::eval::eval_scalar_fold(
+                *kind,
+                node.fanin().iter().enumerate().map(|(p, &f)| read(&bad, gi, p as u32, f.index())),
+            );
+            bad[gi] = force_out(gi, v);
+        }
+        // Observe both machines.
+        good_po.clear();
+        good_po.extend(circuit.outputs().iter().map(|&o| good[o.index()]));
+        bad_po.clear();
+        bad_po.extend(circuit.outputs().iter().map(|&o| bad[o.index()]));
+        let go_on = on_po(t, &good_po, &bad_po);
+        // Clock both machines (with D-pin injection on the faulty one).
+        for (k, &dff) in circuit.dffs().iter().enumerate() {
+            let src = circuit.node(dff).fanin()[0];
+            good_state[k] = good[src.index()];
+            bad_state[k] = read(&bad, dff.index(), 0, src.index());
+        }
+        go_on
+    });
+
+    Ok(())
 }
 
 fn simulate_machine(
@@ -269,6 +371,41 @@ mod tests {
                 .any(|(g, b)| g.is_binary() && b.is_binary() && g != b);
             assert!(!observable, "difference before detection time at u={u}");
         }
+    }
+
+    #[test]
+    fn fused_pair_matches_separate_machines() {
+        use crate::Fault;
+        let c = benchmarks::s27();
+        let t0 = seq("0111 1001 0111 1001 0100 1011 1001 0000 0000 1011");
+        let g8 = c.find("G8").unwrap();
+        let g5 = c.dffs()[0];
+        for fault in
+            [Fault::output(g8, true), Fault::input(g8, 0, false), Fault::input(g5, 0, true)]
+        {
+            let good = simulate_good(&c, &t0).unwrap();
+            let bad = simulate_faulty(&c, &t0, fault).unwrap();
+            let mut steps = 0usize;
+            stream_machine_fused(&c, &t0, fault, &mut |t, g, b| {
+                assert_eq!(g, &good.po[t][..], "good PO at t={t} for {fault}");
+                assert_eq!(b, &bad.po[t][..], "faulty PO at t={t} for {fault}");
+                steps += 1;
+                true
+            })
+            .unwrap();
+            assert_eq!(steps, t0.len());
+        }
+    }
+
+    #[test]
+    fn fused_pair_validates_input() {
+        use crate::Fault;
+        let c = benchmarks::s27();
+        let g8 = c.find("G8").unwrap();
+        let err = stream_machine_fused(&c, &seq("000"), Fault::output(g8, true), &mut |_, _, _| {
+            panic!("must not run")
+        });
+        assert_eq!(err, Err(SimError::WidthMismatch { circuit_inputs: 4, sequence_width: 3 }));
     }
 
     #[test]

@@ -4,18 +4,22 @@
 //! (a reproduction of Pomeranz & Reddy, DAC 1999). It provides:
 //!
 //! * [`Logic`] — scalar `0/1/X` values with the standard pessimistic
-//!   three-valued algebra, and [`PackedValue`] — 64 such values packed
-//!   into two machine words for bit-parallel evaluation.
+//!   three-valued algebra, and the [`PackedWord`] family — 64
+//!   ([`PackedValue`]), 256 or 512 ([`PackedVec`], autovectorizing
+//!   `[u64; N]` planes) such values packed for bit-parallel evaluation.
 //! * [`fault_universe`] / [`collapse`] — the single stuck-at fault model
 //!   (stem + fanout-branch faults) with classic gate-local equivalence
 //!   collapsing. On `s27` this yields the 52 → 32 fault counts the paper
 //!   works with.
 //! * [`simulate_good`] — fault-free simulation from the all-unknown state.
 //! * [`FaultSimulator`] — the sequential fault simulator facade over a
-//!   pluggable [`SimBackend`]: the default [`PackedBackend`] runs 64
-//!   faulty machines per pass (one per lane) with fault dropping and
-//!   early exit; the [`ScalarBackend`] reference engine runs one machine
-//!   at a time for differential testing. Both report first detection
+//!   pluggable [`SimBackend`]: the default [`PackedBackend`] runs 63
+//!   faulty machines per pass plus the fused good machine in the top
+//!   lane; [`ShardedBackend`] splits the fault list across OS threads at
+//!   a configurable [`WordWidth`] (64/256/512 lanes); the
+//!   [`ScalarBackend`] reference engine runs one machine at a time for
+//!   differential testing. All engines fuse the fault-free machine into
+//!   the fault passes (no precollected PO trace), report first detection
 //!   times (the `udet(f)` of Procedure 1) and consume replayable
 //!   [`VectorSource`] streams, so lazily expanded sequences simulate
 //!   without materialization.
@@ -56,7 +60,7 @@ mod simulator;
 mod stepped;
 pub mod transition;
 
-pub use backend::{PackedBackend, ScalarBackend, SimBackend};
+pub use backend::{PackedBackend, ScalarBackend, ShardedBackend, SimBackend, WordWidth};
 /// Re-exported from `bist-expand`: the replayable vector-stream trait the
 /// backends consume.
 pub use bist_expand::VectorSource;
@@ -67,7 +71,7 @@ pub use eval::{eval_gate, eval_gate_scalar};
 pub use fault::{fault_universe, Fault, FaultSite};
 pub use good::{simulate_faulty, simulate_good, GoodTrace};
 pub use logic::Logic;
-pub use packed::PackedValue;
+pub use packed::{LaneMask, PackedValue, PackedValue256, PackedValue512, PackedVec, PackedWord};
 pub use simulator::FaultSimulator;
 pub use stepped::SteppedSim;
 pub use transition::{

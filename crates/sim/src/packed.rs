@@ -1,5 +1,213 @@
-use crate::Logic;
+use crate::{Logic, SimError};
 use std::fmt;
+
+/// A bitmask over the lanes of a [`PackedWord`] — the bookkeeping type the
+/// fault-simulation engines use to track which faulty machines are still
+/// undetected and which lanes diverged from the good machine this cycle.
+///
+/// Implemented by `u64` (for [`PackedValue`]) and `[u64; N]` (for
+/// [`PackedVec`]). All operations are branch-free bit manipulation so the
+/// detection loop stays cheap at any width.
+pub trait LaneMask: Copy + PartialEq + Send + Sync + 'static {
+    /// The mask with no lanes set.
+    const EMPTY: Self;
+
+    /// The mask with lanes `0..n` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the number of lanes.
+    fn first_n(n: usize) -> Self;
+
+    /// True if no lane is set.
+    fn is_empty(self) -> bool;
+
+    /// Lanes set in both masks.
+    #[must_use]
+    fn intersect(self, rhs: Self) -> Self;
+
+    /// Lanes set in `self` but not in `rhs`.
+    #[must_use]
+    fn subtract(self, rhs: Self) -> Self;
+
+    /// Calls `f` with the index of every set lane, in ascending order.
+    fn for_each_lane(self, f: impl FnMut(usize));
+}
+
+impl LaneMask for u64 {
+    const EMPTY: Self = 0;
+
+    fn first_n(n: usize) -> Self {
+        assert!(n <= 64, "mask width {n} exceeds 64 lanes");
+        if n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    fn is_empty(self) -> bool {
+        self == 0
+    }
+
+    fn intersect(self, rhs: Self) -> Self {
+        self & rhs
+    }
+
+    fn subtract(self, rhs: Self) -> Self {
+        self & !rhs
+    }
+
+    fn for_each_lane(self, mut f: impl FnMut(usize)) {
+        let mut bits = self;
+        while bits != 0 {
+            f(bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+}
+
+impl<const N: usize> LaneMask for [u64; N] {
+    const EMPTY: Self = [0; N];
+
+    fn first_n(n: usize) -> Self {
+        assert!(n <= 64 * N, "mask width {n} exceeds {} lanes", 64 * N);
+        let mut words = [0u64; N];
+        let (full, rem) = (n / 64, n % 64);
+        for w in words.iter_mut().take(full) {
+            *w = u64::MAX;
+        }
+        if rem != 0 {
+            words[full] = (1u64 << rem) - 1;
+        }
+        words
+    }
+
+    fn is_empty(self) -> bool {
+        self.iter().all(|&w| w == 0)
+    }
+
+    fn intersect(self, rhs: Self) -> Self {
+        let mut out = [0u64; N];
+        for i in 0..N {
+            out[i] = self[i] & rhs[i];
+        }
+        out
+    }
+
+    fn subtract(self, rhs: Self) -> Self {
+        let mut out = [0u64; N];
+        for i in 0..N {
+            out[i] = self[i] & !rhs[i];
+        }
+        out
+    }
+
+    fn for_each_lane(self, mut f: impl FnMut(usize)) {
+        for (wi, &word) in self.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                f(wi * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
+/// A fixed-width vector of three-valued logic values — the algebra the
+/// bit-parallel fault-simulation engines are generic over.
+///
+/// Lane `i` carries one machine's value of a signal. [`PackedValue`]
+/// provides 64 lanes in two `u64` planes; [`PackedVec<N>`] provides
+/// `64·N` lanes (256 and 512 via the [`PackedValue256`] /
+/// [`PackedValue512`] aliases) in `[u64; N]` planes whose element-wise
+/// loops autovectorize to AVX2/AVX-512 on capable hosts.
+///
+/// The algebra must agree with the scalar [`Logic`] algebra in every lane
+/// (property-tested for each implementation).
+pub trait PackedWord: Copy + PartialEq + Send + Sync + 'static {
+    /// The lane-mask type paired with this width.
+    type Mask: LaneMask;
+
+    /// Number of lanes.
+    const LANES: usize;
+
+    /// The word with every lane `X`.
+    const ALL_X: Self;
+
+    /// Broadcasts one value to all lanes.
+    #[must_use]
+    fn splat(v: Logic) -> Self;
+
+    /// Reads lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::LANES`; see [`try_lane`](Self::try_lane) for
+    /// the checked variant.
+    #[must_use]
+    fn lane(self, i: usize) -> Logic;
+
+    /// Writes lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::LANES`; see
+    /// [`try_set_lane`](Self::try_set_lane) for the checked variant.
+    fn set_lane(&mut self, i: usize, v: Logic);
+
+    /// Checked [`lane`](Self::lane): out-of-range indices surface a typed
+    /// [`SimError::LaneOutOfRange`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::LaneOutOfRange`] if `i >= Self::LANES`.
+    fn try_lane(self, i: usize) -> Result<Logic, SimError> {
+        if i < Self::LANES {
+            Ok(self.lane(i))
+        } else {
+            Err(SimError::LaneOutOfRange { lane: i, lanes: Self::LANES })
+        }
+    }
+
+    /// Checked [`set_lane`](Self::set_lane).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::LaneOutOfRange`] if `i >= Self::LANES`.
+    fn try_set_lane(&mut self, i: usize, v: Logic) -> Result<(), SimError> {
+        if i < Self::LANES {
+            self.set_lane(i, v);
+            Ok(())
+        } else {
+            Err(SimError::LaneOutOfRange { lane: i, lanes: Self::LANES })
+        }
+    }
+
+    /// Lane-wise three-valued AND.
+    #[must_use]
+    fn and(self, rhs: Self) -> Self;
+
+    /// Lane-wise three-valued OR.
+    #[must_use]
+    fn or(self, rhs: Self) -> Self;
+
+    /// Lane-wise three-valued XOR.
+    #[must_use]
+    fn xor(self, rhs: Self) -> Self;
+
+    /// Lane-wise three-valued NOT.
+    #[must_use]
+    fn not(self) -> Self;
+
+    /// Mask of lanes holding logic 1.
+    #[must_use]
+    fn ones_mask(self) -> Self::Mask;
+
+    /// Mask of lanes holding logic 0.
+    #[must_use]
+    fn zeros_mask(self) -> Self::Mask;
+}
 
 /// 64 three-valued logic values packed into two machine words.
 ///
@@ -122,6 +330,194 @@ impl PackedValue {
     pub fn binary_mask(self) -> u64 {
         self.ones | self.zeros
     }
+
+    /// Checked [`lane`](Self::lane): surfaces a typed error instead of
+    /// panicking on an out-of-range index.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::LaneOutOfRange`] if `i >= 64`.
+    pub fn try_lane(self, i: usize) -> Result<Logic, SimError> {
+        PackedWord::try_lane(self, i)
+    }
+
+    /// Checked [`set_lane`](Self::set_lane).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::LaneOutOfRange`] if `i >= 64`.
+    pub fn try_set_lane(&mut self, i: usize, v: Logic) -> Result<(), SimError> {
+        PackedWord::try_set_lane(self, i, v)
+    }
+}
+
+impl PackedWord for PackedValue {
+    type Mask = u64;
+
+    const LANES: usize = 64;
+
+    const ALL_X: Self = PackedValue::ALL_X;
+
+    fn splat(v: Logic) -> Self {
+        PackedValue::splat(v)
+    }
+
+    fn lane(self, i: usize) -> Logic {
+        PackedValue::lane(self, i)
+    }
+
+    fn set_lane(&mut self, i: usize, v: Logic) {
+        PackedValue::set_lane(self, i, v);
+    }
+
+    fn and(self, rhs: Self) -> Self {
+        PackedValue::and(self, rhs)
+    }
+
+    fn or(self, rhs: Self) -> Self {
+        PackedValue::or(self, rhs)
+    }
+
+    fn xor(self, rhs: Self) -> Self {
+        PackedValue::xor(self, rhs)
+    }
+
+    fn not(self) -> Self {
+        PackedValue { ones: self.zeros, zeros: self.ones }
+    }
+
+    fn ones_mask(self) -> u64 {
+        self.ones
+    }
+
+    fn zeros_mask(self) -> u64 {
+        self.zeros
+    }
+}
+
+/// `64·N` three-valued logic values packed into two `[u64; N]` planes —
+/// the wide-word generalization of [`PackedValue`].
+///
+/// The element-wise plane loops compile to straight-line SIMD (AVX2 at
+/// `N = 4`, AVX-512 at `N = 8` with `target-cpu=native`), so one gate
+/// evaluation advances 256 or 512 faulty machines. Use the
+/// [`PackedValue256`] / [`PackedValue512`] aliases.
+///
+/// # Example
+///
+/// ```
+/// use bist_sim::{Logic, PackedValue256, PackedWord};
+///
+/// let mut w = PackedValue256::ALL_X;
+/// w.set_lane(200, Logic::Zero);
+/// let a = PackedValue256::splat(Logic::One);
+/// assert_eq!(a.and(w).lane(200), Logic::Zero);
+/// assert_eq!(a.and(w).lane(0), Logic::X);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackedVec<const N: usize> {
+    /// Bit `i` of word `w` set ⇔ lane `64·w + i` is logic 1.
+    pub ones: [u64; N],
+    /// Bit `i` of word `w` set ⇔ lane `64·w + i` is logic 0.
+    pub zeros: [u64; N],
+}
+
+/// 256-lane packed word (`[u64; 4]` planes).
+pub type PackedValue256 = PackedVec<4>;
+
+/// 512-lane packed word (`[u64; 8]` planes).
+pub type PackedValue512 = PackedVec<8>;
+
+impl<const N: usize> PackedVec<N> {
+    /// True if no lane has both plane bits set.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        (0..N).all(|i| self.ones[i] & self.zeros[i] == 0)
+    }
+}
+
+impl<const N: usize> Default for PackedVec<N> {
+    fn default() -> Self {
+        Self::ALL_X
+    }
+}
+
+impl<const N: usize> PackedWord for PackedVec<N> {
+    type Mask = [u64; N];
+
+    const LANES: usize = 64 * N;
+
+    const ALL_X: Self = PackedVec { ones: [0; N], zeros: [0; N] };
+
+    fn splat(v: Logic) -> Self {
+        match v {
+            Logic::One => PackedVec { ones: [u64::MAX; N], zeros: [0; N] },
+            Logic::Zero => PackedVec { ones: [0; N], zeros: [u64::MAX; N] },
+            Logic::X => Self::ALL_X,
+        }
+    }
+
+    fn lane(self, i: usize) -> Logic {
+        assert!(i < Self::LANES, "lane {i} out of range");
+        let (w, bit) = (i / 64, 1u64 << (i % 64));
+        match (self.ones[w] & bit != 0, self.zeros[w] & bit != 0) {
+            (true, false) => Logic::One,
+            (false, true) => Logic::Zero,
+            (false, false) => Logic::X,
+            (true, true) => unreachable!("invalid packed encoding in lane {i}"),
+        }
+    }
+
+    fn set_lane(&mut self, i: usize, v: Logic) {
+        assert!(i < Self::LANES, "lane {i} out of range");
+        let (w, bit) = (i / 64, 1u64 << (i % 64));
+        self.ones[w] &= !bit;
+        self.zeros[w] &= !bit;
+        match v {
+            Logic::One => self.ones[w] |= bit,
+            Logic::Zero => self.zeros[w] |= bit,
+            Logic::X => {}
+        }
+    }
+
+    fn and(self, rhs: Self) -> Self {
+        let (mut ones, mut zeros) = ([0u64; N], [0u64; N]);
+        for i in 0..N {
+            ones[i] = self.ones[i] & rhs.ones[i];
+            zeros[i] = self.zeros[i] | rhs.zeros[i];
+        }
+        PackedVec { ones, zeros }
+    }
+
+    fn or(self, rhs: Self) -> Self {
+        let (mut ones, mut zeros) = ([0u64; N], [0u64; N]);
+        for i in 0..N {
+            ones[i] = self.ones[i] | rhs.ones[i];
+            zeros[i] = self.zeros[i] & rhs.zeros[i];
+        }
+        PackedVec { ones, zeros }
+    }
+
+    fn xor(self, rhs: Self) -> Self {
+        let (mut ones, mut zeros) = ([0u64; N], [0u64; N]);
+        for i in 0..N {
+            ones[i] = (self.ones[i] & rhs.zeros[i]) | (self.zeros[i] & rhs.ones[i]);
+            zeros[i] = (self.ones[i] & rhs.ones[i]) | (self.zeros[i] & rhs.zeros[i]);
+        }
+        PackedVec { ones, zeros }
+    }
+
+    fn not(self) -> Self {
+        PackedVec { ones: self.zeros, zeros: self.ones }
+    }
+
+    fn ones_mask(self) -> [u64; N] {
+        self.ones
+    }
+
+    fn zeros_mask(self) -> [u64; N] {
+        self.zeros
+    }
 }
 
 impl std::ops::Not for PackedValue {
@@ -151,7 +547,6 @@ impl fmt::Display for PackedValue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::ops::Not;
     use Logic::{One, Zero, X};
 
     const ALL: [Logic; 3] = [Zero, One, X];
@@ -191,7 +586,8 @@ mod tests {
                 assert_eq!(pa.and(pb).lane(7), a.and(b), "and {a} {b}");
                 assert_eq!(pa.or(pb).lane(7), a.or(b), "or {a} {b}");
                 assert_eq!(pa.xor(pb).lane(7), a.xor(b), "xor {a} {b}");
-                assert_eq!(pa.not().lane(7), a.not(), "not {a}");
+                assert_eq!(PackedWord::not(pa).lane(7), !a, "not {a}");
+                assert_eq!(!pa, PackedWord::not(pa), "ops::Not and PackedWord::not agree");
                 assert!(pa.and(pb).is_valid());
                 assert!(pa.or(pb).is_valid());
                 assert!(pa.xor(pb).is_valid());
@@ -232,5 +628,90 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn lane_out_of_range_panics() {
         let _ = PackedValue::ALL_X.lane(64);
+    }
+
+    #[test]
+    fn try_lane_surfaces_typed_error() {
+        let mut p = PackedValue::ALL_X;
+        assert_eq!(p.try_lane(63), Ok(X));
+        assert_eq!(p.try_lane(64), Err(SimError::LaneOutOfRange { lane: 64, lanes: 64 }));
+        assert_eq!(p.try_set_lane(2, One), Ok(()));
+        assert_eq!(p.lane(2), One);
+        assert_eq!(
+            p.try_set_lane(100, One),
+            Err(SimError::LaneOutOfRange { lane: 100, lanes: 64 })
+        );
+        let mut w = PackedValue256::ALL_X;
+        assert_eq!(w.try_set_lane(255, Zero), Ok(()));
+        assert_eq!(w.try_lane(256), Err(SimError::LaneOutOfRange { lane: 256, lanes: 256 }));
+    }
+
+    /// Every lane of every wide width must follow the scalar algebra.
+    #[test]
+    fn wide_matches_scalar_exhaustively() {
+        fn check<W: PackedWord>() {
+            for a in ALL {
+                for b in ALL {
+                    let (pa, pb) = (W::splat(a), W::splat(b));
+                    for lane in [0, 63, W::LANES / 2, W::LANES - 1] {
+                        assert_eq!(pa.and(pb).lane(lane), a.and(b), "and {a} {b} lane {lane}");
+                        assert_eq!(pa.or(pb).lane(lane), a.or(b), "or {a} {b} lane {lane}");
+                        assert_eq!(pa.xor(pb).lane(lane), a.xor(b), "xor {a} {b} lane {lane}");
+                        assert_eq!(W::not(pa).lane(lane), !a, "not {a} lane {lane}");
+                    }
+                }
+            }
+        }
+        check::<PackedValue>();
+        check::<PackedValue256>();
+        check::<PackedValue512>();
+    }
+
+    #[test]
+    fn wide_lanes_are_independent_across_words() {
+        let mut a = PackedValue256::ALL_X;
+        let mut b = PackedValue256::ALL_X;
+        // Lanes straddling all four plane words.
+        a.set_lane(0, One);
+        b.set_lane(0, One);
+        a.set_lane(70, Zero);
+        a.set_lane(130, One);
+        a.set_lane(255, Zero);
+        let c = a.and(b);
+        assert_eq!(c.lane(0), One);
+        assert_eq!(c.lane(70), Zero);
+        assert_eq!(c.lane(130), X);
+        assert_eq!(c.lane(255), Zero);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn lane_mask_first_n_and_iteration() {
+        assert_eq!(<u64 as LaneMask>::first_n(0), 0);
+        assert_eq!(<u64 as LaneMask>::first_n(3), 0b111);
+        assert_eq!(<u64 as LaneMask>::first_n(64), u64::MAX);
+        let m = <[u64; 4] as LaneMask>::first_n(70);
+        assert_eq!(m, [u64::MAX, 0b11_1111, 0, 0]);
+        let mut lanes = Vec::new();
+        m.subtract(<[u64; 4] as LaneMask>::first_n(63)).for_each_lane(|l| lanes.push(l));
+        assert_eq!(lanes, vec![63, 64, 65, 66, 67, 68, 69]);
+        assert!(<[u64; 4] as LaneMask>::EMPTY.is_empty());
+        assert!(!m.is_empty());
+        assert_eq!(m.intersect(<[u64; 4] as LaneMask>::first_n(1)), [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn wide_splat_and_set_round_trip() {
+        for v in ALL {
+            let w = PackedValue512::splat(v);
+            assert!(w.is_valid());
+            for lane in [0, 64, 200, 511] {
+                assert_eq!(w.lane(lane), v);
+            }
+        }
+        let mut w = PackedValue512::default();
+        w.set_lane(300, One);
+        w.set_lane(300, X);
+        assert_eq!(w.lane(300), X);
     }
 }

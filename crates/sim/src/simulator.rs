@@ -1,8 +1,10 @@
 //! The sequential stuck-at fault simulator facade.
 //!
 //! [`FaultSimulator`] binds a circuit to a [`SimBackend`] engine. The
-//! default engine simulates faults 64 at a time (one faulty machine per
-//! [`PackedValue`](crate::PackedValue) lane); a scalar reference engine is
+//! default engine simulates faults 63 at a time (one faulty machine per
+//! low [`PackedValue`](crate::PackedValue) lane, with the fault-free
+//! machine fused into the top lane); [`FaultSimulator::sharded`] selects
+//! the thread-sharded wide-word engine, and a scalar reference engine is
 //! available for differential testing via
 //! [`FaultSimulator::with_backend`]. A fault is *detected* at time unit
 //! `u` if some primary output has a binary value in the fault-free circuit
@@ -16,7 +18,7 @@
 //! the lazy [`ExpansionIter`](bist_expand::ExpansionIter) without ever
 //! materializing `Sexp`.
 
-use crate::backend::{PackedBackend, ScalarBackend, SimBackend};
+use crate::backend::{PackedBackend, ScalarBackend, ShardedBackend, SimBackend, WordWidth};
 use crate::good::{simulate_good, GoodTrace};
 use crate::{Fault, SimError};
 use bist_expand::{TestSequence, VectorSource};
@@ -61,6 +63,19 @@ impl<'c> FaultSimulator<'c> {
     #[must_use]
     pub fn scalar(circuit: &'c Circuit) -> Self {
         FaultSimulator::with_backend(circuit, Arc::new(ScalarBackend))
+    }
+
+    /// Creates a simulator using the thread-sharded wide-word engine.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ZeroThreads`] if `threads == 0`.
+    pub fn sharded(
+        circuit: &'c Circuit,
+        threads: usize,
+        width: WordWidth,
+    ) -> Result<Self, SimError> {
+        Ok(FaultSimulator::with_backend(circuit, Arc::new(ShardedBackend::new(threads, width)?)))
     }
 
     /// Creates a simulator with an explicit engine.
@@ -269,6 +284,25 @@ mod tests {
             let serial = sim.first_detection(&t0, f).unwrap();
             assert_eq!(serial, parallel[i], "fault {}", f.describe(&c));
         }
+    }
+
+    #[test]
+    fn sharded_simulator_matches_packed() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let t0 = table2_t0();
+        let packed = FaultSimulator::new(&c).detection_times(&t0, &faults).unwrap();
+        for width in [WordWidth::W64, WordWidth::W256, WordWidth::W512] {
+            for threads in [1, 2, 4] {
+                let sim = FaultSimulator::sharded(&c, threads, width).unwrap();
+                assert_eq!(
+                    sim.detection_times(&t0, &faults).unwrap(),
+                    packed,
+                    "threads={threads} width={width:?}"
+                );
+            }
+        }
+        assert!(FaultSimulator::sharded(&c, 0, WordWidth::W64).is_err());
     }
 
     #[test]

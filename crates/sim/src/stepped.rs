@@ -5,7 +5,10 @@
 //! response, and keep the flip-flop state across calls. An optional
 //! stuck-at fault turns it into the defective chip. The batch simulators
 //! in [`crate::simulate_good`] / [`crate::simulate_faulty`] are the
-//! reference; equivalence is unit- and property-tested.
+//! reference; equivalence is unit- and property-tested. Unlike the
+//! batch [`SimBackend`](crate::SimBackend) engines, this simulator is
+//! deliberately scalar and single-machine — it is an interaction surface,
+//! not a throughput path.
 
 use crate::{eval, Fault, FaultSite, Logic, SimError};
 use bist_expand::TestVector;

@@ -1,0 +1,133 @@
+//! Seeded differential suite over the full benchmark suite: the scalar
+//! reference engine vs the packed engine vs the sharded engine at widths
+//! 64/256/512 and 1/2/4 threads.
+//!
+//! Equality is asserted on *detection times*, not just detected /
+//! undetected — the paper's selection procedures key off `udet(f)`, so a
+//! backend that detects the right faults at the wrong time units would
+//! silently produce different (possibly invalid) subsequence selections.
+//!
+//! Fault lists are seeded random samples of each circuit's collapsed
+//! universe, sized down on the big analogs to keep the scalar oracle
+//! affordable in debug builds.
+
+use bist_expand::expansion::{Expand, ExpansionConfig};
+use bist_expand::{TestSequence, TestVector, VectorSource};
+use bist_netlist::{benchmarks, Circuit};
+use bist_sim::{
+    collapse, fault_universe, Fault, PackedBackend, ScalarBackend, ShardedBackend, SimBackend,
+    WordWidth,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded sample of `k` collapsed faults (the whole universe if smaller).
+fn sample_faults(circuit: &Circuit, k: usize, rng: &mut StdRng) -> Vec<Fault> {
+    let mut faults = collapse(circuit, &fault_universe(circuit)).representatives().to_vec();
+    while faults.len() > k {
+        let victim = rng.gen_range(0usize..faults.len());
+        faults.swap_remove(victim);
+    }
+    faults
+}
+
+fn random_sequence(circuit: &Circuit, len: usize, rng: &mut StdRng) -> TestSequence {
+    let width = circuit.num_inputs();
+    TestSequence::from_vectors(
+        (0..len).map(|_| TestVector::from_fn(width, |_| rng.gen_bool(0.5))).collect(),
+    )
+    .expect("uniform width")
+}
+
+fn sharded_grid() -> Vec<ShardedBackend> {
+    let mut grid = Vec::new();
+    for width in [WordWidth::W64, WordWidth::W256, WordWidth::W512] {
+        for threads in [1, 2, 4] {
+            grid.push(ShardedBackend::new(threads, width).expect("threads >= 1"));
+        }
+    }
+    grid
+}
+
+/// Fault-sample and sequence sizes per circuit, scaled down as the
+/// scalar oracle gets more expensive.
+fn budget(gates: usize) -> (usize, usize) {
+    match gates {
+        0..=200 => (96, 24),
+        201..=1000 => (64, 16),
+        1001..=4000 => (32, 12),
+        _ => (16, 8),
+    }
+}
+
+#[test]
+fn all_engines_agree_on_every_suite_circuit() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff_e7e5);
+    for entry in benchmarks::suite() {
+        let circuit = entry.build().expect("suite circuit builds");
+        let (num_faults, seq_len) = budget(entry.gates);
+        let faults = sample_faults(&circuit, num_faults, &mut rng);
+        let seq = random_sequence(&circuit, seq_len, &mut rng);
+
+        let oracle = ScalarBackend.detection_times(&circuit, &seq, &faults).expect("scalar runs");
+        let packed = PackedBackend.detection_times(&circuit, &seq, &faults).expect("packed runs");
+        assert_eq!(packed, oracle, "packed64 vs scalar on {}", entry.name);
+        for engine in sharded_grid() {
+            let times = engine.detection_times(&circuit, &seq, &faults).expect("sharded runs");
+            assert_eq!(
+                times,
+                oracle,
+                "{} ({} threads) vs scalar on {}",
+                engine.name(),
+                engine.threads(),
+                entry.name
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_expanded_streams() {
+    // The workload that matters: lazily expanded `8·n·|S|` streams, where
+    // early-exit and replay interact with chunking and sharding.
+    let mut rng = StdRng::seed_from_u64(0xe8a_5eed);
+    for entry in benchmarks::suite_up_to(600) {
+        let circuit = entry.build().expect("suite circuit builds");
+        let faults = sample_faults(&circuit, 48, &mut rng);
+        let s = random_sequence(&circuit, 3, &mut rng);
+        for n in [1, 2] {
+            let cfg = ExpansionConfig::new(n).expect("n >= 1");
+            let stream = cfg.stream(&s);
+            let oracle = ScalarBackend.detection_times(&circuit, &stream, &faults).expect("scalar");
+            let packed = PackedBackend.detection_times(&circuit, &stream, &faults).expect("packed");
+            assert_eq!(packed, oracle, "packed64 on {} n={n}", entry.name);
+            for engine in sharded_grid() {
+                let times = engine.detection_times(&circuit, &stream, &faults).expect("sharded");
+                assert_eq!(times, oracle, "{} on {} n={n}", engine.name(), entry.name);
+            }
+            // The stream view itself must match the materialized Sexp.
+            assert_eq!(stream.materialize(), cfg.expand(&s), "{} n={n}", entry.name);
+        }
+    }
+}
+
+#[test]
+fn duplicate_faults_get_identical_times_across_chunk_boundaries() {
+    // Duplicating the fault list beyond one 511-lane chunk exercises the
+    // lane bookkeeping of every width: duplicates must resolve to the
+    // same time regardless of which chunk/shard/lane they land in.
+    let circuit = benchmarks::suite()[2].build().expect("a344 builds");
+    let mut rng = StdRng::seed_from_u64(77);
+    let base = sample_faults(&circuit, 96, &mut rng);
+    let mut tripled = base.clone();
+    tripled.extend(base.iter().copied());
+    tripled.extend(base.iter().copied());
+    let seq = random_sequence(&circuit, 12, &mut rng);
+    for engine in sharded_grid() {
+        let times = engine.detection_times(&circuit, &seq, &tripled).expect("runs");
+        for i in 0..base.len() {
+            assert_eq!(times[i], times[i + base.len()], "{} copy 1", engine.name());
+            assert_eq!(times[i], times[i + 2 * base.len()], "{} copy 2", engine.name());
+        }
+    }
+}

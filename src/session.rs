@@ -29,7 +29,10 @@ use bist_core::{
 use bist_expand::expansion::ExpansionConfig;
 use bist_expand::TestSequence;
 use bist_netlist::{benchmarks, Circuit};
-use bist_sim::{collapse, fault_universe, Fault, FaultCoverage, FaultSimulator, SimBackend};
+use bist_sim::{
+    collapse, fault_universe, Fault, FaultCoverage, FaultSimulator, ShardedBackend, SimBackend,
+    WordWidth,
+};
 use bist_tgen::{generate_t0, TgenConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -42,18 +45,55 @@ use std::time::Instant;
 /// dramatically slower on large fault lists.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
-    /// 64 faulty machines per pass (the default production engine).
+    /// 63 faulty machines + the fused good machine per pass (the default
+    /// single-threaded production engine).
     #[default]
     Packed,
     /// One faulty machine at a time (reference engine).
     Scalar,
+    /// Fault-list sharding across OS threads × wide-word lane packing.
+    ///
+    /// `width` is the packed word width in lanes — 64, 256 or 512; any
+    /// other value is rejected at [`SessionBuilder::build`] with a typed
+    /// configuration error, as is `threads == 0`.
+    Sharded {
+        /// Number of worker threads (≥ 1).
+        threads: usize,
+        /// Packed word width in lanes (64, 256 or 512).
+        width: usize,
+    },
 }
 
 impl Backend {
-    fn engine(self) -> Arc<dyn SimBackend> {
+    fn engine(self) -> Result<Arc<dyn SimBackend>, BistError> {
         match self {
-            Backend::Packed => Arc::new(bist_sim::PackedBackend),
-            Backend::Scalar => Arc::new(bist_sim::ScalarBackend),
+            Backend::Packed => Ok(Arc::new(bist_sim::PackedBackend)),
+            Backend::Scalar => Ok(Arc::new(bist_sim::ScalarBackend)),
+            Backend::Sharded { threads, width } => {
+                let width = WordWidth::from_lanes(width).ok_or_else(|| {
+                    BistError::Config(format!(
+                        "sharded backend width must be 64, 256 or 512 lanes, got {width}"
+                    ))
+                })?;
+                Ok(Arc::new(ShardedBackend::new(threads, width)?))
+            }
+        }
+    }
+}
+
+/// How the builder's engine was selected: by name (resolved and validated
+/// at [`SessionBuilder::build`] time) or supplied directly.
+#[derive(Debug, Clone)]
+enum EngineSel {
+    Named(Backend),
+    Custom(Arc<dyn SimBackend>),
+}
+
+impl EngineSel {
+    fn resolve(&self) -> Result<Arc<dyn SimBackend>, BistError> {
+        match self {
+            EngineSel::Named(backend) => backend.engine(),
+            EngineSel::Custom(engine) => Ok(Arc::clone(engine)),
         }
     }
 }
@@ -82,7 +122,15 @@ impl CircuitSource {
                 Ok(bist_netlist::parser::parse_bench(name.clone(), text)?)
             }
             CircuitSource::File(path) => {
-                let text = std::fs::read_to_string(path)?;
+                // Attach the offending path: a bare io::Error ("No such
+                // file or directory") is useless once the builder chain
+                // has moved on.
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    BistError::Io(std::io::Error::new(
+                        e.kind(),
+                        format!("reading bench file `{}`: {e}", path.display()),
+                    ))
+                })?;
                 let name =
                     path.file_stem().and_then(|s| s.to_str()).unwrap_or("circuit").to_string();
                 Ok(bist_netlist::parser::parse_bench(name, &text)?)
@@ -112,7 +160,7 @@ pub struct SessionBuilder {
     source: CircuitSource,
     tgen: TgenConfig,
     scheme: SchemeConfig,
-    engine: Arc<dyn SimBackend>,
+    engine: EngineSel,
     seed: Option<u64>,
     t0: Option<TestSequence>,
     verify: bool,
@@ -124,7 +172,7 @@ impl Default for SessionBuilder {
             source: CircuitSource::S27,
             tgen: TgenConfig::new(),
             scheme: SchemeConfig::new(),
-            engine: Backend::Packed.engine(),
+            engine: EngineSel::Named(Backend::Packed),
             seed: None,
             t0: None,
             verify: true,
@@ -206,18 +254,21 @@ impl SessionBuilder {
         self
     }
 
-    /// Selects one of the built-in fault-simulation engines.
+    /// Selects one of the built-in fault-simulation engines. Invalid
+    /// configurations (e.g. `Backend::Sharded` with zero threads or an
+    /// unsupported width) surface as typed errors at
+    /// [`build`](Self::build) time.
     #[must_use]
     pub fn backend(mut self, backend: Backend) -> Self {
-        self.engine = backend.engine();
+        self.engine = EngineSel::Named(backend);
         self
     }
 
     /// Plugs in any [`SimBackend`] implementation — the extension point
-    /// for engines beyond the built-in two (sharded, wider-word, ...).
+    /// for engines beyond the built-in three.
     #[must_use]
     pub fn backend_impl(mut self, engine: Arc<dyn SimBackend>) -> Self {
-        self.engine = engine;
+        self.engine = EngineSel::Custom(engine);
         self
     }
 
@@ -244,7 +295,11 @@ impl SessionBuilder {
     /// Circuit construction / file / configuration errors.
     pub fn build(self) -> Result<Session, BistError> {
         let circuit = self.source.build()?;
+        let engine = self.engine.resolve()?;
         if let Some(t0) = &self.t0 {
+            if t0.is_empty() {
+                return Err(BistError::Config("supplied T0 is empty".to_string()));
+            }
             if t0.width() != circuit.num_inputs() {
                 return Err(BistError::Config(format!(
                     "supplied T0 width {} does not match circuit input count {}",
@@ -258,7 +313,7 @@ impl SessionBuilder {
             tgen = tgen.seed(seed);
             scheme = scheme.seed(seed);
         }
-        Ok(Session { circuit, t0: self.t0, tgen, scheme, engine: self.engine, verify: self.verify })
+        Ok(Session { circuit, t0: self.t0, tgen, scheme, engine, verify: self.verify })
     }
 
     /// [`build`](Self::build) + [`Session::run`] in one call.
@@ -555,6 +610,55 @@ mod tests {
         // Identical detection times drive identical selections.
         assert_eq!(packed.coverage().times(), scalar.coverage().times());
         assert_eq!(packed.best().after.total_len, scalar.best().after.total_len);
+    }
+
+    #[test]
+    fn sharded_backend_matches_packed_results() {
+        let t0: TestSequence = "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap();
+        let run = |backend| {
+            Session::builder().s27().t0(t0.clone()).ns(vec![1]).backend(backend).run().unwrap()
+        };
+        let packed = run(Backend::Packed);
+        for (threads, width, name) in
+            [(1, 64, "sharded64"), (2, 256, "sharded256"), (4, 512, "sharded512")]
+        {
+            let sharded = run(Backend::Sharded { threads, width });
+            assert_eq!(sharded.backend_name(), name);
+            assert_eq!(packed.coverage().times(), sharded.coverage().times());
+            assert_eq!(packed.best().after.total_len, sharded.best().after.total_len);
+            assert_eq!(sharded.verified(), Some(true));
+        }
+    }
+
+    #[test]
+    fn sharded_misconfiguration_is_a_typed_error_not_a_panic() {
+        let bad_width =
+            Session::builder().s27().backend(Backend::Sharded { threads: 4, width: 100 }).build();
+        match bad_width {
+            Err(BistError::Config(msg)) => assert!(msg.contains("100"), "{msg}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        let zero_threads =
+            Session::builder().s27().backend(Backend::Sharded { threads: 0, width: 256 }).build();
+        assert!(
+            matches!(zero_threads, Err(BistError::Sim(bist_sim::SimError::ZeroThreads))),
+            "{zero_threads:?}"
+        );
+    }
+
+    #[test]
+    fn bench_file_error_names_the_path() {
+        let err = Session::builder().bench_file("/no/such/dir/missing.bench").build().unwrap_err();
+        assert!(matches!(err, BistError::Io(_)), "{err:?}");
+        assert!(err.to_string().contains("missing.bench"), "{err}");
+    }
+
+    #[test]
+    fn empty_t0_is_a_config_error() {
+        let empty = TestSequence::new(4);
+        let err = Session::builder().s27().t0(empty).build().unwrap_err();
+        assert!(matches!(err, BistError::Config(_)), "{err:?}");
+        assert!(err.to_string().contains("empty"), "{err}");
     }
 
     #[test]
