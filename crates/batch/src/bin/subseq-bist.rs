@@ -1,0 +1,233 @@
+//! `subseq-bist` — the batch campaign CLI.
+//!
+//! The one front end over the whole pipeline: expand a campaign
+//! (circuits × backends × schemes × seeds), execute it concurrently with
+//! shared artifact caches, print the roll-up and optionally stream
+//! schema-validated JSONL.
+//!
+//! ```text
+//! subseq-bist run [--smoke] [--circuits s27,a298 | --upto N | --quick | --full]
+//!                 [--backends packed,scalar,sharded[:T[:W]]] [--seeds 1999,2000]
+//!                 [--ns 2,4,8,16] [--no-postprocess] [--no-verify]
+//!                 [--threads N] [--queue N] [--keep-going] [--jsonl PATH]
+//! subseq-bist list-circuits
+//! subseq-bist validate FILE.jsonl
+//! ```
+//!
+//! Argument parsing is hand-rolled (no external dependencies), in the
+//! same convention as the table binaries in `bist-bench`.
+
+use bist_batch::{parse_backend, BatchError, Campaign, CampaignEngine, JsonlSink, ReportSink};
+use subseq_bist::netlist::benchmarks;
+use subseq_bist::tgen::TgenConfig;
+use subseq_bist::Backend;
+
+const USAGE: &str = "\
+subseq-bist — batch campaign front end for the subsequence-BIST pipeline
+
+USAGE:
+    subseq-bist run [OPTIONS]      execute a campaign and print the roll-up
+    subseq-bist list-circuits      list the built-in benchmark suite
+    subseq-bist validate FILE      schema-check a campaign JSONL file
+    subseq-bist help               show this text
+
+RUN OPTIONS:
+    --circuits A,B,..   built-in suite circuits to run (default: --upto 3000)
+    --upto N            every suite circuit with at most N gates
+    --quick             alias for --upto 300
+    --full              the whole suite including the largest analog
+    --backends LIST     comma-separated: packed, scalar, sharded[:T[:W]]
+                        (T threads, 0 = auto; W lanes 64/256/512; default packed)
+    --seeds LIST        comma-separated u64 seeds (default 1999)
+    --ns LIST           repetition counts to sweep (default 2,4,8,16)
+    --no-postprocess    skip the paper's §3.2 static compaction of S
+    --no-verify         skip post-run coverage verification
+    --t0-cap N          cap |T0| (default 1024, the paper's longest)
+    --t0-budget N       T0 static-compaction trial budget (default 300)
+    --threads N         worker threads (default 0 = one per core)
+    --queue N           bounded job-queue depth (default 32)
+    --keep-going        record job failures instead of cancelling
+    --jsonl PATH        stream one schema-validated JSON row per job
+    --smoke             tiny CI configuration: small circuits, short T0,
+                        n in {1,2}, packed + sharded backends
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("list-circuits") => list_circuits(),
+        Some("validate") => validate(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => {
+            Err(BatchError::Config(format!("unknown command `{other}` (try `subseq-bist help`)")))
+        }
+    };
+    if let Err(e) = code {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Splits a comma-separated flag value.
+fn split_list(value: &str) -> Vec<String> {
+    value.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect()
+}
+
+fn parse_flag_value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a str, BatchError> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| BatchError::Config(format!("`{flag}` needs a value")))
+}
+
+fn parse_usize(flag: &str, value: &str) -> Result<usize, BatchError> {
+    value
+        .parse()
+        .map_err(|_| BatchError::Config(format!("`{flag}` needs an integer, got `{value}`")))
+}
+
+fn run(args: &[String]) -> Result<(), BatchError> {
+    let mut circuits: Option<Vec<String>> = None;
+    let mut upto: Option<usize> = None;
+    let mut backends: Option<Vec<Backend>> = None;
+    let mut seeds: Vec<u64> = vec![1999];
+    let mut ns: Option<Vec<usize>> = None;
+    let mut postprocess = true;
+    let mut verify = true;
+    let mut t0_cap: Option<usize> = None;
+    let mut t0_budget: Option<usize> = None;
+    let mut threads = 0;
+    let mut queue = 32;
+    let mut keep_going = false;
+    let mut jsonl: Option<String> = None;
+    let mut smoke = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--circuits" => circuits = Some(split_list(parse_flag_value(arg, &mut it)?)),
+            "--upto" => upto = Some(parse_usize(arg, parse_flag_value(arg, &mut it)?)?),
+            "--quick" => upto = Some(300),
+            "--full" => upto = Some(usize::MAX),
+            "--backends" => {
+                let tokens = split_list(parse_flag_value(arg, &mut it)?);
+                backends = Some(tokens.iter().map(|t| parse_backend(t)).collect::<Result<_, _>>()?);
+            }
+            "--seeds" => {
+                let tokens = split_list(parse_flag_value(arg, &mut it)?);
+                seeds = tokens
+                    .iter()
+                    .map(|t| {
+                        t.parse()
+                            .map_err(|_| BatchError::Config(format!("bad seed `{t}` in --seeds")))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--ns" => {
+                let tokens = split_list(parse_flag_value(arg, &mut it)?);
+                ns = Some(
+                    tokens
+                        .iter()
+                        .map(|t| {
+                            t.parse()
+                                .map_err(|_| BatchError::Config(format!("bad n `{t}` in --ns")))
+                        })
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "--no-postprocess" => postprocess = false,
+            "--no-verify" => verify = false,
+            "--t0-cap" => t0_cap = Some(parse_usize(arg, parse_flag_value(arg, &mut it)?)?),
+            "--t0-budget" => t0_budget = Some(parse_usize(arg, parse_flag_value(arg, &mut it)?)?),
+            "--threads" => threads = parse_usize(arg, parse_flag_value(arg, &mut it)?)?,
+            "--queue" => queue = parse_usize(arg, parse_flag_value(arg, &mut it)?)?,
+            "--keep-going" => keep_going = true,
+            "--jsonl" => jsonl = Some(parse_flag_value(arg, &mut it)?.to_string()),
+            "--smoke" => smoke = true,
+            other => {
+                return Err(BatchError::Config(format!(
+                    "unknown flag `{other}` (try `subseq-bist help`)"
+                )))
+            }
+        }
+    }
+
+    // Smoke mode: a tiny, CI-sized campaign; explicit flags always win.
+    if smoke {
+        upto.get_or_insert(300);
+        if ns.is_none() {
+            ns = Some(vec![1, 2]);
+        }
+        if backends.is_none() {
+            backends = Some(vec![Backend::Packed, Backend::Sharded { threads: 0, width: 256 }]);
+        }
+        println!("(smoke mode: tiny campaign, timings are not meaningful)");
+    }
+    // Defaults: the paper's 1024-vector cap and 300-trial budget, shrunk
+    // in smoke mode unless given explicitly.
+    let t0_cap = t0_cap.unwrap_or(if smoke { 48 } else { 1024 });
+    let t0_budget = t0_budget.unwrap_or(if smoke { 20 } else { 300 });
+
+    let mut campaign = Campaign::new()
+        .seeds(seeds)
+        .verify(verify)
+        .tgen(TgenConfig::new().max_length(t0_cap).compaction_budget(t0_budget));
+    campaign = match circuits {
+        Some(names) => campaign.suite_circuits(names),
+        None => campaign.suite_up_to(upto.unwrap_or(3000)),
+    };
+    if let Some(backends) = backends {
+        campaign = campaign.backends(backends);
+    }
+    if let Some(ns) = ns {
+        campaign = campaign.ns(ns);
+    }
+    if !postprocess {
+        let schemes: Vec<_> =
+            campaign.scheme_specs().iter().cloned().map(|s| s.postprocess(false)).collect();
+        campaign = campaign.schemes(schemes);
+    }
+
+    let engine = CampaignEngine::new().threads(threads).queue_depth(queue).keep_going(keep_going);
+
+    let outcome = match &jsonl {
+        Some(path) => {
+            let mut sink = JsonlSink::create(path)?;
+            let mut sinks: [&mut dyn ReportSink; 1] = [&mut sink];
+            let outcome = engine.run(&campaign, &mut sinks)?;
+            println!("wrote {} JSONL rows to {}", sink.rows(), sink.path().display());
+            outcome
+        }
+        None => engine.run(&campaign, &mut [])?,
+    };
+    print!("{}", outcome.summary);
+    println!("  cache: {}", outcome.cache);
+    Ok(())
+}
+
+fn list_circuits() -> Result<(), BatchError> {
+    println!("{:<10} {:<10} {:>7}", "name", "analog of", "gates");
+    for entry in benchmarks::suite() {
+        println!("{:<10} {:<10} {:>7}", entry.name, entry.analog_of, entry.gates);
+    }
+    Ok(())
+}
+
+fn validate(args: &[String]) -> Result<(), BatchError> {
+    let path = args
+        .first()
+        .ok_or_else(|| BatchError::Config("`validate` needs a JSONL file path".to_string()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        BatchError::Io(std::io::Error::new(e.kind(), format!("reading `{path}`: {e}")))
+    })?;
+    let rows = bist_batch::jsonl::validate_jsonl(&text)
+        .map_err(|e| BatchError::Config(format!("{path}: {e}")))?;
+    println!("{path}: {rows} rows, schema ok");
+    Ok(())
+}

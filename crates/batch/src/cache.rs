@@ -1,0 +1,318 @@
+//! The shared, thread-safe artifact cache behind a campaign run.
+//!
+//! Jobs that touch the same circuit share three expensive artifacts via
+//! [`Arc`]: the parsed [`Circuit`], its collapsed fault universe, and —
+//! per (seed, `T0` config) — the generated `T0` with its coverage. Each
+//! artifact is computed **exactly once** no matter how many workers race
+//! for it: the per-key slot is a [`OnceLock`], so the first worker runs
+//! the computation while later workers block on the same slot and then
+//! share the result. Hit/miss counters make the reuse observable (and
+//! testable).
+
+use crate::campaign::CircuitSpec;
+use crate::BatchError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use subseq_bist::netlist::Circuit;
+use subseq_bist::sim::{collapse, fault_universe, Fault};
+use subseq_bist::tgen::{generate_t0_with_faults, GeneratedTest, TgenConfig};
+use subseq_bist::{BistError, SessionArtifacts};
+
+/// A snapshot of the cache's hit/miss counters.
+///
+/// A "miss" is a computation actually performed; a "hit" is a request
+/// served from (or while waiting on) an existing slot. For a campaign of
+/// `J` jobs over `C` distinct circuits, a fully shared cache shows
+/// `C` misses and `J - C` hits on the circuit and fault shelves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Parsed-circuit computations performed.
+    pub circuit_misses: usize,
+    /// Parsed-circuit requests served from the cache.
+    pub circuit_hits: usize,
+    /// Fault-universe collapses performed.
+    pub fault_misses: usize,
+    /// Fault-universe requests served from the cache.
+    pub fault_hits: usize,
+    /// `T0` generations performed.
+    pub t0_misses: usize,
+    /// `T0` requests served from the cache.
+    pub t0_hits: usize,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "circuits {}+{} reused, universes {}+{} reused, T0s {}+{} reused",
+            self.circuit_misses,
+            self.circuit_hits,
+            self.fault_misses,
+            self.fault_hits,
+            self.t0_misses,
+            self.t0_hits,
+        )
+    }
+}
+
+/// A compute-once slot shared by every requester of one key (the error
+/// arm caches failures too, so a broken artifact fails every job fast).
+type Slot<V> = Arc<OnceLock<Result<Arc<V>, String>>>;
+
+/// One keyed shelf of the cache: a map of compute-once slots.
+struct Shelf<K, V> {
+    slots: Mutex<HashMap<K, Slot<V>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> Shelf<K, V> {
+    fn new() -> Self {
+        Shelf {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing it (exactly once
+    /// across all threads) on first request. `describe` names the
+    /// artifact in errors.
+    fn get_or_compute(
+        &self,
+        key: &K,
+        describe: &str,
+        compute: impl FnOnce() -> Result<V, BistError>,
+    ) -> Result<Arc<V>, BatchError> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("cache lock poisoned");
+            Arc::clone(slots.entry(key.clone()).or_default())
+        };
+        let mut computed = false;
+        let outcome = slot.get_or_init(|| {
+            computed = true;
+            compute().map(Arc::new).map_err(|e| e.to_string())
+        });
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        match outcome {
+            Ok(value) => Ok(Arc::clone(value)),
+            Err(message) => Err(BatchError::Artifact {
+                artifact: describe.to_string(),
+                message: message.clone(),
+            }),
+        }
+    }
+
+    fn counters(&self) -> (usize, usize) {
+        (self.misses.load(Ordering::Relaxed), self.hits.load(Ordering::Relaxed))
+    }
+}
+
+/// Key of the `T0` shelf: circuit identity × seed × `T0` configuration
+/// fingerprint.
+type T0Key = (String, u64, String);
+
+/// The campaign-wide artifact cache. See the module docs.
+pub struct ArtifactCache {
+    circuits: Shelf<String, Circuit>,
+    faults: Shelf<String, Vec<Fault>>,
+    t0s: Shelf<T0Key, GeneratedTest>,
+    /// Wall-clock seconds each `T0` took to generate (recorded by the
+    /// one worker that computed it; served to every sharer so session
+    /// reports keep truthful timing context).
+    t0_seconds: Mutex<HashMap<T0Key, f64>>,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ArtifactCache {
+            circuits: Shelf::new(),
+            faults: Shelf::new(),
+            t0s: Shelf::new(),
+            t0_seconds: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The parsed circuit for `spec`, computed once per distinct key.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Artifact`] wrapping the parse/build failure.
+    pub fn circuit(&self, spec: &CircuitSpec) -> Result<Arc<Circuit>, BatchError> {
+        let key = spec.key();
+        self.circuits.get_or_compute(&key, &format!("circuit `{key}`"), || spec.build())
+    }
+
+    /// The collapsed fault universe for `spec`'s circuit, computed once
+    /// per distinct key.
+    ///
+    /// # Errors
+    ///
+    /// As for [`circuit`](Self::circuit).
+    pub fn faults(
+        &self,
+        spec: &CircuitSpec,
+        circuit: &Arc<Circuit>,
+    ) -> Result<Arc<Vec<Fault>>, BatchError> {
+        let key = spec.key();
+        self.faults.get_or_compute(&key, &format!("fault universe of `{key}`"), || {
+            Ok(collapse(circuit, &fault_universe(circuit)).representatives().to_vec())
+        })
+    }
+
+    /// The generated `T0` (sequence + coverage) for `spec`'s circuit
+    /// under `seed` and `tgen`, computed once per distinct
+    /// (circuit, seed, config) triple. Reuses the cached collapsed
+    /// universe, so the whole campaign collapses each circuit once.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Artifact`] wrapping the generation failure.
+    pub fn generated_t0(
+        &self,
+        spec: &CircuitSpec,
+        seed: u64,
+        tgen: &TgenConfig,
+        circuit: &Arc<Circuit>,
+        faults: &Arc<Vec<Fault>>,
+    ) -> Result<Arc<GeneratedTest>, BatchError> {
+        let key = (spec.key(), seed, format!("{tgen:?}"));
+        let describe = format!("T0 of `{}` (seed {seed})", spec.key());
+        self.t0s.get_or_compute(&key, &describe, || {
+            let config = tgen.clone().seed(seed);
+            let started = std::time::Instant::now();
+            let generated = generate_t0_with_faults(circuit, &config, faults.as_ref().clone())
+                .map_err(BistError::from)?;
+            self.t0_seconds
+                .lock()
+                .expect("cache lock poisoned")
+                .insert(key.clone(), started.elapsed().as_secs_f64());
+            Ok(generated)
+        })
+    }
+
+    /// Generation seconds of an already-computed `T0`, if any.
+    fn t0_generation_seconds(&self, key: &T0Key) -> Option<f64> {
+        self.t0_seconds.lock().expect("cache lock poisoned").get(key).copied()
+    }
+
+    /// The full artifact bundle for one job, ready for
+    /// [`SessionBuilder::with_artifacts`](subseq_bist::SessionBuilder::with_artifacts).
+    ///
+    /// # Errors
+    ///
+    /// Any artifact computation failure, as above.
+    pub fn artifacts_for(
+        &self,
+        spec: &CircuitSpec,
+        seed: u64,
+        tgen: &TgenConfig,
+    ) -> Result<SessionArtifacts, BatchError> {
+        let circuit = self.circuit(spec)?;
+        let faults = self.faults(spec, &circuit)?;
+        let t0 = self.generated_t0(spec, seed, tgen, &circuit, &faults)?;
+        let mut artifacts =
+            SessionArtifacts::new().circuit(circuit).faults(faults).generated_t0(t0);
+        let key = (spec.key(), seed, format!("{tgen:?}"));
+        if let Some(seconds) = self.t0_generation_seconds(&key) {
+            artifacts = artifacts.t0_seconds(seconds);
+        }
+        Ok(artifacts)
+    }
+
+    /// Current hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let (circuit_misses, circuit_hits) = self.circuits.counters();
+        let (fault_misses, fault_hits) = self.faults.counters();
+        let (t0_misses, t0_hits) = self.t0s.counters();
+        CacheStats { circuit_misses, circuit_hits, fault_misses, fault_hits, t0_misses, t0_hits }
+    }
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s27_spec() -> CircuitSpec {
+        CircuitSpec::Suite("s27".to_string())
+    }
+
+    #[test]
+    fn artifacts_are_computed_once_and_shared() {
+        let cache = ArtifactCache::new();
+        let spec = s27_spec();
+        let a = cache.circuit(&spec).unwrap();
+        let b = cache.circuit(&spec).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let fa = cache.faults(&spec, &a).unwrap();
+        let fb = cache.faults(&spec, &b).unwrap();
+        assert!(Arc::ptr_eq(&fa, &fb));
+        assert_eq!(fa.len(), 32);
+        let tgen = TgenConfig::new().max_length(32);
+        let ta = cache.generated_t0(&spec, 7, &tgen, &a, &fa).unwrap();
+        let tb = cache.generated_t0(&spec, 7, &tgen, &a, &fa).unwrap();
+        assert!(Arc::ptr_eq(&ta, &tb));
+        // A different seed is a different artifact.
+        let tc = cache.generated_t0(&spec, 8, &tgen, &a, &fa).unwrap();
+        assert!(!Arc::ptr_eq(&ta, &tc));
+        let stats = cache.stats();
+        assert_eq!((stats.circuit_misses, stats.circuit_hits), (1, 1));
+        assert_eq!((stats.fault_misses, stats.fault_hits), (1, 1));
+        assert_eq!((stats.t0_misses, stats.t0_hits), (2, 1));
+        assert!(stats.to_string().contains("reused"));
+    }
+
+    #[test]
+    fn concurrent_requests_compute_once() {
+        let cache = ArtifactCache::new();
+        let spec = s27_spec();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let c = cache.circuit(&spec).unwrap();
+                    cache.faults(&spec, &c).unwrap();
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.circuit_misses, 1);
+        assert_eq!(stats.circuit_hits, 7);
+        assert_eq!(stats.fault_misses, 1);
+        assert_eq!(stats.fault_hits, 7);
+    }
+
+    #[test]
+    fn failed_artifacts_surface_and_stay_failed() {
+        let cache = ArtifactCache::new();
+        let spec = CircuitSpec::Suite("nope".to_string());
+        let err = cache.circuit(&spec).unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
+        // The failure is cached too: no recompute, same message.
+        let again = cache.circuit(&spec).unwrap_err();
+        assert!(again.to_string().contains("nope"));
+        assert_eq!(cache.stats().circuit_misses, 1);
+    }
+
+    #[test]
+    fn bundle_assembles_everything() {
+        let cache = ArtifactCache::new();
+        let tgen = TgenConfig::new().max_length(16);
+        cache.artifacts_for(&s27_spec(), 3, &tgen).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.circuit_misses, stats.fault_misses, stats.t0_misses), (1, 1, 1));
+    }
+}

@@ -1,0 +1,419 @@
+//! JSONL rendering and schema validation for campaign output.
+//!
+//! One JSON object per line, hand-rolled in the same offline style as
+//! `bist_bench::timing`: a strict recursive-descent parser checks every
+//! row for well-formed JSON *and* the campaign row schema, so truncated
+//! or drifting output fails loudly (the [`JsonlSink`](crate::JsonlSink)
+//! validates each row before writing it, and CI re-validates the file).
+
+use crate::report::JobRecord;
+
+/// Keys every row must carry.
+const ROW_KEYS: [&str; 7] = ["job", "circuit", "backend", "scheme", "seed", "status", "seconds"];
+/// Additional keys required when `status == "ok"`.
+const OK_KEYS: [&str; 13] = [
+    "engine",
+    "faults_total",
+    "faults_detected",
+    "t0_len",
+    "n",
+    "set_count",
+    "total_len",
+    "max_len",
+    "applied_test_len",
+    "loaded_fraction",
+    "scheme_data_bits",
+    "monolithic_data_bits",
+    "verified",
+];
+
+/// Renders one record as a single JSONL row (no trailing newline).
+#[must_use]
+pub fn record_to_json(record: &JobRecord) -> String {
+    let mut out = String::with_capacity(256);
+    out.push('{');
+    push_kv(&mut out, "job", &record.job.to_string());
+    push_kv_str(&mut out, "circuit", &record.circuit);
+    push_kv_str(&mut out, "backend", &record.backend);
+    push_kv_str(&mut out, "scheme", &record.scheme);
+    push_kv(&mut out, "seed", &record.seed.to_string());
+    push_kv_str(&mut out, "status", record.status.as_str());
+    push_kv(&mut out, "seconds", &format!("{:.6}", record.seconds));
+    if let Some(m) = &record.metrics {
+        push_kv_str(&mut out, "engine", &m.engine);
+        push_kv(&mut out, "faults_total", &m.faults_total.to_string());
+        push_kv(&mut out, "faults_detected", &m.faults_detected.to_string());
+        push_kv(&mut out, "t0_len", &m.t0_len.to_string());
+        push_kv(&mut out, "n", &m.n.to_string());
+        push_kv(&mut out, "set_count", &m.set_count.to_string());
+        push_kv(&mut out, "total_len", &m.total_len.to_string());
+        push_kv(&mut out, "max_len", &m.max_len.to_string());
+        push_kv(&mut out, "applied_test_len", &m.applied_test_len.to_string());
+        push_kv(&mut out, "loaded_fraction", &format!("{:.6}", m.loaded_fraction));
+        push_kv(&mut out, "scheme_data_bits", &m.scheme_data_bits.to_string());
+        push_kv(&mut out, "monolithic_data_bits", &m.monolithic_data_bits.to_string());
+        let verified = match m.verified {
+            Some(true) => "true",
+            Some(false) => "false",
+            None => "null",
+        };
+        push_kv(&mut out, "verified", verified);
+    }
+    if let Some(error) = &record.error {
+        push_kv_str(&mut out, "error", error);
+    }
+    out.push('}');
+    out
+}
+
+fn push_kv(out: &mut String, key: &str, raw: &str) {
+    if out.len() > 1 {
+        out.push_str(", ");
+    }
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": ");
+    out.push_str(raw);
+}
+
+fn push_kv_str(out: &mut String, key: &str, value: &str) {
+    push_kv(out, key, &format!("\"{}\"", escape(value)));
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates one JSONL row: well-formed JSON object, the required row
+/// keys, and — for `status: "ok"` rows — the metric keys.
+///
+/// # Errors
+///
+/// A description of the first syntax or schema violation.
+pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.ws();
+    let mut keys: Vec<String> = Vec::new();
+    let mut status: Option<String> = None;
+    p.object(&mut |p, key| {
+        p.ws();
+        if key == "status" {
+            let value = p.string()?;
+            status = Some(value);
+        } else {
+            p.value()?;
+        }
+        keys.push(key.to_string());
+        Ok(())
+    })?;
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    for required in ROW_KEYS {
+        if !keys.iter().any(|k| k == required) {
+            return Err(format!("row missing `{required}`"));
+        }
+    }
+    match status.as_deref() {
+        Some("ok") => {
+            for required in OK_KEYS {
+                if !keys.iter().any(|k| k == required) {
+                    return Err(format!("ok row missing `{required}`"));
+                }
+            }
+        }
+        Some("failed") => {
+            if !keys.iter().any(|k| k == "error") {
+                return Err("failed row missing `error`".to_string());
+            }
+        }
+        Some(other) => return Err(format!("unknown status `{other}`")),
+        None => unreachable!("status presence checked above"),
+    }
+    Ok(())
+}
+
+/// Validates a whole JSONL document (one row per non-empty line) and
+/// returns the row count.
+///
+/// # Errors
+///
+/// The first offending line number and its violation.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut rows = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_jsonl_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        rows += 1;
+    }
+    Ok(rows)
+}
+
+/// Minimal strict JSON scanner (subset shared with
+/// `bist_bench::timing`'s validator: objects, arrays, strings, numbers,
+/// literals; no trailing commas, strict escapes).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    match self.bytes.get(self.pos + 1) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/' | b'b' | b'f' | b'n' | b'r' | b't') => out.push(' '),
+                        Some(b'u') => {
+                            let hex = self.bytes.get(self.pos + 2..self.pos + 6);
+                            if !hex.is_some_and(|h| h.iter().all(u8::is_ascii_hexdigit)) {
+                                return Err(format!("bad \\u escape at byte {}", self.pos));
+                            }
+                            out.push(' ');
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 2;
+                }
+                Some(&b) if b >= 0x20 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                _ => return Err(format!("unterminated string at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let s = p.pos;
+            while p.bytes.get(p.pos).is_some_and(u8::is_ascii_digit) {
+                p.pos += 1;
+            }
+            p.pos > s
+        };
+        if !digits(self) {
+            return Err(format!("expected number at byte {start}"));
+        }
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(format!("digits required after `.` at byte {}", self.pos));
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(format!("digits required in exponent at byte {}", self.pos));
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{word}` at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.ws();
+        match self.bytes.get(self.pos) {
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b'{') => self.object(&mut |p, _| {
+                p.ws();
+                p.value()
+            }),
+            Some(b'[') => self.array(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            _ => self.number(),
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(
+        &mut self,
+        member: &mut dyn FnMut(&mut Self, &str) -> Result<(), String>,
+    ) -> Result<(), String> {
+        self.ws();
+        self.eat(b'{')?;
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            member(self, &key)?;
+            self.ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{JobMetrics, JobStatus};
+
+    fn ok_record() -> JobRecord {
+        JobRecord {
+            job: 3,
+            circuit: "s27".to_string(),
+            backend: "sharded:0:256".to_string(),
+            scheme: "default".to_string(),
+            seed: 1999,
+            status: JobStatus::Ok,
+            seconds: 0.25,
+            metrics: Some(JobMetrics {
+                engine: "sharded256".to_string(),
+                faults_total: 32,
+                faults_detected: 32,
+                t0_len: 10,
+                n: 2,
+                set_count: 2,
+                total_len: 5,
+                max_len: 3,
+                applied_test_len: 80,
+                loaded_fraction: 0.5,
+                scheme_data_bits: 12,
+                monolithic_data_bits: 40,
+                verified: Some(true),
+            }),
+            error: None,
+        }
+    }
+
+    #[test]
+    fn ok_rows_render_and_validate() {
+        let line = record_to_json(&ok_record());
+        validate_jsonl_line(&line).expect("valid row");
+        assert!(line.contains("\"status\": \"ok\""));
+        assert!(line.contains("\"verified\": true"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn failed_rows_require_error() {
+        let mut record = ok_record();
+        record.status = JobStatus::Failed;
+        record.metrics = None;
+        record.error = Some("it \"broke\"\nbadly".to_string());
+        let line = record_to_json(&record);
+        validate_jsonl_line(&line).expect("valid failed row");
+        assert!(line.contains("\\\"broke\\\""));
+        assert!(!line.contains('\n'));
+        // Dropping the error key invalidates the row.
+        record.error = None;
+        let line = record_to_json(&record);
+        assert!(validate_jsonl_line(&line).unwrap_err().contains("error"));
+    }
+
+    #[test]
+    fn schema_violations_are_caught() {
+        assert!(validate_jsonl_line("{").is_err());
+        assert!(validate_jsonl_line("{}").unwrap_err().contains("job"));
+        assert!(validate_jsonl_line("{\"job\": 1}x").is_err());
+        let no_metrics = r#"{"job": 1, "circuit": "c", "backend": "b", "scheme": "s",
+            "seed": 1, "status": "ok", "seconds": 0.1}"#
+            .replace('\n', " ");
+        assert!(validate_jsonl_line(&no_metrics).unwrap_err().contains("ok row missing"));
+        let bad_status = r#"{"job": 1, "circuit": "c", "backend": "b", "scheme": "s",
+            "seed": 1, "status": "meh", "seconds": 0.1}"#
+            .replace('\n', " ");
+        assert!(validate_jsonl_line(&bad_status).unwrap_err().contains("meh"));
+    }
+
+    #[test]
+    fn whole_documents_validate_with_line_numbers() {
+        let good = format!("{}\n{}\n", record_to_json(&ok_record()), record_to_json(&ok_record()));
+        assert_eq!(validate_jsonl(&good).unwrap(), 2);
+        assert_eq!(validate_jsonl("\n\n").unwrap(), 0);
+        let mixed = format!("{}\nnot json\n", record_to_json(&ok_record()));
+        assert!(validate_jsonl(&mixed).unwrap_err().starts_with("line 2"));
+        // Truncation of the last row is caught.
+        let row = record_to_json(&ok_record());
+        assert!(validate_jsonl(&row[..row.len() - 2]).is_err());
+    }
+}

@@ -1,0 +1,413 @@
+//! Result streaming and roll-up: [`JobRecord`]s flow through pluggable
+//! [`ReportSink`]s as jobs complete, and a [`CampaignSummary`] rolls up
+//! coverage, storage and wall time per axis at the end.
+
+use crate::jsonl::{record_to_json, validate_jsonl_line};
+use crate::BatchError;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The session ran to completion.
+    Ok,
+    /// The session (or an artifact it needed) failed.
+    Failed,
+}
+
+impl JobStatus {
+    /// The status string used in JSONL rows (`"ok"` / `"failed"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// The result metrics of one successful job (a flattened
+/// [`SessionReport`](subseq_bist::SessionReport)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMetrics {
+    /// Name the simulation engine reported (e.g. `"sharded256"`).
+    pub engine: String,
+    /// Size of the collapsed fault universe.
+    pub faults_total: usize,
+    /// Faults detected by `T0`.
+    pub faults_detected: usize,
+    /// `|T0|`.
+    pub t0_len: usize,
+    /// Best repetition count.
+    pub n: usize,
+    /// `|S|` after compaction.
+    pub set_count: usize,
+    /// Total loaded length after compaction.
+    pub total_len: usize,
+    /// Maximum loaded length after compaction.
+    pub max_len: usize,
+    /// Applied at-speed test length (`8·n·total_len`).
+    pub applied_test_len: usize,
+    /// `total_len / |T0|` — the paper's headline ratio.
+    pub loaded_fraction: f64,
+    /// On-chip test-data bits of the scheme memory.
+    pub scheme_data_bits: usize,
+    /// Test-data bits of storing all of `T0` monolithically.
+    pub monolithic_data_bits: usize,
+    /// Post-run verification outcome (`None` if disabled).
+    pub verified: Option<bool>,
+}
+
+/// One completed (or failed) job, flattened for streaming to sinks.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job id (position in the campaign matrix).
+    pub job: usize,
+    /// Circuit label.
+    pub circuit: String,
+    /// Backend label from the job spec (stable even on failure).
+    pub backend: String,
+    /// Scheme spec label.
+    pub scheme: String,
+    /// Job seed.
+    pub seed: u64,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Wall-clock seconds the job took (including cache waits).
+    pub seconds: f64,
+    /// Metrics of a successful run.
+    pub metrics: Option<JobMetrics>,
+    /// Error message of a failed run.
+    pub error: Option<String>,
+}
+
+/// A consumer of job records, invoked in completion order as the
+/// campaign runs — the streaming half of the engine's output (the other
+/// half being the [`CampaignOutcome`](crate::CampaignOutcome) returned
+/// at the end).
+pub trait ReportSink: Send {
+    /// Consumes one record. An error cancels the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Sink-specific; treated as a hard campaign error.
+    fn accept(&mut self, record: &JobRecord) -> Result<(), BatchError>;
+
+    /// Called once after the last record (flush point).
+    ///
+    /// # Errors
+    ///
+    /// Sink-specific; surfaced by [`CampaignEngine::run`](crate::CampaignEngine::run).
+    fn finish(&mut self) -> Result<(), BatchError> {
+        Ok(())
+    }
+}
+
+/// A sink that keeps every record in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// The records, in completion order.
+    pub records: Vec<JobRecord>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+}
+
+impl ReportSink for MemorySink {
+    fn accept(&mut self, record: &JobRecord) -> Result<(), BatchError> {
+        self.records.push(record.clone());
+        Ok(())
+    }
+}
+
+/// A sink writing one JSON object per line (JSONL), schema-validating
+/// every row before it is written — a schema regression fails the
+/// campaign instead of silently corrupting the output file. Follows the
+/// hand-rolled JSON conventions of `bist_bench::timing` (no serde in
+/// this offline environment).
+pub struct JsonlSink {
+    path: PathBuf,
+    out: std::io::BufWriter<std::fs::File>,
+    rows: usize,
+}
+
+impl JsonlSink {
+    /// Creates/truncates `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from file creation.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Self, BatchError> {
+        let path = path.into();
+        let file = std::fs::File::create(&path).map_err(|e| {
+            BatchError::Io(std::io::Error::new(
+                e.kind(),
+                format!("creating JSONL file `{}`: {e}", path.display()),
+            ))
+        })?;
+        Ok(JsonlSink { path, out: std::io::BufWriter::new(file), rows: 0 })
+    }
+
+    /// The output path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Rows written so far.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+impl ReportSink for JsonlSink {
+    fn accept(&mut self, record: &JobRecord) -> Result<(), BatchError> {
+        let line = record_to_json(record);
+        validate_jsonl_line(&line).map_err(|e| {
+            BatchError::Config(format!("JSONL row failed schema validation: {e}: {line}"))
+        })?;
+        writeln!(self.out, "{line}")?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), BatchError> {
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// Per-axis roll-up line (one circuit or one backend).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisLine {
+    /// Axis value (circuit or backend label).
+    pub label: String,
+    /// Jobs that completed successfully.
+    pub jobs: usize,
+    /// Total job seconds spent on this axis value.
+    pub seconds: f64,
+    /// Mean `T0` fault coverage (detected / total) over ok jobs.
+    pub mean_coverage: f64,
+    /// Mean loaded fraction (`total_len / |T0|`) over ok jobs.
+    pub mean_loaded_fraction: f64,
+    /// Mean on-chip storage ratio (scheme bits / monolithic bits).
+    pub mean_storage_ratio: f64,
+}
+
+/// The campaign's final roll-up: totals plus per-circuit and per-backend
+/// axis lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSummary {
+    /// Jobs in the expanded matrix.
+    pub jobs_total: usize,
+    /// Jobs that completed successfully.
+    pub jobs_ok: usize,
+    /// Jobs that ran and failed.
+    pub jobs_failed: usize,
+    /// Jobs skipped after cancellation.
+    pub jobs_skipped: usize,
+    /// Wall-clock seconds of the whole campaign.
+    pub wall_seconds: f64,
+    /// Sum of per-job seconds (> wall when workers run concurrently).
+    pub job_seconds: f64,
+    /// One line per circuit, in label order.
+    pub circuits: Vec<AxisLine>,
+    /// One line per backend, in label order.
+    pub backends: Vec<AxisLine>,
+}
+
+impl CampaignSummary {
+    /// Rolls up the records of a finished campaign.
+    #[must_use]
+    pub fn build(records: &[JobRecord], jobs_total: usize, wall_seconds: f64) -> Self {
+        let jobs_ok = records.iter().filter(|r| r.status == JobStatus::Ok).count();
+        let jobs_failed = records.len() - jobs_ok;
+        let axis = |key: fn(&JobRecord) -> &str| -> Vec<AxisLine> {
+            let mut groups: BTreeMap<&str, Vec<&JobRecord>> = BTreeMap::new();
+            for r in records {
+                groups.entry(key(r)).or_default().push(r);
+            }
+            groups
+                .into_iter()
+                .map(|(label, rs)| {
+                    let ok: Vec<&&JobRecord> =
+                        rs.iter().filter(|r| r.status == JobStatus::Ok).collect();
+                    let mean = |f: fn(&JobMetrics) -> f64| {
+                        if ok.is_empty() {
+                            0.0
+                        } else {
+                            ok.iter().filter_map(|r| r.metrics.as_ref()).map(f).sum::<f64>()
+                                / ok.len() as f64
+                        }
+                    };
+                    AxisLine {
+                        label: label.to_string(),
+                        jobs: ok.len(),
+                        seconds: rs.iter().map(|r| r.seconds).sum(),
+                        mean_coverage: mean(|m| {
+                            m.faults_detected as f64 / m.faults_total.max(1) as f64
+                        }),
+                        mean_loaded_fraction: mean(|m| m.loaded_fraction),
+                        mean_storage_ratio: mean(|m| {
+                            m.scheme_data_bits as f64 / m.monolithic_data_bits.max(1) as f64
+                        }),
+                    }
+                })
+                .collect()
+        };
+        CampaignSummary {
+            jobs_total,
+            jobs_ok,
+            jobs_failed,
+            jobs_skipped: jobs_total - records.len(),
+            wall_seconds,
+            job_seconds: records.iter().map(|r| r.seconds).sum(),
+            circuits: axis(|r| &r.circuit),
+            backends: axis(|r| &r.backend),
+        }
+    }
+}
+
+impl fmt::Display for CampaignSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "campaign: {} jobs ({} ok, {} failed, {} skipped) in {:.2}s wall / {:.2}s job time",
+            self.jobs_total,
+            self.jobs_ok,
+            self.jobs_failed,
+            self.jobs_skipped,
+            self.wall_seconds,
+            self.job_seconds,
+        )?;
+        writeln!(
+            f,
+            "  {:<10} {:>4} {:>9} {:>9} {:>8} {:>8}",
+            "circuit", "ok", "seconds", "coverage", "loaded", "storage"
+        )?;
+        for line in &self.circuits {
+            writeln!(
+                f,
+                "  {:<10} {:>4} {:>9.3} {:>8.1}% {:>7.0}% {:>7.0}%",
+                line.label,
+                line.jobs,
+                line.seconds,
+                100.0 * line.mean_coverage,
+                100.0 * line.mean_loaded_fraction,
+                100.0 * line.mean_storage_ratio,
+            )?;
+        }
+        writeln!(f, "  {:<18} {:>4} {:>9}", "backend", "ok", "seconds")?;
+        for line in &self.backends {
+            writeln!(f, "  {:<18} {:>4} {:>9.3}", line.label, line.jobs, line.seconds)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_record(job: usize, circuit: &str, backend: &str, seconds: f64) -> JobRecord {
+        JobRecord {
+            job,
+            circuit: circuit.to_string(),
+            backend: backend.to_string(),
+            scheme: "default".to_string(),
+            seed: 1,
+            status: JobStatus::Ok,
+            seconds,
+            metrics: Some(JobMetrics {
+                engine: "packed64".to_string(),
+                faults_total: 32,
+                faults_detected: 32,
+                t0_len: 10,
+                n: 2,
+                set_count: 2,
+                total_len: 5,
+                max_len: 3,
+                applied_test_len: 80,
+                loaded_fraction: 0.5,
+                scheme_data_bits: 12,
+                monolithic_data_bits: 40,
+                verified: Some(true),
+            }),
+            error: None,
+        }
+    }
+
+    fn failed_record(job: usize) -> JobRecord {
+        JobRecord {
+            job,
+            circuit: "bad".to_string(),
+            backend: "packed".to_string(),
+            scheme: "default".to_string(),
+            seed: 1,
+            status: JobStatus::Failed,
+            seconds: 0.0,
+            metrics: None,
+            error: Some("boom".to_string()),
+        }
+    }
+
+    #[test]
+    fn summary_rolls_up_axes_and_counts() {
+        let records = vec![
+            ok_record(0, "s27", "packed", 0.5),
+            ok_record(1, "s27", "scalar", 1.5),
+            ok_record(2, "a298", "packed", 2.0),
+            failed_record(3),
+        ];
+        let summary = CampaignSummary::build(&records, 6, 3.0);
+        assert_eq!(summary.jobs_total, 6);
+        assert_eq!(summary.jobs_ok, 3);
+        assert_eq!(summary.jobs_failed, 1);
+        assert_eq!(summary.jobs_skipped, 2);
+        assert!((summary.job_seconds - 4.0).abs() < 1e-9);
+        assert_eq!(summary.circuits.len(), 3); // a298, bad, s27
+        let s27 = summary.circuits.iter().find(|l| l.label == "s27").unwrap();
+        assert_eq!(s27.jobs, 2);
+        assert!((s27.mean_coverage - 1.0).abs() < 1e-9);
+        assert!((s27.mean_loaded_fraction - 0.5).abs() < 1e-9);
+        let packed = summary.backends.iter().find(|l| l.label == "packed").unwrap();
+        assert_eq!(packed.jobs, 2);
+        let rendered = summary.to_string();
+        assert!(rendered.contains("6 jobs"));
+        assert!(rendered.contains("s27"));
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let mut sink = MemorySink::new();
+        sink.accept(&ok_record(0, "s27", "packed", 0.1)).unwrap();
+        sink.accept(&failed_record(1)).unwrap();
+        sink.finish().unwrap();
+        assert_eq!(sink.records.len(), 2);
+        assert_eq!(sink.records[1].status, JobStatus::Failed);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_valid_rows() {
+        let dir = std::env::temp_dir().join("bist_batch_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rows.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.accept(&ok_record(0, "s27", "packed", 0.1)).unwrap();
+        sink.accept(&failed_record(1)).unwrap();
+        sink.finish().unwrap();
+        assert_eq!(sink.rows(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::jsonl::validate_jsonl(&text).unwrap(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

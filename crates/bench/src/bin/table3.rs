@@ -1,15 +1,20 @@
 //! Regenerates Table 3: per-circuit selection results before/after static
 //! compaction of `S`.
 //!
+//! Runs the suite as one batch campaign ([`run_suite_campaign`]): all
+//! circuits share the engine's artifact caches and run concurrently, one
+//! worker per core.
+//!
 //! Usage: `table3 [--quick | --full | --upto N]` (gate-count cap; default
 //! 3000 — everything except the `s35932` analog).
 
-use bist_bench::pipeline::max_gates_from_args;
+use bist_batch::BatchError;
+use bist_bench::pipeline::{max_gates_from_args, run_suite_campaign};
 use bist_bench::tables::{print_context, print_table3};
-use bist_bench::{run_pipeline, PipelineConfig};
+use bist_bench::PipelineConfig;
 use subseq_bist::netlist::benchmarks::suite_up_to;
 
-fn main() -> Result<(), subseq_bist::BistError> {
+fn main() -> Result<(), BatchError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cap = max_gates_from_args(&args);
     let entries = suite_up_to(cap);
@@ -17,13 +22,10 @@ fn main() -> Result<(), subseq_bist::BistError> {
     if skipped > 0 {
         eprintln!("note: skipping {skipped} circuit(s) above {cap} gates (use --full to include)");
     }
-    let cfg = PipelineConfig::new();
-    let mut outcomes = Vec::new();
-    for entry in &entries {
-        eprintln!("running {} ...", entry.name);
-        let out = run_pipeline(entry, &cfg)?;
-        print_context(&out);
-        outcomes.push(out);
+    eprintln!("running {} circuits as one campaign ...", entries.len());
+    let outcomes = run_suite_campaign(&entries, &PipelineConfig::new())?;
+    for out in &outcomes {
+        print_context(out);
     }
     println!();
     print_table3(&outcomes);

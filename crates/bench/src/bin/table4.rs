@@ -1,24 +1,26 @@
 //! Regenerates Table 4: run times of Procedure 1 and of the compaction,
 //! normalized by the time to fault simulate `T0`.
 //!
+//! Runs the suite as one batch campaign ([`run_suite_campaign`]) sharing
+//! artifact caches across circuits. The normalized times are per-job
+//! ratios, so campaign concurrency does not skew them.
+//!
 //! Usage: `table4 [--quick | --full | --upto N]`. Run in `--release`;
 //! debug timings are meaningless.
 
-use bist_bench::pipeline::max_gates_from_args;
+use bist_batch::BatchError;
+use bist_bench::pipeline::{max_gates_from_args, run_suite_campaign};
 use bist_bench::tables::{print_context, print_table4};
-use bist_bench::{run_pipeline, PipelineConfig};
+use bist_bench::PipelineConfig;
 use subseq_bist::netlist::benchmarks::suite_up_to;
 
-fn main() -> Result<(), subseq_bist::BistError> {
+fn main() -> Result<(), BatchError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let entries = suite_up_to(max_gates_from_args(&args));
-    let cfg = PipelineConfig::new();
-    let mut outcomes = Vec::new();
-    for entry in &entries {
-        eprintln!("running {} ...", entry.name);
-        let out = run_pipeline(entry, &cfg)?;
-        print_context(&out);
-        outcomes.push(out);
+    eprintln!("running {} circuits as one campaign ...", entries.len());
+    let outcomes = run_suite_campaign(&entries, &PipelineConfig::new())?;
+    for out in &outcomes {
+        print_context(out);
     }
     println!();
     print_table4(&outcomes);

@@ -12,7 +12,10 @@
 //! * `ablation` / `delay_defects` — extensions beyond the paper's tables
 //!
 //! The shared pipeline lives in [`run_pipeline`] and drives one
-//! [`Session`](subseq_bist::Session) per circuit; the paper's published
+//! [`Session`](subseq_bist::Session) per circuit;
+//! [`run_suite_campaign`] runs a whole suite subset through the
+//! `bist-batch` campaign engine (shared artifact caches, one worker per
+//! core) — `table3`/`table4` are built on it. The paper's published
 //! numbers live in [`paper`]. The `benches/` targets use the [`timing`]
 //! harness (criterion is unavailable offline) and write `BENCH_*.json`
 //! trajectory files into the workspace root.
@@ -25,4 +28,4 @@ pub mod pipeline;
 pub mod tables;
 pub mod timing;
 
-pub use pipeline::{run_pipeline, CircuitOutcome, PipelineConfig};
+pub use pipeline::{run_pipeline, run_suite_campaign, CircuitOutcome, PipelineConfig};

@@ -1,5 +1,9 @@
-//! The shared experiment pipeline: one [`Session`] run per suite circuit.
+//! The shared experiment pipeline: one [`Session`] run per suite circuit,
+//! either directly ([`run_pipeline`]) or through the batch campaign
+//! engine with shared artifact caches ([`run_suite_campaign`], which the
+//! table binaries use).
 
+use bist_batch::{BatchError, Campaign, CampaignEngine};
 use subseq_bist::core::{SchemeResult, Table3Row, Table4Row, Table5Row};
 use subseq_bist::netlist::benchmarks::SuiteEntry;
 use subseq_bist::netlist::Circuit;
@@ -149,6 +153,64 @@ pub fn run_pipeline(
     })
 }
 
+/// Runs the whole suite subset as one batch campaign: jobs share parsed
+/// circuits, collapsed fault universes and generated `T0`s through the
+/// engine's [`ArtifactCache`](bist_batch::ArtifactCache), and run
+/// concurrently (one worker per available core). Outcomes come back in
+/// suite order, converted to the same [`CircuitOutcome`] the tables
+/// print — this is what the `table3`/`table4` binaries are built on.
+///
+/// # Errors
+///
+/// The first failing job (the campaign engine cancels the rest), or a
+/// campaign configuration error.
+pub fn run_suite_campaign(
+    entries: &[SuiteEntry],
+    config: &PipelineConfig,
+) -> Result<Vec<CircuitOutcome>, BatchError> {
+    // An over-restrictive gate cap selects no circuits; match the old
+    // per-entry loop (empty tables) rather than a campaign config error.
+    if entries.is_empty() {
+        return Ok(Vec::new());
+    }
+    let campaign = Campaign::new()
+        .suite_circuits(entries.iter().map(|e| e.name))
+        .ns(config.ns.clone())
+        .seeds([config.seed])
+        .tgen(
+            TgenConfig::new()
+                .compaction_budget(config.t0_compaction_budget)
+                .max_length(config.t0_max_length),
+        )
+        .verify(false);
+    let outcome = CampaignEngine::new().run(&campaign, &mut [])?;
+    let mut results = Vec::with_capacity(outcome.outcomes.len());
+    for job in outcome.outcomes {
+        let entry = entries
+            .iter()
+            .find(|e| e.name == job.spec.circuit.key())
+            .expect("campaign jobs come from `entries`");
+        let report = job.result.map_err(|message| BatchError::JobFailed {
+            job: job.spec.id,
+            circuit: job.spec.circuit.label(),
+            message,
+        })?;
+        let parts = report.into_parts();
+        results.push(CircuitOutcome {
+            analog_of: entry.analog_of,
+            faults_total: parts.faults_total,
+            faults_detected: parts.coverage.detected_count(),
+            t0_len: parts.t0.len(),
+            coverage: parts.coverage,
+            t0: parts.t0,
+            scheme: parts.scheme,
+            tgen_seconds: parts.t0_seconds,
+            circuit: parts.circuit,
+        });
+    }
+    Ok(results)
+}
+
 /// Parses the common CLI convention of the table binaries:
 /// `--quick` (≤ 300 gates), `--full` (everything), `--upto N`, default
 /// ≤ 3000 gates (everything except the `s35932` analog).
@@ -192,6 +254,22 @@ mod tests {
         assert_eq!(row5.test_len, 8 * row5.n * row5.total_len);
         let row4 = out.table4_row();
         assert!(row4.proc1_normalized > 0.0);
+    }
+
+    #[test]
+    fn suite_campaign_matches_direct_pipeline() {
+        let entries: Vec<_> = suite().into_iter().take(2).collect();
+        let cfg =
+            PipelineConfig { seed: 3, ns: vec![1, 2], t0_compaction_budget: 20, t0_max_length: 32 };
+        let batched = run_suite_campaign(&entries, &cfg).unwrap();
+        assert_eq!(batched.len(), 2);
+        for (entry, out) in entries.iter().zip(&batched) {
+            let direct = run_pipeline(entry, &cfg).unwrap();
+            assert_eq!(out.circuit.name(), entry.name);
+            assert_eq!(out.analog_of, entry.analog_of);
+            assert_eq!(out.t0, direct.t0, "{} T0 differs", entry.name);
+            assert_eq!(out.table3_row(), direct.table3_row(), "{} rows differ", entry.name);
+        }
     }
 
     #[test]

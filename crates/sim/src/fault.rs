@@ -25,6 +25,17 @@ pub enum FaultSite {
     },
 }
 
+impl FaultSite {
+    /// The node this site is attached to (the stem node for output
+    /// faults, the consuming node for branch faults).
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        match self {
+            FaultSite::Output(node) | FaultSite::Input { node, .. } => node,
+        }
+    }
+}
+
 /// A single stuck-at fault.
 ///
 /// # Example

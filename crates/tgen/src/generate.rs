@@ -42,6 +42,26 @@ impl GeneratedTest {
 /// circuits).
 pub fn generate_t0(circuit: &Circuit, config: &TgenConfig) -> Result<GeneratedTest, SimError> {
     let faults = collapse(circuit, &fault_universe(circuit)).representatives().to_vec();
+    generate_t0_with_faults(circuit, config, faults)
+}
+
+/// [`generate_t0`] over a caller-supplied collapsed fault universe.
+///
+/// Callers that already hold the circuit's collapsed representatives (the
+/// `Session` pipeline, the batch campaign's artifact cache) pass them in
+/// so the universe is collapsed exactly once per circuit. `faults` must be
+/// the representatives for `circuit`; detection results are reported in
+/// its order. Generation itself always runs on the packed reference
+/// engine, so the produced `T0` is independent of any session backend.
+///
+/// # Errors
+///
+/// As for [`generate_t0`].
+pub fn generate_t0_with_faults(
+    circuit: &Circuit,
+    config: &TgenConfig,
+    faults: Vec<Fault>,
+) -> Result<GeneratedTest, SimError> {
     let sim = FaultSimulator::new(circuit);
     let mut source =
         RandomSequence::new(circuit.num_inputs(), config.hold_probability, config.seed);
@@ -166,6 +186,17 @@ mod tests {
         let c = benchmarks::s27();
         let t0 = generate_t0(&c, &TgenConfig::new().seed(2)).unwrap();
         assert_eq!(t0.detected_faults().len(), t0.coverage.detected_count());
+    }
+
+    #[test]
+    fn with_faults_matches_self_collapsing_path() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let cfg = TgenConfig::new().seed(9);
+        let a = generate_t0(&c, &cfg).unwrap();
+        let b = generate_t0_with_faults(&c, &cfg, faults).unwrap();
+        assert_eq!(a.sequence, b.sequence);
+        assert_eq!(a.coverage, b.coverage);
     }
 
     #[test]

@@ -67,4 +67,6 @@ pub use bist_sim as sim;
 pub use bist_tgen as tgen;
 
 pub use error::BistError;
-pub use session::{Backend, Session, SessionBuilder, SessionParts, SessionReport};
+pub use session::{
+    Backend, Session, SessionArtifacts, SessionBuilder, SessionParts, SessionReport,
+};

@@ -33,9 +33,9 @@ use bist_sim::{
     collapse, fault_universe, Fault, FaultCoverage, FaultSimulator, ShardedBackend, SimBackend,
     WordWidth,
 };
-use bist_tgen::{generate_t0, TgenConfig};
+use bist_tgen::{generate_t0_with_faults, GeneratedTest, TgenConfig};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Which fault-simulation engine a session uses.
@@ -55,9 +55,14 @@ pub enum Backend {
     ///
     /// `width` is the packed word width in lanes — 64, 256 or 512; any
     /// other value is rejected at [`SessionBuilder::build`] with a typed
-    /// configuration error, as is `threads == 0`.
+    /// configuration error. `threads == 0` means "auto": it resolves to
+    /// [`std::thread::available_parallelism`] at build time, so portable
+    /// configurations (batch campaign specs in particular) can say "use
+    /// all cores" without probing the host. The raw
+    /// [`ShardedBackend::new`] boundary keeps its typed `ZeroThreads`
+    /// error — only the Session level interprets 0.
     Sharded {
-        /// Number of worker threads (≥ 1).
+        /// Number of worker threads (0 = one per available core).
         threads: usize,
         /// Packed word width in lanes (64, 256 or 512).
         width: usize,
@@ -75,9 +80,76 @@ impl Backend {
                         "sharded backend width must be 64, 256 or 512 lanes, got {width}"
                     ))
                 })?;
+                let threads = match threads {
+                    0 => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+                    n => n,
+                };
                 Ok(Arc::new(ShardedBackend::new(threads, width)?))
             }
         }
+    }
+}
+
+/// Pre-built pipeline artifacts injected through
+/// [`SessionBuilder::with_artifacts`].
+///
+/// A batch campaign (or any caller running many sessions over the same
+/// circuit) computes these once and shares them via [`Arc`] across every
+/// session that touches the circuit: the parsed [`Circuit`], its
+/// collapsed fault universe, and a generated `T0` with coverage. All
+/// fields are optional; anything absent is computed by the session as
+/// usual. The caller is responsible for keying artifacts by circuit
+/// identity — the builder only checks cheap invariants (fault sites in
+/// range, `T0` width).
+#[derive(Debug, Clone, Default)]
+pub struct SessionArtifacts {
+    circuit: Option<Arc<Circuit>>,
+    faults: Option<Arc<Vec<Fault>>>,
+    t0: Option<Arc<GeneratedTest>>,
+    t0_seconds: Option<f64>,
+}
+
+impl SessionArtifacts {
+    /// No pre-built artifacts.
+    #[must_use]
+    pub fn new() -> Self {
+        SessionArtifacts::default()
+    }
+
+    /// Supplies the parsed circuit (overrides any circuit source set on
+    /// the builder).
+    #[must_use]
+    pub fn circuit(mut self, circuit: Arc<Circuit>) -> Self {
+        self.circuit = Some(circuit);
+        self
+    }
+
+    /// Supplies the collapsed fault universe (the representatives of
+    /// [`collapse`] for the session's circuit, in its order).
+    #[must_use]
+    pub fn faults(mut self, faults: Arc<Vec<Fault>>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Supplies a generated `T0` with its coverage (as produced by
+    /// [`bist_tgen::generate_t0`]), skipping test generation entirely.
+    /// Ignored when an explicit [`SessionBuilder::t0`] is also set.
+    #[must_use]
+    pub fn generated_t0(mut self, t0: Arc<GeneratedTest>) -> Self {
+        self.t0 = Some(t0);
+        self
+    }
+
+    /// Records how long producing the injected `T0` originally took;
+    /// reported as the session's
+    /// [`t0_seconds`](SessionReport::t0_seconds) so timing context
+    /// survives cache injection (otherwise a prebuilt `T0` reports the
+    /// near-zero time of cloning it).
+    #[must_use]
+    pub fn t0_seconds(mut self, seconds: f64) -> Self {
+        self.t0_seconds = Some(seconds);
+        self
     }
 }
 
@@ -163,6 +235,7 @@ pub struct SessionBuilder {
     engine: EngineSel,
     seed: Option<u64>,
     t0: Option<TestSequence>,
+    artifacts: SessionArtifacts,
     verify: bool,
 }
 
@@ -175,6 +248,7 @@ impl Default for SessionBuilder {
             engine: EngineSel::Named(Backend::Packed),
             seed: None,
             t0: None,
+            artifacts: SessionArtifacts::default(),
             verify: true,
         }
     }
@@ -288,13 +362,28 @@ impl SessionBuilder {
         self
     }
 
+    /// Injects pre-built artifacts shared across sessions — the facade's
+    /// entry point for the batch campaign's [`Arc`]-shared caches. A
+    /// supplied circuit overrides the builder's circuit source; supplied
+    /// faults pre-fill the session's collapsed-universe cache; a supplied
+    /// generated `T0` skips test generation (unless an explicit
+    /// [`t0`](Self::t0) takes precedence).
+    #[must_use]
+    pub fn with_artifacts(mut self, artifacts: SessionArtifacts) -> Self {
+        self.artifacts = artifacts;
+        self
+    }
+
     /// Materializes the circuit and fixes the configuration.
     ///
     /// # Errors
     ///
     /// Circuit construction / file / configuration errors.
     pub fn build(self) -> Result<Session, BistError> {
-        let circuit = self.source.build()?;
+        let circuit = match self.artifacts.circuit {
+            Some(shared) => shared,
+            None => Arc::new(self.source.build()?),
+        };
         let engine = self.engine.resolve()?;
         if let Some(t0) = &self.t0 {
             if t0.is_empty() {
@@ -308,12 +397,51 @@ impl SessionBuilder {
                 )));
             }
         }
+        let faults = OnceLock::new();
+        if let Some(shared) = self.artifacts.faults {
+            if let Some(bad) = shared.iter().find(|f| f.site.node().index() >= circuit.num_nodes())
+            {
+                return Err(BistError::Config(format!(
+                    "injected fault universe does not match circuit `{}`: site index {} out of \
+                     range",
+                    circuit.name(),
+                    bad.site.node().index()
+                )));
+            }
+            let _ = faults.set(shared);
+        }
+        let prebuilt = match self.artifacts.t0 {
+            Some(gen) => {
+                if gen.sequence.is_empty() {
+                    return Err(BistError::Config("injected generated T0 is empty".to_string()));
+                }
+                if gen.sequence.width() != circuit.num_inputs() {
+                    return Err(BistError::Config(format!(
+                        "injected generated T0 width {} does not match circuit input count {}",
+                        gen.sequence.width(),
+                        circuit.num_inputs()
+                    )));
+                }
+                Some(gen)
+            }
+            None => None,
+        };
         let (mut tgen, mut scheme) = (self.tgen, self.scheme);
         if let Some(seed) = self.seed {
             tgen = tgen.seed(seed);
             scheme = scheme.seed(seed);
         }
-        Ok(Session { circuit, t0: self.t0, tgen, scheme, engine, verify: self.verify })
+        Ok(Session {
+            circuit,
+            t0: self.t0,
+            prebuilt,
+            prebuilt_seconds: self.artifacts.t0_seconds,
+            faults,
+            tgen,
+            scheme,
+            engine,
+            verify: self.verify,
+        })
     }
 
     /// [`build`](Self::build) + [`Session::run`] in one call.
@@ -333,8 +461,15 @@ impl SessionBuilder {
 /// fixed configuration).
 #[derive(Debug, Clone)]
 pub struct Session {
-    circuit: Circuit,
+    circuit: Arc<Circuit>,
     t0: Option<TestSequence>,
+    /// Injected generated `T0` (sequence + coverage), if any.
+    prebuilt: Option<Arc<GeneratedTest>>,
+    /// Original generation time of the injected `T0`, if recorded.
+    prebuilt_seconds: Option<f64>,
+    /// Collapsed fault universe, computed on first [`run`](Session::run)
+    /// (or injected at build time) and shared by every later run.
+    faults: OnceLock<Arc<Vec<Fault>>>,
     tgen: TgenConfig,
     scheme: SchemeConfig,
     engine: Arc<dyn SimBackend>,
@@ -354,29 +489,56 @@ impl Session {
         &self.circuit
     }
 
-    /// Runs the full pipeline: collapse the fault universe, obtain `T0`
-    /// and its coverage, sweep the scheme over the configured `n` values,
-    /// and (unless disabled) verify the best run's joint coverage through
-    /// the streaming expansion path.
+    /// The collapsed fault universe of the circuit — computed on first
+    /// access (or injected via [`SessionBuilder::with_artifacts`]) and
+    /// cached for the session's lifetime; repeated [`run`](Session::run)
+    /// calls never re-collapse.
+    #[must_use]
+    pub fn collapsed_faults(&self) -> &[Fault] {
+        self.faults
+            .get_or_init(|| {
+                Arc::new(
+                    collapse(&self.circuit, &fault_universe(&self.circuit))
+                        .representatives()
+                        .to_vec(),
+                )
+            })
+            .as_slice()
+    }
+
+    /// Runs the full pipeline: collapse the fault universe (once per
+    /// session), obtain `T0` and its coverage, sweep the scheme over the
+    /// configured `n` values, and (unless disabled) verify the best run's
+    /// joint coverage through the streaming expansion path.
     ///
     /// # Errors
     ///
     /// Propagates simulation errors (these indicate impossible
     /// configurations and do not occur for valid circuits).
     pub fn run(&self) -> Result<SessionReport, BistError> {
-        let faults =
-            collapse(&self.circuit, &fault_universe(&self.circuit)).representatives().to_vec();
+        let faults = self.collapsed_faults();
         let sim = FaultSimulator::with_backend(&self.circuit, Arc::clone(&self.engine));
 
         let started = Instant::now();
-        let (t0, coverage) = match &self.t0 {
-            Some(seq) => (seq.clone(), FaultCoverage::simulate(&sim, seq, faults.clone())?),
-            None => {
-                let generated = generate_t0(&self.circuit, &self.tgen)?;
+        let mut injected = false;
+        let (t0, coverage) = match (&self.t0, &self.prebuilt) {
+            (Some(seq), _) => (seq.clone(), FaultCoverage::simulate(&sim, seq, faults.to_vec())?),
+            (None, Some(gen)) => {
+                injected = true;
+                (gen.sequence.clone(), gen.coverage.clone())
+            }
+            (None, None) => {
+                let generated =
+                    generate_t0_with_faults(&self.circuit, &self.tgen, faults.to_vec())?;
                 (generated.sequence, generated.coverage)
             }
         };
-        let t0_seconds = started.elapsed().as_secs_f64();
+        // An injected T0 reports the producer's recorded generation time
+        // (cloning an Arc'd artifact would otherwise report ~0).
+        let t0_seconds = match (injected, self.prebuilt_seconds) {
+            (true, Some(seconds)) => seconds,
+            _ => started.elapsed().as_secs_f64(),
+        };
 
         let scheme = run_scheme(&sim, &t0, &coverage, &self.scheme)?;
 
@@ -394,7 +556,7 @@ impl Session {
         };
 
         Ok(SessionReport {
-            circuit: self.circuit.clone(),
+            circuit: (*self.circuit).clone(),
             backend: sim.backend().name(),
             faults_total: faults.len(),
             t0,
@@ -638,12 +800,91 @@ mod tests {
             Err(BistError::Config(msg)) => assert!(msg.contains("100"), "{msg}"),
             other => panic!("expected Config error, got {other:?}"),
         }
-        let zero_threads =
-            Session::builder().s27().backend(Backend::Sharded { threads: 0, width: 256 }).build();
-        assert!(
-            matches!(zero_threads, Err(BistError::Sim(bist_sim::SimError::ZeroThreads))),
-            "{zero_threads:?}"
+    }
+
+    #[test]
+    fn sharded_zero_threads_means_auto_at_the_session_level() {
+        // `threads: 0` resolves to available_parallelism at build time;
+        // the raw backend boundary keeps its typed ZeroThreads error.
+        let report = Session::builder()
+            .s27()
+            .seed(5)
+            .ns(vec![1])
+            .backend(Backend::Sharded { threads: 0, width: 256 })
+            .run()
+            .unwrap();
+        assert_eq!(report.backend_name(), "sharded256");
+        assert_eq!(report.verified(), Some(true));
+        assert_eq!(
+            bist_sim::ShardedBackend::new(0, bist_sim::WordWidth::W256),
+            Err(bist_sim::SimError::ZeroThreads)
         );
+    }
+
+    #[test]
+    fn collapsed_fault_universe_is_cached_across_runs() {
+        let session = Session::builder().s27().seed(7).ns(vec![1]).build().unwrap();
+        let before = session.collapsed_faults().as_ptr();
+        session.run().unwrap();
+        session.run().unwrap();
+        let after = session.collapsed_faults().as_ptr();
+        assert!(std::ptr::eq(before, after), "fault universe was recomputed");
+    }
+
+    #[test]
+    fn injected_artifacts_produce_identical_reports() {
+        use bist_tgen::generate_t0;
+
+        let circuit = Arc::new(benchmarks::s27());
+        let faults =
+            Arc::new(collapse(&circuit, &fault_universe(&circuit)).representatives().to_vec());
+        let t0 = Arc::new(generate_t0(&circuit, &TgenConfig::new().seed(1999)).unwrap());
+        let injected = Session::builder()
+            .with_artifacts(
+                SessionArtifacts::new()
+                    .circuit(Arc::clone(&circuit))
+                    .faults(Arc::clone(&faults))
+                    .generated_t0(Arc::clone(&t0))
+                    .t0_seconds(1.5),
+            )
+            .seed(1999)
+            .ns(vec![1, 2])
+            .build()
+            .unwrap();
+        // The injected universe is served back without re-collapsing.
+        assert!(std::ptr::eq(injected.collapsed_faults().as_ptr(), faults.as_ptr()));
+        let a = injected.run().unwrap();
+        let b = Session::builder().s27().seed(1999).ns(vec![1, 2]).run().unwrap();
+        assert_eq!(a.t0(), b.t0());
+        assert_eq!(a.coverage(), b.coverage());
+        assert_eq!(a.best().after.total_len, b.best().after.total_len);
+        assert_eq!(a.verified(), b.verified());
+        // The producer's recorded generation time survives injection.
+        assert_eq!(a.t0_seconds(), 1.5);
+    }
+
+    #[test]
+    fn mismatched_injected_artifacts_are_config_errors() {
+        let circuit = Arc::new(benchmarks::s27());
+        // Fault universe from a bigger circuit: site indices out of range.
+        let big = benchmarks::suite()[1].build().unwrap();
+        let alien = Arc::new(collapse(&big, &fault_universe(&big)).representatives().to_vec());
+        let err = Session::builder()
+            .with_artifacts(SessionArtifacts::new().circuit(circuit).faults(alien))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BistError::Config(_)), "{err:?}");
+        // Generated T0 of the wrong width.
+        let wide = benchmarks::suite()[1].build().unwrap();
+        let t0 = Arc::new(
+            bist_tgen::generate_t0(&wide, &TgenConfig::new().seed(1).max_length(8)).unwrap(),
+        );
+        let err = Session::builder()
+            .s27()
+            .with_artifacts(SessionArtifacts::new().generated_t0(t0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("width"), "{err}");
     }
 
     #[test]
