@@ -1,8 +1,10 @@
 //! The shared, thread-safe artifact cache behind a campaign run.
 //!
-//! Jobs that touch the same circuit share three expensive artifacts via
-//! [`Arc`]: the parsed [`Circuit`], its collapsed fault universe, and —
-//! per (seed, `T0` config) — the generated `T0` with its coverage. Each
+//! Jobs that touch the same circuit share four expensive artifacts via
+//! [`Arc`]: the parsed [`Circuit`], its compiled [`GateTape`] (the flat
+//! instruction form every simulation engine executes), its collapsed
+//! fault universe, and — per (seed, `T0` config) — the generated `T0`
+//! with its coverage. Each
 //! artifact is computed **exactly once** no matter how many workers race
 //! for it: the per-key slot is a [`OnceLock`], so the first worker runs
 //! the computation while later workers block on the same slot and then
@@ -14,9 +16,9 @@ use crate::BatchError;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use subseq_bist::netlist::Circuit;
+use subseq_bist::netlist::{Circuit, GateTape};
 use subseq_bist::sim::{collapse, fault_universe, Fault};
-use subseq_bist::tgen::{generate_t0_with_faults, GeneratedTest, TgenConfig};
+use subseq_bist::tgen::{generate_t0_with_artifacts, GeneratedTest, TgenConfig};
 use subseq_bist::{BistError, SessionArtifacts};
 
 /// A snapshot of the cache's hit/miss counters.
@@ -31,6 +33,10 @@ pub struct CacheStats {
     pub circuit_misses: usize,
     /// Parsed-circuit requests served from the cache.
     pub circuit_hits: usize,
+    /// Gate-tape compilations performed.
+    pub tape_misses: usize,
+    /// Gate-tape requests served from the cache.
+    pub tape_hits: usize,
     /// Fault-universe collapses performed.
     pub fault_misses: usize,
     /// Fault-universe requests served from the cache.
@@ -45,9 +51,11 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "circuits {}+{} reused, universes {}+{} reused, T0s {}+{} reused",
+            "circuits {}+{} reused, tapes {}+{} reused, universes {}+{} reused, T0s {}+{} reused",
             self.circuit_misses,
             self.circuit_hits,
+            self.tape_misses,
+            self.tape_hits,
             self.fault_misses,
             self.fault_hits,
             self.t0_misses,
@@ -120,6 +128,7 @@ type T0Key = (String, u64, String);
 /// The campaign-wide artifact cache. See the module docs.
 pub struct ArtifactCache {
     circuits: Shelf<String, Circuit>,
+    tapes: Shelf<String, GateTape>,
     faults: Shelf<String, Vec<Fault>>,
     t0s: Shelf<T0Key, GeneratedTest>,
     /// Wall-clock seconds each `T0` took to generate (recorded by the
@@ -134,6 +143,7 @@ impl ArtifactCache {
     pub fn new() -> Self {
         ArtifactCache {
             circuits: Shelf::new(),
+            tapes: Shelf::new(),
             faults: Shelf::new(),
             t0s: Shelf::new(),
             t0_seconds: Mutex::new(HashMap::new()),
@@ -148,6 +158,24 @@ impl ArtifactCache {
     pub fn circuit(&self, spec: &CircuitSpec) -> Result<Arc<Circuit>, BatchError> {
         let key = spec.key();
         self.circuits.get_or_compute(&key, &format!("circuit `{key}`"), || spec.build())
+    }
+
+    /// The compiled gate tape for `spec`'s circuit, compiled once per
+    /// distinct key — so a campaign compiles each circuit exactly once no
+    /// matter how many jobs (or seeds, or backends) touch it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`circuit`](Self::circuit).
+    pub fn tape(
+        &self,
+        spec: &CircuitSpec,
+        circuit: &Arc<Circuit>,
+    ) -> Result<Arc<GateTape>, BatchError> {
+        let key = spec.key();
+        self.tapes.get_or_compute(&key, &format!("gate tape of `{key}`"), || {
+            Ok(GateTape::compile(circuit))
+        })
     }
 
     /// The collapsed fault universe for `spec`'s circuit, computed once
@@ -170,7 +198,8 @@ impl ArtifactCache {
     /// The generated `T0` (sequence + coverage) for `spec`'s circuit
     /// under `seed` and `tgen`, computed once per distinct
     /// (circuit, seed, config) triple. Reuses the cached collapsed
-    /// universe, so the whole campaign collapses each circuit once.
+    /// universe and compiled tape, so the whole campaign collapses and
+    /// compiles each circuit once.
     ///
     /// # Errors
     ///
@@ -182,14 +211,20 @@ impl ArtifactCache {
         tgen: &TgenConfig,
         circuit: &Arc<Circuit>,
         faults: &Arc<Vec<Fault>>,
+        tape: &Arc<GateTape>,
     ) -> Result<Arc<GeneratedTest>, BatchError> {
         let key = (spec.key(), seed, format!("{tgen:?}"));
         let describe = format!("T0 of `{}` (seed {seed})", spec.key());
         self.t0s.get_or_compute(&key, &describe, || {
             let config = tgen.clone().seed(seed);
             let started = std::time::Instant::now();
-            let generated = generate_t0_with_faults(circuit, &config, faults.as_ref().clone())
-                .map_err(BistError::from)?;
+            let generated = generate_t0_with_artifacts(
+                circuit,
+                &config,
+                faults.as_ref().clone(),
+                Arc::clone(tape),
+            )
+            .map_err(BistError::from)?;
             self.t0_seconds
                 .lock()
                 .expect("cache lock poisoned")
@@ -216,10 +251,11 @@ impl ArtifactCache {
         tgen: &TgenConfig,
     ) -> Result<SessionArtifacts, BatchError> {
         let circuit = self.circuit(spec)?;
+        let tape = self.tape(spec, &circuit)?;
         let faults = self.faults(spec, &circuit)?;
-        let t0 = self.generated_t0(spec, seed, tgen, &circuit, &faults)?;
+        let t0 = self.generated_t0(spec, seed, tgen, &circuit, &faults, &tape)?;
         let mut artifacts =
-            SessionArtifacts::new().circuit(circuit).faults(faults).generated_t0(t0);
+            SessionArtifacts::new().circuit(circuit).tape(tape).faults(faults).generated_t0(t0);
         let key = (spec.key(), seed, format!("{tgen:?}"));
         if let Some(seconds) = self.t0_generation_seconds(&key) {
             artifacts = artifacts.t0_seconds(seconds);
@@ -231,9 +267,19 @@ impl ArtifactCache {
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         let (circuit_misses, circuit_hits) = self.circuits.counters();
+        let (tape_misses, tape_hits) = self.tapes.counters();
         let (fault_misses, fault_hits) = self.faults.counters();
         let (t0_misses, t0_hits) = self.t0s.counters();
-        CacheStats { circuit_misses, circuit_hits, fault_misses, fault_hits, t0_misses, t0_hits }
+        CacheStats {
+            circuit_misses,
+            circuit_hits,
+            tape_misses,
+            tape_hits,
+            fault_misses,
+            fault_hits,
+            t0_misses,
+            t0_hits,
+        }
     }
 }
 
@@ -258,22 +304,27 @@ mod tests {
         let a = cache.circuit(&spec).unwrap();
         let b = cache.circuit(&spec).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+        let ga = cache.tape(&spec, &a).unwrap();
+        let gb = cache.tape(&spec, &a).unwrap();
+        assert!(Arc::ptr_eq(&ga, &gb));
+        assert_eq!(ga.num_nodes(), a.num_nodes());
         let fa = cache.faults(&spec, &a).unwrap();
         let fb = cache.faults(&spec, &b).unwrap();
         assert!(Arc::ptr_eq(&fa, &fb));
         assert_eq!(fa.len(), 32);
         let tgen = TgenConfig::new().max_length(32);
-        let ta = cache.generated_t0(&spec, 7, &tgen, &a, &fa).unwrap();
-        let tb = cache.generated_t0(&spec, 7, &tgen, &a, &fa).unwrap();
+        let ta = cache.generated_t0(&spec, 7, &tgen, &a, &fa, &ga).unwrap();
+        let tb = cache.generated_t0(&spec, 7, &tgen, &a, &fa, &ga).unwrap();
         assert!(Arc::ptr_eq(&ta, &tb));
         // A different seed is a different artifact.
-        let tc = cache.generated_t0(&spec, 8, &tgen, &a, &fa).unwrap();
+        let tc = cache.generated_t0(&spec, 8, &tgen, &a, &fa, &ga).unwrap();
         assert!(!Arc::ptr_eq(&ta, &tc));
         let stats = cache.stats();
         assert_eq!((stats.circuit_misses, stats.circuit_hits), (1, 1));
+        assert_eq!((stats.tape_misses, stats.tape_hits), (1, 1));
         assert_eq!((stats.fault_misses, stats.fault_hits), (1, 1));
         assert_eq!((stats.t0_misses, stats.t0_hits), (2, 1));
-        assert!(stats.to_string().contains("reused"));
+        assert!(stats.to_string().contains("tapes"));
     }
 
     #[test]
@@ -313,6 +364,13 @@ mod tests {
         let tgen = TgenConfig::new().max_length(16);
         cache.artifacts_for(&s27_spec(), 3, &tgen).unwrap();
         let stats = cache.stats();
-        assert_eq!((stats.circuit_misses, stats.fault_misses, stats.t0_misses), (1, 1, 1));
+        assert_eq!(
+            (stats.circuit_misses, stats.tape_misses, stats.fault_misses, stats.t0_misses),
+            (1, 1, 1, 1)
+        );
+        // A second job over the same circuit compiles nothing new.
+        cache.artifacts_for(&s27_spec(), 4, &tgen).unwrap();
+        assert_eq!(cache.stats().tape_misses, 1);
+        assert_eq!(cache.stats().tape_hits, 1);
     }
 }

@@ -1,21 +1,33 @@
 //! The concurrent campaign executor: a scoped-thread worker pool over a
-//! bounded job queue, fed from the expanded matrix and drained into
-//! [`ReportSink`]s as jobs complete.
+//! bounded job queue, fed from the cost-ordered job schedule and drained
+//! into [`ReportSink`]s as jobs complete.
 //!
-//! Workers share one [`ArtifactCache`], so however the matrix lands on
-//! the pool, each circuit is parsed once, collapsed once, and its `T0`
-//! generated once per seed. A failing job cancels the rest of the
-//! campaign unless `keep_going` is set; queued-but-unstarted jobs are
-//! then drained and counted as skipped.
+//! Jobs are dispatched longest-first: each job's cost is estimated as
+//! *gate count × backend weight* ([`CampaignEngine::plan`]), so the most
+//! expensive (circuit, backend) points start as early as possible and
+//! cannot strand the pool behind a tail of quick jobs — the classic LPT
+//! heuristic for shortening the critical path on multi-core hosts.
+//! Scheduling is pure reordering of the dispatch sequence: outcomes come
+//! back in matrix order and summaries are order-independent (pinned by
+//! tests).
+//!
+//! Workers share one [`ArtifactCache`], so however the schedule lands on
+//! the pool, each circuit is parsed once, its gate tape compiled once,
+//! its fault universe collapsed once, and its `T0` generated once per
+//! seed. A failing job cancels the rest of the campaign unless
+//! `keep_going` is set; queued-but-unstarted jobs are then drained and
+//! counted as skipped.
 
 use crate::cache::{ArtifactCache, CacheStats};
-use crate::campaign::{Campaign, JobSpec};
+use crate::campaign::{Campaign, CircuitSpec, JobSpec};
 use crate::report::{CampaignSummary, JobMetrics, JobRecord, JobStatus, ReportSink};
 use crate::BatchError;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
-use subseq_bist::{Session, SessionReport};
+use subseq_bist::netlist::benchmarks;
+use subseq_bist::{Backend, Session, SessionReport};
 
 /// Worker-pool configuration of a [`CampaignEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,10 +136,36 @@ impl CampaignEngine {
         self
     }
 
-    /// Expands `campaign` and executes every job on the worker pool,
-    /// streaming a [`JobRecord`] per completed job to every sink (in
-    /// completion order), then returns the outcomes (in matrix order),
-    /// the summary and the cache counters.
+    /// The cost-ordered dispatch schedule of `campaign`: the expanded job
+    /// matrix sorted by decreasing estimated cost (gate count × backend
+    /// weight), with the matrix id as the deterministic tie-break. This
+    /// is exactly the order [`run`](Self::run) feeds the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Config`] for invalid campaigns (as
+    /// [`Campaign::expand`]).
+    pub fn plan(&self, campaign: &Campaign) -> Result<Vec<JobSpec>, BatchError> {
+        let mut jobs = campaign.expand()?;
+        // Memoize the per-spec gate estimate: one registry/filesystem
+        // probe per distinct circuit, not per job.
+        let mut gates: HashMap<String, f64> = HashMap::new();
+        let mut cost = |job: &JobSpec| -> f64 {
+            let g = *gates.entry(job.circuit.key()).or_insert_with(|| estimate_gates(&job.circuit));
+            g * backend_weight(job.backend)
+        };
+        let mut keyed: Vec<(f64, JobSpec)> = jobs.drain(..).map(|j| (cost(&j), j)).collect();
+        keyed.sort_by(|(ca, a), (cb, b)| {
+            cb.partial_cmp(ca).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+        });
+        Ok(keyed.into_iter().map(|(_, j)| j).collect())
+    }
+
+    /// Expands and [`plan`](Self::plan)s `campaign`, executes every job
+    /// on the worker pool in cost order (longest first), streaming a
+    /// [`JobRecord`] per completed job to every sink (in completion
+    /// order), then returns the outcomes (back in matrix order), the
+    /// summary and the cache counters.
     ///
     /// # Errors
     ///
@@ -140,7 +178,7 @@ impl CampaignEngine {
         campaign: &Campaign,
         sinks: &mut [&mut dyn ReportSink],
     ) -> Result<CampaignOutcome, BatchError> {
-        let jobs = campaign.expand()?;
+        let jobs = self.plan(campaign)?;
         let jobs_total = jobs.len();
         let keep_going = self.config.keep_going;
         let threads = match self.config.threads {
@@ -236,6 +274,40 @@ impl CampaignEngine {
         }
         let summary = CampaignSummary::build(&records, jobs_total, started.elapsed().as_secs_f64());
         Ok(CampaignOutcome { outcomes, summary, cache: cache.stats() })
+    }
+}
+
+/// Estimated gate count of a circuit spec, without parsing anything:
+/// suite circuits come straight from the benchmark registry; `.bench`
+/// files are sized from their byte length (a gate line of the format
+/// runs ~25 bytes). Only relative magnitudes matter — the estimate
+/// ranks jobs, it never changes results.
+fn estimate_gates(spec: &CircuitSpec) -> f64 {
+    match spec {
+        CircuitSpec::Suite(name) => {
+            benchmarks::suite().iter().find(|e| e.name == name).map_or(1000.0, |e| e.gates as f64)
+        }
+        CircuitSpec::File(path) => {
+            std::fs::metadata(path).map_or(1000.0, |m| (m.len() as f64 / 25.0).max(1.0))
+        }
+    }
+}
+
+/// Relative per-gate cost weight of a backend, normalized to the packed
+/// 64-lane engine. The dominant term is stream passes per fault: the
+/// scalar engine runs one fault per pass where packed64 runs 63; a
+/// sharded engine at width `w` and `t` threads advances `(w - 1) · t`
+/// faults per wall-clock pass.
+fn backend_weight(backend: Backend) -> f64 {
+    let auto = || std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    match backend {
+        Backend::Packed => 1.0,
+        Backend::Scalar => 63.0,
+        Backend::Sharded { threads, width } => {
+            let threads = if threads == 0 { auto() } else { threads } as f64;
+            let lanes = width.saturating_sub(1).max(1) as f64;
+            63.0 / (lanes * threads)
+        }
     }
 }
 
@@ -384,6 +456,110 @@ mod tests {
             .tgen(tiny_tgen());
         let err = CampaignEngine::new().threads(1).queue_depth(1).run(&campaign, &mut []);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn plan_orders_jobs_by_decreasing_cost() {
+        // a5378 (5378 gates) must outrank s27 (10 gates); within a
+        // circuit, the scalar engine outranks packed which outranks a
+        // wide sharded engine.
+        let campaign = Campaign::new()
+            .suite_circuits(["s27", "a5378"])
+            .backends([
+                Backend::Sharded { threads: 1, width: 512 },
+                Backend::Packed,
+                Backend::Scalar,
+            ])
+            .ns(vec![1])
+            .tgen(tiny_tgen());
+        let plan = CampaignEngine::new().plan(&campaign).unwrap();
+        assert_eq!(plan.len(), 6);
+        // Most expensive first: the big analog under the scalar engine.
+        assert_eq!(plan[0].circuit.key(), "a5378", "{plan:?}");
+        assert_eq!(plan[0].backend_label(), "scalar");
+        // Cheapest last: s27 on the widest sharded engine.
+        assert_eq!(plan[5].circuit.key(), "s27", "{plan:?}");
+        assert_eq!(plan[5].backend_label(), "sharded:1:512");
+        // Within each circuit: scalar, then packed, then sharded.
+        for key in ["a5378", "s27"] {
+            let labels: Vec<String> = plan
+                .iter()
+                .filter(|j| j.circuit.key() == key)
+                .map(JobSpec::backend_label)
+                .collect();
+            assert_eq!(labels, ["scalar", "packed", "sharded:1:512"], "{plan:?}");
+        }
+        // Matrix ids are untouched by scheduling.
+        let mut ids: Vec<usize> = plan.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plan_breaks_cost_ties_by_matrix_id() {
+        let campaign =
+            Campaign::new().suite_circuits(["s27"]).seeds([1, 2, 3]).ns(vec![1]).tgen(tiny_tgen());
+        let plan = CampaignEngine::new().plan(&campaign).unwrap();
+        let ids: Vec<usize> = plan.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![0, 1, 2], "equal-cost jobs keep matrix order");
+    }
+
+    #[test]
+    fn summary_and_reports_are_independent_of_dispatch_order() {
+        // The same campaign run with different worker counts (hence
+        // different completion interleavings over the cost-ordered
+        // schedule) must produce identical outcomes and identical
+        // summaries up to wall/job timing.
+        let campaign = Campaign::new()
+            .suite_circuits(["s27", "a298"])
+            .backends([Backend::Packed, Backend::Scalar])
+            .seeds([1])
+            .ns(vec![1])
+            .tgen(tiny_tgen());
+        let mut summaries = Vec::new();
+        for threads in [1, 3] {
+            let mut sink = MemorySink::new();
+            let mut sinks: [&mut dyn ReportSink; 1] = [&mut sink];
+            let outcome =
+                CampaignEngine::new().threads(threads).run(&campaign, &mut sinks).unwrap();
+            // Outcomes come back in matrix order regardless of schedule.
+            let ids: Vec<usize> = outcome.outcomes.iter().map(|o| o.spec.id).collect();
+            assert_eq!(ids, vec![0, 1, 2, 3]);
+            summaries.push(outcome.summary);
+        }
+        let (a, b) = (&summaries[0], &summaries[1]);
+        assert_eq!(a.jobs_total, b.jobs_total);
+        assert_eq!(a.jobs_ok, b.jobs_ok);
+        assert_eq!(a.circuits.len(), b.circuits.len());
+        for (la, lb) in a.circuits.iter().zip(&b.circuits) {
+            assert_eq!(la.label, lb.label);
+            assert_eq!(la.jobs, lb.jobs);
+            assert!((la.mean_coverage - lb.mean_coverage).abs() < 1e-12);
+            assert!((la.mean_loaded_fraction - lb.mean_loaded_fraction).abs() < 1e-12);
+            assert!((la.mean_storage_ratio - lb.mean_storage_ratio).abs() < 1e-12);
+        }
+        for (la, lb) in a.backends.iter().zip(&b.backends) {
+            assert_eq!(la.label, lb.label);
+            assert_eq!(la.jobs, lb.jobs);
+        }
+    }
+
+    #[test]
+    fn backend_weights_rank_sensibly() {
+        assert!(backend_weight(Backend::Scalar) > backend_weight(Backend::Packed));
+        assert!(
+            backend_weight(Backend::Packed)
+                > backend_weight(Backend::Sharded { threads: 1, width: 256 })
+        );
+        assert!(
+            backend_weight(Backend::Sharded { threads: 1, width: 256 })
+                > backend_weight(Backend::Sharded { threads: 4, width: 256 })
+        );
+        assert!(backend_weight(Backend::Sharded { threads: 0, width: 64 }) > 0.0);
+        // Unknown suite names and missing files fall back to a positive
+        // default instead of panicking.
+        assert!(estimate_gates(&CircuitSpec::Suite("nope".into())) > 0.0);
+        assert!(estimate_gates(&CircuitSpec::File("/no/such/file.bench".into())) > 0.0);
     }
 
     #[test]

@@ -50,13 +50,17 @@ fn assert_campaign_shares_and_matches(names: &[&'static str]) {
     assert_eq!(sink.records.len(), jobs);
     assert!(sink.records.iter().all(|r| r.status == JobStatus::Ok));
 
-    // Each circuit was parsed exactly once, its fault universe collapsed
-    // exactly once and its T0 generated exactly once; every other
-    // request was served from the shared cache.
+    // Each circuit was parsed exactly once, its gate tape compiled
+    // exactly once, its fault universe collapsed exactly once and its T0
+    // generated exactly once; every other request was served from the
+    // shared cache. The tape assertion is the compiled-core acceptance
+    // gate: a campaign never compiles a circuit twice.
     assert_eq!(outcome.cache.circuit_misses, circuits);
+    assert_eq!(outcome.cache.tape_misses, circuits, "exactly one tape compile per circuit");
     assert_eq!(outcome.cache.fault_misses, circuits);
     assert_eq!(outcome.cache.t0_misses, circuits);
     assert_eq!(outcome.cache.circuit_hits, jobs - circuits);
+    assert_eq!(outcome.cache.tape_hits, jobs - circuits);
     assert_eq!(outcome.cache.fault_hits, jobs - circuits);
     assert_eq!(outcome.cache.t0_hits, jobs - circuits);
 

@@ -3,14 +3,22 @@
 //! engine, on small circuits and on the `a5378`/`a35932` analogs where
 //! throughput on the expanded vector stream is the binding constraint.
 //!
+//! Since PR 4 every engine executes the compiled gate tape; the historic
+//! row names (`packed64/*`, `sharded/*`) are kept so `BENCH_fault_sim.json`
+//! tracks the node-graph → compiled-core trajectory across PRs. Two
+//! groups cover the tape itself: `compile_tape/*` (one-off tape
+//! construction per circuit) and `detect/tape/*` (detection over a
+//! shared precompiled tape — the Session/campaign hot path).
+//!
 //! Writes `BENCH_fault_sim.json` into the workspace root. Run with
 //! `--smoke` (as CI does) for a fast schema-checking pass.
 
 use bist_bench::timing::{self, Report};
 use subseq_bist::expand::expansion::{Expand, ExpansionConfig};
-use subseq_bist::netlist::benchmarks;
+use subseq_bist::netlist::{benchmarks, GateTape};
 use subseq_bist::sim::{
-    collapse, fault_universe, Fault, FaultSimulator, ShardedBackend, SimBackend, WordWidth,
+    collapse, fault_universe, Fault, FaultSimulator, PackedBackend, ShardedBackend, SimBackend,
+    WordWidth,
 };
 use subseq_bist::tgen::Lfsr;
 
@@ -31,6 +39,7 @@ fn main() {
         let seq = Lfsr::new(42).sequence(circuit.num_inputs(), 64);
         let name = circuit.name().to_string();
 
+        report.run(format!("compile_tape/{name}"), || GateTape::compile(circuit));
         report
             .run(format!("parallel64/{name}"), || sim.detection_times(&seq, &faults).expect("ok"));
         report.run(format!("serial/{name}"), || {
@@ -59,7 +68,17 @@ fn main() {
         let s = Lfsr::new(5378).sequence(circuit.num_inputs(), s_len);
         let cfg = ExpansionConfig::new(2).expect("n >= 1");
         let stream = cfg.stream(&s);
+        let tape = GateTape::compile(&circuit);
         let packed = FaultSimulator::new(&circuit);
+
+        // Tape construction is a one-off per circuit; the row exists to
+        // prove it stays negligible next to a single detection pass.
+        report.run(format!("compile_tape/{name}"), || GateTape::compile(&circuit));
+        // The compiled-core hot path: detection over a shared,
+        // precompiled tape (what Session/campaign runs actually execute).
+        report.run(format!("detect/tape/{name}/f{max_faults}"), || {
+            PackedBackend.detection_times_tape(&tape, &stream, &faults).expect("ok")
+        });
 
         let baseline = report
             .run(format!("packed64/{name}/f{max_faults}"), || {
@@ -72,7 +91,7 @@ fn main() {
                 ShardedBackend::new(threads, WordWidth::from_lanes(width).expect("valid width"))
                     .expect("threads >= 1");
             let m = report.run(format!("sharded/{name}/w{width}_t{threads}"), || {
-                engine.detection_times(&circuit, &stream, &faults).expect("ok")
+                engine.detection_times_tape(&tape, &stream, &faults).expect("ok")
             });
             best = best.min(m.median_ns);
         }

@@ -19,6 +19,10 @@
 //!   build synthetic analogs of the ISCAS-89 circuits evaluated in the paper.
 //! * [`benchmarks`] — the embedded `s27` circuit (the paper's worked
 //!   example) plus the synthetic benchmark suite mirroring Table 3.
+//! * [`GateTape`] — the netlist compiled into flat, cache-linear
+//!   evaluation-order arrays (CSR fanin indices, byte opcodes,
+//!   pre-resolved PI/PO/DFF tables) — the instruction form every
+//!   simulation engine executes.
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@ mod circuit;
 mod error;
 mod gate;
 mod stats;
+mod tape;
 
 pub mod benchmarks;
 pub mod generate;
@@ -50,3 +55,4 @@ pub use circuit::{Circuit, FanoutRef, Node, NodeId, NodeKind};
 pub use error::NetlistError;
 pub use gate::GateKind;
 pub use stats::CircuitStats;
+pub use tape::{GateRun, GateTape, RunArity};

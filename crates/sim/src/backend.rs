@@ -1,9 +1,10 @@
-//! Pluggable fault-simulation backends.
+//! Pluggable fault-simulation backends over the compiled gate tape.
 //!
 //! [`SimBackend`] is the engine interface behind
-//! [`FaultSimulator`](crate::FaultSimulator): given a circuit, a
-//! replayable stream of input vectors and a fault list, produce the first
-//! detection time of every fault. Three engines are provided:
+//! [`FaultSimulator`](crate::FaultSimulator): given a circuit — in its
+//! compiled [`GateTape`] form — a replayable stream of input vectors and
+//! a fault list, produce the first detection time of every fault. Three
+//! engines are provided:
 //!
 //! * [`PackedBackend`] — the single-threaded production engine: 63 faulty
 //!   machines per pass, one per [`PackedValue`] lane, with the good
@@ -17,13 +18,31 @@
 //! * [`ScalarBackend`] — a deliberately simple reference: one faulty
 //!   machine at a time over the scalar [`Logic`](crate::Logic) algebra,
 //!   run in lockstep with its own fault-free machine. Exists for
-//!   differential testing of the packed engines.
+//!   differential testing of the packed engines. (The even simpler
+//!   node-graph oracle that bypasses the tape entirely lives in
+//!   [`crate::reference`].)
+//!
+//! Every engine *executes the tape*, never the node graph: the inner loop
+//! reads byte opcodes, CSR fanin indices and pre-resolved PI/DFF/PO
+//! tables from contiguous arrays — no `Node` dereferences, no per-gate
+//! heap hops. The tape's levelized, kind-sorted
+//! [`GateRun`](bist_netlist::GateRun)s let the
+//! sweep dispatch on the opcode once per run instead of once per gate,
+//! and the injector translates each chunk's forces into a sorted list of
+//! tape patch points, so the segments between them evaluate in tight
+//! loops with **zero** per-gate force checks or branches (forces on
+//! PI/DFF nodes stay as bitmap tests in the short source-driving loops).
+//! Each shard owns one reusable scratch block (value table, state, pin
+//! buffer, injector tables), so a chunked pass allocates nothing.
 //!
 //! All engines fuse the good machine into the fault passes: the packed
 //! engines reserve the top lane of every word for the fault-free machine
 //! and the scalar engine streams a good/faulty pair, so the fault-free
 //! primary-output trace is **never** collected up front and detection is
-//! O(1) in stream length. Combined with the lazy
+//! O(1) in stream length. A chunk pass also terminates the stream walk
+//! the moment its last undetected fault falls: detection times are
+//! first-detections, so the tail of the stream is pure waste for a fully
+//! detected chunk. Combined with the lazy
 //! [`ExpansionIter`](bist_expand::ExpansionIter) this keeps the whole
 //! `8·n·|S|`-vector pipeline allocation-flat.
 //!
@@ -31,12 +50,17 @@
 //! empty streams and oversized fault chunks surface as typed
 //! [`SimError`]s rather than panics deep inside the engine.
 
-use crate::good::{stream_machine_fused, validate_source};
+use crate::good::{stream_machine_fused_tape, validate_width};
 use crate::packed::{LaneMask, PackedWord};
 use crate::{Fault, FaultSite, Logic, PackedValue, PackedValue256, PackedValue512, SimError};
 use bist_expand::VectorSource;
-use bist_netlist::{Circuit, NodeId, NodeKind};
+use bist_netlist::{Circuit, GateKind, GateTape, RunArity};
 use std::fmt;
+
+/// `forced_gates` flag: some fanin pin of the gate carries a branch force.
+const IN_FORCE: u8 = 1;
+/// `forced_gates` flag: the gate's output carries a stem force.
+const OUT_FORCE: u8 = 2;
 
 /// A sequential stuck-at fault-simulation engine.
 ///
@@ -51,36 +75,94 @@ pub trait SimBackend: fmt::Debug + Send + Sync {
     fn name(&self) -> &'static str;
 
     /// First detection time of every fault in `faults` under the vector
-    /// stream, or `None` if undetected.
+    /// stream, executing a caller-compiled [`GateTape`] — the hot path.
+    /// Callers that simulate the same circuit repeatedly (the
+    /// [`FaultSimulator`](crate::FaultSimulator) facade, sessions,
+    /// campaigns) compile once and pass the shared tape here.
     ///
     /// # Errors
     ///
     /// [`SimError::WidthMismatch`] / [`SimError::EmptySequence`] for bad
     /// streams; [`SimError::LaneOutOfRange`] / [`SimError::ZeroThreads`]
     /// for invalid engine configurations.
+    fn detection_times_tape(
+        &self,
+        tape: &GateTape,
+        source: &dyn VectorSource,
+        faults: &[Fault],
+    ) -> Result<Vec<Option<usize>>, SimError>;
+
+    /// Convenience wrapper over
+    /// [`detection_times_tape`](Self::detection_times_tape) that compiles
+    /// the tape on the fly — fine for one-shot calls; repeated callers
+    /// should compile once.
+    ///
+    /// # Errors
+    ///
+    /// As for [`detection_times_tape`](Self::detection_times_tape).
     fn detection_times(
         &self,
         circuit: &Circuit,
         source: &dyn VectorSource,
         faults: &[Fault],
-    ) -> Result<Vec<Option<usize>>, SimError>;
+    ) -> Result<Vec<Option<usize>>, SimError> {
+        self.detection_times_tape(&GateTape::compile(circuit), source, faults)
+    }
 }
 
 // ---------------------------------------------------------------------
 // Generic chunked engine (any PackedWord width, fused good machine)
 // ---------------------------------------------------------------------
 
+/// A per-node bit set over the value table — the injector's O(1) "does
+/// this node carry any force?" lookup, one bit per node instead of one
+/// `Vec` header dereference per gate.
+struct NodeBitmap {
+    words: Vec<u64>,
+}
+
+impl NodeBitmap {
+    fn new(num_nodes: usize) -> Self {
+        NodeBitmap { words: vec![0; num_nodes.div_ceil(64).max(1)] }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    #[inline]
+    fn unset(&mut self, i: usize) {
+        self.words[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.words[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+}
+
 /// Sparse per-chunk fault injection tables, allocated once per shard and
-/// cleared between chunks. Lane indices are validated against the word
-/// width at [`load`](Injector::load) time, so an oversized chunk surfaces
-/// a typed error instead of panicking inside `set_lane`.
+/// cleared between chunks. The touched-node bitmaps give the source
+/// (PI/DFF) loops single-bit force checks; `forced_gates` gives the
+/// combinational sweep its patch points as sorted tape positions, so the
+/// segments between them evaluate with **no** force checks at all. Lane
+/// indices are validated against the word width at
+/// [`load`](Injector::load) time, so an oversized chunk surfaces a typed
+/// error instead of panicking inside `set_lane`.
 struct Injector {
     /// Nodes with output (stem) forces in the current chunk.
     out_touched: Vec<usize>,
     out_forces: Vec<Vec<(usize, Logic)>>,
+    out_bits: NodeBitmap,
     /// Nodes with input (branch) forces in the current chunk.
     in_touched: Vec<usize>,
     in_forces: Vec<Vec<(u32, usize, Logic)>>,
+    in_bits: NodeBitmap,
+    /// Tape positions of gates needing the checked per-gate path this
+    /// chunk, sorted ascending, flagged [`IN_FORCE`] / [`OUT_FORCE`].
+    /// Forces on PI/DFF nodes are not gates and stay bitmap-only.
+    forced_gates: Vec<(u32, u8)>,
 }
 
 impl Injector {
@@ -88,26 +170,37 @@ impl Injector {
         Injector {
             out_touched: Vec::new(),
             out_forces: vec![Vec::new(); num_nodes],
+            out_bits: NodeBitmap::new(num_nodes),
             in_touched: Vec::new(),
             in_forces: vec![Vec::new(); num_nodes],
+            in_bits: NodeBitmap::new(num_nodes),
+            forced_gates: Vec::new(),
         }
     }
 
     fn clear(&mut self) {
         for &i in &self.out_touched {
             self.out_forces[i].clear();
+            self.out_bits.unset(i);
         }
         for &i in &self.in_touched {
             self.in_forces[i].clear();
+            self.in_bits.unset(i);
         }
         self.out_touched.clear();
         self.in_touched.clear();
+        self.forced_gates.clear();
     }
 
     /// Loads one chunk of faults, one lane each. `fault_lanes` is the
     /// engine's per-pass capacity (word width minus the good-machine
     /// lane).
-    fn load(&mut self, chunk: &[Fault], fault_lanes: usize) -> Result<(), SimError> {
+    fn load(
+        &mut self,
+        tape: &GateTape,
+        chunk: &[Fault],
+        fault_lanes: usize,
+    ) -> Result<(), SimError> {
         if chunk.len() > fault_lanes {
             return Err(SimError::LaneOutOfRange { lane: chunk.len() - 1, lanes: fault_lanes });
         }
@@ -119,6 +212,10 @@ impl Injector {
                     let i = node.index();
                     if self.out_forces[i].is_empty() {
                         self.out_touched.push(i);
+                        self.out_bits.set(i);
+                        if let Some(pos) = tape.gate_pos(i) {
+                            self.forced_gates.push((pos as u32, OUT_FORCE));
+                        }
                     }
                     self.out_forces[i].push((lane, forced));
                 }
@@ -126,12 +223,38 @@ impl Injector {
                     let i = node.index();
                     if self.in_forces[i].is_empty() {
                         self.in_touched.push(i);
+                        self.in_bits.set(i);
+                        if let Some(pos) = tape.gate_pos(i) {
+                            self.forced_gates.push((pos as u32, IN_FORCE));
+                        }
                     }
                     self.in_forces[i].push((pin, lane, forced));
                 }
             }
         }
+        self.forced_gates.sort_unstable_by_key(|&(pos, _)| pos);
+        self.forced_gates.dedup_by(|cur, kept| {
+            if cur.0 == kept.0 {
+                kept.1 |= cur.1;
+                true
+            } else {
+                false
+            }
+        });
         Ok(())
+    }
+
+    /// Single-bit test: does `node` carry a stem force this chunk?
+    #[inline]
+    fn output_forced(&self, node: usize) -> bool {
+        self.out_bits.get(node)
+    }
+
+    /// Single-bit test: does any fanin pin of `node` carry a branch force
+    /// this chunk?
+    #[inline]
+    fn input_forced(&self, node: usize) -> bool {
+        self.in_bits.get(node)
     }
 
     #[inline]
@@ -140,11 +263,6 @@ impl Injector {
             value.set_lane(lane, forced);
         }
         value
-    }
-
-    #[inline]
-    fn has_input_forces(&self, node: usize) -> bool {
-        !self.in_forces[node].is_empty()
     }
 
     /// Value of `node`'s fanin `pin` as seen by the gate, with branch
@@ -160,67 +278,209 @@ impl Injector {
     }
 }
 
-/// Packed gate evaluation reading straight from the value table
-/// (allocation-free fast path).
+/// Two-operand packed gate evaluation — the fast path for the dominant
+/// `.bench` gate arity, with no iterator machinery. Agrees with
+/// [`eval_gate_fold`](crate::eval::eval_gate_fold) on every kind
+/// (including the arity-1 kinds, which a validated netlist never pairs
+/// with two fanins).
 #[inline]
-fn eval_fold<W: PackedWord>(values: &[W], fanin: &[NodeId], kind: bist_netlist::GateKind) -> W {
-    let first = values[fanin[0].index()];
-    let rest = fanin[1..].iter().map(|f| values[f.index()]);
-    crate::eval::eval_gate_fold(kind, first, rest)
+fn eval2<W: PackedWord>(kind: GateKind, a: W, b: W) -> W {
+    match kind {
+        GateKind::And => a.and(b),
+        GateKind::Nand => W::not(a.and(b)),
+        GateKind::Or => a.or(b),
+        GateKind::Nor => W::not(a.or(b)),
+        GateKind::Xor => a.xor(b),
+        GateKind::Xnor => W::not(a.xor(b)),
+        GateKind::Buf => a,
+        GateKind::Not => W::not(a),
+    }
+}
+
+/// The branch-free two-input loop: `outs[i] = op(pairs[2i], pairs[2i+1])`.
+/// Monomorphized per `op`, so the gate function is inlined straight into
+/// the loop body — no per-gate dispatch of any kind.
+#[inline]
+fn eval2_run<W: PackedWord>(values: &mut [W], outs: &[u32], pairs: &[u32], op: impl Fn(W, W) -> W) {
+    for (&o, p) in outs.iter().zip(pairs.chunks_exact(2)) {
+        values[o as usize] = op(values[p[0] as usize], values[p[1] as usize]);
+    }
+}
+
+/// Evaluates tape positions `[g0, g1)` — a slice of one homogeneous
+/// [`GateRun`] — with no force checks: the opcode and arity dispatch
+/// happen once here, then the whole segment runs in a tight loop. This
+/// is the engines' hot loop; everything it reads is a contiguous array.
+#[inline]
+fn eval_segment<W: PackedWord>(
+    tape: &GateTape,
+    kind: GateKind,
+    arity: RunArity,
+    g0: usize,
+    g1: usize,
+    values: &mut [W],
+) {
+    let outs = &tape.gate_out()[g0..g1];
+    let starts = tape.fanin_start();
+    let s0 = starts[g0] as usize;
+    match arity {
+        RunArity::Two => {
+            let pairs = &tape.fanin()[s0..s0 + 2 * outs.len()];
+            match kind {
+                GateKind::And => eval2_run(values, outs, pairs, |a, b| a.and(b)),
+                GateKind::Nand => eval2_run(values, outs, pairs, |a, b| W::not(a.and(b))),
+                GateKind::Or => eval2_run(values, outs, pairs, |a, b| a.or(b)),
+                GateKind::Nor => eval2_run(values, outs, pairs, |a, b| W::not(a.or(b))),
+                GateKind::Xor => eval2_run(values, outs, pairs, |a, b| a.xor(b)),
+                GateKind::Xnor => eval2_run(values, outs, pairs, |a, b| W::not(a.xor(b))),
+                // A validated netlist never gives BUF/NOT two fanins;
+                // agree with `eval_gate_fold` (ignore the extra) anyway.
+                GateKind::Buf => eval2_run(values, outs, pairs, |a, _| a),
+                GateKind::Not => eval2_run(values, outs, pairs, |a, _| W::not(a)),
+            }
+        }
+        RunArity::One => {
+            let srcs = &tape.fanin()[s0..s0 + outs.len()];
+            // The arity-1 fold of every kind is either pass-through or
+            // complement (`eval_gate_fold` with an empty rest).
+            if kind.is_inverting() {
+                for (&o, &f) in outs.iter().zip(srcs) {
+                    values[o as usize] = W::not(values[f as usize]);
+                }
+            } else {
+                for (&o, &f) in outs.iter().zip(srcs) {
+                    values[o as usize] = values[f as usize];
+                }
+            }
+        }
+        RunArity::Many => {
+            let fanin = tape.fanin();
+            for g in g0..g1 {
+                let s = starts[g] as usize;
+                let e = starts[g + 1] as usize;
+                values[outs[g - g0] as usize] = crate::eval::eval_gate_fold(
+                    kind,
+                    values[fanin[s] as usize],
+                    fanin[s + 1..e].iter().map(|&f| values[f as usize]),
+                );
+            }
+        }
+    }
+}
+
+/// One shard's reusable simulation state: injector tables, the packed
+/// value table, the flip-flop state and the forced-pin staging buffer.
+/// Allocated once per shard and reused across every chunk it runs — a
+/// chunk pass performs no heap allocation.
+struct ShardScratch<W: PackedWord> {
+    injector: Injector,
+    values: Vec<W>,
+    state: Vec<W>,
+    pins: Vec<W>,
+}
+
+impl<W: PackedWord> ShardScratch<W> {
+    fn new(tape: &GateTape) -> Self {
+        ShardScratch {
+            injector: Injector::new(tape.num_nodes()),
+            values: vec![W::ALL_X; tape.num_nodes()],
+            state: vec![W::ALL_X; tape.num_dffs()],
+            pins: Vec::new(),
+        }
+    }
 }
 
 /// One pass over the stream with up to `W::LANES - 1` faulty machines in
 /// the low lanes and the fault-free machine fused into the top lane. The
 /// good machine sees no forces (the injector never loads its lane), so
 /// each output word carries the reference value and all faulty values of
-/// that output in the same pass — no precollected PO trace.
+/// that output in the same pass — no precollected PO trace. The walk
+/// stops at the vector that detects the chunk's last undetected fault.
 fn run_chunk<W: PackedWord>(
-    circuit: &Circuit,
+    tape: &GateTape,
     source: &dyn VectorSource,
     chunk: &[Fault],
     times: &mut [Option<usize>],
-    injector: &mut Injector,
-    values: &mut [W],
+    scratch: &mut ShardScratch<W>,
 ) -> Result<(), SimError> {
     let good_lane = W::LANES - 1;
-    injector.load(chunk, good_lane)?;
-    values.fill(W::ALL_X);
+    scratch.injector.load(tape, chunk, good_lane)?;
+    scratch.values.fill(W::ALL_X);
+    scratch.state.fill(W::ALL_X);
+    let ShardScratch { injector, values, state, pins } = scratch;
 
-    let used = W::Mask::first_n(chunk.len());
-    let mut undetected = used;
-    let mut state = vec![W::ALL_X; circuit.num_dffs()];
-    let mut scratch: Vec<W> = Vec::new();
+    let mut undetected = W::Mask::first_n(chunk.len());
+
+    let gate_out = tape.gate_out();
+    let starts = tape.fanin_start();
+    let fanin = tape.fanin();
 
     source.visit(&mut |t, vector| {
         // Drive primary inputs (with stem forces: a stuck PI is stuck
         // every cycle).
-        for (i, &pi) in circuit.inputs().iter().enumerate() {
+        for (i, &pi) in tape.inputs().iter().enumerate() {
+            let pi = pi as usize;
             let v = W::splat(Logic::from_bool(vector.get(i)));
-            values[pi.index()] = injector.force_output(pi.index(), v);
+            values[pi] = if injector.output_forced(pi) { injector.force_output(pi, v) } else { v };
         }
         // Present state.
-        for (k, &dff) in circuit.dffs().iter().enumerate() {
-            values[dff.index()] = injector.force_output(dff.index(), state[k]);
+        for (k, &dff) in tape.dffs().iter().enumerate() {
+            let dff = dff as usize;
+            let v = state[k];
+            values[dff] =
+                if injector.output_forced(dff) { injector.force_output(dff, v) } else { v };
         }
-        // Combinational sweep.
-        for &g in circuit.eval_order() {
-            let node = circuit.node(g);
-            let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
-            let gi = g.index();
-            let v = if injector.has_input_forces(gi) {
-                scratch.clear();
-                for (pin, &f) in node.fanin().iter().enumerate() {
-                    scratch.push(injector.forced_input(gi, pin as u32, values[f.index()]));
+        // Combinational sweep, run by run. The sorted forced-gate list
+        // splits each run into segments that evaluate with zero per-gate
+        // force checks; only the (at most `chunk.len()`) patch points
+        // take the checked path.
+        let forced = &injector.forced_gates;
+        let mut fi = 0usize;
+        for run in tape.runs() {
+            let (mut g, end) = (run.start as usize, run.end as usize);
+            while g < end {
+                while fi < forced.len() && (forced[fi].0 as usize) < g {
+                    fi += 1;
                 }
-                crate::eval::eval_gate(*kind, &scratch)
-            } else {
-                eval_fold(values, node.fanin(), *kind)
-            };
-            values[gi] = injector.force_output(gi, v);
+                let stop = match forced.get(fi) {
+                    Some(&(pos, _)) => (pos as usize).min(end),
+                    None => end,
+                };
+                if g < stop {
+                    eval_segment(tape, run.kind, run.arity, g, stop, values);
+                    g = stop;
+                }
+                if g < end {
+                    let Some(&(pos, flags)) = forced.get(fi) else { unreachable!() };
+                    debug_assert_eq!(pos as usize, g);
+                    let out = gate_out[g] as usize;
+                    let s = starts[g] as usize;
+                    let e = starts[g + 1] as usize;
+                    let v = if flags & IN_FORCE != 0 {
+                        pins.clear();
+                        for (p, &f) in fanin[s..e].iter().enumerate() {
+                            pins.push(injector.forced_input(out, p as u32, values[f as usize]));
+                        }
+                        crate::eval::eval_gate(run.kind, pins)
+                    } else if e - s == 2 {
+                        eval2(run.kind, values[fanin[s] as usize], values[fanin[s + 1] as usize])
+                    } else {
+                        crate::eval::eval_gate_fold(
+                            run.kind,
+                            values[fanin[s] as usize],
+                            fanin[s + 1..e].iter().map(|&f| values[f as usize]),
+                        )
+                    };
+                    values[out] =
+                        if flags & OUT_FORCE != 0 { injector.force_output(out, v) } else { v };
+                    g += 1;
+                    fi += 1;
+                }
+            }
         }
         // Compare the faulty lanes against the fused good lane.
-        for &o in circuit.outputs() {
-            let w = values[o.index()];
+        for &o in tape.outputs() {
+            let w = values[o as usize];
             let diff = match w.lane(good_lane) {
                 Logic::One => w.zeros_mask(),
                 Logic::Zero => w.ones_mask(),
@@ -232,15 +492,16 @@ fn run_chunk<W: PackedWord>(
                 undetected = undetected.subtract(newly);
             }
         }
+        // Chunk early-exit: every fault has its first detection; the rest
+        // of the stream cannot change any result.
         if undetected.is_empty() {
             return false;
         }
         // Clock: latch next state (with D-pin branch forces).
-        for (k, &dff) in circuit.dffs().iter().enumerate() {
-            let di = dff.index();
-            let src = circuit.node(dff).fanin()[0];
-            let mut v = values[src.index()];
-            if injector.has_input_forces(di) {
+        for (k, (&dff, &src)) in tape.dffs().iter().zip(tape.dff_src()).enumerate() {
+            let di = dff as usize;
+            let mut v = values[src as usize];
+            if injector.input_forced(di) {
                 v = injector.forced_input(di, 0, v);
             }
             state[k] = v;
@@ -251,18 +512,17 @@ fn run_chunk<W: PackedWord>(
 }
 
 /// Runs one contiguous shard of the fault list through chunked passes of
-/// `W::LANES - 1` faults each.
+/// `W::LANES - 1` faults each, reusing one scratch block throughout.
 fn run_shard<W: PackedWord>(
-    circuit: &Circuit,
+    tape: &GateTape,
     source: &dyn VectorSource,
     faults: &[Fault],
     times: &mut [Option<usize>],
 ) -> Result<(), SimError> {
     let per_chunk = W::LANES - 1;
-    let mut injector = Injector::new(circuit.num_nodes());
-    let mut values = vec![W::ALL_X; circuit.num_nodes()];
+    let mut scratch = ShardScratch::<W>::new(tape);
     for (chunk, slots) in faults.chunks(per_chunk).zip(times.chunks_mut(per_chunk)) {
-        run_chunk::<W>(circuit, source, chunk, slots, &mut injector, &mut values)?;
+        run_chunk::<W>(tape, source, chunk, slots, &mut scratch)?;
     }
     Ok(())
 }
@@ -272,7 +532,7 @@ fn run_shard<W: PackedWord>(
 /// Shard boundaries are rounded to whole chunks so no pass is wasted on a
 /// partial word mid-list.
 fn run_sharded<W: PackedWord>(
-    circuit: &Circuit,
+    tape: &GateTape,
     source: &dyn VectorSource,
     faults: &[Fault],
     times: &mut [Option<usize>],
@@ -281,15 +541,13 @@ fn run_sharded<W: PackedWord>(
     let per_chunk = W::LANES - 1;
     let shard = faults.len().div_ceil(threads).div_ceil(per_chunk).max(1) * per_chunk;
     if threads == 1 || faults.len() <= shard {
-        return run_shard::<W>(circuit, source, faults, times);
+        return run_shard::<W>(tape, source, faults, times);
     }
     std::thread::scope(|scope| {
         let handles: Vec<_> = faults
             .chunks(shard)
             .zip(times.chunks_mut(shard))
-            .map(|(chunk, slots)| {
-                scope.spawn(move || run_shard::<W>(circuit, source, chunk, slots))
-            })
+            .map(|(chunk, slots)| scope.spawn(move || run_shard::<W>(tape, source, chunk, slots)))
             .collect();
         for handle in handles {
             handle.join().expect("shard thread panicked")?;
@@ -313,15 +571,15 @@ impl SimBackend for PackedBackend {
         "packed64"
     }
 
-    fn detection_times(
+    fn detection_times_tape(
         &self,
-        circuit: &Circuit,
+        tape: &GateTape,
         source: &dyn VectorSource,
         faults: &[Fault],
     ) -> Result<Vec<Option<usize>>, SimError> {
-        validate_source(circuit, source)?;
+        validate_width(tape.num_inputs(), source)?;
         let mut times = vec![None; faults.len()];
-        run_shard::<PackedValue>(circuit, source, faults, &mut times)?;
+        run_shard::<PackedValue>(tape, source, faults, &mut times)?;
         Ok(times)
     }
 }
@@ -370,8 +628,8 @@ impl WordWidth {
 ///
 /// Each thread owns a contiguous shard of the collapsed fault list and
 /// runs the chunked fused-good-machine pass at the configured
-/// [`WordWidth`]. Threads share nothing but the circuit and the replayable
-/// stream, so results are deterministic and bit-identical to
+/// [`WordWidth`]. Threads share nothing but the compiled tape and the
+/// replayable stream, so results are deterministic and bit-identical to
 /// [`ScalarBackend`] at any `threads`/`width` combination.
 ///
 /// # Example
@@ -446,25 +704,25 @@ impl SimBackend for ShardedBackend {
         }
     }
 
-    fn detection_times(
+    fn detection_times_tape(
         &self,
-        circuit: &Circuit,
+        tape: &GateTape,
         source: &dyn VectorSource,
         faults: &[Fault],
     ) -> Result<Vec<Option<usize>>, SimError> {
-        validate_source(circuit, source)?;
+        validate_width(tape.num_inputs(), source)?;
         // threads >= 1 is a construction invariant of every constructor.
         debug_assert!(self.threads >= 1);
         let mut times = vec![None; faults.len()];
         match self.width {
             WordWidth::W64 => {
-                run_sharded::<PackedValue>(circuit, source, faults, &mut times, self.threads)?;
+                run_sharded::<PackedValue>(tape, source, faults, &mut times, self.threads)?;
             }
             WordWidth::W256 => {
-                run_sharded::<PackedValue256>(circuit, source, faults, &mut times, self.threads)?;
+                run_sharded::<PackedValue256>(tape, source, faults, &mut times, self.threads)?;
             }
             WordWidth::W512 => {
-                run_sharded::<PackedValue512>(circuit, source, faults, &mut times, self.threads)?;
+                run_sharded::<PackedValue512>(tape, source, faults, &mut times, self.threads)?;
             }
         }
         Ok(times)
@@ -477,9 +735,11 @@ impl SimBackend for ShardedBackend {
 
 /// The reference engine: one faulty machine at a time over the scalar
 /// three-valued algebra, streamed in lockstep with its own fault-free
-/// machine (the scalar form of good-machine fusion). Dramatically slower
-/// than the packed engines on large fault lists; exists for differential
-/// testing and as the simplest possible template for new backends.
+/// machine (the scalar form of good-machine fusion) — both walking the
+/// compiled tape. Dramatically slower than the packed engines on large
+/// fault lists; exists for differential testing and as the simplest
+/// possible template for new backends. For a tape-free oracle, see
+/// [`crate::reference`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScalarBackend;
 
@@ -488,17 +748,17 @@ impl SimBackend for ScalarBackend {
         "scalar"
     }
 
-    fn detection_times(
+    fn detection_times_tape(
         &self,
-        circuit: &Circuit,
+        tape: &GateTape,
         source: &dyn VectorSource,
         faults: &[Fault],
     ) -> Result<Vec<Option<usize>>, SimError> {
-        validate_source(circuit, source)?;
+        validate_width(tape.num_inputs(), source)?;
         let mut times = vec![None; faults.len()];
         for (slot, &fault) in times.iter_mut().zip(faults) {
             let mut first = None;
-            stream_machine_fused(circuit, source, fault, &mut |t, good, bad| {
+            stream_machine_fused_tape(tape, source, fault, &mut |t, good, bad| {
                 let observable =
                     good.iter().zip(bad).any(|(g, b)| g.is_binary() && b.is_binary() && g != b);
                 if observable {
@@ -547,6 +807,22 @@ mod tests {
     }
 
     #[test]
+    fn precompiled_tape_matches_on_the_fly_compilation() {
+        let c = benchmarks::s27();
+        let tape = GateTape::compile(&c);
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let t0 = table2_t0();
+        for engine in all_engines() {
+            assert_eq!(
+                engine.detection_times_tape(&tape, &t0, &faults).unwrap(),
+                engine.detection_times(&c, &t0, &faults).unwrap(),
+                "{}",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
     fn every_engine_agrees_on_streamed_expansion() {
         let c = benchmarks::s27();
         let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
@@ -589,12 +865,70 @@ mod tests {
     fn oversized_chunk_surfaces_lane_error() {
         let c = benchmarks::s27();
         let faults = fault_universe(&c);
+        let tape = GateTape::compile(&c);
         let mut injector = Injector::new(c.num_nodes());
         // 52 faults into a 4-lane budget: typed error, no panic.
-        let err = injector.load(&faults, 4);
+        let err = injector.load(&tape, &faults, 4);
         assert_eq!(err, Err(SimError::LaneOutOfRange { lane: faults.len() - 1, lanes: 4 }));
         // Within budget loads fine.
-        assert_eq!(injector.load(&faults[..4], 4), Ok(()));
+        assert_eq!(injector.load(&tape, &faults[..4], 4), Ok(()));
+    }
+
+    #[test]
+    fn injector_bitmaps_track_touched_nodes() {
+        let c = benchmarks::s27();
+        let tape = GateTape::compile(&c);
+        let faults = fault_universe(&c);
+        let mut injector = Injector::new(c.num_nodes());
+        injector.load(&tape, &faults[..4], 63).unwrap();
+        let stems: Vec<usize> = faults[..4]
+            .iter()
+            .filter_map(|f| match f.site {
+                FaultSite::Output(n) => Some(n.index()),
+                FaultSite::Input { .. } => None,
+            })
+            .collect();
+        for &s in &stems {
+            assert!(injector.output_forced(s));
+        }
+        // Loading a disjoint chunk clears the previous bits.
+        injector.load(&tape, &faults[40..44], 63).unwrap();
+        let now: Vec<usize> = (0..c.num_nodes()).filter(|&i| injector.output_forced(i)).collect();
+        assert!(stems.iter().all(|s| !now.contains(s)
+            || faults[40..44]
+                .iter()
+                .any(|f| matches!(f.site, FaultSite::Output(n) if n.index() == *s))));
+    }
+
+    #[test]
+    fn forced_gates_are_sorted_patch_points_with_merged_flags() {
+        let c = benchmarks::s27();
+        let tape = GateTape::compile(&c);
+        let faults = fault_universe(&c);
+        let mut injector = Injector::new(c.num_nodes());
+        injector.load(&tape, &faults[..32], 63).unwrap();
+        // Sorted, strictly increasing tape positions.
+        let positions: Vec<u32> = injector.forced_gates.iter().map(|&(p, _)| p).collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "{positions:?}");
+        // Every forced gate position carries the flags its node's forces
+        // imply, and every gate-site force appears.
+        for &(pos, flags) in &injector.forced_gates {
+            let node = tape.gate_out()[pos as usize] as usize;
+            assert_eq!(flags & OUT_FORCE != 0, injector.output_forced(node));
+            assert_eq!(flags & IN_FORCE != 0, injector.input_forced(node));
+        }
+        let gate_sites =
+            faults[..32].iter().filter(|f| tape.gate_pos(f.site.node().index()).is_some()).count();
+        assert!(gate_sites > 0, "sample must exercise gate sites");
+        for f in &faults[..32] {
+            if let Some(pos) = tape.gate_pos(f.site.node().index()) {
+                assert!(positions.contains(&(pos as u32)), "{f} missing from patch list");
+            }
+        }
+        // PI/DFF forces are not gates and never enter the patch list.
+        for &(pos, _) in &injector.forced_gates {
+            assert!(tape.gate_pos(tape.gate_out()[pos as usize] as usize).is_some());
+        }
     }
 
     #[test]
@@ -620,6 +954,24 @@ mod tests {
         assert_eq!(WordWidth::from_lanes(256), Some(WordWidth::W256));
         assert_eq!(WordWidth::from_lanes(128), None);
         assert_eq!(WordWidth::W512.lanes(), 512);
+    }
+
+    #[test]
+    fn eval2_agrees_with_the_fold_on_all_kinds() {
+        use crate::eval::eval_gate_fold;
+        use Logic::{One, Zero, X};
+        for kind in GateKind::ALL {
+            for a in [Zero, One, X] {
+                for b in [Zero, One, X] {
+                    let (pa, pb) = (PackedValue::splat(a), PackedValue::splat(b));
+                    assert_eq!(
+                        eval2(kind, pa, pb).lane(11),
+                        eval_gate_fold(kind, pa, [pb].into_iter()).lane(11),
+                        "{kind:?} {a} {b}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

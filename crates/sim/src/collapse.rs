@@ -19,11 +19,19 @@
 //! published ISCAS-89 fault counts (32 for `s27`, matching the paper's
 //! Table 2 enumeration f0..f31) keep them distinct.
 
+use crate::fault::sort_faults_by_site;
 use crate::Fault;
 use bist_netlist::{Circuit, GateKind, NodeKind};
 use std::collections::HashMap;
 
 /// The result of collapsing a fault list.
+///
+/// The representatives come back sorted by fault-site node index
+/// ([`sort_faults_by_site`](crate::sort_faults_by_site)) rather than the
+/// derived fault order: the engines chunk this list directly, and
+/// site-sorted chunks keep their injector forces and value-table traffic
+/// clustered. Detection results are per-fault, so the ordering is pure
+/// locality — pinned by `site_order_never_changes_detection_results`.
 ///
 /// # Example
 ///
@@ -177,7 +185,7 @@ pub fn collapse(circuit: &Circuit, universe: &[Fault]) -> CollapsedFaults {
             representatives.push(f);
         }
     }
-    representatives.sort();
+    sort_faults_by_site(&mut representatives);
     CollapsedFaults { representatives, class_of }
 }
 
@@ -207,7 +215,42 @@ mod tests {
         let mut reps: Vec<Fault> = collapsed.class_of.values().copied().collect();
         reps.sort();
         reps.dedup();
-        assert_eq!(reps, collapsed.representatives());
+        let mut have = collapsed.representatives().to_vec();
+        have.sort();
+        assert_eq!(reps, have);
+    }
+
+    #[test]
+    fn representatives_are_site_sorted() {
+        let c = benchmarks::s27();
+        let collapsed = collapse(&c, &fault_universe(&c));
+        let idx: Vec<usize> =
+            collapsed.representatives().iter().map(|f| f.site.node().index()).collect();
+        assert!(idx.windows(2).all(|w| w[0] <= w[1]), "{idx:?}");
+    }
+
+    #[test]
+    fn site_order_never_changes_detection_results() {
+        // The same representative set in the seed's derived-Ord order and
+        // in site order must produce identical per-fault detection times —
+        // the reordering is locality-only.
+        use crate::FaultSimulator;
+        let c = benchmarks::s27();
+        let site_ordered = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let mut derived = site_ordered.clone();
+        derived.sort();
+        assert_ne!(site_ordered, derived, "orders must actually differ for the test to bite");
+        let t0: bist_expand::TestSequence =
+            "0111 1001 0111 1001 0100 1011 1001 0000 0000 1011".parse().unwrap();
+        for sim in [FaultSimulator::new(&c), FaultSimulator::scalar(&c)] {
+            let a = sim.detection_times(&t0, &site_ordered).unwrap();
+            let b = sim.detection_times(&t0, &derived).unwrap();
+            let by_fault_a: std::collections::HashMap<Fault, Option<usize>> =
+                site_ordered.iter().copied().zip(a).collect();
+            for (f, t) in derived.iter().zip(b) {
+                assert_eq!(by_fault_a[f], t, "{} under {}", f, sim.backend().name());
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,13 @@ use crate::Fault;
 /// simulating a sequence, and the raw material of the paper's Procedure 1
 /// (which needs the detected set `F` and the detection times `udet(f)`).
 ///
+/// [`simulate`](FaultCoverage::simulate) goes through the
+/// [`FaultSimulator`](crate::FaultSimulator) facade and therefore runs on
+/// the circuit's compiled [`GateTape`](bist_netlist::GateTape) — callers
+/// holding a fault list in the site-sorted order of
+/// [`collapse`](crate::collapse) get the engines' chunk locality for
+/// free.
+///
 /// # Example
 ///
 /// ```

@@ -26,6 +26,17 @@ pub enum SimError {
     },
     /// A sharded backend was configured with zero worker threads.
     ZeroThreads,
+    /// A compiled [`GateTape`](bist_netlist::GateTape) was injected for a
+    /// circuit it was not compiled from (interface shape differs). The
+    /// shape tuples are `(nodes, inputs, outputs, DFFs, gates)` — an
+    /// O(1) fingerprint that catches miskeyed caches without walking
+    /// either structure.
+    TapeMismatch {
+        /// Shape of the injected tape.
+        tape_shape: (usize, usize, usize, usize, usize),
+        /// Shape of the circuit it was paired with.
+        circuit_shape: (usize, usize, usize, usize, usize),
+    },
 }
 
 impl fmt::Display for SimError {
@@ -42,6 +53,11 @@ impl fmt::Display for SimError {
             SimError::ZeroThreads => {
                 write!(f, "sharded backend requires at least one worker thread")
             }
+            SimError::TapeMismatch { tape_shape, circuit_shape } => write!(
+                f,
+                "compiled tape shape {tape_shape:?} does not match circuit shape \
+                 {circuit_shape:?} (nodes/inputs/outputs/DFFs/gates)"
+            ),
         }
     }
 }
@@ -60,6 +76,11 @@ mod tests {
         let lane = SimError::LaneOutOfRange { lane: 64, lanes: 64 };
         assert!(lane.to_string().contains("64"));
         assert!(SimError::ZeroThreads.to_string().contains("thread"));
+        let tape = SimError::TapeMismatch {
+            tape_shape: (17, 3, 2, 1, 11),
+            circuit_shape: (12, 3, 2, 1, 6),
+        };
+        assert!(tape.to_string().contains("17"));
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! Fault-free (good-machine) and single-faulty-machine scalar simulation.
+//!
+//! All walks execute the compiled [`GateTape`] — the flat, cache-linear
+//! instruction form of a [`Circuit`] — never the node graph itself. The
+//! public entry points compile the tape on the fly (compilation is
+//! `O(nodes)`, trivial next to any simulation pass); the `pub(crate)`
+//! `*_tape` cores take a caller-supplied tape so the engines and facades
+//! that simulate repeatedly compile exactly once.
 
 use crate::{Fault, FaultSite, Logic, SimError};
 use bist_expand::{TestSequence, VectorSource};
-use bist_netlist::{Circuit, NodeKind};
+use bist_netlist::{Circuit, GateTape};
 
 /// The fault-free response of a circuit to a test sequence, starting from
 /// the all-unknown state.
@@ -44,7 +51,17 @@ impl GoodTrace {
 /// circuit's primary input count; [`SimError::EmptySequence`] for an empty
 /// sequence.
 pub fn simulate_good(circuit: &Circuit, seq: &TestSequence) -> Result<GoodTrace, SimError> {
-    simulate_machine(circuit, seq, None)
+    simulate_good_tape(&GateTape::compile(circuit), seq)
+}
+
+/// [`simulate_good`] over a caller-compiled tape — the path the
+/// [`FaultSimulator`](crate::FaultSimulator) facade uses so repeated
+/// `good()` calls never recompile.
+pub(crate) fn simulate_good_tape(
+    tape: &GateTape,
+    seq: &TestSequence,
+) -> Result<GoodTrace, SimError> {
+    simulate_machine(tape, seq, None)
 }
 
 /// Simulates the circuit with a single stuck-at fault injected, from the
@@ -58,7 +75,75 @@ pub fn simulate_faulty(
     seq: &TestSequence,
     fault: Fault,
 ) -> Result<GoodTrace, SimError> {
-    simulate_machine(circuit, seq, Some(fault))
+    simulate_machine(&GateTape::compile(circuit), seq, Some(fault))
+}
+
+/// The single-fault injection hooks a scalar tape walk needs, decomposed
+/// from a [`Fault`] once up front — the one definition of scalar force
+/// semantics, shared by every scalar walk in this crate (streams here,
+/// the stepped simulator, the scalar backend).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScalarForce {
+    out: Option<(usize, Logic)>,
+    input: Option<(usize, u32, Logic)>,
+}
+
+impl ScalarForce {
+    pub(crate) fn of(fault: Option<Fault>) -> Self {
+        let out = match fault {
+            Some(Fault { site: FaultSite::Output(n), stuck }) => {
+                Some((n.index(), Logic::from_bool(stuck)))
+            }
+            _ => None,
+        };
+        let input = match fault {
+            Some(Fault { site: FaultSite::Input { node, pin }, stuck }) => {
+                Some((node.index(), pin, Logic::from_bool(stuck)))
+            }
+            _ => None,
+        };
+        ScalarForce { out, input }
+    }
+
+    #[inline]
+    pub(crate) fn read(&self, values: &[Logic], consumer: usize, pin: u32, src: usize) -> Logic {
+        match self.input {
+            Some((n, p, v)) if n == consumer && p == pin => v,
+            _ => values[src],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn force_out(&self, node: usize, v: Logic) -> Logic {
+        match self.out {
+            Some((n, f)) if n == node => f,
+            _ => v,
+        }
+    }
+}
+
+/// One combinational sweep of the tape over a scalar value table, with
+/// `force` applied — the single definition of scalar gate-tape execution
+/// shared by every scalar walk in this crate.
+#[inline]
+fn sweep_tape(tape: &GateTape, values: &mut [Logic], force: &ScalarForce) {
+    let ops = tape.ops();
+    let outs = tape.gate_out();
+    let starts = tape.fanin_start();
+    let fanin = tape.fanin();
+    for g in 0..ops.len() {
+        let out = outs[g] as usize;
+        let s = starts[g] as usize;
+        let e = starts[g + 1] as usize;
+        let v = crate::eval::eval_scalar_fold(
+            ops[g],
+            fanin[s..e]
+                .iter()
+                .enumerate()
+                .map(|(p, &f)| force.read(values, out, p as u32, f as usize)),
+        );
+        values[out] = force.force_out(out, v);
+    }
 }
 
 /// Streams one machine (fault-free or single-fault) over a vector source,
@@ -66,79 +151,38 @@ pub fn simulate_faulty(
 /// The visitor returns `true` to continue; returning `false` stops the
 /// stream early. Returns the flip-flop state after the last simulated
 /// vector.
-///
-/// This is the scalar simulation core shared by [`simulate_good`],
-/// [`simulate_faulty`] and the scalar reference backend — it never
-/// materializes the stream.
-pub(crate) fn stream_machine(
-    circuit: &Circuit,
+pub(crate) fn stream_machine_tape(
+    tape: &GateTape,
     source: &dyn VectorSource,
     fault: Option<Fault>,
     on_po: &mut dyn FnMut(usize, &[Logic]) -> bool,
 ) -> Result<Vec<Logic>, SimError> {
-    validate_source(circuit, source)?;
+    validate_width(tape.num_inputs(), source)?;
+    let force = ScalarForce::of(fault);
 
-    // Decompose the fault into the two injection hooks the sweep needs.
-    let out_force: Option<(usize, Logic)> = match fault {
-        Some(Fault { site: FaultSite::Output(n), stuck }) => {
-            Some((n.index(), Logic::from_bool(stuck)))
-        }
-        _ => None,
-    };
-    let in_force: Option<(usize, u32, Logic)> = match fault {
-        Some(Fault { site: FaultSite::Input { node, pin }, stuck }) => {
-            Some((node.index(), pin, Logic::from_bool(stuck)))
-        }
-        _ => None,
-    };
-    let read = |values: &[Logic], consumer: usize, pin: u32, src: usize| -> Logic {
-        match in_force {
-            Some((n, p, v)) if n == consumer && p == pin => v,
-            _ => values[src],
-        }
-    };
-    let force_out = |node: usize, v: Logic| -> Logic {
-        match out_force {
-            Some((n, f)) if n == node => f,
-            _ => v,
-        }
-    };
-
-    let n = circuit.num_nodes();
-    let mut values = vec![Logic::X; n];
-    let mut state = vec![Logic::X; circuit.num_dffs()];
-    let mut po_scratch: Vec<Logic> = Vec::with_capacity(circuit.num_outputs());
+    let mut values = vec![Logic::X; tape.num_nodes()];
+    let mut state = vec![Logic::X; tape.num_dffs()];
+    let mut po_scratch: Vec<Logic> = Vec::with_capacity(tape.num_outputs());
 
     source.visit(&mut |t, vector| {
         // Drive sources.
-        for (i, &pi) in circuit.inputs().iter().enumerate() {
-            values[pi.index()] = force_out(pi.index(), Logic::from_bool(vector.get(i)));
+        for (i, &pi) in tape.inputs().iter().enumerate() {
+            let pi = pi as usize;
+            values[pi] = force.force_out(pi, Logic::from_bool(vector.get(i)));
         }
-        for (k, &dff) in circuit.dffs().iter().enumerate() {
-            values[dff.index()] = force_out(dff.index(), state[k]);
+        for (k, &dff) in tape.dffs().iter().enumerate() {
+            let dff = dff as usize;
+            values[dff] = force.force_out(dff, state[k]);
         }
         // Combinational sweep.
-        for &g in circuit.eval_order() {
-            let node = circuit.node(g);
-            let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
-            let gi = g.index();
-            let v = crate::eval::eval_scalar_fold(
-                *kind,
-                node.fanin()
-                    .iter()
-                    .enumerate()
-                    .map(|(p, &f)| read(&values, gi, p as u32, f.index())),
-            );
-            values[gi] = force_out(gi, v);
-        }
+        sweep_tape(tape, &mut values, &force);
         // Observe.
         po_scratch.clear();
-        po_scratch.extend(circuit.outputs().iter().map(|&o| values[o.index()]));
+        po_scratch.extend(tape.outputs().iter().map(|&o| values[o as usize]));
         let go_on = on_po(t, &po_scratch);
         // Clock (with D-pin injection).
-        for (k, &dff) in circuit.dffs().iter().enumerate() {
-            let src = circuit.node(dff).fanin()[0];
-            state[k] = read(&values, dff.index(), 0, src.index());
+        for (k, (&dff, &src)) in tape.dffs().iter().zip(tape.dff_src()).enumerate() {
+            state[k] = force.read(&values, dff as usize, 0, src as usize);
         }
         go_on
     });
@@ -146,17 +190,13 @@ pub(crate) fn stream_machine(
     Ok(state)
 }
 
-/// The input-validation point shared by every simulation engine: rejects
-/// width mismatches and empty streams before anything runs, so all
-/// backends fail identically on bad input — including with an empty fault
-/// list.
-pub(crate) fn validate_source(
-    circuit: &Circuit,
-    source: &dyn VectorSource,
-) -> Result<(), SimError> {
-    if source.width() != circuit.num_inputs() {
+/// Width/emptiness validation shared by every simulation engine: rejects
+/// mismatched and empty streams before anything runs, so all backends
+/// fail identically on bad input — including with an empty fault list.
+pub(crate) fn validate_width(num_inputs: usize, source: &dyn VectorSource) -> Result<(), SimError> {
+    if source.width() != num_inputs {
         return Err(SimError::WidthMismatch {
-            circuit_inputs: circuit.num_inputs(),
+            circuit_inputs: num_inputs,
             sequence_width: source.width(),
         });
     }
@@ -171,84 +211,72 @@ pub(crate) fn validate_source(
 /// streaming.
 pub(crate) type PairVisitor<'v> = dyn FnMut(usize, &[Logic], &[Logic]) -> bool + 'v;
 
-/// Streams the fault-free machine and one faulty machine in lockstep,
-/// delivering both primary-output slices per time unit — the fused
-/// good-machine walk of the scalar reference backend. Nothing is
+/// Streams the fault-free machine and one faulty machine in lockstep over
+/// the tape, delivering both primary-output slices per time unit — the
+/// fused good-machine walk of the scalar reference backend. Nothing is
 /// collected: detection is O(1) in stream length.
-pub(crate) fn stream_machine_fused(
-    circuit: &Circuit,
+pub(crate) fn stream_machine_fused_tape(
+    tape: &GateTape,
     source: &dyn VectorSource,
     fault: Fault,
     on_po: &mut PairVisitor<'_>,
 ) -> Result<(), SimError> {
-    validate_source(circuit, source)?;
+    validate_width(tape.num_inputs(), source)?;
+    let force = ScalarForce::of(Some(fault));
 
-    let out_force: Option<(usize, Logic)> = match fault {
-        Fault { site: FaultSite::Output(n), stuck } => Some((n.index(), Logic::from_bool(stuck))),
-        _ => None,
-    };
-    let in_force: Option<(usize, u32, Logic)> = match fault {
-        Fault { site: FaultSite::Input { node, pin }, stuck } => {
-            Some((node.index(), pin, Logic::from_bool(stuck)))
-        }
-        _ => None,
-    };
-    let read = |values: &[Logic], consumer: usize, pin: u32, src: usize| -> Logic {
-        match in_force {
-            Some((n, p, v)) if n == consumer && p == pin => v,
-            _ => values[src],
-        }
-    };
-    let force_out = |node: usize, v: Logic| -> Logic {
-        match out_force {
-            Some((n, f)) if n == node => f,
-            _ => v,
-        }
-    };
-
-    let n = circuit.num_nodes();
+    let n = tape.num_nodes();
     let mut good = vec![Logic::X; n];
     let mut bad = vec![Logic::X; n];
-    let mut good_state = vec![Logic::X; circuit.num_dffs()];
-    let mut bad_state = vec![Logic::X; circuit.num_dffs()];
-    let mut good_po: Vec<Logic> = Vec::with_capacity(circuit.num_outputs());
-    let mut bad_po: Vec<Logic> = Vec::with_capacity(circuit.num_outputs());
+    let mut good_state = vec![Logic::X; tape.num_dffs()];
+    let mut bad_state = vec![Logic::X; tape.num_dffs()];
+    let mut good_po: Vec<Logic> = Vec::with_capacity(tape.num_outputs());
+    let mut bad_po: Vec<Logic> = Vec::with_capacity(tape.num_outputs());
 
     source.visit(&mut |t, vector| {
         // Drive sources on both machines.
-        for (i, &pi) in circuit.inputs().iter().enumerate() {
+        for (i, &pi) in tape.inputs().iter().enumerate() {
+            let pi = pi as usize;
             let v = Logic::from_bool(vector.get(i));
-            good[pi.index()] = v;
-            bad[pi.index()] = force_out(pi.index(), v);
+            good[pi] = v;
+            bad[pi] = force.force_out(pi, v);
         }
-        for (k, &dff) in circuit.dffs().iter().enumerate() {
-            good[dff.index()] = good_state[k];
-            bad[dff.index()] = force_out(dff.index(), bad_state[k]);
+        for (k, &dff) in tape.dffs().iter().enumerate() {
+            let dff = dff as usize;
+            good[dff] = good_state[k];
+            bad[dff] = force.force_out(dff, bad_state[k]);
         }
-        // One combinational sweep over both value tables.
-        for &g in circuit.eval_order() {
-            let node = circuit.node(g);
-            let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
-            let gi = g.index();
-            good[gi] =
-                crate::eval::eval_scalar_fold(*kind, node.fanin().iter().map(|&f| good[f.index()]));
+        // One combinational sweep over both value tables: each gate's
+        // metadata (opcode, CSR window) is read once and drives both
+        // machines, the scalar analogue of the packed engines' fused
+        // good lane.
+        let ops = tape.ops();
+        let outs = tape.gate_out();
+        let starts = tape.fanin_start();
+        let fanin = tape.fanin();
+        for g in 0..ops.len() {
+            let out = outs[g] as usize;
+            let window = &fanin[starts[g] as usize..starts[g + 1] as usize];
+            good[out] =
+                crate::eval::eval_scalar_fold(ops[g], window.iter().map(|&f| good[f as usize]));
             let v = crate::eval::eval_scalar_fold(
-                *kind,
-                node.fanin().iter().enumerate().map(|(p, &f)| read(&bad, gi, p as u32, f.index())),
+                ops[g],
+                window
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &f)| force.read(&bad, out, p as u32, f as usize)),
             );
-            bad[gi] = force_out(gi, v);
+            bad[out] = force.force_out(out, v);
         }
         // Observe both machines.
         good_po.clear();
-        good_po.extend(circuit.outputs().iter().map(|&o| good[o.index()]));
+        good_po.extend(tape.outputs().iter().map(|&o| good[o as usize]));
         bad_po.clear();
-        bad_po.extend(circuit.outputs().iter().map(|&o| bad[o.index()]));
+        bad_po.extend(tape.outputs().iter().map(|&o| bad[o as usize]));
         let go_on = on_po(t, &good_po, &bad_po);
         // Clock both machines (with D-pin injection on the faulty one).
-        for (k, &dff) in circuit.dffs().iter().enumerate() {
-            let src = circuit.node(dff).fanin()[0];
-            good_state[k] = good[src.index()];
-            bad_state[k] = read(&bad, dff.index(), 0, src.index());
+        for (k, (&dff, &src)) in tape.dffs().iter().zip(tape.dff_src()).enumerate() {
+            good_state[k] = good[src as usize];
+            bad_state[k] = force.read(&bad, dff as usize, 0, src as usize);
         }
         go_on
     });
@@ -257,12 +285,12 @@ pub(crate) fn stream_machine_fused(
 }
 
 fn simulate_machine(
-    circuit: &Circuit,
+    tape: &GateTape,
     seq: &TestSequence,
     fault: Option<Fault>,
 ) -> Result<GoodTrace, SimError> {
     let mut po = Vec::with_capacity(seq.len());
-    let final_state = stream_machine(circuit, seq, fault, &mut |_, outs| {
+    let final_state = stream_machine_tape(tape, seq, fault, &mut |_, outs| {
         po.push(outs.to_vec());
         true
     })?;
@@ -377,6 +405,7 @@ mod tests {
     fn fused_pair_matches_separate_machines() {
         use crate::Fault;
         let c = benchmarks::s27();
+        let tape = GateTape::compile(&c);
         let t0 = seq("0111 1001 0111 1001 0100 1011 1001 0000 0000 1011");
         let g8 = c.find("G8").unwrap();
         let g5 = c.dffs()[0];
@@ -386,7 +415,7 @@ mod tests {
             let good = simulate_good(&c, &t0).unwrap();
             let bad = simulate_faulty(&c, &t0, fault).unwrap();
             let mut steps = 0usize;
-            stream_machine_fused(&c, &t0, fault, &mut |t, g, b| {
+            stream_machine_fused_tape(&tape, &t0, fault, &mut |t, g, b| {
                 assert_eq!(g, &good.po[t][..], "good PO at t={t} for {fault}");
                 assert_eq!(b, &bad.po[t][..], "faulty PO at t={t} for {fault}");
                 steps += 1;
@@ -401,10 +430,14 @@ mod tests {
     fn fused_pair_validates_input() {
         use crate::Fault;
         let c = benchmarks::s27();
+        let tape = GateTape::compile(&c);
         let g8 = c.find("G8").unwrap();
-        let err = stream_machine_fused(&c, &seq("000"), Fault::output(g8, true), &mut |_, _, _| {
-            panic!("must not run")
-        });
+        let err = stream_machine_fused_tape(
+            &tape,
+            &seq("000"),
+            Fault::output(g8, true),
+            &mut |_, _, _| panic!("must not run"),
+        );
         assert_eq!(err, Err(SimError::WidthMismatch { circuit_inputs: 4, sequence_width: 3 }));
     }
 

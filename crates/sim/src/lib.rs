@@ -18,11 +18,16 @@
 //!   lane; [`ShardedBackend`] splits the fault list across OS threads at
 //!   a configurable [`WordWidth`] (64/256/512 lanes); the
 //!   [`ScalarBackend`] reference engine runs one machine at a time for
-//!   differential testing. All engines fuse the fault-free machine into
-//!   the fault passes (no precollected PO trace), report first detection
-//!   times (the `udet(f)` of Procedure 1) and consume replayable
-//!   [`VectorSource`] streams, so lazily expanded sequences simulate
-//!   without materialization.
+//!   differential testing. Every engine executes the compiled
+//!   [`GateTape`] (flat CSR fanin arrays + byte opcodes, compiled once
+//!   per circuit and shareable via
+//!   [`SimBackend::detection_times_tape`]); the node-graph oracle of the
+//!   seed implementation survives in [`reference`] purely as a
+//!   differential-test baseline. All engines fuse the fault-free machine
+//!   into the fault passes (no precollected PO trace), report first
+//!   detection times (the `udet(f)` of Procedure 1) and consume
+//!   replayable [`VectorSource`] streams, so lazily expanded sequences
+//!   simulate without materialization.
 //! * [`FaultCoverage`] — fault list + detection times bookkeeping.
 //!
 //! # Example
@@ -56,6 +61,7 @@ mod fault;
 mod good;
 mod logic;
 mod packed;
+pub mod reference;
 mod simulator;
 mod stepped;
 pub mod transition;
@@ -64,11 +70,14 @@ pub use backend::{PackedBackend, ScalarBackend, ShardedBackend, SimBackend, Word
 /// Re-exported from `bist-expand`: the replayable vector-stream trait the
 /// backends consume.
 pub use bist_expand::VectorSource;
+/// Re-exported from `bist-netlist`: the compiled instruction form every
+/// engine executes ([`SimBackend::detection_times_tape`]).
+pub use bist_netlist::GateTape;
 pub use collapse::{collapse, CollapsedFaults};
 pub use coverage::FaultCoverage;
 pub use error::SimError;
 pub use eval::{eval_gate, eval_gate_scalar};
-pub use fault::{fault_universe, Fault, FaultSite};
+pub use fault::{fault_universe, sort_faults_by_site, Fault, FaultSite};
 pub use good::{simulate_faulty, simulate_good, GoodTrace};
 pub use logic::Logic;
 pub use packed::{LaneMask, PackedValue, PackedValue256, PackedValue512, PackedVec, PackedWord};

@@ -1,6 +1,7 @@
 //! The sequential stuck-at fault simulator facade.
 //!
-//! [`FaultSimulator`] binds a circuit to a [`SimBackend`] engine. The
+//! [`FaultSimulator`] binds a circuit — compiled once into its
+//! [`GateTape`] instruction form — to a [`SimBackend`] engine. The
 //! default engine simulates faults 63 at a time (one faulty machine per
 //! low [`PackedValue`](crate::PackedValue) lane, with the fault-free
 //! machine fused into the top lane); [`FaultSimulator::sharded`] selects
@@ -13,16 +14,22 @@
 //! definition of a subsequence detecting a fault from the all-unspecified
 //! state.
 //!
+//! The tape is compiled at construction and shared by every query, so a
+//! simulator that runs thousands of passes (test generation, Procedure
+//! 1/2 sweeps) compiles exactly once. Callers that already hold a tape —
+//! a `Session`, a batch campaign's artifact cache — inject it through
+//! [`FaultSimulator::with_backend_and_tape`] and nothing is recompiled.
+//!
 //! Every query has a `*_stream` variant taking a [`VectorSource`], so the
 //! expanded sequences of the paper's scheme can be simulated straight from
 //! the lazy [`ExpansionIter`](bist_expand::ExpansionIter) without ever
 //! materializing `Sexp`.
 
 use crate::backend::{PackedBackend, ScalarBackend, ShardedBackend, SimBackend, WordWidth};
-use crate::good::{simulate_good, GoodTrace};
+use crate::good::GoodTrace;
 use crate::{Fault, SimError};
 use bist_expand::{TestSequence, VectorSource};
-use bist_netlist::Circuit;
+use bist_netlist::{Circuit, GateTape};
 use std::sync::Arc;
 
 /// Sequential stuck-at fault simulator for one circuit.
@@ -47,12 +54,13 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct FaultSimulator<'c> {
     circuit: &'c Circuit,
+    tape: Arc<GateTape>,
     backend: Arc<dyn SimBackend>,
 }
 
 impl<'c> FaultSimulator<'c> {
     /// Creates a simulator bound to `circuit` with the default 64-lane
-    /// packed engine.
+    /// packed engine, compiling the circuit's tape.
     #[must_use]
     pub fn new(circuit: &'c Circuit) -> Self {
         FaultSimulator::with_backend(circuit, Arc::new(PackedBackend))
@@ -78,10 +86,27 @@ impl<'c> FaultSimulator<'c> {
         Ok(FaultSimulator::with_backend(circuit, Arc::new(ShardedBackend::new(threads, width)?)))
     }
 
-    /// Creates a simulator with an explicit engine.
+    /// Creates a simulator with an explicit engine, compiling the
+    /// circuit's tape.
     #[must_use]
     pub fn with_backend(circuit: &'c Circuit, backend: Arc<dyn SimBackend>) -> Self {
-        FaultSimulator { circuit, backend }
+        FaultSimulator { circuit, tape: Arc::new(GateTape::compile(circuit)), backend }
+    }
+
+    /// Creates a simulator reusing an already-compiled tape — the
+    /// zero-recompilation entry point for sessions and campaign caches.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TapeMismatch`] if `tape` was not compiled from a
+    /// circuit of the same shape (node/input/output/DFF/gate counts).
+    pub fn with_backend_and_tape(
+        circuit: &'c Circuit,
+        tape: Arc<GateTape>,
+        backend: Arc<dyn SimBackend>,
+    ) -> Result<Self, SimError> {
+        check_tape_shape(&tape, circuit)?;
+        Ok(FaultSimulator { circuit, tape, backend })
     }
 
     /// The simulated circuit.
@@ -90,19 +115,28 @@ impl<'c> FaultSimulator<'c> {
         self.circuit
     }
 
+    /// The compiled tape every query executes — shareable with other
+    /// simulators over the same circuit.
+    #[must_use]
+    pub fn tape(&self) -> &Arc<GateTape> {
+        &self.tape
+    }
+
     /// The engine behind this simulator.
     #[must_use]
     pub fn backend(&self) -> &dyn SimBackend {
         &*self.backend
     }
 
-    /// Fault-free simulation (see [`simulate_good`]).
+    /// Fault-free simulation (see [`simulate_good`](crate::simulate_good))
+    /// — over this
+    /// simulator's cached tape, so repeated calls compile nothing.
     ///
     /// # Errors
     ///
     /// Width mismatch / empty sequence.
     pub fn good(&self, seq: &TestSequence) -> Result<GoodTrace, SimError> {
-        simulate_good(self.circuit, seq)
+        crate::good::simulate_good_tape(&self.tape, seq)
     }
 
     /// First detection time of every fault in `faults` under `seq`, or
@@ -130,7 +164,7 @@ impl<'c> FaultSimulator<'c> {
         source: &dyn VectorSource,
         faults: &[Fault],
     ) -> Result<Vec<Option<usize>>, SimError> {
-        self.backend.detection_times(self.circuit, source, faults)
+        self.backend.detection_times_tape(&self.tape, source, faults)
     }
 
     /// First detection time of a single fault (early exit at detection).
@@ -168,6 +202,32 @@ impl<'c> FaultSimulator<'c> {
     ) -> Result<bool, SimError> {
         Ok(self.detection_times_stream(source, &[fault])?[0].is_some())
     }
+}
+
+/// O(1) guard against a miskeyed tape: the `(nodes, inputs, outputs,
+/// DFFs, gates)` fingerprint of the tape must match the circuit's. Two
+/// different circuits can in principle still collide on all five counts,
+/// but a wrong cache key almost never does — and the alternative, a
+/// structural walk, would cost as much as recompiling.
+pub(crate) fn check_tape_shape(tape: &GateTape, circuit: &Circuit) -> Result<(), SimError> {
+    let tape_shape = (
+        tape.num_nodes(),
+        tape.num_inputs(),
+        tape.num_outputs(),
+        tape.num_dffs(),
+        tape.num_gates(),
+    );
+    let circuit_shape = (
+        circuit.num_nodes(),
+        circuit.num_inputs(),
+        circuit.num_outputs(),
+        circuit.num_dffs(),
+        circuit.num_gates(),
+    );
+    if tape_shape != circuit_shape {
+        return Err(SimError::TapeMismatch { tape_shape, circuit_shape });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -214,6 +274,31 @@ mod tests {
             hist[*t] += 1;
         }
         assert_eq!(hist, [0, 9, 4, 0, 1, 11, 2, 0, 3, 2]);
+    }
+
+    #[test]
+    fn shared_tape_is_not_recompiled() {
+        let c = benchmarks::s27();
+        let sim = FaultSimulator::new(&c);
+        let tape = Arc::clone(sim.tape());
+        let shared =
+            FaultSimulator::with_backend_and_tape(&c, Arc::clone(&tape), Arc::new(ScalarBackend))
+                .unwrap();
+        assert!(Arc::ptr_eq(shared.tape(), &tape));
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        assert_eq!(
+            shared.detection_times(&table2_t0(), &faults).unwrap(),
+            sim.detection_times(&table2_t0(), &faults).unwrap()
+        );
+    }
+
+    #[test]
+    fn mismatched_tape_is_a_typed_error() {
+        let c = benchmarks::s27();
+        let other = benchmarks::shift_register3();
+        let alien = Arc::new(GateTape::compile(&other));
+        let err = FaultSimulator::with_backend_and_tape(&c, alien, Arc::new(PackedBackend));
+        assert!(matches!(err, Err(SimError::TapeMismatch { .. })));
     }
 
     #[test]

@@ -8,11 +8,13 @@
 //! reference; equivalence is unit- and property-tested. Unlike the
 //! batch [`SimBackend`](crate::SimBackend) engines, this simulator is
 //! deliberately scalar and single-machine — it is an interaction surface,
-//! not a throughput path.
+//! not a throughput path — though like every engine it executes the
+//! compiled [`GateTape`] rather than the node graph.
 
-use crate::{eval, Fault, FaultSite, Logic, SimError};
+use crate::good::ScalarForce;
+use crate::{eval, Fault, Logic, SimError};
 use bist_expand::TestVector;
-use bist_netlist::{Circuit, NodeKind};
+use bist_netlist::{Circuit, GateTape};
 
 /// A stateful one-vector-at-a-time simulator.
 ///
@@ -35,6 +37,8 @@ use bist_netlist::{Circuit, NodeKind};
 #[derive(Debug, Clone)]
 pub struct SteppedSim<'c> {
     circuit: &'c Circuit,
+    /// The compiled instruction form every [`step`](Self::step) executes.
+    tape: GateTape,
     values: Vec<Logic>,
     state: Vec<Logic>,
     fault: Option<Fault>,
@@ -42,11 +46,13 @@ pub struct SteppedSim<'c> {
 }
 
 impl<'c> SteppedSim<'c> {
-    /// Creates a fault-free simulator in the all-unknown state.
+    /// Creates a fault-free simulator in the all-unknown state, compiling
+    /// the circuit's tape once for the simulator's lifetime.
     #[must_use]
     pub fn new(circuit: &'c Circuit) -> Self {
         SteppedSim {
             circuit,
+            tape: GateTape::compile(circuit),
             values: vec![Logic::X; circuit.num_nodes()],
             state: vec![Logic::X; circuit.num_dffs()],
             fault: None,
@@ -60,6 +66,12 @@ impl<'c> SteppedSim<'c> {
         let mut sim = SteppedSim::new(circuit);
         sim.fault = Some(fault);
         sim
+    }
+
+    /// The simulated circuit.
+    #[must_use]
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
     }
 
     /// The injected fault, if any.
@@ -96,57 +108,43 @@ impl<'c> SteppedSim<'c> {
     /// [`SimError::WidthMismatch`] if the vector width differs from the
     /// circuit's input count.
     pub fn step(&mut self, vector: &TestVector) -> Result<Vec<Logic>, SimError> {
-        let circuit = self.circuit;
-        if vector.width() != circuit.num_inputs() {
+        let tape = &self.tape;
+        if vector.width() != tape.num_inputs() {
             return Err(SimError::WidthMismatch {
-                circuit_inputs: circuit.num_inputs(),
+                circuit_inputs: tape.num_inputs(),
                 sequence_width: vector.width(),
             });
         }
 
-        let out_force: Option<(usize, Logic)> = match self.fault {
-            Some(Fault { site: FaultSite::Output(n), stuck }) => {
-                Some((n.index(), Logic::from_bool(stuck)))
-            }
-            _ => None,
-        };
-        let in_force: Option<(usize, u32, Logic)> = match self.fault {
-            Some(Fault { site: FaultSite::Input { node, pin }, stuck }) => {
-                Some((node.index(), pin, Logic::from_bool(stuck)))
-            }
-            _ => None,
-        };
-        let force_out = |node: usize, v: Logic| match out_force {
-            Some((n, f)) if n == node => f,
-            _ => v,
-        };
+        // The shared scalar injection semantics — same hooks as the
+        // streaming walks in `good.rs`.
+        let force = ScalarForce::of(self.fault);
 
-        for (i, &pi) in circuit.inputs().iter().enumerate() {
-            self.values[pi.index()] = force_out(pi.index(), Logic::from_bool(vector.get(i)));
+        for (i, &pi) in tape.inputs().iter().enumerate() {
+            let pi = pi as usize;
+            self.values[pi] = force.force_out(pi, Logic::from_bool(vector.get(i)));
         }
-        for (k, &dff) in circuit.dffs().iter().enumerate() {
-            self.values[dff.index()] = force_out(dff.index(), self.state[k]);
+        for (k, &dff) in tape.dffs().iter().enumerate() {
+            let dff = dff as usize;
+            self.values[dff] = force.force_out(dff, self.state[k]);
         }
-        for &g in circuit.eval_order() {
-            let node = circuit.node(g);
-            let NodeKind::Gate(kind) = node.kind() else { unreachable!() };
-            let gi = g.index();
+        let (ops, outs, starts, fanin) =
+            (tape.ops(), tape.gate_out(), tape.fanin_start(), tape.fanin());
+        for g in 0..ops.len() {
+            let out = outs[g] as usize;
+            let window = &fanin[starts[g] as usize..starts[g + 1] as usize];
             let v = eval::eval_scalar_fold(
-                *kind,
-                node.fanin().iter().enumerate().map(|(p, &f)| match in_force {
-                    Some((n, pin, forced)) if n == gi && pin == p as u32 => forced,
-                    _ => self.values[f.index()],
-                }),
+                ops[g],
+                window
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &f)| force.read(&self.values, out, p as u32, f as usize)),
             );
-            self.values[gi] = force_out(gi, v);
+            self.values[out] = force.force_out(out, v);
         }
-        let outputs = circuit.outputs().iter().map(|&o| self.values[o.index()]).collect();
-        for (k, &dff) in circuit.dffs().iter().enumerate() {
-            let src = circuit.node(dff).fanin()[0];
-            self.state[k] = match in_force {
-                Some((n, 0, forced)) if n == dff.index() => forced,
-                _ => self.values[src.index()],
-            };
+        let outputs = tape.outputs().iter().map(|&o| self.values[o as usize]).collect();
+        for (k, (&dff, &src)) in tape.dffs().iter().zip(tape.dff_src()).enumerate() {
+            self.state[k] = force.read(&self.values, dff as usize, 0, src as usize);
         }
         self.cycles += 1;
         Ok(outputs)

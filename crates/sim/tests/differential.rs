@@ -1,11 +1,16 @@
-//! Seeded differential suite over the full benchmark suite: the scalar
-//! reference engine vs the packed engine vs the sharded engine at widths
-//! 64/256/512 and 1/2/4 threads.
+//! Seeded differential suite over the full benchmark suite: the seed's
+//! node-graph scalar oracle ([`bist_sim::reference`], which never touches
+//! the compiled tape) vs every tape-executing engine — the scalar tape
+//! engine, the packed engine and the sharded engine at widths 64/256/512
+//! and 1/2/4 threads — on all 13 suite circuits.
 //!
 //! Equality is asserted on *detection times*, not just detected /
 //! undetected — the paper's selection procedures key off `udet(f)`, so a
 //! backend that detects the right faults at the wrong time units would
 //! silently produce different (possibly invalid) subsequence selections.
+//! Because the oracle bypasses [`GateTape`] entirely, agreement proves
+//! that tape compilation plus tape execution is bit-identical to the seed
+//! node-graph walk.
 //!
 //! Fault lists are seeded random samples of each circuit's collapsed
 //! universe, sized down on the big analogs to keep the scalar oracle
@@ -13,10 +18,10 @@
 
 use bist_expand::expansion::{Expand, ExpansionConfig};
 use bist_expand::{TestSequence, TestVector, VectorSource};
-use bist_netlist::{benchmarks, Circuit};
+use bist_netlist::{benchmarks, Circuit, GateTape};
 use bist_sim::{
-    collapse, fault_universe, Fault, PackedBackend, ScalarBackend, ShardedBackend, SimBackend,
-    WordWidth,
+    collapse, fault_universe, reference, Fault, PackedBackend, ScalarBackend, ShardedBackend,
+    SimBackend, WordWidth,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,11 +44,13 @@ fn random_sequence(circuit: &Circuit, len: usize, rng: &mut StdRng) -> TestSeque
     .expect("uniform width")
 }
 
-fn sharded_grid() -> Vec<ShardedBackend> {
-    let mut grid = Vec::new();
+/// Every tape-executing engine: the scalar tape engine, packed64 and the
+/// full sharded width × thread grid.
+fn tape_engines() -> Vec<Box<dyn SimBackend>> {
+    let mut grid: Vec<Box<dyn SimBackend>> = vec![Box::new(ScalarBackend), Box::new(PackedBackend)];
     for width in [WordWidth::W64, WordWidth::W256, WordWidth::W512] {
         for threads in [1, 2, 4] {
-            grid.push(ShardedBackend::new(threads, width).expect("threads >= 1"));
+            grid.push(Box::new(ShardedBackend::new(threads, width).expect("threads >= 1")));
         }
     }
     grid
@@ -61,27 +68,27 @@ fn budget(gates: usize) -> (usize, usize) {
 }
 
 #[test]
-fn all_engines_agree_on_every_suite_circuit() {
+fn all_tape_engines_match_the_node_graph_oracle_on_every_suite_circuit() {
     let mut rng = StdRng::seed_from_u64(0xd1ff_e7e5);
-    for entry in benchmarks::suite() {
+    let entries = benchmarks::suite();
+    assert_eq!(entries.len(), 13, "the differential suite must cover all 13 circuits");
+    for entry in entries {
         let circuit = entry.build().expect("suite circuit builds");
+        let tape = GateTape::compile(&circuit);
         let (num_faults, seq_len) = budget(entry.gates);
         let faults = sample_faults(&circuit, num_faults, &mut rng);
         let seq = random_sequence(&circuit, seq_len, &mut rng);
 
-        let oracle = ScalarBackend.detection_times(&circuit, &seq, &faults).expect("scalar runs");
-        let packed = PackedBackend.detection_times(&circuit, &seq, &faults).expect("packed runs");
-        assert_eq!(packed, oracle, "packed64 vs scalar on {}", entry.name);
-        for engine in sharded_grid() {
-            let times = engine.detection_times(&circuit, &seq, &faults).expect("sharded runs");
-            assert_eq!(
-                times,
-                oracle,
-                "{} ({} threads) vs scalar on {}",
-                engine.name(),
-                engine.threads(),
-                entry.name
-            );
+        let oracle =
+            reference::detection_times(&circuit, &seq, &faults).expect("node-graph oracle runs");
+        for engine in tape_engines() {
+            // Both entry points: on-the-fly compilation and the shared
+            // precompiled tape must agree with the seed oracle.
+            let times = engine.detection_times(&circuit, &seq, &faults).expect("engine runs");
+            assert_eq!(times, oracle, "{} vs node-graph oracle on {}", engine.name(), entry.name);
+            let on_tape =
+                engine.detection_times_tape(&tape, &seq, &faults).expect("tape engine runs");
+            assert_eq!(on_tape, oracle, "{} (shared tape) on {}", engine.name(), entry.name);
         }
     }
 }
@@ -93,16 +100,17 @@ fn engines_agree_on_expanded_streams() {
     let mut rng = StdRng::seed_from_u64(0xe8a_5eed);
     for entry in benchmarks::suite_up_to(600) {
         let circuit = entry.build().expect("suite circuit builds");
+        let tape = GateTape::compile(&circuit);
         let faults = sample_faults(&circuit, 48, &mut rng);
         let s = random_sequence(&circuit, 3, &mut rng);
         for n in [1, 2] {
             let cfg = ExpansionConfig::new(n).expect("n >= 1");
             let stream = cfg.stream(&s);
-            let oracle = ScalarBackend.detection_times(&circuit, &stream, &faults).expect("scalar");
-            let packed = PackedBackend.detection_times(&circuit, &stream, &faults).expect("packed");
-            assert_eq!(packed, oracle, "packed64 on {} n={n}", entry.name);
-            for engine in sharded_grid() {
-                let times = engine.detection_times(&circuit, &stream, &faults).expect("sharded");
+            let oracle =
+                reference::detection_times(&circuit, &stream, &faults).expect("oracle runs");
+            for engine in tape_engines() {
+                let times =
+                    engine.detection_times_tape(&tape, &stream, &faults).expect("engine runs");
                 assert_eq!(times, oracle, "{} on {} n={n}", engine.name(), entry.name);
             }
             // The stream view itself must match the materialized Sexp.
@@ -117,17 +125,42 @@ fn duplicate_faults_get_identical_times_across_chunk_boundaries() {
     // lane bookkeeping of every width: duplicates must resolve to the
     // same time regardless of which chunk/shard/lane they land in.
     let circuit = benchmarks::suite()[2].build().expect("a344 builds");
+    let tape = GateTape::compile(&circuit);
     let mut rng = StdRng::seed_from_u64(77);
     let base = sample_faults(&circuit, 96, &mut rng);
     let mut tripled = base.clone();
     tripled.extend(base.iter().copied());
     tripled.extend(base.iter().copied());
     let seq = random_sequence(&circuit, 12, &mut rng);
-    for engine in sharded_grid() {
-        let times = engine.detection_times(&circuit, &seq, &tripled).expect("runs");
+    for engine in tape_engines() {
+        let times = engine.detection_times_tape(&tape, &seq, &tripled).expect("runs");
         for i in 0..base.len() {
             assert_eq!(times[i], times[i + base.len()], "{} copy 1", engine.name());
             assert_eq!(times[i], times[i + 2 * base.len()], "{} copy 2", engine.name());
+        }
+    }
+}
+
+#[test]
+fn site_sorted_and_seed_ordered_fault_lists_agree_everywhere() {
+    // The collapse layer now emits representatives in fault-site order
+    // (locality for chunking); this must be invisible to results. Compare
+    // per-fault times between the site order and the seed's derived-Ord
+    // order on a mid-size circuit, for every engine.
+    let circuit = benchmarks::suite()[3].build().expect("suite circuit builds");
+    let tape = GateTape::compile(&circuit);
+    let mut rng = StdRng::seed_from_u64(0x5072);
+    let site_ordered = sample_faults(&circuit, 128, &mut rng);
+    let mut derived = site_ordered.clone();
+    derived.sort();
+    let seq = random_sequence(&circuit, 10, &mut rng);
+    for engine in tape_engines() {
+        let a = engine.detection_times_tape(&tape, &seq, &site_ordered).expect("runs");
+        let b = engine.detection_times_tape(&tape, &seq, &derived).expect("runs");
+        let by_fault: std::collections::HashMap<Fault, Option<usize>> =
+            site_ordered.iter().copied().zip(a).collect();
+        for (f, t) in derived.iter().zip(b) {
+            assert_eq!(by_fault[f], t, "{} under {}", f, engine.name());
         }
     }
 }

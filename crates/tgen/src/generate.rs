@@ -3,8 +3,11 @@
 
 use crate::{static_compact, RandomSequence, TgenConfig};
 use bist_expand::TestSequence;
-use bist_netlist::Circuit;
-use bist_sim::{collapse, fault_universe, Fault, FaultCoverage, FaultSimulator, SimError};
+use bist_netlist::{Circuit, GateTape};
+use bist_sim::{
+    collapse, fault_universe, Fault, FaultCoverage, FaultSimulator, PackedBackend, SimError,
+};
+use std::sync::Arc;
 
 /// The result of test generation: the sequence `T0` and its coverage of
 /// the collapsed fault universe (with first-detection times `udet`).
@@ -62,7 +65,40 @@ pub fn generate_t0_with_faults(
     config: &TgenConfig,
     faults: Vec<Fault>,
 ) -> Result<GeneratedTest, SimError> {
-    let sim = FaultSimulator::new(circuit);
+    generate_on(&FaultSimulator::new(circuit), config, faults)
+}
+
+/// [`generate_t0_with_faults`] over a caller-compiled [`GateTape`].
+///
+/// Generation fault-simulates every candidate burst, so it is by far the
+/// heaviest consumer of the tape: callers that already hold the
+/// circuit's compiled tape (a `Session`, the batch campaign's artifact
+/// cache) pass it in and the whole generation run compiles nothing.
+/// Generation always runs on the packed engine regardless of any session
+/// backend, so the produced `T0` stays backend-independent.
+///
+/// # Errors
+///
+/// [`SimError::TapeMismatch`] if `tape` does not belong to `circuit`;
+/// otherwise as for [`generate_t0`].
+pub fn generate_t0_with_artifacts(
+    circuit: &Circuit,
+    config: &TgenConfig,
+    faults: Vec<Fault>,
+    tape: Arc<GateTape>,
+) -> Result<GeneratedTest, SimError> {
+    let sim = FaultSimulator::with_backend_and_tape(circuit, tape, Arc::new(PackedBackend))?;
+    generate_on(&sim, config, faults)
+}
+
+/// The generation loop itself, over whatever simulator the entry points
+/// assembled.
+fn generate_on(
+    sim: &FaultSimulator<'_>,
+    config: &TgenConfig,
+    faults: Vec<Fault>,
+) -> Result<GeneratedTest, SimError> {
+    let circuit = sim.circuit();
     let mut source =
         RandomSequence::new(circuit.num_inputs(), config.hold_probability, config.seed);
 
@@ -129,7 +165,7 @@ pub fn generate_t0_with_faults(
     } else {
         t0
     };
-    let coverage = FaultCoverage::simulate(&sim, &compacted, faults)?;
+    let coverage = FaultCoverage::simulate(sim, &compacted, faults)?;
     Ok(GeneratedTest { sequence: compacted, coverage })
 }
 
@@ -186,6 +222,24 @@ mod tests {
         let c = benchmarks::s27();
         let t0 = generate_t0(&c, &TgenConfig::new().seed(2)).unwrap();
         assert_eq!(t0.detected_faults().len(), t0.coverage.detected_count());
+    }
+
+    #[test]
+    fn with_injected_tape_matches_self_compiling_path() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let cfg = TgenConfig::new().seed(9);
+        let tape = Arc::new(GateTape::compile(&c));
+        let a = generate_t0_with_artifacts(&c, &cfg, faults.clone(), Arc::clone(&tape)).unwrap();
+        let b = generate_t0(&c, &cfg).unwrap();
+        assert_eq!(a.sequence, b.sequence);
+        assert_eq!(a.coverage, b.coverage);
+        // A tape from another circuit is a typed error, not a bad T0.
+        let alien = Arc::new(GateTape::compile(&benchmarks::shift_register3()));
+        assert!(matches!(
+            generate_t0_with_artifacts(&c, &cfg, faults, alien),
+            Err(SimError::TapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -28,12 +28,12 @@ use bist_core::{
 };
 use bist_expand::expansion::ExpansionConfig;
 use bist_expand::TestSequence;
-use bist_netlist::{benchmarks, Circuit};
+use bist_netlist::{benchmarks, Circuit, GateTape};
 use bist_sim::{
     collapse, fault_universe, Fault, FaultCoverage, FaultSimulator, ShardedBackend, SimBackend,
     WordWidth,
 };
-use bist_tgen::{generate_t0_with_faults, GeneratedTest, TgenConfig};
+use bist_tgen::{generate_t0_with_artifacts, GeneratedTest, TgenConfig};
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -96,14 +96,15 @@ impl Backend {
 /// A batch campaign (or any caller running many sessions over the same
 /// circuit) computes these once and shares them via [`Arc`] across every
 /// session that touches the circuit: the parsed [`Circuit`], its
-/// collapsed fault universe, and a generated `T0` with coverage. All
-/// fields are optional; anything absent is computed by the session as
-/// usual. The caller is responsible for keying artifacts by circuit
-/// identity — the builder only checks cheap invariants (fault sites in
-/// range, `T0` width).
+/// compiled [`GateTape`], its collapsed fault universe, and a generated
+/// `T0` with coverage. All fields are optional; anything absent is
+/// computed by the session as usual. The caller is responsible for
+/// keying artifacts by circuit identity — the builder only checks cheap
+/// invariants (fault sites in range, tape node count, `T0` width).
 #[derive(Debug, Clone, Default)]
 pub struct SessionArtifacts {
     circuit: Option<Arc<Circuit>>,
+    tape: Option<Arc<GateTape>>,
     faults: Option<Arc<Vec<Fault>>>,
     t0: Option<Arc<GeneratedTest>>,
     t0_seconds: Option<f64>,
@@ -121,6 +122,15 @@ impl SessionArtifacts {
     #[must_use]
     pub fn circuit(mut self, circuit: Arc<Circuit>) -> Self {
         self.circuit = Some(circuit);
+        self
+    }
+
+    /// Supplies the compiled gate tape of the session's circuit, so the
+    /// session (and everything it fault-simulates — `T0` generation,
+    /// Procedure 1/2 sweeps, verification) compiles nothing.
+    #[must_use]
+    pub fn tape(mut self, tape: Arc<GateTape>) -> Self {
+        self.tape = Some(tape);
         self
     }
 
@@ -397,6 +407,34 @@ impl SessionBuilder {
                 )));
             }
         }
+        let tape = OnceLock::new();
+        if let Some(shared) = self.artifacts.tape {
+            // Same O(1) shape fingerprint the sim layer checks
+            // (`SimError::TapeMismatch`), surfaced as a config error at
+            // build time instead of deep inside the first run.
+            let tape_shape = (
+                shared.num_nodes(),
+                shared.num_inputs(),
+                shared.num_outputs(),
+                shared.num_dffs(),
+                shared.num_gates(),
+            );
+            let circuit_shape = (
+                circuit.num_nodes(),
+                circuit.num_inputs(),
+                circuit.num_outputs(),
+                circuit.num_dffs(),
+                circuit.num_gates(),
+            );
+            if tape_shape != circuit_shape {
+                return Err(BistError::Config(format!(
+                    "injected tape does not match circuit `{}`: tape shape {tape_shape:?} vs \
+                     circuit shape {circuit_shape:?} (nodes/inputs/outputs/DFFs/gates)",
+                    circuit.name(),
+                )));
+            }
+            let _ = tape.set(shared);
+        }
         let faults = OnceLock::new();
         if let Some(shared) = self.artifacts.faults {
             if let Some(bad) = shared.iter().find(|f| f.site.node().index() >= circuit.num_nodes())
@@ -436,6 +474,7 @@ impl SessionBuilder {
             t0: self.t0,
             prebuilt,
             prebuilt_seconds: self.artifacts.t0_seconds,
+            tape,
             faults,
             tgen,
             scheme,
@@ -467,6 +506,10 @@ pub struct Session {
     prebuilt: Option<Arc<GeneratedTest>>,
     /// Original generation time of the injected `T0`, if recorded.
     prebuilt_seconds: Option<f64>,
+    /// Compiled gate tape, compiled on first [`run`](Session::run) (or
+    /// injected at build time) and executed by every simulation the
+    /// session performs.
+    tape: OnceLock<Arc<GateTape>>,
     /// Collapsed fault universe, computed on first [`run`](Session::run)
     /// (or injected at build time) and shared by every later run.
     faults: OnceLock<Arc<Vec<Fault>>>,
@@ -487,6 +530,16 @@ impl Session {
     #[must_use]
     pub fn circuit(&self) -> &Circuit {
         &self.circuit
+    }
+
+    /// The compiled gate tape of the circuit — compiled on first access
+    /// (or injected via [`SessionBuilder::with_artifacts`]) and cached
+    /// for the session's lifetime; every simulation the session performs
+    /// (T0 generation, selection sweeps, verification, repeated
+    /// [`run`](Session::run) calls) executes this one tape.
+    #[must_use]
+    pub fn tape(&self) -> &Arc<GateTape> {
+        self.tape.get_or_init(|| Arc::new(GateTape::compile(&self.circuit)))
     }
 
     /// The collapsed fault universe of the circuit — computed on first
@@ -517,7 +570,12 @@ impl Session {
     /// configurations and do not occur for valid circuits).
     pub fn run(&self) -> Result<SessionReport, BistError> {
         let faults = self.collapsed_faults();
-        let sim = FaultSimulator::with_backend(&self.circuit, Arc::clone(&self.engine));
+        let tape = Arc::clone(self.tape());
+        let sim = FaultSimulator::with_backend_and_tape(
+            &self.circuit,
+            Arc::clone(&tape),
+            Arc::clone(&self.engine),
+        )?;
 
         let started = Instant::now();
         let mut injected = false;
@@ -529,7 +587,7 @@ impl Session {
             }
             (None, None) => {
                 let generated =
-                    generate_t0_with_faults(&self.circuit, &self.tgen, faults.to_vec())?;
+                    generate_t0_with_artifacts(&self.circuit, &self.tgen, faults.to_vec(), tape)?;
                 (generated.sequence, generated.coverage)
             }
         };
@@ -819,6 +877,40 @@ mod tests {
             bist_sim::ShardedBackend::new(0, bist_sim::WordWidth::W256),
             Err(bist_sim::SimError::ZeroThreads)
         );
+    }
+
+    #[test]
+    fn tape_is_compiled_once_and_cached_across_runs() {
+        let session = Session::builder().s27().seed(7).ns(vec![1]).build().unwrap();
+        let before = Arc::as_ptr(session.tape());
+        session.run().unwrap();
+        session.run().unwrap();
+        assert_eq!(before, Arc::as_ptr(session.tape()), "tape was recompiled");
+    }
+
+    #[test]
+    fn injected_tape_is_served_back_and_validated() {
+        let circuit = Arc::new(benchmarks::s27());
+        let tape = Arc::new(GateTape::compile(&circuit));
+        let session = Session::builder()
+            .with_artifacts(
+                SessionArtifacts::new().circuit(Arc::clone(&circuit)).tape(Arc::clone(&tape)),
+            )
+            .seed(3)
+            .ns(vec![1])
+            .build()
+            .unwrap();
+        assert!(Arc::ptr_eq(session.tape(), &tape));
+        let report = session.run().unwrap();
+        assert_eq!(report.coverage().detected_count(), 32);
+        // A tape compiled from another circuit is rejected at build time.
+        let alien = Arc::new(GateTape::compile(&benchmarks::suite()[1].build().unwrap()));
+        let err = Session::builder()
+            .with_artifacts(SessionArtifacts::new().circuit(circuit).tape(alien))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BistError::Config(_)), "{err:?}");
+        assert!(err.to_string().contains("tape"), "{err}");
     }
 
     #[test]
