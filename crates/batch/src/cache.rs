@@ -359,6 +359,51 @@ mod tests {
     }
 
     #[test]
+    fn failures_are_computed_once_and_counted_as_hits_thereafter() {
+        // A circuit that fails to parse: the error itself is the cached
+        // artifact. The first request is the one miss (the computation
+        // that actually ran and failed); every later request — same
+        // thread or racing threads — is served the cached error and
+        // counts as a hit, exactly like a successful artifact.
+        let cache = ArtifactCache::new();
+        let spec = CircuitSpec::File(std::path::PathBuf::from("/definitely/not/here.bench"));
+        let first = cache.circuit(&spec).unwrap_err();
+        assert!(first.to_string().contains("here.bench"), "{first}");
+        for _ in 0..3 {
+            let again = cache.circuit(&spec).unwrap_err();
+            assert_eq!(again.to_string(), first.to_string(), "cached error is re-served");
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.circuit_misses, stats.circuit_hits), (1, 3));
+
+        // Concurrent requesters of a distinct failing key: still exactly
+        // one computation, everyone else hits.
+        let bad = CircuitSpec::Suite("still-not-a-circuit".to_string());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let err = cache.circuit(&bad).unwrap_err();
+                    assert!(err.to_string().contains("still-not-a-circuit"));
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.circuit_misses, 2, "one miss per distinct failing key");
+        assert_eq!(stats.circuit_hits, 3 + 7);
+
+        // The full-bundle path reports the same cached failure and never
+        // touches the downstream shelves for a broken circuit.
+        let tgen = TgenConfig::new().max_length(16);
+        let bundle = cache.artifacts_for(&spec, 1, &tgen).unwrap_err();
+        assert!(bundle.to_string().contains("here.bench"));
+        let stats = cache.stats();
+        assert_eq!((stats.circuit_misses, stats.circuit_hits), (2, 11));
+        assert_eq!(stats.tape_misses + stats.tape_hits, 0, "no tape compiled for a failed parse");
+        assert_eq!(stats.fault_misses + stats.fault_hits, 0);
+        assert_eq!(stats.t0_misses + stats.t0_hits, 0);
+    }
+
+    #[test]
     fn bundle_assembles_everything() {
         let cache = ArtifactCache::new();
         let tgen = TgenConfig::new().max_length(16);

@@ -17,6 +17,9 @@
 //!   ISCAS-89 benchmark files can be dropped in unmodified.
 //! * [`generate`] — a seeded random sequential circuit generator used to
 //!   build synthetic analogs of the ISCAS-89 circuits evaluated in the paper.
+//! * [`fuzz`] — seeded random circuits for differential fuzzing,
+//!   including the degenerate shapes (zero-gate netlists, extreme
+//!   chains/fanout) that the benchmark analogs never produce.
 //! * [`benchmarks`] — the embedded `s27` circuit (the paper's worked
 //!   example) plus the synthetic benchmark suite mirroring Table 3.
 //! * [`GateTape`] — the netlist compiled into flat, cache-linear
@@ -46,6 +49,7 @@ mod stats;
 mod tape;
 
 pub mod benchmarks;
+pub mod fuzz;
 pub mod generate;
 pub mod parser;
 pub mod writer;

@@ -81,6 +81,8 @@ pub struct GateRun {
 /// let out = tape.gate_out()[0] as usize;
 /// assert_eq!(tape.gate_pos(out), Some(0));
 /// assert!(!tape.fanin_of(0).is_empty());
+/// // Tiles refine the runs into cache-sized blocks:
+/// assert!(tape.tiles().len() >= tape.runs().len());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GateTape {
@@ -105,12 +107,26 @@ pub struct GateTape {
     fanin: Vec<u32>,
     /// Maximal same-kind/same-arity ranges of the tape, in order.
     runs: Vec<GateRun>,
+    /// The runs re-split into blocks of at most
+    /// [`TILE_GATES`](Self::TILE_GATES) positions — the sweep-blocking
+    /// unit of the bit-plane engines, precomputed here so every engine
+    /// pass walks a ready-made schedule.
+    tiles: Vec<GateRun>,
     /// Tape position of each node's driving gate; `u32::MAX` for
     /// non-gate nodes (PIs and flip-flops).
     pos_of_node: Vec<u32>,
 }
 
 impl GateTape {
+    /// Maximum gates per sweep tile ([`tiles`](Self::tiles)).
+    ///
+    /// Sized for the L1 data cache: a tile of 1024 two-input gates
+    /// touches at most ~3·1024 distinct value slots per bit plane; at
+    /// 8 bytes per slot across the ones and zeros rows that is ≈48 KiB
+    /// of plane data — so one tile's fanin window stays cache-resident
+    /// while a blocked engine revisits the tile once per plane of a
+    /// wide word.
+    pub const TILE_GATES: usize = 1024;
     /// Compiles `circuit` into its flat tape form: levelize, sort each
     /// level by opcode and arity class, lay the gates out contiguously
     /// and record the [`GateRun`] boundaries. `O(nodes log nodes)` —
@@ -172,6 +188,18 @@ impl GateTape {
             fanin.extend(node.fanin().iter().map(|f| f.0));
             fanin_start.push(u32::try_from(fanin.len()).expect("fanin count exceeds u32"));
         }
+        // Split each run into cache-sized tiles. Tiles never cross run
+        // boundaries, so every tile is still homogeneous in kind/arity
+        // and an engine dispatches once per tile.
+        let mut tiles = Vec::with_capacity(runs.len());
+        for run in &runs {
+            let mut start = run.start;
+            while start < run.end {
+                let end = run.end.min(start + Self::TILE_GATES as u32);
+                tiles.push(GateRun { kind: run.kind, arity: run.arity, start, end });
+                start = end;
+            }
+        }
         let as_u32 = |ids: &[crate::NodeId]| ids.iter().map(|id| id.0).collect::<Vec<u32>>();
         GateTape {
             num_nodes: circuit.num_nodes(),
@@ -184,6 +212,7 @@ impl GateTape {
             fanin_start,
             fanin,
             runs,
+            tiles,
             pos_of_node,
         }
     }
@@ -285,6 +314,16 @@ impl GateTape {
     #[must_use]
     pub fn runs(&self) -> &[GateRun] {
         &self.runs
+    }
+
+    /// The runs re-split into blocks of at most
+    /// [`TILE_GATES`](Self::TILE_GATES) positions, in tape order — the
+    /// precomputed schedule of the blocked bit-plane sweep. Like the
+    /// runs, the tiles partition `0..num_gates()` and each tile is
+    /// homogeneous in kind and arity (it lies inside exactly one run).
+    #[must_use]
+    pub fn tiles(&self) -> &[GateRun] {
+        &self.tiles
     }
 
     /// The tape position of the gate driving `node`, or `None` if `node`
@@ -400,5 +439,67 @@ mod tests {
     fn tape_is_deterministic() {
         let c = benchmarks::s27();
         assert_eq!(GateTape::compile(&c), GateTape::compile(&c));
+    }
+
+    #[test]
+    fn zero_gate_circuit_compiles_to_an_empty_program() {
+        // POs wired straight to PIs/DFFs, no gates: the tape must be a
+        // well-formed empty program, not a panic.
+        let mut b = crate::CircuitBuilder::new("degenerate");
+        b.add_input("a");
+        b.add_dff("q", "a");
+        b.add_output("a");
+        b.add_output("q");
+        let c = b.finish().unwrap();
+        let tape = GateTape::compile(&c);
+        assert_eq!(tape.num_gates(), 0);
+        assert!(tape.runs().is_empty());
+        assert!(tape.tiles().is_empty());
+        assert_eq!(tape.fanin_start(), &[0]);
+        assert!(tape.fanin().is_empty());
+        assert_eq!(tape.outputs(), &[0, 1]);
+        assert_eq!(tape.dff_src(), &[0]);
+        assert_eq!(tape.gate_pos(0), None);
+        // The fuzz generator's zero-gate class goes through the same path.
+        let fz = crate::fuzz::fuzz_circuit(0);
+        assert_eq!(GateTape::compile(&fz).num_gates(), 0);
+    }
+
+    #[test]
+    fn tiles_refine_the_runs() {
+        // Include the 16k-gate analog: its big runs must actually split.
+        for entry in benchmarks::suite() {
+            let c = entry.build().unwrap();
+            let tape = GateTape::compile(&c);
+            // Tiles partition the tape in order, each within one run.
+            let mut next = 0u32;
+            let mut run_iter = tape.runs().iter();
+            let mut run = run_iter.next();
+            for tile in tape.tiles() {
+                assert_eq!(tile.start, next, "{}: tiles must tile the tape", entry.name);
+                assert!(tile.end > tile.start);
+                assert!(
+                    (tile.end - tile.start) as usize <= GateTape::TILE_GATES,
+                    "{}: oversized tile",
+                    entry.name
+                );
+                while let Some(r) = run {
+                    if tile.start >= r.end {
+                        run = run_iter.next();
+                    } else {
+                        assert!(tile.start >= r.start && tile.end <= r.end);
+                        assert_eq!(tile.kind, r.kind, "{}: tile crosses runs", entry.name);
+                        assert_eq!(tile.arity, r.arity);
+                        break;
+                    }
+                }
+                next = tile.end;
+            }
+            assert_eq!(next as usize, tape.num_gates());
+            assert!(tape.tiles().len() >= tape.runs().len());
+            if tape.runs().iter().any(|r| (r.end - r.start) as usize > GateTape::TILE_GATES) {
+                assert!(tape.tiles().len() > tape.runs().len(), "{}: no run split", entry.name);
+            }
+        }
     }
 }

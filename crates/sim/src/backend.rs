@@ -12,9 +12,13 @@
 //! * [`ShardedBackend`] — the scaled engine: the fault list is split into
 //!   contiguous shards across OS threads (scoped threads, no runtime
 //!   dependencies), and each shard runs the same chunked pass at a
-//!   configurable [`WordWidth`] — 64, 256 or 512 machines per word. The
-//!   wide words are `[u64; N]` planes whose gate operations autovectorize,
-//!   so one pass can advance 255 or 511 faulty machines.
+//!   configurable [`WordWidth`] — 64, 256 or 512 machines per word — and
+//!   a configurable [`StateLayout`]: the default interleaved
+//!   array-of-words layout whose generic chunk pass lives in this module
+//!   (its `[u64; N]` plane loops autovectorize, so one pass can advance
+//!   255 or 511 faulty machines) or the blocked bit-plane layout of
+//!   [`crate::planes`] for hosts where the wide value table outruns the
+//!   cache.
 //! * [`ScalarBackend`] — a deliberately simple reference: one faulty
 //!   machine at a time over the scalar [`Logic`](crate::Logic) algebra,
 //!   run in lockstep with its own fault-free machine. Exists for
@@ -58,9 +62,9 @@ use bist_netlist::{Circuit, GateKind, GateTape, RunArity};
 use std::fmt;
 
 /// `forced_gates` flag: some fanin pin of the gate carries a branch force.
-const IN_FORCE: u8 = 1;
+pub(crate) const IN_FORCE: u8 = 1;
 /// `forced_gates` flag: the gate's output carries a stem force.
-const OUT_FORCE: u8 = 2;
+pub(crate) const OUT_FORCE: u8 = 2;
 
 /// A sequential stuck-at fault-simulation engine.
 ///
@@ -150,7 +154,7 @@ impl NodeBitmap {
 /// indices are validated against the word width at
 /// [`load`](Injector::load) time, so an oversized chunk surfaces a typed
 /// error instead of panicking inside `set_lane`.
-struct Injector {
+pub(crate) struct Injector {
     /// Nodes with output (stem) forces in the current chunk.
     out_touched: Vec<usize>,
     out_forces: Vec<Vec<(usize, Logic)>>,
@@ -162,11 +166,11 @@ struct Injector {
     /// Tape positions of gates needing the checked per-gate path this
     /// chunk, sorted ascending, flagged [`IN_FORCE`] / [`OUT_FORCE`].
     /// Forces on PI/DFF nodes are not gates and stay bitmap-only.
-    forced_gates: Vec<(u32, u8)>,
+    pub(crate) forced_gates: Vec<(u32, u8)>,
 }
 
 impl Injector {
-    fn new(num_nodes: usize) -> Self {
+    pub(crate) fn new(num_nodes: usize) -> Self {
         Injector {
             out_touched: Vec::new(),
             out_forces: vec![Vec::new(); num_nodes],
@@ -195,7 +199,7 @@ impl Injector {
     /// Loads one chunk of faults, one lane each. `fault_lanes` is the
     /// engine's per-pass capacity (word width minus the good-machine
     /// lane).
-    fn load(
+    pub(crate) fn load(
         &mut self,
         tape: &GateTape,
         chunk: &[Fault],
@@ -246,14 +250,14 @@ impl Injector {
 
     /// Single-bit test: does `node` carry a stem force this chunk?
     #[inline]
-    fn output_forced(&self, node: usize) -> bool {
+    pub(crate) fn output_forced(&self, node: usize) -> bool {
         self.out_bits.get(node)
     }
 
     /// Single-bit test: does any fanin pin of `node` carry a branch force
     /// this chunk?
     #[inline]
-    fn input_forced(&self, node: usize) -> bool {
+    pub(crate) fn input_forced(&self, node: usize) -> bool {
         self.in_bits.get(node)
     }
 
@@ -276,6 +280,41 @@ impl Injector {
         }
         value
     }
+
+    /// Plane-filtered [`force_output`](Self::force_output) for the
+    /// bit-plane engines: applies only the stem forces whose lane lives
+    /// in plane word `p` (lane `l` → plane `l / 64`, bit `l % 64`).
+    #[inline]
+    pub(crate) fn force_output_in_plane(
+        &self,
+        node: usize,
+        p: usize,
+        mut value: PackedValue,
+    ) -> PackedValue {
+        for &(lane, forced) in &self.out_forces[node] {
+            if lane >> 6 == p {
+                value.set_lane(lane & 63, forced);
+            }
+        }
+        value
+    }
+
+    /// Plane-filtered [`forced_input`](Self::forced_input).
+    #[inline]
+    pub(crate) fn forced_input_in_plane(
+        &self,
+        node: usize,
+        pin: u32,
+        p: usize,
+        mut value: PackedValue,
+    ) -> PackedValue {
+        for &(pp, lane, forced) in &self.in_forces[node] {
+            if pp == pin && lane >> 6 == p {
+                value.set_lane(lane & 63, forced);
+            }
+        }
+        value
+    }
 }
 
 /// Two-operand packed gate evaluation — the fast path for the dominant
@@ -284,7 +323,7 @@ impl Injector {
 /// (including the arity-1 kinds, which a validated netlist never pairs
 /// with two fanins).
 #[inline]
-fn eval2<W: PackedWord>(kind: GateKind, a: W, b: W) -> W {
+pub(crate) fn eval2<W: PackedWord>(kind: GateKind, a: W, b: W) -> W {
     match kind {
         GateKind::And => a.and(b),
         GateKind::Nand => W::not(a.and(b)),
@@ -528,9 +567,39 @@ fn run_shard<W: PackedWord>(
 }
 
 /// Splits the fault list across `threads` scoped OS threads, each running
-/// [`run_shard`] on its own contiguous slice of faults and result slots.
+/// `run_shard` on its own contiguous slice of faults and result slots.
 /// Shard boundaries are rounded to whole chunks so no pass is wasted on a
-/// partial word mid-list.
+/// partial word mid-list. Shared by both state layouts — the layout only
+/// decides what `run_shard` does inside one shard.
+pub(crate) fn shard_across_threads<F>(
+    faults: &[Fault],
+    times: &mut [Option<usize>],
+    threads: usize,
+    per_chunk: usize,
+    run_shard: F,
+) -> Result<(), SimError>
+where
+    F: Fn(&[Fault], &mut [Option<usize>]) -> Result<(), SimError> + Sync,
+{
+    let shard = faults.len().div_ceil(threads).div_ceil(per_chunk).max(1) * per_chunk;
+    if threads == 1 || faults.len() <= shard {
+        return run_shard(faults, times);
+    }
+    std::thread::scope(|scope| {
+        let run_shard = &run_shard;
+        let handles: Vec<_> = faults
+            .chunks(shard)
+            .zip(times.chunks_mut(shard))
+            .map(|(chunk, slots)| scope.spawn(move || run_shard(chunk, slots)))
+            .collect();
+        for handle in handles {
+            handle.join().expect("shard thread panicked")?;
+        }
+        Ok(())
+    })
+}
+
+/// [`shard_across_threads`] over the interleaved array-of-words engine.
 fn run_sharded<W: PackedWord>(
     tape: &GateTape,
     source: &dyn VectorSource,
@@ -538,21 +607,8 @@ fn run_sharded<W: PackedWord>(
     times: &mut [Option<usize>],
     threads: usize,
 ) -> Result<(), SimError> {
-    let per_chunk = W::LANES - 1;
-    let shard = faults.len().div_ceil(threads).div_ceil(per_chunk).max(1) * per_chunk;
-    if threads == 1 || faults.len() <= shard {
-        return run_shard::<W>(tape, source, faults, times);
-    }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = faults
-            .chunks(shard)
-            .zip(times.chunks_mut(shard))
-            .map(|(chunk, slots)| scope.spawn(move || run_shard::<W>(tape, source, chunk, slots)))
-            .collect();
-        for handle in handles {
-            handle.join().expect("shard thread panicked")?;
-        }
-        Ok(())
+    shard_across_threads(faults, times, threads, W::LANES - 1, |chunk, slots| {
+        run_shard::<W>(tape, source, chunk, slots)
     })
 }
 
@@ -598,6 +654,33 @@ pub enum WordWidth {
     W256,
     /// 512 lanes ([`PackedValue512`]): 511 faults + good machine per pass.
     W512,
+}
+
+/// How a packed engine lays out its simulation state in memory. Both
+/// layouts are bit-identical in results (pinned by the differential and
+/// randomized-fuzz suites); they differ only in how the value table maps
+/// onto the cache hierarchy, so which one is faster is a property of the
+/// host. The `state_layout/*` group of `BENCH_fault_sim.json` records
+/// the A/B for the build host; on hosts whose wide registers and last-
+/// level cache favor the interleaved loops (AVX-512 with a large LLC,
+/// like the current build host) [`Interleaved`] wins, while
+/// [`BitPlanes`] targets hosts where the `16·N`-bytes-per-slot value
+/// table outruns the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StateLayout {
+    /// Array of words: one `PackedVec<N>` (all `2·N` plane words of a
+    /// signal, interleaved) per gate slot. Its element-wise `[u64; N]`
+    /// gate loops autovectorize (AVX2/AVX-512 under
+    /// `target-cpu=native`), so one instruction advances 4–8 plane
+    /// words. The production default.
+    #[default]
+    Interleaved,
+    /// Structure of bit planes with blocked tape sweeps: `2·N`
+    /// contiguous `u64` rows indexed `[plane][gate_slot]`, swept one
+    /// plane at a time over the tape's cache-sized
+    /// [`tiles`](GateTape::tiles) so a sweep's working set is two rows
+    /// (`16 · nodes` bytes) instead of the whole table.
+    BitPlanes,
 }
 
 impl WordWidth {
@@ -652,28 +735,43 @@ impl WordWidth {
 pub struct ShardedBackend {
     threads: usize,
     width: WordWidth,
+    layout: StateLayout,
 }
 
 impl ShardedBackend {
     /// Creates an engine with `threads` worker threads at `width` lanes
-    /// per word.
+    /// per word, using the default [`StateLayout`].
     ///
     /// # Errors
     ///
     /// [`SimError::ZeroThreads`] if `threads == 0`.
     pub fn new(threads: usize, width: WordWidth) -> Result<Self, SimError> {
+        ShardedBackend::with_layout(threads, width, StateLayout::default())
+    }
+
+    /// Creates an engine with an explicit state layout — the A/B switch
+    /// behind the `state_layout` benchmark group.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ZeroThreads`] if `threads == 0`.
+    pub fn with_layout(
+        threads: usize,
+        width: WordWidth,
+        layout: StateLayout,
+    ) -> Result<Self, SimError> {
         if threads == 0 {
             return Err(SimError::ZeroThreads);
         }
-        Ok(ShardedBackend { threads, width })
+        Ok(ShardedBackend { threads, width, layout })
     }
 
     /// An engine sized to the host: one thread per available core at the
-    /// default 256-lane width.
+    /// default 256-lane width and default state layout.
     #[must_use]
     pub fn auto() -> Self {
         let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-        ShardedBackend { threads, width: WordWidth::default() }
+        ShardedBackend { threads, width: WordWidth::default(), layout: StateLayout::default() }
     }
 
     /// Number of worker threads.
@@ -687,6 +785,12 @@ impl ShardedBackend {
     pub fn width(&self) -> WordWidth {
         self.width
     }
+
+    /// The configured state layout.
+    #[must_use]
+    pub fn layout(&self) -> StateLayout {
+        self.layout
+    }
 }
 
 impl Default for ShardedBackend {
@@ -697,10 +801,13 @@ impl Default for ShardedBackend {
 
 impl SimBackend for ShardedBackend {
     fn name(&self) -> &'static str {
-        match self.width {
-            WordWidth::W64 => "sharded64",
-            WordWidth::W256 => "sharded256",
-            WordWidth::W512 => "sharded512",
+        match (self.layout, self.width) {
+            (StateLayout::Interleaved, WordWidth::W64) => "sharded64",
+            (StateLayout::Interleaved, WordWidth::W256) => "sharded256",
+            (StateLayout::Interleaved, WordWidth::W512) => "sharded512",
+            (StateLayout::BitPlanes, WordWidth::W64) => "sharded64_planes",
+            (StateLayout::BitPlanes, WordWidth::W256) => "sharded256_planes",
+            (StateLayout::BitPlanes, WordWidth::W512) => "sharded512_planes",
         }
     }
 
@@ -714,14 +821,24 @@ impl SimBackend for ShardedBackend {
         // threads >= 1 is a construction invariant of every constructor.
         debug_assert!(self.threads >= 1);
         let mut times = vec![None; faults.len()];
-        match self.width {
-            WordWidth::W64 => {
+        use crate::planes::run_sharded_planes;
+        match (self.layout, self.width) {
+            (StateLayout::BitPlanes, WordWidth::W64) => {
+                run_sharded_planes::<1>(tape, source, faults, &mut times, self.threads)?;
+            }
+            (StateLayout::BitPlanes, WordWidth::W256) => {
+                run_sharded_planes::<4>(tape, source, faults, &mut times, self.threads)?;
+            }
+            (StateLayout::BitPlanes, WordWidth::W512) => {
+                run_sharded_planes::<8>(tape, source, faults, &mut times, self.threads)?;
+            }
+            (StateLayout::Interleaved, WordWidth::W64) => {
                 run_sharded::<PackedValue>(tape, source, faults, &mut times, self.threads)?;
             }
-            WordWidth::W256 => {
+            (StateLayout::Interleaved, WordWidth::W256) => {
                 run_sharded::<PackedValue256>(tape, source, faults, &mut times, self.threads)?;
             }
-            WordWidth::W512 => {
+            (StateLayout::Interleaved, WordWidth::W512) => {
                 run_sharded::<PackedValue512>(tape, source, faults, &mut times, self.threads)?;
             }
         }
@@ -981,5 +1098,29 @@ mod tests {
             ShardedBackend::new(1, WordWidth::W64).unwrap().name(),
             ShardedBackend::new(1, WordWidth::W256).unwrap().name()
         );
+    }
+
+    #[test]
+    fn state_layouts_are_bit_identical_and_distinguishable() {
+        let c = benchmarks::s27();
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let t0 = table2_t0();
+        let reference = ScalarBackend.detection_times(&c, &t0, &faults).unwrap();
+        for width in [WordWidth::W64, WordWidth::W256, WordWidth::W512] {
+            let planes =
+                ShardedBackend::with_layout(2, width, crate::StateLayout::BitPlanes).unwrap();
+            let aos =
+                ShardedBackend::with_layout(2, width, crate::StateLayout::Interleaved).unwrap();
+            assert_ne!(planes.name(), aos.name());
+            assert!(planes.name().ends_with("_planes"), "{}", planes.name());
+            assert_eq!(planes.detection_times(&c, &t0, &faults).unwrap(), reference);
+            assert_eq!(aos.detection_times(&c, &t0, &faults).unwrap(), reference);
+        }
+        // The default layout is the autovectorizing interleaved layout
+        // (the A/B on the build host: see state_layout/* in
+        // BENCH_fault_sim.json), under the historic engine names.
+        let default = ShardedBackend::new(1, WordWidth::W256).unwrap();
+        assert_eq!(default.layout(), crate::StateLayout::Interleaved);
+        assert_eq!(default.name(), "sharded256");
     }
 }

@@ -61,12 +61,15 @@ mod fault;
 mod good;
 mod logic;
 mod packed;
+mod planes;
 pub mod reference;
 mod simulator;
 mod stepped;
 pub mod transition;
 
-pub use backend::{PackedBackend, ScalarBackend, ShardedBackend, SimBackend, WordWidth};
+pub use backend::{
+    PackedBackend, ScalarBackend, ShardedBackend, SimBackend, StateLayout, WordWidth,
+};
 /// Re-exported from `bist-expand`: the replayable vector-stream trait the
 /// backends consume.
 pub use bist_expand::VectorSource;

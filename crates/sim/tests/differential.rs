@@ -19,10 +19,7 @@
 use bist_expand::expansion::{Expand, ExpansionConfig};
 use bist_expand::{TestSequence, TestVector, VectorSource};
 use bist_netlist::{benchmarks, Circuit, GateTape};
-use bist_sim::{
-    collapse, fault_universe, reference, Fault, PackedBackend, ScalarBackend, ShardedBackend,
-    SimBackend, WordWidth,
-};
+use bist_sim::{collapse, fault_universe, reference, Fault, SimBackend};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,16 +41,14 @@ fn random_sequence(circuit: &Circuit, len: usize, rng: &mut StdRng) -> TestSeque
     .expect("uniform width")
 }
 
+mod common;
+
 /// Every tape-executing engine: the scalar tape engine, packed64 and the
-/// full sharded width × thread grid.
+/// full sharded width × thread grid in both state layouts (the
+/// interleaved production default and the blocked bit-plane
+/// alternative).
 fn tape_engines() -> Vec<Box<dyn SimBackend>> {
-    let mut grid: Vec<Box<dyn SimBackend>> = vec![Box::new(ScalarBackend), Box::new(PackedBackend)];
-    for width in [WordWidth::W64, WordWidth::W256, WordWidth::W512] {
-        for threads in [1, 2, 4] {
-            grid.push(Box::new(ShardedBackend::new(threads, width).expect("threads >= 1")));
-        }
-    }
-    grid
+    common::engine_grid(&[1, 2, 4])
 }
 
 /// Fault-sample and sequence sizes per circuit, scaled down as the

@@ -1,0 +1,87 @@
+//! Randomized-netlist differential fuzz suite.
+//!
+//! The hand-built 13-circuit suite in `differential.rs` pins the engines
+//! on realistic shapes; this suite pins them on *adversarial* ones: a
+//! seeded stream of random circuits from [`bist_netlist::fuzz`] —
+//! zero-gate netlists with POs wired straight to PIs/DFFs, single gates
+//! of every opcode, deep chains, extreme fanout/fanin, and general
+//! random levelized circuits — each simulated under random stimulus by
+//! **every** engine (scalar tape, packed64, sharded × widths 64/256/512
+//! × threads 1/2/4 × both state layouts) and compared bit-for-bit
+//! against the node-graph oracle in [`bist_sim::reference`].
+//!
+//! Two entry points, like the 13-circuit campaign acceptance test:
+//! a fast subset that runs in debug `cargo test` on every push, and the
+//! full ≥200-circuit sweep, ignored in debug and executed in release CI.
+
+use bist_expand::{TestSequence, TestVector};
+use bist_netlist::fuzz::fuzz_circuit;
+use bist_netlist::GateTape;
+use bist_sim::{collapse, fault_universe, reference, SimBackend};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+mod common;
+
+/// Every tape-executing engine, both state layouts included.
+fn engine_grid() -> Vec<Box<dyn SimBackend>> {
+    common::engine_grid(&[1, 2, 4])
+}
+
+/// Runs the corpus of `seeds`: every engine's detection times must equal
+/// the node-graph oracle's on every circuit.
+fn run_corpus(seeds: std::ops::Range<u64>, max_faults: usize, max_seq_len: usize) {
+    let grid = engine_grid();
+    for seed in seeds {
+        let circuit = fuzz_circuit(seed);
+        let tape = GateTape::compile(&circuit);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa57_f00d);
+        let mut faults = collapse(&circuit, &fault_universe(&circuit)).representatives().to_vec();
+        while faults.len() > max_faults {
+            let victim = rng.gen_range(0..faults.len());
+            faults.swap_remove(victim);
+        }
+        let len = rng.gen_range(4..=max_seq_len);
+        let seq = TestSequence::from_vectors(
+            (0..len)
+                .map(|_| TestVector::from_fn(circuit.num_inputs(), |_| rng.gen_bool(0.5)))
+                .collect(),
+        )
+        .expect("uniform width");
+        let oracle = reference::detection_times(&circuit, &seq, &faults)
+            .unwrap_or_else(|e| panic!("oracle failed on {} (seed {seed}): {e}", circuit.name()));
+        for engine in &grid {
+            let times = engine.detection_times_tape(&tape, &seq, &faults).unwrap_or_else(|e| {
+                panic!("{} failed on {} (seed {seed}): {e}", engine.name(), circuit.name())
+            });
+            assert_eq!(
+                times,
+                oracle,
+                "{} diverges from the node-graph oracle on {} (seed {seed})",
+                engine.name(),
+                circuit.name()
+            );
+        }
+    }
+}
+
+/// Fast subset: runs in debug builds on every `cargo test`, covering all
+/// five shape classes several times over.
+#[test]
+fn randomized_differential_fast_subset() {
+    run_corpus(0..48, 48, 10);
+}
+
+/// The full sweep: 208 seeded circuits (26 of each degenerate class, 104
+/// general) at larger fault/stimulus budgets. Ignored in debug builds —
+/// the scalar oracle over 200+ circuits × the full engine grid takes
+/// minutes unoptimized — and executed in release by CI, like the
+/// 13-circuit campaign acceptance test.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "200+-circuit sweep × full engine grid is slow unoptimized; run with --release"
+)]
+fn randomized_differential_full_sweep() {
+    run_corpus(0..208, 128, 16);
+}
