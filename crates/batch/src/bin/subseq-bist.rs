@@ -11,15 +11,18 @@
 //!                 [--ns 2,4,8,16] [--no-postprocess] [--no-verify]
 //!                 [--threads N] [--queue N] [--keep-going] [--jsonl PATH]
 //! subseq-bist list-circuits
-//! subseq-bist validate FILE.jsonl
+//! subseq-bist lint FILE.bench... | --suite [--jsonl PATH] [--deny-warnings]
+//! subseq-bist check-equiv A B
+//! subseq-bist validate [--lint] FILE.jsonl
 //! ```
 //!
 //! Argument parsing is hand-rolled (no external dependencies), in the
 //! same convention as the table binaries in `bist-bench`.
 
 use bist_batch::{parse_backend, BatchError, Campaign, CampaignEngine, JsonlSink, ReportSink};
-use subseq_bist::netlist::benchmarks;
+use subseq_bist::netlist::{benchmarks, parser, Circuit};
 use subseq_bist::tgen::TgenConfig;
+use subseq_bist::verify::{check_equiv, lint_circuit, lint_source, structural_hash, Severity};
 use subseq_bist::Backend;
 
 const USAGE: &str = "\
@@ -28,8 +31,22 @@ subseq-bist — batch campaign front end for the subsequence-BIST pipeline
 USAGE:
     subseq-bist run [OPTIONS]      execute a campaign and print the roll-up
     subseq-bist list-circuits      list the built-in benchmark suite
+    subseq-bist lint TARGETS       statically lint netlists (see below)
+    subseq-bist check-equiv A B    structural equivalence of two netlists
     subseq-bist validate FILE      schema-check a campaign JSONL file
+             [--lint]              ...or a lint-diagnostic JSONL file
     subseq-bist help               show this text
+
+LINT:
+    subseq-bist lint FILE.bench... lint `.bench` files
+    subseq-bist lint --suite       lint every built-in suite circuit
+    --jsonl PATH                   also write one diagnostic row per line
+    --deny-warnings                exit nonzero on warnings, not just errors
+
+CHECK-EQUIV:
+    A and B are `.bench` file paths or built-in suite circuit names.
+    Exit 0 iff the circuits are structurally equivalent (names and gate
+    order may differ; PI/PO/DFF positions, opcodes and pin order may not).
 
 RUN OPTIONS:
     --circuits A,B,..   built-in suite circuits to run (default: --upto 3000)
@@ -57,6 +74,8 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
         Some("list-circuits") => list_circuits(),
+        Some("lint") => lint(&args[1..]),
+        Some("check-equiv") => check_equiv_cmd(&args[1..]),
         Some("validate") => validate(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
@@ -220,14 +239,137 @@ fn list_circuits() -> Result<(), BatchError> {
 }
 
 fn validate(args: &[String]) -> Result<(), BatchError> {
-    let path = args
-        .first()
-        .ok_or_else(|| BatchError::Config("`validate` needs a JSONL file path".to_string()))?;
-    let text = std::fs::read_to_string(path).map_err(|e| {
-        BatchError::Io(std::io::Error::new(e.kind(), format!("reading `{path}`: {e}")))
-    })?;
-    let rows = bist_batch::jsonl::validate_jsonl(&text)
-        .map_err(|e| BatchError::Config(format!("{path}: {e}")))?;
-    println!("{path}: {rows} rows, schema ok");
+    let mut lint_schema = false;
+    let mut path: Option<&str> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--lint" => lint_schema = true,
+            other if path.is_none() => path = Some(other),
+            other => {
+                return Err(BatchError::Config(format!("unexpected `validate` argument `{other}`")))
+            }
+        }
+    }
+    let path =
+        path.ok_or_else(|| BatchError::Config("`validate` needs a JSONL file path".to_string()))?;
+    let text = read_file(path)?;
+    let (rows, what) = if lint_schema {
+        (bist_batch::jsonl::validate_lint_jsonl(&text), "diagnostic rows")
+    } else {
+        (bist_batch::jsonl::validate_jsonl(&text), "rows")
+    };
+    let rows = rows.map_err(|e| BatchError::Config(format!("{path}: {e}")))?;
+    println!("{path}: {rows} {what}, schema ok");
     Ok(())
+}
+
+fn read_file(path: &str) -> Result<String, BatchError> {
+    std::fs::read_to_string(path).map_err(|e| {
+        BatchError::Io(std::io::Error::new(e.kind(), format!("reading `{path}`: {e}")))
+    })
+}
+
+/// Lint targets: `.bench` files, or the whole built-in suite.
+fn lint(args: &[String]) -> Result<(), BatchError> {
+    let mut files: Vec<String> = Vec::new();
+    let mut suite = false;
+    let mut jsonl: Option<String> = None;
+    let mut deny_warnings = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--suite" => suite = true,
+            "--jsonl" => jsonl = Some(parse_flag_value(arg, &mut it)?.to_string()),
+            "--deny-warnings" => deny_warnings = true,
+            flag if flag.starts_with("--") => {
+                return Err(BatchError::Config(format!("unknown `lint` flag `{flag}`")))
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() && !suite {
+        return Err(BatchError::Config(
+            "`lint` needs `.bench` files or `--suite` (try `subseq-bist help`)".to_string(),
+        ));
+    }
+
+    // (name, diagnostics) per target. Files are linted at the source
+    // level (so even netlists the strict parser refuses get diagnosed);
+    // suite circuits are built in memory and linted at the graph level.
+    let mut reports: Vec<(String, Vec<subseq_bist::verify::Diagnostic>)> = Vec::new();
+    for path in &files {
+        let text = read_file(path)?;
+        let diags = lint_source(&text)
+            .map_err(|e| BatchError::Config(format!("{path}: unparseable: {e}")))?;
+        reports.push((path.clone(), diags));
+    }
+    if suite {
+        for entry in benchmarks::suite() {
+            let circuit = entry
+                .build()
+                .map_err(|e| BatchError::Config(format!("building `{}`: {e}", entry.name)))?;
+            reports.push((entry.name.to_string(), lint_circuit(&circuit)));
+        }
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut rows = String::new();
+    for (name, diags) in &reports {
+        for d in diags {
+            match d.severity() {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+            println!("{name}: {d} ({})", d.nets.join(", "));
+            rows.push_str(&bist_batch::jsonl::diagnostic_to_json(name, d));
+            rows.push('\n');
+        }
+    }
+    if let Some(path) = &jsonl {
+        bist_batch::jsonl::validate_lint_jsonl(&rows)
+            .map_err(|e| BatchError::Config(format!("internal: emitted bad JSONL: {e}")))?;
+        std::fs::write(path, &rows).map_err(BatchError::Io)?;
+        println!(
+            "wrote {} diagnostic rows to {path}",
+            rows.lines().filter(|l| !l.trim().is_empty()).count()
+        );
+    }
+    println!("linted {} netlist(s): {errors} error(s), {warnings} warning(s)", reports.len());
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        return Err(BatchError::Config("lint failed".to_string()));
+    }
+    Ok(())
+}
+
+/// Resolves a `check-equiv` operand: a built-in suite circuit name, or a
+/// `.bench` file path.
+fn load_circuit(operand: &str) -> Result<Circuit, BatchError> {
+    if let Some(entry) = benchmarks::suite().into_iter().find(|e| e.name == operand) {
+        return entry.build().map_err(|e| BatchError::Config(format!("building `{operand}`: {e}")));
+    }
+    let text = read_file(operand)?;
+    let name = operand.rsplit('/').next().unwrap_or(operand).trim_end_matches(".bench");
+    parser::parse_bench(name, &text)
+        .map_err(|e| BatchError::Config(format!("parsing `{operand}`: {e}")))
+}
+
+fn check_equiv_cmd(args: &[String]) -> Result<(), BatchError> {
+    let [a, b] = args else {
+        return Err(BatchError::Config(
+            "`check-equiv` needs exactly two operands (suite names or .bench paths)".to_string(),
+        ));
+    };
+    let ca = load_circuit(a)?;
+    let cb = load_circuit(b)?;
+    match check_equiv(&ca, &cb) {
+        Ok(()) => {
+            println!(
+                "equivalent: `{a}` and `{b}` are structurally identical (hash {:016x})",
+                structural_hash(&ca)
+            );
+            Ok(())
+        }
+        Err(why) => Err(BatchError::Config(format!("`{a}` vs `{b}`: {why}"))),
+    }
 }

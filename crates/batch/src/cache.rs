@@ -174,7 +174,10 @@ impl ArtifactCache {
     ) -> Result<Arc<GateTape>, BatchError> {
         let key = spec.key();
         self.tapes.get_or_compute(&key, &format!("gate tape of `{key}`"), || {
-            Ok(GateTape::compile(circuit))
+            let tape = GateTape::compile(circuit);
+            #[cfg(debug_assertions)]
+            subseq_bist::verify::audit_tape(circuit, &tape);
+            Ok(tape)
         })
     }
 

@@ -96,6 +96,88 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Keys every lint diagnostic row must carry (`subseq-bist lint --jsonl`).
+const LINT_KEYS: [&str; 5] = ["circuit", "code", "severity", "message", "nets"];
+
+/// Renders one lint diagnostic as a single JSONL row (no trailing
+/// newline): `circuit`, stable `code` (`L001`…), `severity`
+/// (`error`/`warning`), `message`, and the offending `nets` as a JSON
+/// array.
+#[must_use]
+pub fn diagnostic_to_json(circuit: &str, diagnostic: &subseq_bist::verify::Diagnostic) -> String {
+    let mut out = String::with_capacity(128);
+    out.push('{');
+    push_kv_str(&mut out, "circuit", circuit);
+    push_kv_str(&mut out, "code", diagnostic.code.code());
+    push_kv_str(&mut out, "severity", &diagnostic.severity().to_string());
+    push_kv_str(&mut out, "message", &diagnostic.message);
+    let nets =
+        diagnostic.nets.iter().map(|n| format!("\"{}\"", escape(n))).collect::<Vec<_>>().join(", ");
+    push_kv(&mut out, "nets", &format!("[{nets}]"));
+    out.push('}');
+    out
+}
+
+/// Validates one lint diagnostic JSONL row: well-formed JSON object, the
+/// [`LINT_KEYS`], an `L`-prefixed code and a known severity.
+///
+/// # Errors
+///
+/// A description of the first syntax or schema violation.
+pub fn validate_lint_jsonl_line(line: &str) -> Result<(), String> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.ws();
+    let mut keys: Vec<String> = Vec::new();
+    let mut code: Option<String> = None;
+    let mut severity: Option<String> = None;
+    p.object(&mut |p, key| {
+        p.ws();
+        match key {
+            "code" => code = Some(p.string()?),
+            "severity" => severity = Some(p.string()?),
+            "nets" => p.array()?,
+            _ => p.value()?,
+        }
+        keys.push(key.to_string());
+        Ok(())
+    })?;
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    for required in LINT_KEYS {
+        if !keys.iter().any(|k| k == required) {
+            return Err(format!("diagnostic row missing `{required}`"));
+        }
+    }
+    let code = code.expect("presence checked above");
+    if code.len() != 4 || !code.starts_with('L') || !code[1..].bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("bad lint code `{code}` (want L000-style)"));
+    }
+    match severity.expect("presence checked above").as_str() {
+        "error" | "warning" => Ok(()),
+        other => Err(format!("unknown severity `{other}`")),
+    }
+}
+
+/// Validates a whole lint-diagnostic JSONL document (one row per
+/// non-empty line) and returns the row count.
+///
+/// # Errors
+///
+/// The first offending line number and its violation.
+pub fn validate_lint_jsonl(text: &str) -> Result<usize, String> {
+    let mut rows = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_lint_jsonl_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        rows += 1;
+    }
+    Ok(rows)
+}
+
 /// Validates one JSONL row: well-formed JSON object, the required row
 /// keys, and — for `status: "ok"` rows — the metric keys.
 ///
@@ -403,6 +485,46 @@ mod tests {
             "seed": 1, "status": "meh", "seconds": 0.1}"#
             .replace('\n', " ");
         assert!(validate_jsonl_line(&bad_status).unwrap_err().contains("meh"));
+    }
+
+    #[test]
+    fn lint_rows_render_and_validate() {
+        use subseq_bist::verify::lint_source;
+        let diags = lint_source("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n").unwrap();
+        assert!(!diags.is_empty());
+        let mut doc = String::new();
+        for d in &diags {
+            let line = diagnostic_to_json("demo", d);
+            validate_lint_jsonl_line(&line).expect("valid diagnostic row");
+            assert!(line.contains("\"code\": \"L002\""), "{line}");
+            assert!(line.contains("\"severity\": \"error\""), "{line}");
+            assert!(line.contains("\"nets\": [\"ghost\"]"), "{line}");
+            doc.push_str(&line);
+            doc.push('\n');
+        }
+        assert_eq!(validate_lint_jsonl(&doc).unwrap(), diags.len());
+    }
+
+    #[test]
+    fn lint_schema_violations_are_caught() {
+        assert!(validate_lint_jsonl_line("{").is_err());
+        assert!(validate_lint_jsonl_line("{}").unwrap_err().contains("circuit"));
+        let row = |code: &str, sev: &str| {
+            format!(
+                r#"{{"circuit": "c", "code": "{code}", "severity": "{sev}", "message": "m", "nets": ["x"]}}"#
+            )
+        };
+        assert!(validate_lint_jsonl_line(&row("L001", "error")).is_ok());
+        assert!(validate_lint_jsonl_line(&row("L001", "warning")).is_ok());
+        assert!(validate_lint_jsonl_line(&row("X001", "error")).unwrap_err().contains("X001"));
+        assert!(validate_lint_jsonl_line(&row("L1", "error")).unwrap_err().contains("L1"));
+        assert!(validate_lint_jsonl_line(&row("L001", "fatal")).unwrap_err().contains("fatal"));
+        // `nets` must be an array, not a scalar.
+        let scalar_nets =
+            r#"{"circuit": "c", "code": "L001", "severity": "error", "message": "m", "nets": "x"}"#;
+        assert!(validate_lint_jsonl_line(scalar_nets).is_err());
+        // Campaign rows are not diagnostic rows.
+        assert!(validate_lint_jsonl_line(&record_to_json(&ok_record())).is_err());
     }
 
     #[test]

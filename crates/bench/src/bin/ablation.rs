@@ -62,8 +62,9 @@ fn main() -> Result<(), subseq_bist::BistError> {
         for (label, recipe) in recipes() {
             let selection = select_subsequences(&sim, &t0.sequence, &t0.coverage, &recipe, 1999)?;
             let (compacted, _) = compact_set(&sim, selection.sequences, &detected, &recipe)?;
-            let tot: usize = compacted.iter().map(|s| s.len()).sum();
-            let max = compacted.iter().map(|s| s.len()).max().unwrap_or(0);
+            let tot: usize = compacted.iter().map(subseq_bist::core::SelectedSequence::len).sum();
+            let max =
+                compacted.iter().map(subseq_bist::core::SelectedSequence::len).max().unwrap_or(0);
             println!(
                 "{label:<32} {:>5} {tot:>8} {max:>8} {:>10}",
                 compacted.len(),

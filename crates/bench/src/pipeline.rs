@@ -274,7 +274,7 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let args = |v: &[&str]| v.iter().map(std::string::ToString::to_string).collect::<Vec<_>>();
         assert_eq!(max_gates_from_args(&args(&[])), 3000);
         assert_eq!(max_gates_from_args(&args(&["--quick"])), 300);
         assert_eq!(max_gates_from_args(&args(&["--full"])), usize::MAX);

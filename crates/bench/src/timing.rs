@@ -208,7 +208,7 @@ struct JsonParser<'a> {
 
 impl JsonParser<'_> {
     fn ws(&mut self) {
-        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
             self.pos += 1;
         }
     }
@@ -298,7 +298,7 @@ impl JsonParser<'_> {
         match self.bytes.get(self.pos) {
             Some(b'"') => self.string().map(|_| ()),
             Some(b'{') => self.object(|p, _| p.value()),
-            Some(b'[') => self.array(|p| p.value()),
+            Some(b'[') => self.array(JsonParser::value),
             Some(b't') => self.literal("true"),
             Some(b'f') => self.literal("false"),
             Some(b'n') => self.literal("null"),
@@ -381,7 +381,7 @@ impl JsonParser<'_> {
             }
             "results" => {
                 saw_results = true;
-                p.array(|p| p.result_entry())
+                p.array(JsonParser::result_entry)
             }
             _ => p.value(),
         })?;

@@ -12,6 +12,26 @@ pub enum NetlistError {
         /// The multiply-driven signal name.
         name: String,
     },
+    /// A signal was defined more than once in a `.bench` source. The
+    /// parse-time sibling of [`DuplicateDriver`](Self::DuplicateDriver):
+    /// it names both offending lines instead of silently keeping one
+    /// definition.
+    DuplicateDefinition {
+        /// The multiply-defined signal name.
+        name: String,
+        /// 1-based line of the second definition.
+        line: usize,
+        /// 1-based line of the first definition.
+        first_line: usize,
+    },
+    /// A combinational gate reads its own output directly — the tightest
+    /// possible combinational loop, rejected at parse time with the line.
+    SelfDrivingNet {
+        /// The self-driving signal name.
+        name: String,
+        /// 1-based line of the definition.
+        line: usize,
+    },
     /// A signal was referenced but never driven by an input, gate or DFF.
     UndrivenNet {
         /// The undriven signal name.
@@ -69,6 +89,16 @@ impl fmt::Display for NetlistError {
             NetlistError::DuplicateDriver { name } => {
                 write!(f, "signal `{name}` has more than one driver")
             }
+            NetlistError::DuplicateDefinition { name, line, first_line } => {
+                write!(
+                    f,
+                    "signal `{name}` defined again on line {line} (first defined on line \
+                     {first_line})"
+                )
+            }
+            NetlistError::SelfDrivingNet { name, line } => {
+                write!(f, "signal `{name}` drives itself on line {line}")
+            }
             NetlistError::UndrivenNet { name } => {
                 write!(f, "signal `{name}` is referenced but never driven")
             }
@@ -106,6 +136,8 @@ mod tests {
     fn display_is_nonempty_and_lowercase() {
         let errs: Vec<NetlistError> = vec![
             NetlistError::DuplicateDriver { name: "a".into() },
+            NetlistError::DuplicateDefinition { name: "a".into(), line: 7, first_line: 2 },
+            NetlistError::SelfDrivingNet { name: "a".into(), line: 5 },
             NetlistError::UndrivenNet { name: "b".into() },
             NetlistError::CombinationalLoop { name: "c".into() },
             NetlistError::BadArity { name: "d".into(), kind: "NOT".into(), got: 2 },

@@ -16,6 +16,13 @@
 //! [`CircuitBuilder`] — the corpus contains no *invalid* netlists, only
 //! structurally extreme valid ones.
 //!
+//! [`dirty_circuit`] is the deliberate exception: it emits `.bench`
+//! *source text* with known defects seeded in (cycles, floating nets,
+//! duplicate drivers…) and records which lint codes it planted, so the
+//! `bist-verify` linter's recall is testable rather than anecdotal.
+//! Dirty sources never become [`Circuit`] values — the builder refuses
+//! them, which is the point.
+//!
 //! # Example
 //!
 //! ```
@@ -218,6 +225,124 @@ fn general(seed: u64, rng: &mut StdRng) -> Circuit {
         .expect("general fuzz circuit is valid")
 }
 
+/// A deliberately defective `.bench` source, plus the lint codes its
+/// defects must trigger.
+///
+/// Produced by [`dirty_circuit`]. The source is *text*, not a
+/// [`Circuit`]: the planted defects (duplicate drivers, combinational
+/// cycles, undriven nets…) are exactly the ones
+/// [`CircuitBuilder`]/[`parser`](crate::parser::parse_bench) refuse, so
+/// they can only exist at the source level — which is also the level the
+/// linter's source pass runs at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirtyCircuit {
+    /// Circuit name (`dirty<seed>`).
+    pub name: String,
+    /// The `.bench` text with defects seeded in.
+    pub source: String,
+    /// Stable lint codes (`"L001"`…) of every planted defect, sorted and
+    /// deduplicated. A linter with full recall reports **at least** these
+    /// codes on `source` (a planted defect may legitimately trip extra
+    /// codes — a self-driving gate is also a one-gate cycle).
+    pub planted: Vec<&'static str>,
+}
+
+/// The defect classes [`dirty_circuit`] can seed, with the lint code
+/// each one plants.
+const DIRTY_CLASSES: [&str; 7] = ["L001", "L002", "L003", "L004", "L005", "L006", "L007"];
+
+/// Deterministically builds a defective `.bench` source for `seed`.
+///
+/// A small clean circuit from [`GeneratorSpec`] is rendered to text and
+/// then vandalized. Seeds cycle through the defect classes: `seed % 9`
+/// selects one of the seven error-class defects ([`DIRTY_CLASSES`]), a
+/// warnings-only netlist (dangling gate + unused input), or a compound
+/// netlist with several error defects at once — so any contiguous run of
+/// 9+ seeds exercises every class, making linter recall testable rather
+/// than anecdotal.
+#[must_use]
+pub fn dirty_circuit(seed: u64) -> DirtyCircuit {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xd1d7);
+    let name = format!("dirty{seed}");
+    let base = GeneratorSpec::new(name.clone())
+        .inputs(rng.gen_range(2..=4usize))
+        .outputs(rng.gen_range(1..=3usize))
+        .dffs(rng.gen_range(0..=3usize))
+        .gates(rng.gen_range(3..=20usize))
+        .target_depth(rng.gen_range(2..=5usize))
+        .max_fanin(3)
+        .seed(seed ^ 0xbad)
+        .build()
+        .expect("dirty base circuit is valid");
+    let mut lines: Vec<String> = crate::writer::to_bench(&base).lines().map(String::from).collect();
+    // Generator names are I*/Q*/G*; planted nets use a Z prefix, so a
+    // mutation never collides with the base netlist.
+    let pi = |k: usize| base.node(base.inputs()[k % base.num_inputs()]).name().to_string();
+    let mut planted: Vec<&'static str> = Vec::new();
+
+    let plant = |lines: &mut Vec<String>, planted: &mut Vec<&'static str>, code: &'static str| {
+        match code {
+            // Two fresh gates reading each other: a combinational cycle.
+            "L001" => {
+                lines.push(format!("ZC0 = AND({}, ZC1)", pi(0)));
+                lines.push(format!("ZC1 = OR(ZC0, {})", pi(1)));
+            }
+            // A gate reading a net nothing drives.
+            "L002" => lines.push(format!("ZU0 = NAND(ZGHOST, {})", pi(0))),
+            // A second driver for an existing non-input signal.
+            "L003" => {
+                let victim = base
+                    .eval_order()
+                    .first()
+                    .copied()
+                    .or_else(|| base.dffs().first().copied())
+                    .expect("base has gates");
+                let victim = base.node(victim).name();
+                lines.push(format!("{victim} = NOR({}, {})", pi(0), pi(1)));
+            }
+            // A single-input AND (degenerate arity).
+            "L004" => lines.push(format!("ZD0 = AND({})", pi(0))),
+            // A gate reading its own output.
+            "L005" => lines.push(format!("ZS0 = XOR({}, ZS0)", pi(0))),
+            // A driver for a declared primary input.
+            "L006" => lines.push(format!("{} = OR({}, {})", pi(0), pi(1), pi(1))),
+            // An OUTPUT over a signal that is never defined.
+            "L007" => lines.push("OUTPUT(ZNOPE)".to_string()),
+            // Warning pack: a dangling gate and an unused input. These
+            // plant *warnings*, so they only go into otherwise-clean
+            // sources (dead-logic analysis is skipped on broken graphs).
+            "L008" => lines.push(format!("ZW0 = AND({}, {})", pi(0), pi(1))),
+            "L010" => lines.push("INPUT(ZIDLE)".to_string()),
+            _ => unreachable!("unknown dirty class {code}"),
+        }
+        planted.push(code);
+    };
+
+    match seed % 9 {
+        k @ 0..=6 => plant(&mut lines, &mut planted, DIRTY_CLASSES[k as usize]),
+        7 => {
+            plant(&mut lines, &mut planted, "L008");
+            plant(&mut lines, &mut planted, "L010");
+        }
+        _ => {
+            // Compound: several distinct error defects in one netlist.
+            let mut classes = DIRTY_CLASSES;
+            for i in (1..classes.len()).rev() {
+                classes.swap(i, rng.gen_range(0..=i));
+            }
+            let n = rng.gen_range(2..=3usize);
+            for code in classes.into_iter().take(n) {
+                plant(&mut lines, &mut planted, code);
+            }
+        }
+    }
+    planted.sort_unstable();
+    planted.dedup();
+    let mut source = lines.join("\n");
+    source.push('\n');
+    DirtyCircuit { name, source, planted }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +387,43 @@ mod tests {
             seen.insert(*kind);
         }
         assert_eq!(seen.len(), GateKind::ALL.len(), "all opcodes appear");
+    }
+
+    #[test]
+    fn dirty_circuits_are_deterministic() {
+        for seed in 0..18 {
+            assert_eq!(dirty_circuit(seed), dirty_circuit(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dirty_seeds_cover_every_class() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..18 {
+            for code in dirty_circuit(seed).planted {
+                seen.insert(code);
+            }
+        }
+        for code in DIRTY_CLASSES {
+            assert!(seen.contains(code), "no seed plants {code}");
+        }
+        assert!(seen.contains("L008") && seen.contains("L010"), "warning pack missing");
+    }
+
+    #[test]
+    fn dirty_error_sources_fail_strict_parsing() {
+        // Every error-class defect is one the strict parser/builder
+        // refuses; the warnings-only netlists must parse fine.
+        for seed in 0..27 {
+            let dirty = dirty_circuit(seed);
+            let errors_planted = dirty.planted.iter().any(|c| *c < "L008");
+            let parsed = crate::parser::parse_bench(&*dirty.name, &dirty.source);
+            if errors_planted {
+                assert!(parsed.is_err(), "seed {seed} planted {:?} yet parsed", dirty.planted);
+            } else {
+                assert!(parsed.is_ok(), "seed {seed}: {:?}", parsed.err());
+            }
+        }
     }
 
     #[test]

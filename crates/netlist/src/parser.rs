@@ -13,6 +13,16 @@
 //! Gate names are case-insensitive; `INV` and `BUFF` are accepted as
 //! aliases of `NOT` and `BUF`. Forward references are allowed.
 //!
+//! Parsing is layered: [`parse_bench_raw`] tokenizes the source into
+//! line-numbered [`RawStatement`]s and only rejects *syntactic* junk
+//! (unparseable lines, bad signal names, unknown gate kinds), while
+//! [`parse_bench`] layers structural validation on top — duplicate
+//! definitions and self-driving gates are rejected there with the
+//! offending line, and everything else (undriven nets, cycles, arities)
+//! by [`CircuitBuilder::finish`]. Static analyzers that must *diagnose*
+//! malformed netlists rather than refuse them (the `bist-verify` linter)
+//! consume the raw layer directly.
+//!
 //! # Example
 //!
 //! ```
@@ -29,18 +39,73 @@
 //! ```
 
 use crate::{Circuit, CircuitBuilder, GateKind, NetlistError};
+use std::collections::HashMap;
 
-/// Parses `.bench`-format text into a validated [`Circuit`].
+/// One parsed `.bench` statement, before any structural validation.
+///
+/// Arities are *not* checked at this layer: an `AND()` with no fanins or
+/// a two-input `DFF` parse into their literal shapes so a linter can
+/// report them instead of aborting at the first defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawStatement {
+    /// `INPUT(sig)` — a primary-input declaration.
+    Input(String),
+    /// `OUTPUT(sig)` — a primary-output declaration.
+    Output(String),
+    /// `q = DFF(d)` (any number of arguments, validated later).
+    Dff {
+        /// The flip-flop output signal.
+        q: String,
+        /// The D-input arguments as written (exactly one when valid).
+        d: Vec<String>,
+    },
+    /// `out = KIND(args...)` for a combinational gate kind.
+    Gate {
+        /// The gate output signal.
+        out: String,
+        /// The gate kind.
+        kind: GateKind,
+        /// The fanin signals as written (possibly empty or degenerate).
+        fanin: Vec<String>,
+    },
+}
+
+impl RawStatement {
+    /// The signal this statement *defines*, if any (`None` for
+    /// `OUTPUT(...)`, which only references).
+    #[must_use]
+    pub fn defined(&self) -> Option<&str> {
+        match self {
+            RawStatement::Input(name) => Some(name),
+            RawStatement::Dff { q, .. } => Some(q),
+            RawStatement::Gate { out, .. } => Some(out),
+            RawStatement::Output(_) => None,
+        }
+    }
+}
+
+/// A [`RawStatement`] together with its 1-based source line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawLine {
+    /// 1-based line number in the source.
+    pub line: usize,
+    /// The parsed statement.
+    pub stmt: RawStatement,
+}
+
+/// Tokenizes `.bench` text into line-numbered raw statements.
+///
+/// Only *syntactic* problems are errors here: lines that do not match
+/// `INPUT(x)` / `OUTPUT(x)` / `name = KIND(args)`, invalid signal names,
+/// and unknown gate kinds. Structural defects — duplicate definitions,
+/// undriven nets, bad arities, cycles — all parse successfully so that
+/// downstream analyses can see and report them.
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::ParseLine`] / [`NetlistError::UnknownGate`] for
-/// syntax problems, and any structural error from
-/// [`CircuitBuilder::finish`] (undriven nets, loops, duplicate drivers...).
-pub fn parse_bench(name: impl Into<String>, source: &str) -> Result<Circuit, NetlistError> {
-    let mut builder = CircuitBuilder::new(name);
-    let mut inputs_seen: Vec<String> = Vec::new();
-
+/// [`NetlistError::ParseLine`] / [`NetlistError::UnknownGate`].
+pub fn parse_bench_raw(source: &str) -> Result<Vec<RawLine>, NetlistError> {
+    let mut out = Vec::new();
     for (lineno0, raw) in source.lines().enumerate() {
         let lineno = lineno0 + 1;
         let line = strip_comment(raw).trim();
@@ -50,13 +115,12 @@ pub fn parse_bench(name: impl Into<String>, source: &str) -> Result<Circuit, Net
 
         if let Some(arg) = parse_directive(line, "INPUT") {
             let sig = validate_name(arg, lineno, raw)?;
-            inputs_seen.push(sig.to_string());
-            builder.add_input(sig);
+            out.push(RawLine { line: lineno, stmt: RawStatement::Input(sig.to_string()) });
             continue;
         }
         if let Some(arg) = parse_directive(line, "OUTPUT") {
             let sig = validate_name(arg, lineno, raw)?;
-            builder.add_output(sig);
+            out.push(RawLine { line: lineno, stmt: RawStatement::Output(sig.to_string()) });
             continue;
         }
 
@@ -82,36 +146,96 @@ pub fn parse_bench(name: impl Into<String>, source: &str) -> Result<Circuit, Net
         }
         let kind_str = rhs[..open].trim();
         let args_str = &rhs[open + 1..rhs.len() - 1];
-        let args: Vec<&str> =
-            args_str.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
-        if args.is_empty() {
-            return Err(NetlistError::ParseLine {
-                line: lineno,
-                text: raw.trim().to_string(),
-                reason: "gate with no fanins".to_string(),
-            });
+        let args: Vec<String> = args_str
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        for arg in &args {
+            validate_name(arg, lineno, raw)?;
         }
 
-        if kind_str.eq_ignore_ascii_case("DFF") {
-            if args.len() != 1 {
-                return Err(NetlistError::BadArity {
-                    name: lhs.to_string(),
-                    kind: "DFF".to_string(),
-                    got: args.len(),
-                });
-            }
-            builder.add_dff(lhs, args[0]);
+        let stmt = if kind_str.eq_ignore_ascii_case("DFF") {
+            RawStatement::Dff { q: lhs.to_string(), d: args }
         } else {
             let kind: GateKind = kind_str.parse().map_err(|_| NetlistError::UnknownGate {
                 line: lineno,
                 kind: kind_str.to_string(),
             })?;
-            builder.add_gate(lhs, kind, args);
-        }
+            RawStatement::Gate { out: lhs.to_string(), kind, fanin: args }
+        };
+        out.push(RawLine { line: lineno, stmt });
+    }
+    Ok(out)
+}
 
-        // Guard: a signal declared INPUT must not also be driven.
-        if inputs_seen.iter().any(|i| i == lhs) {
-            return Err(NetlistError::InputDriven { name: lhs.to_string() });
+/// Parses `.bench`-format text into a validated [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseLine`] / [`NetlistError::UnknownGate`] for
+/// syntax problems, [`NetlistError::DuplicateDefinition`] /
+/// [`NetlistError::SelfDrivingNet`] / [`NetlistError::InputDriven`] for
+/// line-attributable structural problems, and any remaining structural
+/// error from [`CircuitBuilder::finish`] (undriven nets, loops, arities...).
+pub fn parse_bench(name: impl Into<String>, source: &str) -> Result<Circuit, NetlistError> {
+    let statements = parse_bench_raw(source)?;
+    let mut builder = CircuitBuilder::new(name);
+    // Signal name -> line of its first definition, for duplicate reports.
+    let mut defined_at: HashMap<&str, usize> = HashMap::new();
+    let mut inputs_seen: Vec<&str> = Vec::new();
+
+    for raw in &statements {
+        if let Some(sig) = raw.stmt.defined() {
+            // A signal declared INPUT must not also be driven: report the
+            // conflict specifically, not as a generic duplicate.
+            if !matches!(raw.stmt, RawStatement::Input(_)) && inputs_seen.contains(&sig) {
+                return Err(NetlistError::InputDriven { name: sig.to_string() });
+            }
+            if let Some(&first_line) = defined_at.get(sig) {
+                return Err(NetlistError::DuplicateDefinition {
+                    name: sig.to_string(),
+                    line: raw.line,
+                    first_line,
+                });
+            }
+            defined_at.insert(sig, raw.line);
+        }
+        match &raw.stmt {
+            RawStatement::Input(sig) => {
+                inputs_seen.push(sig);
+                builder.add_input(sig.clone());
+            }
+            RawStatement::Output(sig) => {
+                builder.add_output(sig.clone());
+            }
+            RawStatement::Dff { q, d } => {
+                if d.len() != 1 {
+                    return Err(NetlistError::BadArity {
+                        name: q.clone(),
+                        kind: "DFF".to_string(),
+                        got: d.len(),
+                    });
+                }
+                builder.add_dff(q.clone(), d[0].clone());
+            }
+            RawStatement::Gate { out, kind, fanin } => {
+                if fanin.is_empty() {
+                    return Err(NetlistError::ParseLine {
+                        line: raw.line,
+                        text: format!("{out} = {kind}()"),
+                        reason: "gate with no fanins".to_string(),
+                    });
+                }
+                // A combinational gate reading its own output is the
+                // tightest combinational loop; name the line now instead
+                // of surfacing a lineless cycle error at finish time.
+                if fanin.iter().any(|f| f == out) {
+                    return Err(NetlistError::SelfDrivingNet { name: out.clone(), line: raw.line });
+                }
+                builder.add_gate(out.clone(), *kind, fanin.clone());
+            }
         }
     }
 
@@ -178,6 +302,35 @@ y = XOR(q, b)
     }
 
     #[test]
+    fn raw_layer_reports_lines_and_shapes() {
+        let raw = parse_bench_raw(TINY).unwrap();
+        assert_eq!(raw.len(), 6);
+        assert_eq!(raw[0], RawLine { line: 2, stmt: RawStatement::Input("a".into()) });
+        assert_eq!(raw[3].line, 5);
+        assert_eq!(raw[3].stmt, RawStatement::Dff { q: "q".into(), d: vec!["d".into()] });
+        assert_eq!(raw[4].stmt.defined(), Some("d"));
+        assert_eq!(raw[2].stmt.defined(), None, "OUTPUT defines nothing");
+    }
+
+    #[test]
+    fn raw_layer_keeps_structural_defects() {
+        // Duplicate definitions, degenerate arities and self-driving
+        // gates all tokenize: the raw layer is for linters.
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+y = AND(a, y)
+z = DFF(a, y)
+w = XOR(w, a)
+";
+        let raw = parse_bench_raw(src).unwrap();
+        assert_eq!(raw.len(), 6);
+        assert!(matches!(&raw[3].stmt, RawStatement::Gate { out, .. } if out == "y"));
+        assert!(matches!(&raw[4].stmt, RawStatement::Dff { d, .. } if d.len() == 2));
+    }
+
+    #[test]
     fn comments_and_blank_lines_ignored() {
         let src = "\n\n# nothing\nINPUT(a)\nOUTPUT(y)\ny = BUF(a)\n# trailing\n";
         let c = parse_bench("c", src).unwrap();
@@ -225,12 +378,43 @@ y = XOR(q, b)
     }
 
     #[test]
+    fn duplicate_definition_rejected_with_both_lines() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\ny = OR(a, b)\n";
+        let err = parse_bench("c", src).unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::DuplicateDefinition { name: "y".into(), line: 5, first_line: 4 }
+        );
+        assert!(err.to_string().contains("line 5"), "{err}");
+        // Redefining an input (either order) is also a duplicate.
+        let src = "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n";
+        let err = parse_bench("c", src).unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateDefinition { line: 2, first_line: 1, .. }));
+    }
+
+    #[test]
+    fn self_driving_gate_rejected_with_line() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, y)\n";
+        let err = parse_bench("c", src).unwrap_err();
+        assert_eq!(err, NetlistError::SelfDrivingNet { name: "y".into(), line: 3 });
+        // Sequential self-feedback through a DFF stays legal.
+        let src = "INPUT(a)\nOUTPUT(q)\nq = DFF(q)\n";
+        assert!(parse_bench("c", src).is_ok());
+    }
+
+    #[test]
     fn driven_input_rejected() {
         let src = "INPUT(a)\nOUTPUT(a)\na = NOT(a)\n";
         let err = parse_bench("c", src).unwrap_err();
-        // Reported either as InputDriven (same line) or DuplicateDriver.
+        assert_eq!(err, NetlistError::InputDriven { name: "a".into() });
+        // The conflict is detected in either declaration order.
+        let src = "a = NOT(b)\nINPUT(b)\nINPUT(a)\nOUTPUT(a)\n";
+        let err = parse_bench("c", src).unwrap_err();
         assert!(
-            matches!(err, NetlistError::InputDriven { .. } | NetlistError::DuplicateDriver { .. }),
+            matches!(
+                err,
+                NetlistError::InputDriven { .. } | NetlistError::DuplicateDefinition { .. }
+            ),
             "{err}"
         );
     }
@@ -246,6 +430,9 @@ y = XOR(q, b)
     fn bad_signal_name_rejected() {
         let src = "INPUT(a b)\nOUTPUT(y)\ny = NOT(a)\n";
         assert!(matches!(parse_bench("c", src).unwrap_err(), NetlistError::ParseLine { .. }));
+        // Bad names inside gate argument lists are caught at the raw layer.
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, b=c)\n";
+        assert!(matches!(parse_bench_raw(src).unwrap_err(), NetlistError::ParseLine { .. }));
     }
 
     #[test]

@@ -245,6 +245,12 @@ impl Injector {
                 false
             }
         });
+        // Engines merge patch points against the tape in one forward
+        // sweep — strict ascent (sorted + deduped) is load-bearing.
+        debug_assert!(
+            self.forced_gates.windows(2).all(|w| w[0].0 < w[1].0),
+            "injector patch points must be strictly ascending"
+        );
         Ok(())
     }
 
@@ -366,11 +372,11 @@ fn eval_segment<W: PackedWord>(
         RunArity::Two => {
             let pairs = &tape.fanin()[s0..s0 + 2 * outs.len()];
             match kind {
-                GateKind::And => eval2_run(values, outs, pairs, |a, b| a.and(b)),
+                GateKind::And => eval2_run(values, outs, pairs, super::packed::PackedWord::and),
                 GateKind::Nand => eval2_run(values, outs, pairs, |a, b| W::not(a.and(b))),
-                GateKind::Or => eval2_run(values, outs, pairs, |a, b| a.or(b)),
+                GateKind::Or => eval2_run(values, outs, pairs, super::packed::PackedWord::or),
                 GateKind::Nor => eval2_run(values, outs, pairs, |a, b| W::not(a.or(b))),
-                GateKind::Xor => eval2_run(values, outs, pairs, |a, b| a.xor(b)),
+                GateKind::Xor => eval2_run(values, outs, pairs, super::packed::PackedWord::xor),
                 GateKind::Xnor => eval2_run(values, outs, pairs, |a, b| W::not(a.xor(b))),
                 // A validated netlist never gives BUF/NOT two fanins;
                 // agree with `eval_gate_fold` (ignore the extra) anyway.

@@ -94,11 +94,11 @@ fn eval_segment_rows(
         RunArity::Two => {
             let pairs = &tape.fanin()[s0..s0 + 2 * outs.len()];
             match kind {
-                GateKind::And => eval2_rows(on, zn, outs, pairs, |a, b| a.and(b)),
+                GateKind::And => eval2_rows(on, zn, outs, pairs, super::packed::PackedValue::and),
                 GateKind::Nand => eval2_rows(on, zn, outs, pairs, |a, b| !a.and(b)),
-                GateKind::Or => eval2_rows(on, zn, outs, pairs, |a, b| a.or(b)),
+                GateKind::Or => eval2_rows(on, zn, outs, pairs, super::packed::PackedValue::or),
                 GateKind::Nor => eval2_rows(on, zn, outs, pairs, |a, b| !a.or(b)),
-                GateKind::Xor => eval2_rows(on, zn, outs, pairs, |a, b| a.xor(b)),
+                GateKind::Xor => eval2_rows(on, zn, outs, pairs, super::packed::PackedValue::xor),
                 GateKind::Xnor => eval2_rows(on, zn, outs, pairs, |a, b| !a.xor(b)),
                 // A validated netlist never gives BUF/NOT two fanins;
                 // agree with `eval_gate_fold` (ignore the extra) anyway.

@@ -90,7 +90,10 @@ impl<'c> FaultSimulator<'c> {
     /// circuit's tape.
     #[must_use]
     pub fn with_backend(circuit: &'c Circuit, backend: Arc<dyn SimBackend>) -> Self {
-        FaultSimulator { circuit, tape: Arc::new(GateTape::compile(circuit)), backend }
+        let tape = Arc::new(GateTape::compile(circuit));
+        #[cfg(debug_assertions)]
+        bist_verify::audit_tape(circuit, &tape);
+        FaultSimulator { circuit, tape, backend }
     }
 
     /// Creates a simulator reusing an already-compiled tape — the
@@ -106,6 +109,10 @@ impl<'c> FaultSimulator<'c> {
         backend: Arc<dyn SimBackend>,
     ) -> Result<Self, SimError> {
         check_tape_shape(&tape, circuit)?;
+        // The shape check above is O(1) and release-safe; debug builds
+        // additionally prove the tape is *this* circuit's, field by field.
+        #[cfg(debug_assertions)]
+        bist_verify::audit_tape(circuit, &tape);
         Ok(FaultSimulator { circuit, tape, backend })
     }
 

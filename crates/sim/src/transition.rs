@@ -233,7 +233,7 @@ mod tests {
         for &pi in c.inputs() {
             for str_ in [true, false] {
                 let f = TransitionFault { node: pi, slow_to_rise: str_ };
-                assert_eq!(detects_transition(&c, &s, f).unwrap(), None, "{}", f);
+                assert_eq!(detects_transition(&c, &s, f).unwrap(), None, "{f}");
             }
         }
     }

@@ -36,7 +36,7 @@ fn run_session(
     fault: Option<Fault>,
 ) -> Result<TestVector, BistError> {
     let config = ExpansionConfig::new(n)?;
-    let max_len = sequences.iter().map(|s| s.len()).max().unwrap_or(1);
+    let max_len = sequences.iter().map(subseq_bist::core::SelectedSequence::len).max().unwrap_or(1);
     let mut expander = OnChipExpander::new(max_len, circuit.num_inputs(), config);
     // A MISR wider than the PO count (unused inputs tied low) keeps the
     // aliasing probability near 2^-width even for circuits with very few

@@ -65,6 +65,7 @@ pub use bist_expand as expand;
 pub use bist_netlist as netlist;
 pub use bist_sim as sim;
 pub use bist_tgen as tgen;
+pub use bist_verify as verify;
 
 pub use error::BistError;
 pub use session::{

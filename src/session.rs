@@ -539,7 +539,12 @@ impl Session {
     /// [`run`](Session::run) calls) executes this one tape.
     #[must_use]
     pub fn tape(&self) -> &Arc<GateTape> {
-        self.tape.get_or_init(|| Arc::new(GateTape::compile(&self.circuit)))
+        self.tape.get_or_init(|| {
+            let tape = Arc::new(GateTape::compile(&self.circuit));
+            #[cfg(debug_assertions)]
+            bist_verify::audit_tape(&self.circuit, &tape);
+            tape
+        })
     }
 
     /// The collapsed fault universe of the circuit — computed on first
