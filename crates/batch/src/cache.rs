@@ -16,10 +16,10 @@ use crate::BatchError;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use subseq_bist::netlist::{Circuit, GateTape};
+use subseq_bist::netlist::{compile_staged_with_baseline, Circuit, GateTape};
 use subseq_bist::sim::{collapse, fault_universe, Fault};
 use subseq_bist::tgen::{generate_t0_with_artifacts, GeneratedTest, TgenConfig};
-use subseq_bist::{BistError, SessionArtifacts};
+use subseq_bist::{BistError, CompileOptions, CompiledCircuit, SessionArtifacts};
 
 /// A snapshot of the cache's hit/miss counters.
 ///
@@ -37,6 +37,10 @@ pub struct CacheStats {
     pub tape_misses: usize,
     /// Gate-tape requests served from the cache.
     pub tape_hits: usize,
+    /// Staged (optimizing) compiles performed.
+    pub compiled_misses: usize,
+    /// Staged-compile requests served from the cache.
+    pub compiled_hits: usize,
     /// Fault-universe collapses performed.
     pub fault_misses: usize,
     /// Fault-universe requests served from the cache.
@@ -51,11 +55,14 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "circuits {}+{} reused, tapes {}+{} reused, universes {}+{} reused, T0s {}+{} reused",
+            "circuits {}+{} reused, tapes {}+{} reused, staged compiles {}+{} reused, universes \
+             {}+{} reused, T0s {}+{} reused",
             self.circuit_misses,
             self.circuit_hits,
             self.tape_misses,
             self.tape_hits,
+            self.compiled_misses,
+            self.compiled_hits,
             self.fault_misses,
             self.fault_hits,
             self.t0_misses,
@@ -125,10 +132,15 @@ impl<K: std::hash::Hash + Eq + Clone, V> Shelf<K, V> {
 /// fingerprint.
 type T0Key = (String, u64, String);
 
+/// Key of the staged-compile shelf: circuit identity × pass selection
+/// ([`CompileOptions::key`]).
+type CompiledKey = (String, String);
+
 /// The campaign-wide artifact cache. See the module docs.
 pub struct ArtifactCache {
     circuits: Shelf<String, Circuit>,
     tapes: Shelf<String, GateTape>,
+    compiled: Shelf<CompiledKey, CompiledCircuit>,
     faults: Shelf<String, Vec<Fault>>,
     t0s: Shelf<T0Key, GeneratedTest>,
     /// Wall-clock seconds each `T0` took to generate (recorded by the
@@ -144,6 +156,7 @@ impl ArtifactCache {
         ArtifactCache {
             circuits: Shelf::new(),
             tapes: Shelf::new(),
+            compiled: Shelf::new(),
             faults: Shelf::new(),
             t0s: Shelf::new(),
             t0_seconds: Mutex::new(HashMap::new()),
@@ -178,6 +191,31 @@ impl ArtifactCache {
             #[cfg(debug_assertions)]
             subseq_bist::verify::audit_tape(circuit, &tape);
             Ok(tape)
+        })
+    }
+
+    /// The staged compile of `spec`'s circuit under `options`, performed
+    /// once per distinct (circuit, pass selection) pair. Reuses the
+    /// cached baseline tape as the compile's baseline, so the optimized
+    /// and unoptimized jobs of a campaign share one unoptimized tape.
+    ///
+    /// # Errors
+    ///
+    /// As for [`circuit`](Self::circuit).
+    pub fn compiled(
+        &self,
+        spec: &CircuitSpec,
+        options: CompileOptions,
+        circuit: &Arc<Circuit>,
+        tape: &Arc<GateTape>,
+    ) -> Result<Arc<CompiledCircuit>, BatchError> {
+        let key = (spec.key(), options.key());
+        let describe = format!("staged compile of `{}` [{}]", spec.key(), options.key());
+        self.compiled.get_or_compute(&key, &describe, || {
+            let compiled = compile_staged_with_baseline(circuit, options, Arc::clone(tape));
+            #[cfg(debug_assertions)]
+            subseq_bist::verify::audit_compiled(circuit, &compiled);
+            Ok(compiled)
         })
     }
 
@@ -253,12 +291,37 @@ impl ArtifactCache {
         seed: u64,
         tgen: &TgenConfig,
     ) -> Result<SessionArtifacts, BatchError> {
+        self.artifacts_for_optimized(spec, seed, tgen, CompileOptions::none())
+    }
+
+    /// [`artifacts_for`](Self::artifacts_for) plus, for a non-empty pass
+    /// selection, the shared staged compile of the circuit — the bundle
+    /// behind a campaign's `--optimize` jobs. With
+    /// [`CompileOptions::none`] the staged-compile shelf is never
+    /// touched.
+    ///
+    /// # Errors
+    ///
+    /// Any artifact computation failure, as above.
+    pub fn artifacts_for_optimized(
+        &self,
+        spec: &CircuitSpec,
+        seed: u64,
+        tgen: &TgenConfig,
+        optimize: CompileOptions,
+    ) -> Result<SessionArtifacts, BatchError> {
         let circuit = self.circuit(spec)?;
         let tape = self.tape(spec, &circuit)?;
         let faults = self.faults(spec, &circuit)?;
         let t0 = self.generated_t0(spec, seed, tgen, &circuit, &faults, &tape)?;
-        let mut artifacts =
-            SessionArtifacts::new().circuit(circuit).tape(tape).faults(faults).generated_t0(t0);
+        let mut artifacts = SessionArtifacts::new()
+            .circuit(Arc::clone(&circuit))
+            .tape(Arc::clone(&tape))
+            .faults(faults)
+            .generated_t0(t0);
+        if !optimize.is_none() {
+            artifacts = artifacts.compiled(self.compiled(spec, optimize, &circuit, &tape)?);
+        }
         let key = (spec.key(), seed, format!("{tgen:?}"));
         if let Some(seconds) = self.t0_generation_seconds(&key) {
             artifacts = artifacts.t0_seconds(seconds);
@@ -271,6 +334,7 @@ impl ArtifactCache {
     pub fn stats(&self) -> CacheStats {
         let (circuit_misses, circuit_hits) = self.circuits.counters();
         let (tape_misses, tape_hits) = self.tapes.counters();
+        let (compiled_misses, compiled_hits) = self.compiled.counters();
         let (fault_misses, fault_hits) = self.faults.counters();
         let (t0_misses, t0_hits) = self.t0s.counters();
         CacheStats {
@@ -278,6 +342,8 @@ impl ArtifactCache {
             circuit_hits,
             tape_misses,
             tape_hits,
+            compiled_misses,
+            compiled_hits,
             fault_misses,
             fault_hits,
             t0_misses,
@@ -404,6 +470,34 @@ mod tests {
         assert_eq!(stats.tape_misses + stats.tape_hits, 0, "no tape compiled for a failed parse");
         assert_eq!(stats.fault_misses + stats.fault_hits, 0);
         assert_eq!(stats.t0_misses + stats.t0_hits, 0);
+    }
+
+    #[test]
+    fn staged_compiles_are_keyed_by_pass_selection_and_shared() {
+        let cache = ArtifactCache::new();
+        let spec = s27_spec();
+        let circuit = cache.circuit(&spec).unwrap();
+        let tape = cache.tape(&spec, &circuit).unwrap();
+        let a = cache.compiled(&spec, CompileOptions::all(), &circuit, &tape).unwrap();
+        let b = cache.compiled(&spec, CompileOptions::all(), &circuit, &tape).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // The compile's baseline is the cached unoptimized tape itself.
+        assert!(Arc::ptr_eq(a.baseline(), &tape));
+        // A different pass selection is a different artifact...
+        let none = cache.compiled(&spec, CompileOptions::none(), &circuit, &tape).unwrap();
+        assert!(!Arc::ptr_eq(&a, &none));
+        // ...and the identity compile shares the baseline tape outright.
+        assert!(Arc::ptr_eq(none.tape(), &tape));
+        let stats = cache.stats();
+        assert_eq!((stats.compiled_misses, stats.compiled_hits), (2, 1));
+        assert!(stats.to_string().contains("staged compiles"));
+        // An optimized bundle carries the staged compile; a plain bundle
+        // never touches the shelf.
+        let tgen = TgenConfig::new().max_length(16);
+        cache.artifacts_for_optimized(&spec, 3, &tgen, CompileOptions::all()).unwrap();
+        assert_eq!(cache.stats().compiled_hits, 2);
+        cache.artifacts_for(&spec, 3, &tgen).unwrap();
+        assert_eq!(cache.stats().compiled_misses + cache.stats().compiled_hits, 4);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::BatchError;
 use std::path::PathBuf;
 use subseq_bist::netlist::{self as bist_netlist, benchmarks};
 use subseq_bist::tgen::TgenConfig;
-use subseq_bist::{Backend, BistError, Session};
+use subseq_bist::{Backend, BistError, CompileOptions, Session};
 
 /// Where a campaign circuit comes from.
 ///
@@ -128,6 +128,7 @@ pub struct Campaign {
     schemes: Vec<SchemeSpec>,
     seeds: Vec<u64>,
     tgen: TgenConfig,
+    optimize: CompileOptions,
     verify: bool,
 }
 
@@ -141,6 +142,7 @@ impl Campaign {
             schemes: vec![SchemeSpec::default()],
             seeds: vec![1999],
             tgen: TgenConfig::new(),
+            optimize: CompileOptions::none(),
             verify: true,
         }
     }
@@ -210,6 +212,17 @@ impl Campaign {
         self
     }
 
+    /// The staged-compiler pass selection every job's fault simulation
+    /// runs with (off by default). Jobs stay bit-identical to an
+    /// unoptimized campaign; only the simulated tape changes. The
+    /// staged compile is cached per (circuit, pass selection), so a
+    /// whole campaign optimizes each circuit once.
+    #[must_use]
+    pub fn optimize(mut self, options: CompileOptions) -> Self {
+        self.optimize = options;
+        self
+    }
+
     /// Enables/disables post-run coverage verification for every job.
     #[must_use]
     pub fn verify(mut self, on: bool) -> Self {
@@ -239,6 +252,12 @@ impl Campaign {
     #[must_use]
     pub fn verifies(&self) -> bool {
         self.verify
+    }
+
+    /// The staged-compiler pass selection of every job.
+    #[must_use]
+    pub fn optimize_options(&self) -> CompileOptions {
+        self.optimize
     }
 
     /// Expands the campaign into its deterministic job matrix, ordered

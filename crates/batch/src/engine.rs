@@ -318,7 +318,12 @@ fn run_job(
     job: &JobSpec,
 ) -> Result<SessionReport, String> {
     let artifacts = cache
-        .artifacts_for(&job.circuit, job.seed, campaign.tgen_config())
+        .artifacts_for_optimized(
+            &job.circuit,
+            job.seed,
+            campaign.tgen_config(),
+            campaign.optimize_options(),
+        )
         .map_err(|e| e.to_string())?;
     Session::builder()
         .with_artifacts(artifacts)
@@ -363,6 +368,7 @@ fn record_of(outcome: &JobOutcome) -> JobRecord {
                     loaded_fraction: report.loaded_fraction(),
                     scheme_data_bits: scheme_cost.data_bits,
                     monolithic_data_bits: monolithic_cost.data_bits,
+                    gates_removed: report.gates_removed(),
                     verified: report.verified(),
                 }),
                 ..base
@@ -418,6 +424,44 @@ mod tests {
         assert_eq!(b.backend_name(), "scalar");
         assert_eq!(a.best().after.total_len, b.best().after.total_len);
         assert_eq!(a.best().after.max_len, b.best().after.max_len);
+    }
+
+    #[test]
+    fn optimized_campaign_is_bit_identical_and_shares_compiles() {
+        use subseq_bist::CompileOptions;
+
+        let base = Campaign::new()
+            .suite_circuits(["s27", "a298"])
+            .seeds([1, 2])
+            .ns(vec![1])
+            .tgen(tiny_tgen());
+        let plain = CampaignEngine::new().threads(2).run(&base, &mut []).unwrap();
+        let optimized = CampaignEngine::new()
+            .threads(2)
+            .run(&base.clone().optimize(CompileOptions::all()), &mut [])
+            .unwrap();
+        assert_eq!(optimized.summary.jobs_ok, plain.summary.jobs_ok);
+        // One staged compile per circuit, shared by every job on it.
+        assert_eq!(optimized.cache.compiled_misses, 2);
+        assert_eq!(optimized.cache.compiled_hits, 2);
+        assert_eq!(plain.cache.compiled_misses + plain.cache.compiled_hits, 0);
+        for id in 0..plain.summary.jobs_total {
+            let a = plain.report(id).unwrap();
+            let b = optimized.report(id).unwrap();
+            assert_eq!(a.t0(), b.t0(), "job {id}: T0 stays baseline-generated");
+            assert_eq!(a.coverage(), b.coverage(), "job {id}");
+            assert_eq!(a.best().after.total_len, b.best().after.total_len, "job {id}");
+            assert_eq!(a.best().after.max_len, b.best().after.max_len, "job {id}");
+            assert_eq!(b.verified(), Some(true), "job {id}");
+            assert_eq!(a.gates_removed(), 0);
+        }
+        // The roll-up surfaces each circuit's removal count.
+        let removed: usize = optimized.summary.circuits.iter().map(|l| l.gates_removed).sum();
+        let reported = (0..plain.summary.jobs_total)
+            .map(|id| optimized.report(id).unwrap().gates_removed())
+            .max()
+            .unwrap_or(0);
+        assert!(removed >= reported);
     }
 
     #[test]

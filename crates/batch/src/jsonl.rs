@@ -11,7 +11,7 @@ use crate::report::JobRecord;
 /// Keys every row must carry.
 const ROW_KEYS: [&str; 7] = ["job", "circuit", "backend", "scheme", "seed", "status", "seconds"];
 /// Additional keys required when `status == "ok"`.
-const OK_KEYS: [&str; 13] = [
+const OK_KEYS: [&str; 14] = [
     "engine",
     "faults_total",
     "faults_detected",
@@ -24,6 +24,7 @@ const OK_KEYS: [&str; 13] = [
     "loaded_fraction",
     "scheme_data_bits",
     "monolithic_data_bits",
+    "gates_removed",
     "verified",
 ];
 
@@ -52,6 +53,7 @@ pub fn record_to_json(record: &JobRecord) -> String {
         push_kv(&mut out, "loaded_fraction", &format!("{:.6}", m.loaded_fraction));
         push_kv(&mut out, "scheme_data_bits", &m.scheme_data_bits.to_string());
         push_kv(&mut out, "monolithic_data_bits", &m.monolithic_data_bits.to_string());
+        push_kv(&mut out, "gates_removed", &m.gates_removed.to_string());
         let verified = match m.verified {
             Some(true) => "true",
             Some(false) => "false",
@@ -441,6 +443,7 @@ mod tests {
                 loaded_fraction: 0.5,
                 scheme_data_bits: 12,
                 monolithic_data_bits: 40,
+                gates_removed: 0,
                 verified: Some(true),
             }),
             error: None,

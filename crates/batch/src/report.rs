@@ -57,6 +57,9 @@ pub struct JobMetrics {
     pub scheme_data_bits: usize,
     /// Test-data bits of storing all of `T0` monolithically.
     pub monolithic_data_bits: usize,
+    /// Gates the staged compiler removed from the simulated tape (0 for
+    /// an unoptimized job).
+    pub gates_removed: usize,
     /// Post-run verification outcome (`None` if disabled).
     pub verified: Option<bool>,
 }
@@ -201,6 +204,9 @@ pub struct AxisLine {
     pub mean_loaded_fraction: f64,
     /// Mean on-chip storage ratio (scheme bits / monolithic bits).
     pub mean_storage_ratio: f64,
+    /// Gates the staged compiler removed (max over ok jobs — every job
+    /// of one circuit shares one compile, so this is its removal count).
+    pub gates_removed: usize,
 }
 
 /// The campaign's final roll-up: totals plus per-circuit and per-backend
@@ -260,6 +266,12 @@ impl CampaignSummary {
                         mean_storage_ratio: mean(|m| {
                             m.scheme_data_bits as f64 / m.monolithic_data_bits.max(1) as f64
                         }),
+                        gates_removed: ok
+                            .iter()
+                            .filter_map(|r| r.metrics.as_ref())
+                            .map(|m| m.gates_removed)
+                            .max()
+                            .unwrap_or(0),
                     }
                 })
                 .collect()
@@ -291,19 +303,20 @@ impl fmt::Display for CampaignSummary {
         )?;
         writeln!(
             f,
-            "  {:<10} {:>4} {:>9} {:>9} {:>8} {:>8}",
-            "circuit", "ok", "seconds", "coverage", "loaded", "storage"
+            "  {:<10} {:>4} {:>9} {:>9} {:>8} {:>8} {:>8}",
+            "circuit", "ok", "seconds", "coverage", "loaded", "storage", "removed"
         )?;
         for line in &self.circuits {
             writeln!(
                 f,
-                "  {:<10} {:>4} {:>9.3} {:>8.1}% {:>7.0}% {:>7.0}%",
+                "  {:<10} {:>4} {:>9.3} {:>8.1}% {:>7.0}% {:>7.0}% {:>8}",
                 line.label,
                 line.jobs,
                 line.seconds,
                 100.0 * line.mean_coverage,
                 100.0 * line.mean_loaded_fraction,
                 100.0 * line.mean_storage_ratio,
+                line.gates_removed,
             )?;
         }
         writeln!(f, "  {:<18} {:>4} {:>9}", "backend", "ok", "seconds")?;
@@ -340,6 +353,7 @@ mod tests {
                 loaded_fraction: 0.5,
                 scheme_data_bits: 12,
                 monolithic_data_bits: 40,
+                gates_removed: 4,
                 verified: Some(true),
             }),
             error: None,
@@ -379,6 +393,7 @@ mod tests {
         assert_eq!(s27.jobs, 2);
         assert!((s27.mean_coverage - 1.0).abs() < 1e-9);
         assert!((s27.mean_loaded_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(s27.gates_removed, 4);
         let packed = summary.backends.iter().find(|l| l.label == "packed").unwrap();
         assert_eq!(packed.jobs, 2);
         let rendered = summary.to_string();

@@ -1,0 +1,835 @@
+//! Staged `Circuit` → [`GateTape`] compiler with optional
+//! netlist-optimization passes and a fault-site remapping table.
+//!
+//! [`GateTape::compile`] is the identity pipeline: every gate of the
+//! circuit lands on the tape. [`compile_staged`] runs an ordered list of
+//! semantics-preserving passes first, selected by [`CompileOptions`]:
+//!
+//! 1. **Always-X fold** (`fold_x`) — the greatest fixpoint of nets that
+//!    can never leave `X` under the pessimistic 3-valued semantics (all
+//!    state starts `X`; a DFF is always-X iff its D-source is, an
+//!    AND/NAND/OR/NOR/BUF/NOT iff *all* fanins are, an XOR/XNOR iff *any*
+//!    fanin is). Folded gates are simply not emitted: every engine
+//!    initializes value tables to all-X per chunk and never writes
+//!    off-tape slots, so consumers of a folded gate read a permanently-X
+//!    slot — exactly the folded gate's value. Note that Boolean constant
+//!    folding (`OR(a, NOT a) → 1`) is *invalid* here: under pessimistic
+//!    3-valued evaluation `X OR X = X`, so the always-X closure is the
+//!    only sound "constant" domain.
+//! 2. **Value forwarding** (`forward`) — `BUF(a) → a` and
+//!    `AND(a,…,a) → a` / `OR(a,…,a) → a` when every (already-substituted)
+//!    fanin is the same node; these identities are exact in 3-valued
+//!    logic. Consumers are rewritten to read the forwarded node directly.
+//! 3. **Identical-gate dedup** (`dedup`) — hash-consing on
+//!    `(opcode, substituted fanin list)`: the second and later copies of
+//!    a gate are removed and their consumers rewritten to the first.
+//! 4. **Dead-cone sweep** (`dead_sweep`) — backward liveness from the
+//!    primary outputs over the *rewritten* structure (through live
+//!    surviving gates and every DFF's substituted D-source); surviving
+//!    gates nothing live reads are dropped.
+//!
+//! PO-driving gates are never forwarded or deduplicated away (the PO node
+//! must keep its own value slot), and PIs/DFFs always stay in the tape
+//! tables. The emitted tape keeps the *original* circuit's node-index
+//! space — removed gates simply have no tape position — so value tables,
+//! fault sites and `NodeId`-keyed bookkeeping work unchanged.
+//!
+//! # The [`SiteMap`]
+//!
+//! Fault coverage is defined against the original circuit, so every
+//! original fault site needs a disposition on the optimized tape. The
+//! compiler classifies each node's output (stem) and input (branch)
+//! faults into a [`SiteRoute`]:
+//!
+//! * [`Direct`](SiteRoute::Direct) — the site survives untouched; inject
+//!   on the optimized tape as-is.
+//! * [`Redirect`](SiteRoute::Redirect) — the gate was removed but its
+//!   output line fed exactly one consumer pin in the original circuit and
+//!   that consumer routes `Direct`: a stem fault on the removed gate is
+//!   exactly an input-pin fault at the surviving consumer.
+//! * [`Pinned`](SiteRoute::Pinned) — the site interacts with a rewrite
+//!   (folded cone, dedup representative or victim, swept gate): simulate
+//!   it on the unoptimized baseline tape. Results merge by original fault
+//!   index, so campaigns stay bit-identical by construction.
+//! * [`Untestable`](SiteRoute::Untestable) — the site cannot reach any
+//!   primary output in the *original* graph (through any combinational
+//!   path or DFF chain), so the fault is undetectable in both machines;
+//!   no simulation needed.
+
+use crate::tape::{assemble, TapeGate, TapeSpec};
+use crate::{Circuit, GateKind, GateTape, NodeId, NodeKind};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Pass selection for [`compile_staged`]. [`CompileOptions::none`] is the
+/// identity pipeline (exactly [`GateTape::compile`]);
+/// [`CompileOptions::all`] enables every optimization pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CompileOptions {
+    /// Fold the always-X closure (gates that can never leave `X`).
+    pub fold_x: bool,
+    /// Forward `BUF(a)` and same-fanin `AND`/`OR` gates to their source.
+    pub forward: bool,
+    /// Hash-cons structurally identical gates.
+    pub dedup: bool,
+    /// Sweep gates that no live node reads (backward from the POs).
+    pub dead_sweep: bool,
+}
+
+impl CompileOptions {
+    /// No optimization: the staged compiler reproduces
+    /// [`GateTape::compile`] exactly and the [`SiteMap`] is the identity.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Every optimization pass enabled.
+    #[must_use]
+    pub fn all() -> Self {
+        CompileOptions { fold_x: true, forward: true, dedup: true, dead_sweep: true }
+    }
+
+    /// `true` if no pass is enabled (the identity pipeline).
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        *self == Self::none()
+    }
+
+    /// A stable short key naming the enabled pass set — cache keys and
+    /// artifact labels embed this (`"none"`, `"xfds"`, `"fd"`, …).
+    #[must_use]
+    pub fn key(&self) -> String {
+        if self.is_none() {
+            return "none".to_string();
+        }
+        let mut key = String::new();
+        if self.fold_x {
+            key.push('x');
+        }
+        if self.forward {
+            key.push('f');
+        }
+        if self.dedup {
+            key.push('d');
+        }
+        if self.dead_sweep {
+            key.push('s');
+        }
+        key
+    }
+
+    /// Parses a pass selection in the [`key`](Self::key) syntax:
+    /// `"none"`, or a subset of the letters `xfds` (`x` constant-X fold,
+    /// `f` value forwarding, `d` duplicate-gate dedup, `s` dead sweep).
+    /// Returns `None` on any other character.
+    #[must_use]
+    pub fn parse(spec: &str) -> Option<CompileOptions> {
+        if spec == "none" {
+            return Some(CompileOptions::none());
+        }
+        let mut options = CompileOptions::none();
+        for c in spec.chars() {
+            match c {
+                'x' => options.fold_x = true,
+                'f' => options.forward = true,
+                'd' => options.dedup = true,
+                's' => options.dead_sweep = true,
+                _ => return None,
+            }
+        }
+        Some(options)
+    }
+}
+
+/// What each pass of a staged compile removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassStats {
+    /// Gates in the source circuit.
+    pub gates_in: usize,
+    /// Gates on the emitted tape.
+    pub gates_out: usize,
+    /// Gates folded as members of the always-X closure.
+    pub folded_x: usize,
+    /// Gates forwarded to an equal-valued source node.
+    pub forwarded: usize,
+    /// Duplicate gates replaced by their hash-cons representative.
+    pub deduped: usize,
+    /// Live-at-no-PO gates dropped by the dead-cone sweep.
+    pub swept: usize,
+}
+
+impl PassStats {
+    /// Total gates removed by all passes.
+    #[must_use]
+    pub fn gates_removed(&self) -> usize {
+        self.gates_in - self.gates_out
+    }
+}
+
+/// Disposition of one original fault site on an optimized tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteRoute {
+    /// The site survives on the optimized tape; inject there unchanged.
+    Direct,
+    /// The site's gate was removed, but its output line fed exactly this
+    /// one consumer pin: inject the stem fault as an input-pin fault at
+    /// `node`/`pin` on the optimized tape.
+    Redirect {
+        /// The surviving consumer node.
+        node: NodeId,
+        /// The fanin position at which it read the removed gate.
+        pin: u32,
+    },
+    /// The site interacts with a rewrite; simulate this fault on the
+    /// unoptimized baseline tape.
+    Pinned,
+    /// The site reaches no primary output in the original graph: the
+    /// fault is undetectable, no simulation needed.
+    Untestable,
+}
+
+/// Per-node fault-site dispositions for one staged compile: where each
+/// original stem ([`output_route`](SiteMap::output_route)) and branch
+/// ([`input_route`](SiteMap::input_route)) fault must be injected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteMap {
+    route_out: Vec<SiteRoute>,
+    route_in: Vec<SiteRoute>,
+    needs_baseline: bool,
+    identity: bool,
+}
+
+impl SiteMap {
+    fn identity_map(num_nodes: usize) -> Self {
+        SiteMap {
+            route_out: vec![SiteRoute::Direct; num_nodes],
+            route_in: vec![SiteRoute::Direct; num_nodes],
+            needs_baseline: false,
+            identity: true,
+        }
+    }
+
+    /// Number of nodes covered (the original circuit's node count).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.route_out.len()
+    }
+
+    /// Disposition of output (stem) faults at `node`.
+    #[must_use]
+    pub fn output_route(&self, node: NodeId) -> SiteRoute {
+        self.route_out[node.index()]
+    }
+
+    /// Disposition of input (branch) faults at any pin of `node`. Input
+    /// faults are never redirected: a pin force is exact on the optimized
+    /// tape whenever the consumer itself survives untainted.
+    #[must_use]
+    pub fn input_route(&self, node: NodeId) -> SiteRoute {
+        self.route_in[node.index()]
+    }
+
+    /// `true` if any route is [`SiteRoute::Pinned`] — i.e. a mapped
+    /// simulation over the full fault universe needs the baseline tape.
+    #[must_use]
+    pub fn needs_baseline(&self) -> bool {
+        self.needs_baseline
+    }
+
+    /// `true` for the identity compile: every route is `Direct` and the
+    /// optimized tape *is* the baseline tape.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.identity
+    }
+}
+
+/// The product of a staged compile: the (possibly optimized) tape, the
+/// unoptimized baseline tape, the fault-site map tying them together and
+/// the per-pass removal statistics.
+///
+/// # Example
+///
+/// ```
+/// use bist_netlist::{benchmarks, compile_staged, CompileOptions};
+///
+/// let c = benchmarks::s27();
+/// let identity = compile_staged(&c, CompileOptions::none());
+/// assert_eq!(identity.tape().num_gates(), c.num_gates());
+/// assert!(identity.site_map().is_identity());
+///
+/// let optimized = compile_staged(&c, CompileOptions::all());
+/// assert!(optimized.tape().num_gates() <= c.num_gates());
+/// assert_eq!(optimized.baseline().num_gates(), c.num_gates());
+/// assert_eq!(optimized.stats().gates_removed(),
+///            c.num_gates() - optimized.tape().num_gates());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    options: CompileOptions,
+    tape: Arc<GateTape>,
+    baseline: Arc<GateTape>,
+    site_map: Arc<SiteMap>,
+    stats: PassStats,
+}
+
+impl CompiledCircuit {
+    /// The pass selection this compile ran with.
+    #[must_use]
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// The emitted (possibly optimized) tape.
+    #[must_use]
+    pub fn tape(&self) -> &Arc<GateTape> {
+        &self.tape
+    }
+
+    /// The unoptimized identity tape of the same circuit. For the
+    /// identity compile this is the same allocation as
+    /// [`tape`](Self::tape); pinned fault sites simulate here.
+    #[must_use]
+    pub fn baseline(&self) -> &Arc<GateTape> {
+        &self.baseline
+    }
+
+    /// The fault-site dispositions.
+    #[must_use]
+    pub fn site_map(&self) -> &Arc<SiteMap> {
+        &self.site_map
+    }
+
+    /// Per-pass removal statistics.
+    #[must_use]
+    pub fn stats(&self) -> &PassStats {
+        &self.stats
+    }
+
+    /// Total gates the passes removed from the tape.
+    #[must_use]
+    pub fn gates_removed(&self) -> usize {
+        self.stats.gates_removed()
+    }
+}
+
+/// The always-X closure of `circuit`: index-aligned flags marking every
+/// node whose value can never leave `X` under the pessimistic 3-valued
+/// semantics (all state starts `X`; a DFF is in the closure iff its
+/// D-source is, an AND/NAND/OR/NOR/BUF/NOT iff *all* fanins are, an
+/// XOR/XNOR iff *any* fanin is). This is the greatest fixpoint the
+/// `fold_x` pass removes; the linter reports its members as
+/// constant-valued nets (L014).
+#[must_use]
+pub fn always_x_closure(circuit: &Circuit) -> Vec<bool> {
+    let n = circuit.num_nodes();
+    let fanout = circuit.fanout_table();
+    let mut in_closure: Vec<bool> =
+        circuit.nodes().iter().map(|node| !matches!(node.kind(), NodeKind::Input)).collect();
+    let holds = |i: usize, in_closure: &[bool]| -> bool {
+        let node = circuit.node(NodeId::from_index(i));
+        match node.kind() {
+            NodeKind::Input => false,
+            NodeKind::Dff => in_closure[node.fanin()[0].index()],
+            NodeKind::Gate(GateKind::Xor | GateKind::Xnor) => {
+                node.fanin().iter().any(|f| in_closure[f.index()])
+            }
+            NodeKind::Gate(_) => node.fanin().iter().all(|f| in_closure[f.index()]),
+        }
+    };
+    // Remove nodes whose membership rule fails until stable; removal
+    // re-queues the node's consumers, so the sweep is O(edges · arity).
+    let mut work: Vec<usize> = (0..n).collect();
+    while let Some(i) = work.pop() {
+        if in_closure[i] && !holds(i, &in_closure) {
+            in_closure[i] = false;
+            for r in &fanout[i] {
+                if in_closure[r.node.index()] {
+                    work.push(r.node.index());
+                }
+            }
+        }
+    }
+    in_closure
+}
+
+/// `(duplicate, representative)` pairs of gates computing identical
+/// functions: hash-consing on `(opcode, fanin list)` after value
+/// forwarding (`BUF`, same-fanin `AND`/`OR`) in one topological sweep —
+/// the structure the `dedup` pass would merge, without the PO exemption
+/// (a redundant cone is worth reporting even when it drives an output).
+/// The linter reports each pair as a duplicate cone (L015).
+#[must_use]
+pub fn duplicate_cone_pairs(circuit: &Circuit) -> Vec<(NodeId, NodeId)> {
+    let n = circuit.num_nodes();
+    let mut forward: Vec<u32> = (0..n).map(|i| i as u32).collect();
+    let mut dedup_map: HashMap<(GateKind, Vec<u32>), u32> = HashMap::new();
+    let mut pairs = Vec::new();
+    for &g in circuit.eval_order() {
+        let node = circuit.node(g);
+        let NodeKind::Gate(kind) = node.kind() else {
+            unreachable!("eval_order contains only gates")
+        };
+        let subst: Vec<u32> = node.fanin().iter().map(|f| forward[f.index()]).collect();
+        let forwardable = match kind {
+            GateKind::Buf => true,
+            GateKind::And | GateKind::Or => subst.iter().all(|&f| f == subst[0]),
+            _ => false,
+        };
+        if forwardable {
+            forward[g.index()] = subst[0];
+            continue;
+        }
+        match dedup_map.entry((*kind, subst)) {
+            Entry::Occupied(e) => {
+                let rep = *e.get();
+                forward[g.index()] = rep;
+                pairs.push((g, NodeId::from_index(rep as usize)));
+            }
+            Entry::Vacant(e) => {
+                e.insert(g.0);
+            }
+        }
+    }
+    pairs
+}
+
+/// The fate of each gate after the rewrite passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    /// On the tape (PIs, DFFs and surviving gates).
+    Kept,
+    /// Member of the always-X closure; slot reads as permanent X.
+    FoldedX,
+    /// Forwarded to an equal-valued node; all references substituted.
+    Forwarded,
+    /// Duplicate of a hash-cons representative; references substituted.
+    Deduped,
+    /// Survived the rewrites but nothing live reads it.
+    Swept,
+}
+
+/// Compiles `circuit` through the staged pass pipeline, building the
+/// baseline tape with [`GateTape::compile`]. Callers that already hold a
+/// baseline tape (e.g. an artifact cache) should use
+/// [`compile_staged_with_baseline`] to share it.
+#[must_use]
+pub fn compile_staged(circuit: &Circuit, options: CompileOptions) -> CompiledCircuit {
+    compile_staged_with_baseline(circuit, options, Arc::new(GateTape::compile(circuit)))
+}
+
+/// [`compile_staged`] with a caller-provided baseline (identity) tape for
+/// `circuit`. The baseline must be `GateTape::compile(circuit)`; it is
+/// returned as-is for the identity option set and used for pinned fault
+/// sites otherwise.
+#[must_use]
+pub fn compile_staged_with_baseline(
+    circuit: &Circuit,
+    options: CompileOptions,
+    baseline: Arc<GateTape>,
+) -> CompiledCircuit {
+    let n = circuit.num_nodes();
+    let gates_in = circuit.num_gates();
+    debug_assert_eq!(baseline.num_gates(), gates_in, "baseline is not the identity tape");
+    if options.is_none() {
+        return CompiledCircuit {
+            options,
+            tape: baseline.clone(),
+            baseline,
+            site_map: Arc::new(SiteMap::identity_map(n)),
+            stats: PassStats { gates_in, gates_out: gates_in, ..PassStats::default() },
+        };
+    }
+
+    let fanout = circuit.fanout_table();
+    let mut stats = PassStats { gates_in, ..PassStats::default() };
+
+    // Pass 1: the always-X greatest fixpoint (shared with the linter's
+    // constant-net analysis).
+    let in_closure = if options.fold_x { always_x_closure(circuit) } else { vec![false; n] };
+
+    // Passes 2+3: one forward topological sweep doing value forwarding
+    // and hash-cons dedup on already-substituted fanins. `forward[i]` is
+    // the surviving node computing node i's value (i itself if kept or
+    // folded — folded slots hold the right value, permanent X).
+    let mut is_po = vec![false; n];
+    for &o in circuit.outputs() {
+        is_po[o.index()] = true;
+    }
+    let mut fate = vec![Fate::Kept; n];
+    let mut forward: Vec<u32> = (0..n).map(|i| i as u32).collect();
+    let mut tainted = vec![false; n];
+    let mut dedup_map: HashMap<(GateKind, Vec<u32>), u32> = HashMap::new();
+    let mut emitted: Vec<TapeGate> = Vec::with_capacity(gates_in);
+    for &g in circuit.eval_order() {
+        let gi = g.index();
+        if in_closure[gi] {
+            fate[gi] = Fate::FoldedX;
+            stats.folded_x += 1;
+            continue;
+        }
+        let node = circuit.node(g);
+        let NodeKind::Gate(kind) = node.kind() else {
+            unreachable!("eval_order contains only gates")
+        };
+        let subst: Vec<u32> = node.fanin().iter().map(|f| forward[f.index()]).collect();
+        // PO drivers keep their own slot: the PO is the node itself.
+        if options.forward && !is_po[gi] {
+            let forwardable = match kind {
+                GateKind::Buf => true,
+                // AND(a,…,a) = a and OR(a,…,a) = a hold exactly in
+                // 3-valued logic (X stays X); NAND/NOR invert and
+                // XOR(a,a) is X for a = X, so only these two qualify.
+                GateKind::And | GateKind::Or => subst.iter().all(|&f| f == subst[0]),
+                _ => false,
+            };
+            if forwardable {
+                forward[gi] = subst[0];
+                fate[gi] = Fate::Forwarded;
+                stats.forwarded += 1;
+                continue;
+            }
+        }
+        if options.dedup && !is_po[gi] {
+            match dedup_map.entry((*kind, subst.clone())) {
+                Entry::Occupied(e) => {
+                    let rep = *e.get();
+                    forward[gi] = rep;
+                    fate[gi] = Fate::Deduped;
+                    tainted[rep as usize] = true;
+                    stats.deduped += 1;
+                    continue;
+                }
+                Entry::Vacant(e) => {
+                    e.insert(g.0);
+                }
+            }
+        }
+        emitted.push((g.0, *kind, subst));
+    }
+
+    // Pass 4: dead-cone sweep — backward liveness from the POs over the
+    // rewritten structure. DFFs keep their (substituted) D-source cone
+    // alive only if the DFF itself is live; folded gates stop traversal
+    // (their cone exists only to hold X).
+    let final_gates: Vec<TapeGate> = if options.dead_sweep {
+        let emit_of: HashMap<u32, usize> =
+            emitted.iter().enumerate().map(|(k, (out, _, _))| (*out, k)).collect();
+        let mut live = vec![false; n];
+        let mut stack: Vec<u32> = circuit.outputs().iter().map(|o| o.index() as u32).collect();
+        while let Some(i) = stack.pop() {
+            let i = i as usize;
+            if live[i] {
+                continue;
+            }
+            live[i] = true;
+            let node = circuit.node(NodeId::from_index(i));
+            match node.kind() {
+                NodeKind::Input => {}
+                NodeKind::Dff => stack.push(forward[node.fanin()[0].index()]),
+                NodeKind::Gate(_) => {
+                    if fate[i] == Fate::Kept {
+                        let (_, _, subst) = &emitted[emit_of[&(i as u32)]];
+                        stack.extend_from_slice(subst);
+                    }
+                }
+            }
+        }
+        let mut kept = Vec::with_capacity(emitted.len());
+        for gate in emitted {
+            if live[gate.0 as usize] {
+                kept.push(gate);
+            } else {
+                fate[gate.0 as usize] = Fate::Swept;
+                stats.swept += 1;
+            }
+        }
+        kept
+    } else {
+        emitted
+    };
+    stats.gates_out = final_gates.len();
+
+    let as_u32 = |ids: &[NodeId]| ids.iter().map(|id| id.0).collect::<Vec<u32>>();
+    let tape = Arc::new(assemble(TapeSpec {
+        num_nodes: n,
+        inputs: as_u32(circuit.inputs()),
+        outputs: as_u32(circuit.outputs()),
+        dffs: as_u32(circuit.dffs()),
+        dff_src: circuit
+            .dffs()
+            .iter()
+            .map(|&d| forward[circuit.node(d).fanin()[0].index()])
+            .collect(),
+        gates: final_gates,
+    }));
+
+    // Original-graph liveness: a site outside the backward PO closure of
+    // the *unoptimized* circuit cannot affect any PO in either machine —
+    // exactly the undetectable faults, independent of the pass set.
+    let orig_live = {
+        let mut live = vec![false; n];
+        let mut stack: Vec<usize> = circuit.outputs().iter().map(|o| o.index()).collect();
+        while let Some(i) = stack.pop() {
+            if live[i] {
+                continue;
+            }
+            live[i] = true;
+            stack.extend(circuit.node(NodeId::from_index(i)).fanin().iter().map(|f| f.index()));
+        }
+        live
+    };
+
+    // Route every node's stem and branch faults.
+    let mut route_out = vec![SiteRoute::Direct; n];
+    let mut route_in = vec![SiteRoute::Direct; n];
+    for i in 0..n {
+        let route = if !orig_live[i] {
+            SiteRoute::Untestable
+        } else {
+            match circuit.node(NodeId::from_index(i)).kind() {
+                NodeKind::Input => SiteRoute::Direct,
+                // Forcing a closure net binary can leak through the fold
+                // (AND(0, X) = 0), so closure-sited faults are pinned.
+                NodeKind::Dff => {
+                    if in_closure[i] {
+                        SiteRoute::Pinned
+                    } else {
+                        SiteRoute::Direct
+                    }
+                }
+                NodeKind::Gate(_) => match fate[i] {
+                    // A dedup representative computes for two original
+                    // sites at once; faults *at* it are pinned (upstream
+                    // faults corrupt both copies identically and stay
+                    // exact, so they don't taint).
+                    Fate::Kept => {
+                        if tainted[i] {
+                            SiteRoute::Pinned
+                        } else {
+                            SiteRoute::Direct
+                        }
+                    }
+                    _ => SiteRoute::Pinned,
+                },
+            }
+        };
+        route_out[i] = route;
+        route_in[i] = route;
+    }
+    // Redirect upgrade: a removed gate whose output line fed exactly one
+    // consumer pin in the original circuit, with that consumer routing
+    // Direct, has its stem faults injected as input faults at the
+    // consumer — identical by construction (the line *is* that pin, and
+    // single-fanout stems have no competing branch fault at the pin).
+    // Swept-but-original-live gates stay conservatively pinned.
+    for (i, f) in fate.iter().enumerate() {
+        if !matches!(f, Fate::FoldedX | Fate::Forwarded | Fate::Deduped) {
+            continue;
+        }
+        if !orig_live[i] || is_po[i] || fanout[i].len() != 1 {
+            continue;
+        }
+        let r = fanout[i][0];
+        if route_in[r.node.index()] == SiteRoute::Direct {
+            route_out[i] = SiteRoute::Redirect { node: r.node, pin: r.pin };
+        }
+    }
+    let needs_baseline =
+        route_out.iter().chain(route_in.iter()).any(|r| matches!(r, SiteRoute::Pinned));
+
+    CompiledCircuit {
+        options,
+        tape,
+        baseline,
+        site_map: Arc::new(SiteMap { route_out, route_in, needs_baseline, identity: false }),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{benchmarks, CircuitBuilder};
+
+    #[test]
+    fn identity_compile_shares_the_baseline() {
+        let c = benchmarks::s27();
+        let compiled = compile_staged(&c, CompileOptions::none());
+        assert!(Arc::ptr_eq(compiled.tape(), compiled.baseline()));
+        assert!(compiled.site_map().is_identity());
+        assert!(!compiled.site_map().needs_baseline());
+        assert_eq!(compiled.gates_removed(), 0);
+        assert_eq!(**compiled.tape(), GateTape::compile(&c));
+        for i in 0..c.num_nodes() {
+            let id = NodeId::from_index(i);
+            assert_eq!(compiled.site_map().output_route(id), SiteRoute::Direct);
+            assert_eq!(compiled.site_map().input_route(id), SiteRoute::Direct);
+        }
+    }
+
+    #[test]
+    fn options_keys_are_stable() {
+        assert_eq!(CompileOptions::none().key(), "none");
+        assert_eq!(CompileOptions::all().key(), "xfds");
+        let fd = CompileOptions { forward: true, dedup: true, ..CompileOptions::none() };
+        assert_eq!(fd.key(), "fd");
+        assert!(CompileOptions::none().is_none());
+        assert!(!CompileOptions::all().is_none());
+        // parse() inverts key() on every subset, and rejects junk.
+        for options in [CompileOptions::none(), CompileOptions::all(), fd] {
+            assert_eq!(CompileOptions::parse(&options.key()), Some(options));
+        }
+        assert_eq!(
+            CompileOptions::parse("x"),
+            Some(CompileOptions { fold_x: true, ..CompileOptions::none() })
+        );
+        assert_eq!(CompileOptions::parse("q"), None);
+        assert_eq!(CompileOptions::parse("xfq"), None);
+    }
+
+    #[test]
+    fn buffers_are_forwarded_and_duplicates_merged() {
+        // b = BUF(a); two identical NANDs; one feeds the PO through each.
+        let mut b = CircuitBuilder::new("fwd");
+        b.add_input("a");
+        b.add_input("x");
+        b.add_gate("b", GateKind::Buf, ["a"]);
+        b.add_gate("n1", GateKind::Nand, ["b", "x"]);
+        b.add_gate("n2", GateKind::Nand, ["a", "x"]);
+        b.add_gate("o", GateKind::And, ["n1", "n2"]);
+        b.add_output("o");
+        let c = b.finish().unwrap();
+        let compiled = compile_staged(&c, CompileOptions::all());
+        // BUF forwarded; n1's fanin substitutes to a, making it n2's
+        // duplicate; the AND collapses to AND(n,n) — but AND is the PO
+        // driver so it survives.
+        assert_eq!(compiled.stats().forwarded, 1);
+        assert_eq!(compiled.stats().deduped, 1);
+        assert_eq!(compiled.tape().num_gates(), 2);
+        assert!(compiled.site_map().needs_baseline());
+        // The dedup representative is pinned; upstream PI stays direct.
+        let n1 = c.find("n1").unwrap();
+        let n2 = c.find("n2").unwrap();
+        let reps_pinned = [n1, n2]
+            .iter()
+            .filter(|&&id| compiled.site_map().output_route(id) == SiteRoute::Pinned)
+            .count();
+        assert!(reps_pinned >= 1, "dedup survivor must be pinned");
+        assert_eq!(compiled.site_map().output_route(c.find("a").unwrap()), SiteRoute::Direct);
+    }
+
+    #[test]
+    fn forwarded_single_fanout_gate_redirects() {
+        // b = BUF(a) feeds exactly one consumer pin: stem faults at b
+        // redirect to that pin.
+        let mut b = CircuitBuilder::new("redir");
+        b.add_input("a");
+        b.add_input("x");
+        b.add_gate("b", GateKind::Buf, ["a"]);
+        b.add_gate("o", GateKind::Nand, ["b", "x"]);
+        b.add_output("o");
+        let c = b.finish().unwrap();
+        let compiled = compile_staged(&c, CompileOptions::all());
+        let o = c.find("o").unwrap();
+        assert_eq!(
+            compiled.site_map().output_route(c.find("b").unwrap()),
+            SiteRoute::Redirect { node: o, pin: 0 }
+        );
+        // Input faults at a removed gate are never redirected.
+        assert_eq!(compiled.site_map().input_route(c.find("b").unwrap()), SiteRoute::Pinned);
+    }
+
+    #[test]
+    fn always_x_cone_folds_and_pins() {
+        // q = DFF(q) never leaves X; g = NOT(q) is in the closure too.
+        let mut b = CircuitBuilder::new("xfold");
+        b.add_input("a");
+        b.add_dff("q", "q");
+        b.add_gate("g", GateKind::Not, ["q"]);
+        b.add_gate("o", GateKind::And, ["g", "a"]);
+        b.add_output("o");
+        let c = b.finish().unwrap();
+        let compiled = compile_staged(&c, CompileOptions::all());
+        assert_eq!(compiled.stats().folded_x, 1);
+        // g is gone from the tape; o survives reading g's permanent-X slot.
+        let g = c.find("g").unwrap();
+        assert_eq!(compiled.tape().gate_pos(g.index()), None);
+        assert!(compiled.tape().gate_pos(c.find("o").unwrap().index()).is_some());
+        // Closure DFF stem faults are pinned; the folded NOT's single
+        // consumer pin routes Direct, so its stem faults redirect there.
+        assert_eq!(compiled.site_map().output_route(c.find("q").unwrap()), SiteRoute::Pinned);
+        assert_eq!(
+            compiled.site_map().output_route(g),
+            SiteRoute::Redirect { node: c.find("o").unwrap(), pin: 0 }
+        );
+    }
+
+    #[test]
+    fn dead_cone_is_swept_and_untestable() {
+        // d1/d2 feed only each other's cone, never a PO.
+        let mut b = CircuitBuilder::new("dead");
+        b.add_input("a");
+        b.add_input("x");
+        b.add_gate("d1", GateKind::Nor, ["a", "x"]);
+        b.add_gate("d2", GateKind::Not, ["d1"]);
+        b.add_gate("o", GateKind::Nand, ["a", "x"]);
+        b.add_output("o");
+        // d2 drives nothing: builder requires all nets driven, not read.
+        b.add_dff("qd", "d2");
+        let c = b.finish().unwrap();
+        let compiled = compile_staged(&c, CompileOptions::all());
+        let d1 = c.find("d1").unwrap();
+        let d2 = c.find("d2").unwrap();
+        assert_eq!(compiled.site_map().output_route(d1), SiteRoute::Untestable);
+        assert_eq!(compiled.site_map().output_route(d2), SiteRoute::Untestable);
+        assert_eq!(compiled.site_map().input_route(d2), SiteRoute::Untestable);
+        assert_eq!(compiled.site_map().output_route(c.find("qd").unwrap()), SiteRoute::Untestable);
+        assert_eq!(compiled.tape().gate_pos(d1.index()), None);
+        assert_eq!(compiled.tape().gate_pos(d2.index()), None);
+        assert!(compiled.stats().swept >= 2);
+        // The live path is untouched.
+        assert_eq!(compiled.site_map().output_route(c.find("o").unwrap()), SiteRoute::Direct);
+    }
+
+    #[test]
+    fn optimized_tape_stays_topological_and_subset() {
+        for entry in benchmarks::suite_up_to(600) {
+            let c = entry.build().unwrap();
+            let compiled = compile_staged(&c, CompileOptions::all());
+            let tape = compiled.tape();
+            assert!(tape.num_gates() <= c.num_gates(), "{}", entry.name);
+            assert_eq!(
+                compiled.stats().gates_removed(),
+                c.num_gates() - tape.num_gates(),
+                "{}",
+                entry.name
+            );
+            // Every tape gate is an original gate of the same kind, and
+            // the tape is topological over its own gates.
+            for g in 0..tape.num_gates() {
+                let id = NodeId::from_index(tape.gate_out()[g] as usize);
+                let node = c.node(id);
+                assert_eq!(node.kind(), &NodeKind::Gate(tape.ops()[g]), "{}", entry.name);
+                for &f in tape.fanin_of(g) {
+                    if let Some(src) = tape.gate_pos(f as usize) {
+                        assert!(src < g, "{}: gate {g} reads later gate {src}", entry.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suite_compiles_remove_gates() {
+        // The optimization must actually bite somewhere in the suite.
+        let mut removed = 0usize;
+        for entry in benchmarks::suite_up_to(600) {
+            let c = entry.build().unwrap();
+            removed += compile_staged(&c, CompileOptions::all()).gates_removed();
+        }
+        assert!(removed > 0, "no suite circuit had a removable gate");
+    }
+}

@@ -256,7 +256,8 @@ const DIRTY_CLASSES: [&str; 7] = ["L001", "L002", "L003", "L004", "L005", "L006"
 /// A small clean circuit from [`GeneratorSpec`] is rendered to text and
 /// then vandalized. Seeds cycle through the defect classes: `seed % 9`
 /// selects one of the seven error-class defects ([`DIRTY_CLASSES`]), a
-/// warnings-only netlist (dangling gate + unused input), or a compound
+/// warnings-only netlist (dangling gate, unused input, always-X cone,
+/// duplicate-cone pair), or a compound
 /// netlist with several error defects at once — so any contiguous run of
 /// 9+ seeds exercises every class, making linter recall testable rather
 /// than anecdotal.
@@ -308,11 +309,23 @@ pub fn dirty_circuit(seed: u64) -> DirtyCircuit {
             "L006" => lines.push(format!("{} = OR({}, {})", pi(0), pi(1), pi(1))),
             // An OUTPUT over a signal that is never defined.
             "L007" => lines.push("OUTPUT(ZNOPE)".to_string()),
-            // Warning pack: a dangling gate and an unused input. These
-            // plant *warnings*, so they only go into otherwise-clean
-            // sources (dead-logic analysis is skipped on broken graphs).
+            // Warning pack: a dangling gate, an unused input, an always-X
+            // cone and a duplicate-cone pair. These plant *warnings*, so
+            // they only go into otherwise-clean sources (the warning
+            // analyses are skipped on broken graphs).
             "L008" => lines.push(format!("ZW0 = AND({}, {})", pi(0), pi(1))),
             "L010" => lines.push("INPUT(ZIDLE)".to_string()),
+            "L014" => {
+                // A DFF self-loop never leaves X; the NOT rides in the
+                // closure with it and the OUTPUT keeps the cone live.
+                lines.push("ZX0 = DFF(ZX0)".to_string());
+                lines.push("ZXG = NOT(ZX0)".to_string());
+                lines.push("OUTPUT(ZXG)".to_string());
+            }
+            "L015" => {
+                lines.push(format!("ZP0 = NOR({}, {})", pi(0), pi(1)));
+                lines.push(format!("ZP1 = NOR({}, {})", pi(0), pi(1)));
+            }
             _ => unreachable!("unknown dirty class {code}"),
         }
         planted.push(code);
@@ -323,6 +336,8 @@ pub fn dirty_circuit(seed: u64) -> DirtyCircuit {
         7 => {
             plant(&mut lines, &mut planted, "L008");
             plant(&mut lines, &mut planted, "L010");
+            plant(&mut lines, &mut planted, "L014");
+            plant(&mut lines, &mut planted, "L015");
         }
         _ => {
             // Compound: several distinct error defects in one netlist.
@@ -407,7 +422,9 @@ mod tests {
         for code in DIRTY_CLASSES {
             assert!(seen.contains(code), "no seed plants {code}");
         }
-        assert!(seen.contains("L008") && seen.contains("L010"), "warning pack missing");
+        for code in ["L008", "L010", "L014", "L015"] {
+            assert!(seen.contains(code), "warning pack missing {code}");
+        }
     }
 
     #[test]

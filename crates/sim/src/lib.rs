@@ -60,6 +60,7 @@ pub mod eval;
 mod fault;
 mod good;
 mod logic;
+mod mapped;
 mod packed;
 mod planes;
 pub mod reference;
@@ -76,6 +77,9 @@ pub use bist_expand::VectorSource;
 /// Re-exported from `bist-netlist`: the compiled instruction form every
 /// engine executes ([`SimBackend::detection_times_tape`]).
 pub use bist_netlist::GateTape;
+/// Re-exported from `bist-netlist`: the staged compiler artifacts the
+/// mapped simulation path ([`detection_times_mapped`]) consumes.
+pub use bist_netlist::{CompileOptions, CompiledCircuit, SiteMap, SiteRoute};
 pub use collapse::{collapse, CollapsedFaults};
 pub use coverage::FaultCoverage;
 pub use error::SimError;
@@ -83,6 +87,7 @@ pub use eval::{eval_gate, eval_gate_scalar};
 pub use fault::{fault_universe, sort_faults_by_site, Fault, FaultSite};
 pub use good::{simulate_faulty, simulate_good, GoodTrace};
 pub use logic::Logic;
+pub use mapped::detection_times_mapped;
 pub use packed::{LaneMask, PackedValue, PackedValue256, PackedValue512, PackedVec, PackedWord};
 pub use simulator::FaultSimulator;
 pub use stepped::SteppedSim;

@@ -29,7 +29,7 @@ use crate::backend::{PackedBackend, ScalarBackend, ShardedBackend, SimBackend, W
 use crate::good::GoodTrace;
 use crate::{Fault, SimError};
 use bist_expand::{TestSequence, VectorSource};
-use bist_netlist::{Circuit, GateTape};
+use bist_netlist::{Circuit, CompiledCircuit, GateTape};
 use std::sync::Arc;
 
 /// Sequential stuck-at fault simulator for one circuit.
@@ -56,6 +56,9 @@ pub struct FaultSimulator<'c> {
     circuit: &'c Circuit,
     tape: Arc<GateTape>,
     backend: Arc<dyn SimBackend>,
+    /// A staged compile to route fault sites through. `None` for the
+    /// classic identity paths: every site injects on `tape` directly.
+    compiled: Option<Arc<CompiledCircuit>>,
 }
 
 impl<'c> FaultSimulator<'c> {
@@ -93,7 +96,7 @@ impl<'c> FaultSimulator<'c> {
         let tape = Arc::new(GateTape::compile(circuit));
         #[cfg(debug_assertions)]
         bist_verify::audit_tape(circuit, &tape);
-        FaultSimulator { circuit, tape, backend }
+        FaultSimulator { circuit, tape, backend, compiled: None }
     }
 
     /// Creates a simulator reusing an already-compiled tape — the
@@ -113,7 +116,35 @@ impl<'c> FaultSimulator<'c> {
         // additionally prove the tape is *this* circuit's, field by field.
         #[cfg(debug_assertions)]
         bist_verify::audit_tape(circuit, &tape);
-        Ok(FaultSimulator { circuit, tape, backend })
+        Ok(FaultSimulator { circuit, tape, backend, compiled: None })
+    }
+
+    /// Creates a simulator over a staged compile: queries run on the
+    /// (possibly optimized) tape, with fault sites routed through the
+    /// compile's [`SiteMap`](bist_netlist::SiteMap) — pinned sites fall
+    /// back to the baseline tape, so results are bit-identical to an
+    /// unoptimized simulator.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TapeMismatch`] if the compile's baseline tape does not
+    /// match `circuit`'s shape (the compile belongs to another circuit).
+    pub fn with_backend_and_compiled(
+        circuit: &'c Circuit,
+        compiled: Arc<CompiledCircuit>,
+        backend: Arc<dyn SimBackend>,
+    ) -> Result<Self, SimError> {
+        check_tape_shape(compiled.baseline(), circuit)?;
+        if compiled.site_map().num_nodes() != circuit.num_nodes() {
+            return Err(SimError::TapeMismatch {
+                tape_shape: (compiled.site_map().num_nodes(), 0, 0, 0, 0),
+                circuit_shape: (circuit.num_nodes(), 0, 0, 0, 0),
+            });
+        }
+        #[cfg(debug_assertions)]
+        bist_verify::audit_compiled(circuit, &compiled);
+        let tape = Arc::clone(compiled.tape());
+        Ok(FaultSimulator { circuit, tape, backend, compiled: Some(compiled) })
     }
 
     /// The simulated circuit.
@@ -133,6 +164,14 @@ impl<'c> FaultSimulator<'c> {
     #[must_use]
     pub fn backend(&self) -> &dyn SimBackend {
         &*self.backend
+    }
+
+    /// The staged compile fault queries are routed through, if this
+    /// simulator was built with
+    /// [`with_backend_and_compiled`](Self::with_backend_and_compiled).
+    #[must_use]
+    pub fn compiled(&self) -> Option<&Arc<CompiledCircuit>> {
+        self.compiled.as_ref()
     }
 
     /// Fault-free simulation (see [`simulate_good`](crate::simulate_good))
@@ -171,7 +210,12 @@ impl<'c> FaultSimulator<'c> {
         source: &dyn VectorSource,
         faults: &[Fault],
     ) -> Result<Vec<Option<usize>>, SimError> {
-        self.backend.detection_times_tape(&self.tape, source, faults)
+        match &self.compiled {
+            Some(compiled) => {
+                crate::mapped::detection_times_mapped(&*self.backend, compiled, source, faults)
+            }
+            None => self.backend.detection_times_tape(&self.tape, source, faults),
+        }
     }
 
     /// First detection time of a single fault (early exit at detection).

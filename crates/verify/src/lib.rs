@@ -45,4 +45,4 @@ pub mod tape_check;
 
 pub use equiv::{check_equiv, structural_hash, Inequivalence};
 pub use lint::{lint_circuit, lint_source, Diagnostic, LintCode, Severity};
-pub use tape_check::{audit_tape, verify_tape, TapeViolation};
+pub use tape_check::{audit_compiled, audit_tape, verify_compiled, verify_tape, TapeViolation};

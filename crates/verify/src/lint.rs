@@ -12,7 +12,8 @@
 //! * [`lint_circuit`] runs on an already-validated
 //!   [`Circuit`](bist_netlist::Circuit). Construction has excluded the
 //!   error-class defects, so only the warning-class analyses (dead
-//!   logic, duplicate fanin) can fire.
+//!   logic, duplicate fanin, constant always-X nets, duplicate cones)
+//!   can fire.
 //!
 //! Every diagnostic carries a stable [`LintCode`] (`L001`…), a
 //! [`Severity`] and the offending net names. "Lint-clean" means **no
@@ -20,8 +21,10 @@
 //! redundant structure that simulates fine — the fuzz corpus
 //! deliberately contains such shapes.
 
-use bist_netlist::parser::{parse_bench_raw, RawStatement};
-use bist_netlist::{Circuit, GateKind, NetlistError, NodeKind};
+use bist_netlist::parser::{parse_bench, parse_bench_raw, RawStatement};
+use bist_netlist::{
+    always_x_closure, duplicate_cone_pairs, Circuit, GateKind, NetlistError, NodeKind,
+};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 
@@ -78,11 +81,20 @@ pub enum LintCode {
     NoInputs,
     /// `L013` — the netlist declares no primary outputs.
     NoOutputs,
+    /// `L014` — a gate or flip-flop whose value can never leave `X`
+    /// under the pessimistic 3-valued semantics (the always-X closure
+    /// the staged compiler's constant fold removes): logic that computes
+    /// nothing observable.
+    ConstantGate,
+    /// `L015` — a pair of gates computing the identical function (same
+    /// opcode over the same nets, after buffer/same-fanin forwarding):
+    /// one of the two is redundant.
+    DuplicateCone,
 }
 
 impl LintCode {
     /// All codes, in code order — the public catalogue.
-    pub const ALL: [LintCode; 13] = [
+    pub const ALL: [LintCode; 15] = [
         LintCode::CombinationalCycle,
         LintCode::UndrivenNet,
         LintCode::DuplicateDriver,
@@ -96,6 +108,8 @@ impl LintCode {
         LintCode::DuplicateFanin,
         LintCode::NoInputs,
         LintCode::NoOutputs,
+        LintCode::ConstantGate,
+        LintCode::DuplicateCone,
     ];
 
     /// The stable `L0xx` string form.
@@ -115,6 +129,8 @@ impl LintCode {
             LintCode::DuplicateFanin => "L011",
             LintCode::NoInputs => "L012",
             LintCode::NoOutputs => "L013",
+            LintCode::ConstantGate => "L014",
+            LintCode::DuplicateCone => "L015",
         }
     }
 
@@ -134,7 +150,9 @@ impl LintCode {
             LintCode::DanglingGate
             | LintCode::UnreachableDff
             | LintCode::UnusedInput
-            | LintCode::DuplicateFanin => Severity::Warning,
+            | LintCode::DuplicateFanin
+            | LintCode::ConstantGate
+            | LintCode::DuplicateCone => Severity::Warning,
         }
     }
 }
@@ -443,6 +461,12 @@ pub fn lint_source(source: &str) -> Result<Vec<Diagnostic>, NetlistError> {
                 (*n, kind, live.contains(n))
             }),
         );
+        // The compile-analysis warnings (L014/L015) need a validated
+        // graph; a clean raw lint is exactly what the strict parser
+        // accepts, so parse failure only means there is nothing to add.
+        if let Ok(circuit) = parse_bench("lint", source) {
+            push_structure_warnings(&mut diags, &circuit);
+        }
     }
 
     diags.sort_by(|a, b| (a.code, &a.nets, &a.message).cmp(&(b.code, &b.nets, &b.message)));
@@ -511,11 +535,42 @@ fn push_dead_logic<'a>(
     }
 }
 
+/// Emits L014/L015 from the staged compiler's structural analyses: the
+/// always-X closure (the constant fold's removal set) and duplicate-cone
+/// pairs (the hash-cons dedup pass's merge set, without the PO
+/// exemption).
+fn push_structure_warnings(diags: &mut Vec<Diagnostic>, circuit: &Circuit) {
+    let constant = always_x_closure(circuit);
+    let nets: Vec<String> = circuit
+        .nodes()
+        .iter()
+        .zip(&constant)
+        .filter(|(_, in_closure)| **in_closure)
+        .map(|(node, _)| node.name().to_string())
+        .collect();
+    if !nets.is_empty() {
+        diags.push(Diagnostic::new(
+            LintCode::ConstantGate,
+            format!("{} net(s) can never leave X under 3-valued simulation", nets.len()),
+            nets,
+        ));
+    }
+    for (dup, rep) in duplicate_cone_pairs(circuit) {
+        let (dup, rep) = (circuit.node(dup).name(), circuit.node(rep).name());
+        diags.push(Diagnostic::new(
+            LintCode::DuplicateCone,
+            format!("gate `{dup}` computes the same function as `{rep}`"),
+            vec![dup.to_string(), rep.to_string()],
+        ));
+    }
+}
+
 /// Lints a validated [`Circuit`].
 ///
 /// Construction already excludes every error-class defect, so only the
 /// warning-class analyses can fire: dangling gates (L008), unreachable
-/// flip-flops (L009), unused inputs (L010) and duplicate fanin (L011).
+/// flip-flops (L009), unused inputs (L010), duplicate fanin (L011),
+/// constant always-X nets (L014) and duplicate cones (L015).
 /// An empty result means the circuit is free of dead logic too.
 #[must_use]
 pub fn lint_circuit(circuit: &Circuit) -> Vec<Diagnostic> {
@@ -562,6 +617,7 @@ pub fn lint_circuit(circuit: &Circuit) -> Vec<Diagnostic> {
             (node.name(), kind, live[i])
         }),
     );
+    push_structure_warnings(&mut diags, circuit);
 
     diags.sort_by(|a, b| (a.code, &a.nets, &a.message).cmp(&(b.code, &b.nets, &b.message)));
     diags
@@ -728,6 +784,56 @@ q = DFF(a, b)
     }
 
     #[test]
+    fn l014_constant_gate() {
+        // q never leaves X (DFF self-loop); g is in the closure with it.
+        let src = "INPUT(a)\nOUTPUT(y)\nq = DFF(q)\ng = NOT(q)\ny = OR(g, a)\n";
+        let diags = lint_source(src).unwrap();
+        assert_eq!(codes(&diags), ["L014"]);
+        assert_eq!(diags[0].nets, ["g", "q"]);
+        assert_eq!(diags[0].severity(), Severity::Warning);
+        assert!(is_clean(&diags));
+        // The circuit-level pass agrees.
+        let c = parse_bench("t", src).unwrap();
+        assert_eq!(codes(&lint_circuit(&c)), ["L014"]);
+        // Counterexample: a DFF fed from a PI leaves X after one clock.
+        let src = "INPUT(a)\nOUTPUT(y)\nq = DFF(a)\ny = NOT(q)\n";
+        assert_eq!(lint_source(src).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn l015_duplicate_cone() {
+        let src = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+g1 = NOR(a, b)
+g2 = NOR(a, b)
+y = XOR(g1, g2)
+";
+        let diags = lint_source(src).unwrap();
+        assert_eq!(codes(&diags), ["L015"]);
+        assert_eq!(diags[0].nets, ["g1", "g2"]);
+        assert!(diags[0].message.contains("same function"), "{}", diags[0].message);
+        let c = parse_bench("t", src).unwrap();
+        assert_eq!(codes(&lint_circuit(&c)), ["L015"]);
+        // A duplicate hidden behind a buffer is still found (forwarding).
+        let src = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+p = BUF(a)
+g1 = NAND(p, b)
+g2 = NAND(a, b)
+y = AND(g1, g2)
+";
+        assert!(codes(&lint_source(src).unwrap()).contains(&"L015"));
+        // Counterexample: same fanins, different opcode — no duplicate.
+        let src =
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ng1 = NOR(a, b)\ng2 = NAND(a, b)\ny = XOR(g1, g2)\n";
+        assert_eq!(lint_source(src).unwrap(), Vec::new());
+    }
+
+    #[test]
     fn l012_l013_missing_interface() {
         let diags = lint_source("y = AND(x, x)\nOUTPUT(y)\n").unwrap();
         assert!(codes(&diags).contains(&"L012"), "{diags:?}");
@@ -782,7 +888,7 @@ q = DFF(a, b)
             strs,
             [
                 "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
-                "L011", "L012", "L013"
+                "L011", "L012", "L013", "L014", "L015"
             ]
         );
         // Codes are unique and each maps to exactly one severity.

@@ -67,6 +67,10 @@ pub use bist_sim as sim;
 pub use bist_tgen as tgen;
 pub use bist_verify as verify;
 
+/// Re-exported from `bist-netlist`: the staged-compiler configuration
+/// surface consumed by [`SessionBuilder::optimize`] and
+/// [`SessionArtifacts::compiled`].
+pub use bist_netlist::{compile_staged, CompileOptions, CompiledCircuit};
 pub use error::BistError;
 pub use session::{
     Backend, Session, SessionArtifacts, SessionBuilder, SessionParts, SessionReport,

@@ -28,7 +28,9 @@ use bist_core::{
 };
 use bist_expand::expansion::ExpansionConfig;
 use bist_expand::TestSequence;
-use bist_netlist::{benchmarks, Circuit, GateTape};
+use bist_netlist::{
+    benchmarks, compile_staged_with_baseline, Circuit, CompileOptions, CompiledCircuit, GateTape,
+};
 use bist_sim::{
     collapse, fault_universe, Fault, FaultCoverage, FaultSimulator, ShardedBackend, SimBackend,
     WordWidth,
@@ -105,6 +107,7 @@ impl Backend {
 pub struct SessionArtifacts {
     circuit: Option<Arc<Circuit>>,
     tape: Option<Arc<GateTape>>,
+    compiled: Option<Arc<CompiledCircuit>>,
     faults: Option<Arc<Vec<Fault>>>,
     t0: Option<Arc<GeneratedTest>>,
     t0_seconds: Option<f64>,
@@ -131,6 +134,18 @@ impl SessionArtifacts {
     #[must_use]
     pub fn tape(mut self, tape: Arc<GateTape>) -> Self {
         self.tape = Some(tape);
+        self
+    }
+
+    /// Supplies a staged compile of the session's circuit (as produced by
+    /// [`compile_staged`](bist_netlist::compile_staged)), so the session
+    /// neither compiles nor re-optimizes anything. Its pass options take
+    /// precedence over [`SessionBuilder::optimize`], and its baseline
+    /// tape also fills the session's tape slot when no explicit
+    /// [`tape`](Self::tape) artifact was supplied.
+    #[must_use]
+    pub fn compiled(mut self, compiled: Arc<CompiledCircuit>) -> Self {
+        self.compiled = Some(compiled);
         self
     }
 
@@ -246,6 +261,7 @@ pub struct SessionBuilder {
     seed: Option<u64>,
     t0: Option<TestSequence>,
     artifacts: SessionArtifacts,
+    optimize: CompileOptions,
     verify: bool,
 }
 
@@ -259,6 +275,7 @@ impl Default for SessionBuilder {
             seed: None,
             t0: None,
             artifacts: SessionArtifacts::default(),
+            optimize: CompileOptions::none(),
             verify: true,
         }
     }
@@ -364,6 +381,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects the staged-compiler passes the session's fault simulation
+    /// runs on (off by default — [`CompileOptions::none`]).
+    ///
+    /// With a non-empty set, the circuit is compiled once through the
+    /// semantics-preserving pass pipeline and every fault-simulation
+    /// phase (`T0` coverage, the Procedure 1/2 sweeps, verification) is
+    /// routed through the optimized tape by fault-site mapping — results
+    /// are bit-identical to the unoptimized session. `T0` *generation*
+    /// always runs on the unoptimized baseline tape, so the produced
+    /// sequence is independent of this setting.
+    #[must_use]
+    pub fn optimize(mut self, options: CompileOptions) -> Self {
+        self.optimize = options;
+        self
+    }
+
     /// Enables/disables the post-run coverage verification (streamed
     /// re-simulation of the best run's expansions; on by default).
     #[must_use]
@@ -407,11 +440,10 @@ impl SessionBuilder {
                 )));
             }
         }
-        let tape = OnceLock::new();
-        if let Some(shared) = self.artifacts.tape {
-            // Same O(1) shape fingerprint the sim layer checks
-            // (`SimError::TapeMismatch`), surfaced as a config error at
-            // build time instead of deep inside the first run.
+        // Same O(1) shape fingerprint the sim layer checks
+        // (`SimError::TapeMismatch`), surfaced as a config error at
+        // build time instead of deep inside the first run.
+        let check_shape = |shared: &GateTape, what: &str| -> Result<(), BistError> {
             let tape_shape = (
                 shared.num_nodes(),
                 shared.num_inputs(),
@@ -428,12 +460,34 @@ impl SessionBuilder {
             );
             if tape_shape != circuit_shape {
                 return Err(BistError::Config(format!(
-                    "injected tape does not match circuit `{}`: tape shape {tape_shape:?} vs \
+                    "injected {what} does not match circuit `{}`: tape shape {tape_shape:?} vs \
                      circuit shape {circuit_shape:?} (nodes/inputs/outputs/DFFs/gates)",
                     circuit.name(),
                 )));
             }
+            Ok(())
+        };
+        let tape = OnceLock::new();
+        if let Some(shared) = self.artifacts.tape {
+            check_shape(&shared, "tape")?;
             let _ = tape.set(shared);
+        }
+        let compiled = OnceLock::new();
+        if let Some(shared) = self.artifacts.compiled {
+            check_shape(shared.baseline(), "compiled artifact's baseline tape")?;
+            if shared.site_map().num_nodes() != circuit.num_nodes() {
+                return Err(BistError::Config(format!(
+                    "injected compiled artifact does not match circuit `{}`: site map covers {} \
+                     nodes vs {} circuit nodes",
+                    circuit.name(),
+                    shared.site_map().num_nodes(),
+                    circuit.num_nodes(),
+                )));
+            }
+            if tape.get().is_none() {
+                let _ = tape.set(Arc::clone(shared.baseline()));
+            }
+            let _ = compiled.set(shared);
         }
         let faults = OnceLock::new();
         if let Some(shared) = self.artifacts.faults {
@@ -475,6 +529,8 @@ impl SessionBuilder {
             prebuilt,
             prebuilt_seconds: self.artifacts.t0_seconds,
             tape,
+            compiled,
+            optimize: self.optimize,
             faults,
             tgen,
             scheme,
@@ -506,10 +562,17 @@ pub struct Session {
     prebuilt: Option<Arc<GeneratedTest>>,
     /// Original generation time of the injected `T0`, if recorded.
     prebuilt_seconds: Option<f64>,
-    /// Compiled gate tape, compiled on first [`run`](Session::run) (or
-    /// injected at build time) and executed by every simulation the
-    /// session performs.
+    /// Compiled (unoptimized) gate tape, compiled on first
+    /// [`run`](Session::run) (or injected at build time). It is the tape
+    /// every simulation executes when no optimization is configured, and
+    /// the staged compiler's baseline otherwise.
     tape: OnceLock<Arc<GateTape>>,
+    /// Staged compile of the circuit — produced on first
+    /// [`run`](Session::run) when [`SessionBuilder::optimize`] selected
+    /// any pass (or injected at build time), `None`-state otherwise.
+    compiled: OnceLock<Arc<CompiledCircuit>>,
+    /// The pass selection [`compiled`](Self::compiled) is built with.
+    optimize: CompileOptions,
     /// Collapsed fault universe, computed on first [`run`](Session::run)
     /// (or injected at build time) and shared by every later run.
     faults: OnceLock<Arc<Vec<Fault>>>,
@@ -547,6 +610,22 @@ impl Session {
         })
     }
 
+    /// The staged compile the session's fault simulation runs on, if
+    /// any — `None` when the session is unoptimized
+    /// ([`CompileOptions::none`] and no injected compiled artifact).
+    /// Compiled on first access against the session's baseline
+    /// [`tape`](Session::tape) and cached for the session's lifetime.
+    #[must_use]
+    pub fn compiled(&self) -> Option<&Arc<CompiledCircuit>> {
+        if self.compiled.get().is_none() && self.optimize.is_none() {
+            return None;
+        }
+        Some(self.compiled.get_or_init(|| {
+            let baseline = Arc::clone(self.tape());
+            Arc::new(compile_staged_with_baseline(&self.circuit, self.optimize, baseline))
+        }))
+    }
+
     /// The collapsed fault universe of the circuit — computed on first
     /// access (or injected via [`SessionBuilder::with_artifacts`]) and
     /// cached for the session's lifetime; repeated [`run`](Session::run)
@@ -576,11 +655,18 @@ impl Session {
     pub fn run(&self) -> Result<SessionReport, BistError> {
         let faults = self.collapsed_faults();
         let tape = Arc::clone(self.tape());
-        let sim = FaultSimulator::with_backend_and_tape(
-            &self.circuit,
-            Arc::clone(&tape),
-            Arc::clone(&self.engine),
-        )?;
+        let sim = match self.compiled() {
+            Some(compiled) => FaultSimulator::with_backend_and_compiled(
+                &self.circuit,
+                Arc::clone(compiled),
+                Arc::clone(&self.engine),
+            )?,
+            None => FaultSimulator::with_backend_and_tape(
+                &self.circuit,
+                Arc::clone(&tape),
+                Arc::clone(&self.engine),
+            )?,
+        };
 
         let started = Instant::now();
         let mut injected = false;
@@ -622,6 +708,7 @@ impl Session {
             circuit: (*self.circuit).clone(),
             backend: sim.backend().name(),
             faults_total: faults.len(),
+            gates_removed: self.compiled().map_or(0, |c| c.gates_removed()),
             t0,
             coverage,
             scheme,
@@ -642,6 +729,9 @@ pub struct SessionParts {
     pub backend: &'static str,
     /// Size of the collapsed fault universe.
     pub faults_total: usize,
+    /// Gates the staged compiler removed from the simulated tape (0 for
+    /// an unoptimized session).
+    pub gates_removed: usize,
     /// The off-chip test sequence the scheme started from.
     pub t0: TestSequence,
     /// Coverage of `T0` (detected set + `udet` times).
@@ -660,6 +750,7 @@ pub struct SessionReport {
     circuit: Circuit,
     backend: &'static str,
     faults_total: usize,
+    gates_removed: usize,
     t0: TestSequence,
     coverage: FaultCoverage,
     scheme: SchemeResult,
@@ -684,6 +775,13 @@ impl SessionReport {
     #[must_use]
     pub fn faults_total(&self) -> usize {
         self.faults_total
+    }
+
+    /// Gates the staged compiler removed from the simulated tape (0 for
+    /// an unoptimized session).
+    #[must_use]
+    pub fn gates_removed(&self) -> usize {
+        self.gates_removed
     }
 
     /// The off-chip test sequence the scheme started from.
@@ -749,6 +847,7 @@ impl SessionReport {
             circuit: self.circuit,
             backend: self.backend,
             faults_total: self.faults_total,
+            gates_removed: self.gates_removed,
             t0: self.t0,
             coverage: self.coverage,
             scheme: self.scheme,
@@ -766,10 +865,15 @@ impl SessionReport {
             Some(false) => "FAILED VERIFICATION",
             None => "not verified",
         };
+        let optimized = if self.gates_removed > 0 {
+            format!(", optimized tape (-{} gates)", self.gates_removed)
+        } else {
+            String::new()
+        };
         format!(
             "{}: T0 = {} vectors covering {}/{} faults; best n = {}: |S| = {}, \
              tot len = {} ({:.0}% of T0), max len = {}, applied at speed = {} \
-             [{} backend, coverage {}]",
+             [{} backend, coverage {}{}]",
             self.circuit.name(),
             self.t0.len(),
             self.coverage.detected_count(),
@@ -782,6 +886,7 @@ impl SessionReport {
             best.applied_test_len(),
             self.backend,
             verified,
+            optimized,
         )
     }
 }
@@ -916,6 +1021,66 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, BistError::Config(_)), "{err:?}");
         assert!(err.to_string().contains("tape"), "{err}");
+    }
+
+    #[test]
+    fn optimized_sessions_are_bit_identical_to_unoptimized() {
+        for name in ["s27", "a298"] {
+            let base =
+                Session::builder().suite_circuit(name).seed(1999).ns(vec![1, 2]).run().unwrap();
+            let session = Session::builder()
+                .suite_circuit(name)
+                .seed(1999)
+                .ns(vec![1, 2])
+                .optimize(CompileOptions::all())
+                .build()
+                .unwrap();
+            let opt = session.run().unwrap();
+            assert_eq!(opt.t0(), base.t0(), "{name}: T0 must stay baseline-generated");
+            assert_eq!(opt.coverage(), base.coverage(), "{name}");
+            assert_eq!(opt.best().after.total_len, base.best().after.total_len, "{name}");
+            assert_eq!(opt.best().after.max_len, base.best().after.max_len, "{name}");
+            assert_eq!(opt.verified(), Some(true), "{name}");
+            assert_eq!(base.gates_removed(), 0);
+            assert_eq!(opt.gates_removed(), session.compiled().unwrap().gates_removed(), "{name}");
+            if opt.gates_removed() > 0 {
+                assert!(opt.summary().contains("optimized tape"), "{}", opt.summary());
+            }
+        }
+    }
+
+    #[test]
+    fn injected_compiled_artifact_is_served_back_and_validated() {
+        use bist_netlist::compile_staged;
+
+        let circuit = Arc::new(benchmarks::s27());
+        let compiled = Arc::new(compile_staged(&circuit, CompileOptions::all()));
+        let session = Session::builder()
+            .with_artifacts(
+                SessionArtifacts::new()
+                    .circuit(Arc::clone(&circuit))
+                    .compiled(Arc::clone(&compiled)),
+            )
+            .seed(3)
+            .ns(vec![1])
+            .build()
+            .unwrap();
+        // The injected compile is served back, and its baseline fills the
+        // session's tape slot.
+        assert!(Arc::ptr_eq(session.compiled().unwrap(), &compiled));
+        assert!(Arc::ptr_eq(session.tape(), compiled.baseline()));
+        let report = session.run().unwrap();
+        assert_eq!(report.coverage().detected_count(), 32);
+        assert_eq!(report.gates_removed(), compiled.gates_removed());
+        // A compile of another circuit is rejected at build time.
+        let other = benchmarks::suite()[1].build().unwrap();
+        let alien = Arc::new(compile_staged(&other, CompileOptions::all()));
+        let err = Session::builder()
+            .with_artifacts(SessionArtifacts::new().circuit(circuit).compiled(alien))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BistError::Config(_)), "{err:?}");
+        assert!(err.to_string().contains("compiled"), "{err}");
     }
 
     #[test]
