@@ -11,20 +11,24 @@
 //!                 [--ns 2,4,8,16] [--no-postprocess] [--no-verify]
 //!                 [--optimize[=PASSES]]
 //!                 [--threads N] [--queue N] [--keep-going] [--jsonl PATH]
+//!                 [--metrics PATH] [--trace PATH] [--metrics-stdout]
 //! subseq-bist list-circuits
 //! subseq-bist lint FILE.bench... | --suite [--jsonl PATH] [--deny-warnings]
 //! subseq-bist check-equiv A B
-//! subseq-bist validate [--lint] FILE.jsonl
+//! subseq-bist validate [--lint | --metrics | --trace] FILE
 //! ```
 //!
 //! Argument parsing is hand-rolled (no external dependencies), in the
 //! same convention as the table binaries in `bist-bench`.
 
+use std::sync::Arc;
+
 use bist_batch::{parse_backend, BatchError, Campaign, CampaignEngine, JsonlSink, ReportSink};
 use subseq_bist::netlist::{benchmarks, parser, Circuit};
+use subseq_bist::obs::export;
 use subseq_bist::tgen::TgenConfig;
 use subseq_bist::verify::{check_equiv, lint_circuit, lint_source, structural_hash, Severity};
-use subseq_bist::{Backend, CompileOptions};
+use subseq_bist::{Backend, CompileOptions, Obs, Registry};
 
 const USAGE: &str = "\
 subseq-bist — batch campaign front end for the subsequence-BIST pipeline
@@ -36,6 +40,8 @@ USAGE:
     subseq-bist check-equiv A B    structural equivalence of two netlists
     subseq-bist validate FILE      schema-check a campaign JSONL file
              [--lint]              ...or a lint-diagnostic JSONL file
+             [--metrics]           ...or a metrics JSON export
+             [--trace]             ...or a trace JSONL export
     subseq-bist help               show this text
 
 LINT:
@@ -71,6 +77,9 @@ RUN OPTIONS:
     --queue N           bounded job-queue depth (default 32)
     --keep-going        record job failures instead of cancelling
     --jsonl PATH        stream one schema-validated JSON row per job
+    --metrics PATH      write counters/gauges/histograms as JSON after the run
+    --trace PATH        record span traces and write them as JSONL
+    --metrics-stdout    print the metrics table to stdout after the run
     --smoke             tiny CI configuration: small circuits, short T0,
                         n in {1,2}, packed + sharded backends
 ";
@@ -132,6 +141,9 @@ fn run(args: &[String]) -> Result<(), BatchError> {
     let mut queue = 32;
     let mut keep_going = false;
     let mut jsonl: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut metrics_stdout = false;
     let mut smoke = false;
 
     let mut it = args.iter();
@@ -184,6 +196,9 @@ fn run(args: &[String]) -> Result<(), BatchError> {
             "--queue" => queue = parse_usize(arg, parse_flag_value(arg, &mut it)?)?,
             "--keep-going" => keep_going = true,
             "--jsonl" => jsonl = Some(parse_flag_value(arg, &mut it)?.to_string()),
+            "--metrics" => metrics = Some(parse_flag_value(arg, &mut it)?.to_string()),
+            "--trace" => trace = Some(parse_flag_value(arg, &mut it)?.to_string()),
+            "--metrics-stdout" => metrics_stdout = true,
             "--smoke" => smoke = true,
             other => {
                 return Err(BatchError::Config(format!(
@@ -230,7 +245,21 @@ fn run(args: &[String]) -> Result<(), BatchError> {
         campaign = campaign.schemes(schemes);
     }
 
-    let engine = CampaignEngine::new().threads(threads).queue_depth(queue).keep_going(keep_going);
+    let mut engine =
+        CampaignEngine::new().threads(threads).queue_depth(queue).keep_going(keep_going);
+
+    // Telemetry is opt-in: without one of the flags below the engine
+    // keeps its no-op sink and records nothing.
+    let registry = if metrics.is_some() || trace.is_some() || metrics_stdout {
+        let registry = Arc::new(Registry::new());
+        if trace.is_some() {
+            registry.enable_tracing();
+        }
+        engine = engine.obs(Obs::with_registry(Arc::clone(&registry)));
+        Some(registry)
+    } else {
+        None
+    };
 
     let outcome = match &jsonl {
         Some(path) => {
@@ -244,6 +273,28 @@ fn run(args: &[String]) -> Result<(), BatchError> {
     };
     print!("{}", outcome.summary);
     println!("  cache: {}", outcome.cache);
+    println!("  cache {}", outcome.residency);
+
+    if let Some(registry) = registry {
+        let snapshot = registry.snapshot();
+        if let Some(path) = &metrics {
+            let rendered = export::render_json(&snapshot);
+            let rows = export::validate_metrics_json(&rendered)
+                .map_err(|e| BatchError::Config(format!("internal: emitted bad metrics: {e}")))?;
+            std::fs::write(path, &rendered).map_err(BatchError::Io)?;
+            println!("wrote {rows} metrics to {path}");
+        }
+        if let Some(path) = &trace {
+            let rendered = export::render_trace_jsonl(&registry.trace_events());
+            let rows = export::validate_trace_jsonl(&rendered)
+                .map_err(|e| BatchError::Config(format!("internal: emitted bad trace: {e}")))?;
+            std::fs::write(path, &rendered).map_err(BatchError::Io)?;
+            println!("wrote {rows} trace events to {path}");
+        }
+        if metrics_stdout {
+            print!("{}", export::render_text(&snapshot));
+        }
+    }
     Ok(())
 }
 
@@ -256,11 +307,18 @@ fn list_circuits() -> Result<(), BatchError> {
 }
 
 fn validate(args: &[String]) -> Result<(), BatchError> {
-    let mut lint_schema = false;
+    let mut schema: Option<&str> = None;
     let mut path: Option<&str> = None;
     for arg in args {
         match arg.as_str() {
-            "--lint" => lint_schema = true,
+            flag @ ("--lint" | "--metrics" | "--trace") => {
+                if let Some(prev) = schema {
+                    return Err(BatchError::Config(format!(
+                        "`validate` takes one schema flag, got `{prev}` and `{flag}`"
+                    )));
+                }
+                schema = Some(flag);
+            }
             other if path.is_none() => path = Some(other),
             other => {
                 return Err(BatchError::Config(format!("unexpected `validate` argument `{other}`")))
@@ -268,12 +326,13 @@ fn validate(args: &[String]) -> Result<(), BatchError> {
         }
     }
     let path =
-        path.ok_or_else(|| BatchError::Config("`validate` needs a JSONL file path".to_string()))?;
+        path.ok_or_else(|| BatchError::Config("`validate` needs a file path".to_string()))?;
     let text = read_file(path)?;
-    let (rows, what) = if lint_schema {
-        (bist_batch::jsonl::validate_lint_jsonl(&text), "diagnostic rows")
-    } else {
-        (bist_batch::jsonl::validate_jsonl(&text), "rows")
+    let (rows, what) = match schema {
+        Some("--lint") => (bist_batch::jsonl::validate_lint_jsonl(&text), "diagnostic rows"),
+        Some("--metrics") => (export::validate_metrics_json(&text), "metrics"),
+        Some("--trace") => (export::validate_trace_jsonl(&text), "trace events"),
+        _ => (bist_batch::jsonl::validate_jsonl(&text), "rows"),
     };
     let rows = rows.map_err(|e| BatchError::Config(format!("{path}: {e}")))?;
     println!("{path}: {rows} {what}, schema ok");

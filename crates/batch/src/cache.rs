@@ -13,6 +13,7 @@
 
 use crate::campaign::CircuitSpec;
 use crate::BatchError;
+use bist_obs::{CounterHandle, GaugeHandle, Obs};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -71,34 +72,119 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
+/// Residency of one cache shelf: how many artifacts it holds and a rough
+/// byte estimate of what they pin in memory. Only successfully computed
+/// artifacts count (cached failures occupy a slot but hold no data).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShelfResidency {
+    /// Number of resident artifacts.
+    pub entries: usize,
+    /// Approximate bytes the resident artifacts pin (coarse per-artifact
+    /// models — node/gate/vector counts times typical struct sizes).
+    pub approx_bytes: usize,
+}
+
+/// Residency of every shelf — the cache's memory footprint at a glance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheResidency {
+    /// Parsed circuits.
+    pub circuits: ShelfResidency,
+    /// Compiled gate tapes.
+    pub tapes: ShelfResidency,
+    /// Staged (optimizing) compiles.
+    pub compiled: ShelfResidency,
+    /// Collapsed fault universes.
+    pub faults: ShelfResidency,
+    /// Generated `T0`s with coverage.
+    pub t0s: ShelfResidency,
+}
+
+impl CacheResidency {
+    /// Total approximate resident bytes across all shelves.
+    #[must_use]
+    pub fn total_approx_bytes(&self) -> usize {
+        self.circuits.approx_bytes
+            + self.tapes.approx_bytes
+            + self.compiled.approx_bytes
+            + self.faults.approx_bytes
+            + self.t0s.approx_bytes
+    }
+}
+
+impl std::fmt::Display for CacheResidency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "resident: {} circuits, {} tapes, {} staged compiles, {} universes, {} T0s \
+             (~{} KiB pinned)",
+            self.circuits.entries,
+            self.tapes.entries,
+            self.compiled.entries,
+            self.faults.entries,
+            self.t0s.entries,
+            self.total_approx_bytes().div_ceil(1024),
+        )
+    }
+}
+
 /// A compute-once slot shared by every requester of one key (the error
 /// arm caches failures too, so a broken artifact fails every job fast).
 type Slot<V> = Arc<OnceLock<Result<Arc<V>, String>>>;
+
+/// Pre-resolved telemetry handles of one shelf: hit/miss counters plus
+/// resident-entry and approx-resident-bytes gauges, named
+/// `cache.<shelf>.{hit,miss,resident,resident_bytes}`. No-op (a branch
+/// per event) unless the cache was built with an active sink.
+struct ShelfObs {
+    hit: CounterHandle,
+    miss: CounterHandle,
+    resident: GaugeHandle,
+    resident_bytes: GaugeHandle,
+}
+
+impl ShelfObs {
+    fn new(obs: &Obs, shelf: &str) -> Self {
+        ShelfObs {
+            hit: obs.counter(&format!("cache.{shelf}.hit")),
+            miss: obs.counter(&format!("cache.{shelf}.miss")),
+            resident: obs.gauge(&format!("cache.{shelf}.resident")),
+            resident_bytes: obs.gauge(&format!("cache.{shelf}.resident_bytes")),
+        }
+    }
+}
 
 /// One keyed shelf of the cache: a map of compute-once slots.
 struct Shelf<K, V> {
     slots: Mutex<HashMap<K, Slot<V>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    resident: AtomicUsize,
+    resident_bytes: AtomicUsize,
+    obs: ShelfObs,
 }
 
 impl<K: std::hash::Hash + Eq + Clone, V> Shelf<K, V> {
-    fn new() -> Self {
+    fn new(obs: &Obs, name: &str) -> Self {
         Shelf {
             slots: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            resident: AtomicUsize::new(0),
+            resident_bytes: AtomicUsize::new(0),
+            obs: ShelfObs::new(obs, name),
         }
     }
 
     /// Returns the cached value for `key`, computing it (exactly once
     /// across all threads) on first request. `describe` names the
-    /// artifact in errors.
+    /// artifact in errors; `approx_bytes` estimates what a newly computed
+    /// artifact pins in memory (for the residency gauges).
     fn get_or_compute(
         &self,
         key: &K,
         describe: &str,
         compute: impl FnOnce() -> Result<V, BistError>,
+        approx_bytes: impl FnOnce(&V) -> usize,
     ) -> Result<Arc<V>, BatchError> {
         let slot = {
             let mut slots = self.slots.lock().expect("cache lock poisoned");
@@ -111,8 +197,17 @@ impl<K: std::hash::Hash + Eq + Clone, V> Shelf<K, V> {
         });
         if computed {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.obs.miss.inc();
+            if let Ok(value) = outcome {
+                let bytes = approx_bytes(value);
+                self.resident.fetch_add(1, Ordering::Relaxed);
+                self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.obs.resident.add(1);
+                self.obs.resident_bytes.add(i64::try_from(bytes).unwrap_or(i64::MAX));
+            }
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.hit.inc();
         }
         match outcome {
             Ok(value) => Ok(Arc::clone(value)),
@@ -125,6 +220,13 @@ impl<K: std::hash::Hash + Eq + Clone, V> Shelf<K, V> {
 
     fn counters(&self) -> (usize, usize) {
         (self.misses.load(Ordering::Relaxed), self.hits.load(Ordering::Relaxed))
+    }
+
+    fn residency(&self) -> ShelfResidency {
+        ShelfResidency {
+            entries: self.resident.load(Ordering::Relaxed),
+            approx_bytes: self.resident_bytes.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -149,16 +251,54 @@ pub struct ArtifactCache {
     t0_seconds: Mutex<HashMap<T0Key, f64>>,
 }
 
+/// Rough per-artifact byte models for the residency gauges. Deliberately
+/// coarse — node/gate/vector counts times typical struct sizes — so the
+/// report answers "what dominates?" without a real allocator probe.
+mod approx {
+    use super::{Circuit, CompiledCircuit, Fault, GateTape, GeneratedTest};
+
+    pub fn circuit(c: &Circuit) -> usize {
+        c.num_nodes() * 64
+    }
+
+    pub fn tape(t: &GateTape) -> usize {
+        t.num_nodes() * 16 + t.num_gates() * 24
+    }
+
+    pub fn compiled(c: &CompiledCircuit) -> usize {
+        // Baseline + optimized tape + the per-node site map.
+        tape(c.baseline()) + tape(c.tape()) + c.site_map().num_nodes() * 8
+    }
+
+    pub fn faults(f: &[Fault]) -> usize {
+        std::mem::size_of_val(f)
+    }
+
+    pub fn t0(g: &GeneratedTest) -> usize {
+        // Packed vectors + one detection-time slot per fault.
+        g.sequence.len() * g.sequence.width().div_ceil(8) + g.coverage.faults().len() * 24
+    }
+}
+
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty cache with no telemetry sink ([`CacheStats`] and
+    /// [`residency`](Self::residency) still work — they read the cache's
+    /// own atomics).
     #[must_use]
     pub fn new() -> Self {
+        ArtifactCache::with_obs(&Obs::noop())
+    }
+
+    /// An empty cache recording hit/miss counters and residency gauges
+    /// (`cache.<shelf>.{hit,miss,resident,resident_bytes}`) into `obs`.
+    #[must_use]
+    pub fn with_obs(obs: &Obs) -> Self {
         ArtifactCache {
-            circuits: Shelf::new(),
-            tapes: Shelf::new(),
-            compiled: Shelf::new(),
-            faults: Shelf::new(),
-            t0s: Shelf::new(),
+            circuits: Shelf::new(obs, "circuit"),
+            tapes: Shelf::new(obs, "tape"),
+            compiled: Shelf::new(obs, "compiled"),
+            faults: Shelf::new(obs, "fault"),
+            t0s: Shelf::new(obs, "t0"),
             t0_seconds: Mutex::new(HashMap::new()),
         }
     }
@@ -170,7 +310,12 @@ impl ArtifactCache {
     /// [`BatchError::Artifact`] wrapping the parse/build failure.
     pub fn circuit(&self, spec: &CircuitSpec) -> Result<Arc<Circuit>, BatchError> {
         let key = spec.key();
-        self.circuits.get_or_compute(&key, &format!("circuit `{key}`"), || spec.build())
+        self.circuits.get_or_compute(
+            &key,
+            &format!("circuit `{key}`"),
+            || spec.build(),
+            approx::circuit,
+        )
     }
 
     /// The compiled gate tape for `spec`'s circuit, compiled once per
@@ -186,12 +331,17 @@ impl ArtifactCache {
         circuit: &Arc<Circuit>,
     ) -> Result<Arc<GateTape>, BatchError> {
         let key = spec.key();
-        self.tapes.get_or_compute(&key, &format!("gate tape of `{key}`"), || {
-            let tape = GateTape::compile(circuit);
-            #[cfg(debug_assertions)]
-            subseq_bist::verify::audit_tape(circuit, &tape);
-            Ok(tape)
-        })
+        self.tapes.get_or_compute(
+            &key,
+            &format!("gate tape of `{key}`"),
+            || {
+                let tape = GateTape::compile(circuit);
+                #[cfg(debug_assertions)]
+                subseq_bist::verify::audit_tape(circuit, &tape);
+                Ok(tape)
+            },
+            approx::tape,
+        )
     }
 
     /// The staged compile of `spec`'s circuit under `options`, performed
@@ -211,12 +361,17 @@ impl ArtifactCache {
     ) -> Result<Arc<CompiledCircuit>, BatchError> {
         let key = (spec.key(), options.key());
         let describe = format!("staged compile of `{}` [{}]", spec.key(), options.key());
-        self.compiled.get_or_compute(&key, &describe, || {
-            let compiled = compile_staged_with_baseline(circuit, options, Arc::clone(tape));
-            #[cfg(debug_assertions)]
-            subseq_bist::verify::audit_compiled(circuit, &compiled);
-            Ok(compiled)
-        })
+        self.compiled.get_or_compute(
+            &key,
+            &describe,
+            || {
+                let compiled = compile_staged_with_baseline(circuit, options, Arc::clone(tape));
+                #[cfg(debug_assertions)]
+                subseq_bist::verify::audit_compiled(circuit, &compiled);
+                Ok(compiled)
+            },
+            approx::compiled,
+        )
     }
 
     /// The collapsed fault universe for `spec`'s circuit, computed once
@@ -231,9 +386,12 @@ impl ArtifactCache {
         circuit: &Arc<Circuit>,
     ) -> Result<Arc<Vec<Fault>>, BatchError> {
         let key = spec.key();
-        self.faults.get_or_compute(&key, &format!("fault universe of `{key}`"), || {
-            Ok(collapse(circuit, &fault_universe(circuit)).representatives().to_vec())
-        })
+        self.faults.get_or_compute(
+            &key,
+            &format!("fault universe of `{key}`"),
+            || Ok(collapse(circuit, &fault_universe(circuit)).representatives().to_vec()),
+            |f| approx::faults(f),
+        )
     }
 
     /// The generated `T0` (sequence + coverage) for `spec`'s circuit
@@ -256,22 +414,27 @@ impl ArtifactCache {
     ) -> Result<Arc<GeneratedTest>, BatchError> {
         let key = (spec.key(), seed, format!("{tgen:?}"));
         let describe = format!("T0 of `{}` (seed {seed})", spec.key());
-        self.t0s.get_or_compute(&key, &describe, || {
-            let config = tgen.clone().seed(seed);
-            let started = std::time::Instant::now();
-            let generated = generate_t0_with_artifacts(
-                circuit,
-                &config,
-                faults.as_ref().clone(),
-                Arc::clone(tape),
-            )
-            .map_err(BistError::from)?;
-            self.t0_seconds
-                .lock()
-                .expect("cache lock poisoned")
-                .insert(key.clone(), started.elapsed().as_secs_f64());
-            Ok(generated)
-        })
+        self.t0s.get_or_compute(
+            &key,
+            &describe,
+            || {
+                let config = tgen.clone().seed(seed);
+                let started = std::time::Instant::now();
+                let generated = generate_t0_with_artifacts(
+                    circuit,
+                    &config,
+                    faults.as_ref().clone(),
+                    Arc::clone(tape),
+                )
+                .map_err(BistError::from)?;
+                self.t0_seconds
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .insert(key.clone(), started.elapsed().as_secs_f64());
+                Ok(generated)
+            },
+            approx::t0,
+        )
     }
 
     /// Generation seconds of an already-computed `T0`, if any.
@@ -327,6 +490,19 @@ impl ArtifactCache {
             artifacts = artifacts.t0_seconds(seconds);
         }
         Ok(artifacts)
+    }
+
+    /// Current residency of every shelf — what the cache holds and
+    /// roughly how much memory it pins.
+    #[must_use]
+    pub fn residency(&self) -> CacheResidency {
+        CacheResidency {
+            circuits: self.circuits.residency(),
+            tapes: self.tapes.residency(),
+            compiled: self.compiled.residency(),
+            faults: self.faults.residency(),
+            t0s: self.t0s.residency(),
+        }
     }
 
     /// Current hit/miss counters.
@@ -498,6 +674,42 @@ mod tests {
         assert_eq!(cache.stats().compiled_hits, 2);
         cache.artifacts_for(&spec, 3, &tgen).unwrap();
         assert_eq!(cache.stats().compiled_misses + cache.stats().compiled_hits, 4);
+    }
+
+    #[test]
+    fn instrumented_cache_mirrors_stats_and_tracks_residency() {
+        let registry = Arc::new(bist_obs::Registry::new());
+        let cache = ArtifactCache::with_obs(&Obs::with_registry(Arc::clone(&registry)));
+        let spec = s27_spec();
+        let tgen = TgenConfig::new().max_length(16);
+        cache.artifacts_for(&spec, 1, &tgen).unwrap();
+        cache.artifacts_for(&spec, 1, &tgen).unwrap();
+        let snap = registry.snapshot();
+        let stats = cache.stats();
+        // The registry counters are an exact mirror of CacheStats.
+        assert_eq!(snap.counter("cache.circuit.miss"), Some(stats.circuit_misses as u64));
+        assert_eq!(snap.counter("cache.circuit.hit"), Some(stats.circuit_hits as u64));
+        assert_eq!(snap.counter("cache.tape.miss"), Some(stats.tape_misses as u64));
+        assert_eq!(snap.counter("cache.tape.hit"), Some(stats.tape_hits as u64));
+        assert_eq!(snap.counter("cache.t0.miss"), Some(stats.t0_misses as u64));
+        // One artifact resident per shelf (same circuit, seed, config).
+        let residency = cache.residency();
+        assert_eq!(residency.circuits.entries, 1);
+        assert_eq!(residency.tapes.entries, 1);
+        assert_eq!(residency.faults.entries, 1);
+        assert_eq!(residency.t0s.entries, 1);
+        assert_eq!(residency.compiled.entries, 0, "no staged compile requested");
+        assert!(residency.total_approx_bytes() > 0);
+        assert_eq!(snap.gauge("cache.circuit.resident"), Some(1));
+        assert_eq!(
+            snap.gauge("cache.tape.resident_bytes"),
+            Some(residency.tapes.approx_bytes as i64)
+        );
+        assert!(residency.to_string().contains("resident:"), "{residency}");
+        // Cached failures occupy a slot but are not resident artifacts.
+        let bad = CircuitSpec::Suite("nope".to_string());
+        cache.circuit(&bad).unwrap_err();
+        assert_eq!(cache.residency().circuits.entries, 1);
     }
 
     #[test]

@@ -18,10 +18,11 @@
 //! `keep_going` is set; queued-but-unstarted jobs are then drained and
 //! counted as skipped.
 
-use crate::cache::{ArtifactCache, CacheStats};
+use crate::cache::{ArtifactCache, CacheResidency, CacheStats};
 use crate::campaign::{Campaign, CircuitSpec, JobSpec};
 use crate::report::{CampaignSummary, JobMetrics, JobRecord, JobStatus, ReportSink};
 use crate::BatchError;
+use bist_obs::Obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
@@ -51,8 +52,12 @@ impl Default for EngineConfig {
 pub struct JobOutcome {
     /// The matrix point that ran.
     pub spec: JobSpec,
-    /// Wall-clock seconds of the job (including artifact-cache waits).
+    /// Wall-clock seconds of the job: `queue_seconds + exec_seconds`.
     pub seconds: f64,
+    /// Seconds the job sat in the bounded queue before a worker took it.
+    pub queue_seconds: f64,
+    /// Seconds the job executed (including artifact-cache waits).
+    pub exec_seconds: f64,
     /// The session report, or the failure message.
     pub result: Result<SessionReport, String>,
 }
@@ -62,10 +67,14 @@ pub struct JobOutcome {
 pub struct CampaignOutcome {
     /// Executed jobs in matrix order (skipped jobs are absent).
     pub outcomes: Vec<JobOutcome>,
-    /// The roll-up.
+    /// The roll-up (carries the telemetry snapshot when the engine ran
+    /// with an active sink).
     pub summary: CampaignSummary,
     /// Artifact-cache hit/miss counters.
     pub cache: CacheStats,
+    /// Artifact-cache residency (entries + approximate pinned bytes per
+    /// shelf) at campaign end.
+    pub residency: CacheResidency,
 }
 
 impl CampaignOutcome {
@@ -97,6 +106,7 @@ impl CampaignOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct CampaignEngine {
     config: EngineConfig,
+    obs: Obs,
 }
 
 impl CampaignEngine {
@@ -133,6 +143,19 @@ impl CampaignEngine {
     #[must_use]
     pub fn keep_going(mut self, on: bool) -> Self {
         self.config.keep_going = on;
+        self
+    }
+
+    /// Attaches a telemetry sink. The worker pool records queue-depth,
+    /// queue-wait and execute histograms (`pool.*`), the shared artifact
+    /// cache records hit/miss counters and residency gauges (`cache.*`),
+    /// and every session runs fully instrumented (`session.*`, `core.*`,
+    /// `sim.*`). The final [`MetricsSnapshot`](bist_obs::MetricsSnapshot)
+    /// is embedded in the returned summary. Observation-only: results
+    /// are bit-identical with or without a sink.
+    #[must_use]
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -187,11 +210,21 @@ impl CampaignEngine {
         }
         .min(jobs_total.max(1));
 
-        let cache = ArtifactCache::new();
+        let obs = self.obs.clone();
+        let cache = ArtifactCache::with_obs(&obs);
         let cancel = AtomicBool::new(false);
         let started = Instant::now();
 
-        let (job_tx, job_rx) = mpsc::sync_channel::<JobSpec>(self.config.queue_depth.max(1));
+        // Pool telemetry: pre-resolved handles, no-op without a sink.
+        let queue_gauge = obs.gauge("pool.queue_depth");
+        let queue_wait = obs.histogram("pool.queue_wait_us");
+        let exec_hist = obs.histogram("pool.exec_us");
+        let cancelled = obs.counter("pool.cancellations");
+
+        // Each job travels with its enqueue timestamp, so the worker can
+        // split wall time into queue wait vs execution.
+        let (job_tx, job_rx) =
+            mpsc::sync_channel::<(JobSpec, Instant)>(self.config.queue_depth.max(1));
         let job_rx = Mutex::new(job_rx);
         let (done_tx, done_rx) = mpsc::channel::<JobOutcome>();
 
@@ -206,30 +239,46 @@ impl CampaignEngine {
                     if cancel.load(Ordering::Relaxed) {
                         break;
                     }
-                    if job_tx.send(job).is_err() {
+                    if job_tx.send((job, Instant::now())).is_err() {
                         break;
                     }
+                    queue_gauge.add(1);
                 }
                 drop(job_tx);
             });
             // Workers: pull jobs, run sessions over the shared cache.
-            for _ in 0..threads {
+            for worker in 0..threads {
                 let done_tx = done_tx.clone();
+                let jobs_done = obs.counter(&format!("pool.worker.{worker}.jobs"));
                 scope.spawn(|| {
                     let done_tx = done_tx; // move the clone, share the rest
+                    let jobs_done = jobs_done;
                     loop {
                         let received = job_rx.lock().expect("queue lock poisoned").recv();
-                        let Ok(job) = received else { break };
+                        let Ok((job, enqueued)) = received else { break };
+                        queue_gauge.sub(1);
+                        let queue_seconds = enqueued.elapsed().as_secs_f64();
                         if cancel.load(Ordering::Relaxed) {
+                            cancelled.inc();
                             continue; // drain: counted as skipped
                         }
+                        queue_wait.record(micros(queue_seconds));
                         let job_started = Instant::now();
-                        let result = run_job(&cache, campaign, &job);
-                        let seconds = job_started.elapsed().as_secs_f64();
+                        let result = run_job(&cache, campaign, &job, &obs);
+                        let exec_seconds = job_started.elapsed().as_secs_f64();
+                        exec_hist.record(micros(exec_seconds));
+                        jobs_done.inc();
                         if result.is_err() && !keep_going {
                             cancel.store(true, Ordering::Relaxed);
                         }
-                        if done_tx.send(JobOutcome { spec: job, seconds, result }).is_err() {
+                        let outcome = JobOutcome {
+                            spec: job,
+                            seconds: queue_seconds + exec_seconds,
+                            queue_seconds,
+                            exec_seconds,
+                            result,
+                        };
+                        if done_tx.send(outcome).is_err() {
                             break;
                         }
                     }
@@ -272,8 +321,24 @@ impl CampaignEngine {
                 });
             }
         }
-        let summary = CampaignSummary::build(&records, jobs_total, started.elapsed().as_secs_f64());
-        Ok(CampaignOutcome { outcomes, summary, cache: cache.stats() })
+        let mut summary =
+            CampaignSummary::build(&records, jobs_total, started.elapsed().as_secs_f64());
+        summary.metrics = obs.snapshot();
+        Ok(CampaignOutcome {
+            outcomes,
+            summary,
+            cache: cache.stats(),
+            residency: cache.residency(),
+        })
+    }
+}
+
+/// Seconds → whole microseconds for histogram recording.
+fn micros(seconds: f64) -> u64 {
+    if seconds <= 0.0 {
+        0
+    } else {
+        (seconds * 1e6) as u64
     }
 }
 
@@ -312,11 +377,15 @@ fn backend_weight(backend: Backend) -> f64 {
 }
 
 /// Runs one job through the [`Session`] facade over the shared cache.
+/// The artifact-assembly phase gets its own `job.artifacts_us` span so
+/// per-job execute time reconciles against the session's stage spans.
 fn run_job(
     cache: &ArtifactCache,
     campaign: &Campaign,
     job: &JobSpec,
+    obs: &Obs,
 ) -> Result<SessionReport, String> {
+    let span = obs.span("job.artifacts_us", format!("job={}", job.id));
     let artifacts = cache
         .artifacts_for_optimized(
             &job.circuit,
@@ -325,6 +394,7 @@ fn run_job(
             campaign.optimize_options(),
         )
         .map_err(|e| e.to_string())?;
+    drop(span);
     Session::builder()
         .with_artifacts(artifacts)
         .backend(job.backend)
@@ -332,6 +402,7 @@ fn run_job(
         .postprocess(job.scheme.postprocess)
         .seed(job.seed)
         .verify(campaign.verifies())
+        .obs(obs.clone())
         .run()
         .map_err(|e| e.to_string())
 }
@@ -347,6 +418,8 @@ fn record_of(outcome: &JobOutcome) -> JobRecord {
         seed: spec.seed,
         status: JobStatus::Ok,
         seconds: outcome.seconds,
+        queue_seconds: outcome.queue_seconds,
+        exec_seconds: outcome.exec_seconds,
         metrics: None,
         error: None,
     };

@@ -8,8 +8,19 @@
 
 use crate::report::JobRecord;
 
-/// Keys every row must carry.
-const ROW_KEYS: [&str; 7] = ["job", "circuit", "backend", "scheme", "seed", "status", "seconds"];
+/// Keys every row must carry. `seconds` stays the job's total wall time
+/// (`queue_seconds + exec_seconds`) so historical consumers keep working.
+const ROW_KEYS: [&str; 9] = [
+    "job",
+    "circuit",
+    "backend",
+    "scheme",
+    "seed",
+    "status",
+    "seconds",
+    "queue_seconds",
+    "exec_seconds",
+];
 /// Additional keys required when `status == "ok"`.
 const OK_KEYS: [&str; 14] = [
     "engine",
@@ -40,6 +51,8 @@ pub fn record_to_json(record: &JobRecord) -> String {
     push_kv(&mut out, "seed", &record.seed.to_string());
     push_kv_str(&mut out, "status", record.status.as_str());
     push_kv(&mut out, "seconds", &format!("{:.6}", record.seconds));
+    push_kv(&mut out, "queue_seconds", &format!("{:.6}", record.queue_seconds));
+    push_kv(&mut out, "exec_seconds", &format!("{:.6}", record.exec_seconds));
     if let Some(m) = &record.metrics {
         push_kv_str(&mut out, "engine", &m.engine);
         push_kv(&mut out, "faults_total", &m.faults_total.to_string());
@@ -430,6 +443,8 @@ mod tests {
             seed: 1999,
             status: JobStatus::Ok,
             seconds: 0.25,
+            queue_seconds: 0.05,
+            exec_seconds: 0.2,
             metrics: Some(JobMetrics {
                 engine: "sharded256".to_string(),
                 faults_total: 32,
@@ -481,11 +496,18 @@ mod tests {
         assert!(validate_jsonl_line("{}").unwrap_err().contains("job"));
         assert!(validate_jsonl_line("{\"job\": 1}x").is_err());
         let no_metrics = r#"{"job": 1, "circuit": "c", "backend": "b", "scheme": "s",
-            "seed": 1, "status": "ok", "seconds": 0.1}"#
+            "seed": 1, "status": "ok", "seconds": 0.1, "queue_seconds": 0.0,
+            "exec_seconds": 0.1}"#
             .replace('\n', " ");
         assert!(validate_jsonl_line(&no_metrics).unwrap_err().contains("ok row missing"));
+        // A row without the queue/exec split is rejected outright.
+        let no_split = r#"{"job": 1, "circuit": "c", "backend": "b", "scheme": "s",
+            "seed": 1, "status": "ok", "seconds": 0.1}"#
+            .replace('\n', " ");
+        assert!(validate_jsonl_line(&no_split).unwrap_err().contains("queue_seconds"));
         let bad_status = r#"{"job": 1, "circuit": "c", "backend": "b", "scheme": "s",
-            "seed": 1, "status": "meh", "seconds": 0.1}"#
+            "seed": 1, "status": "meh", "seconds": 0.1, "queue_seconds": 0.0,
+            "exec_seconds": 0.1}"#
             .replace('\n', " ");
         assert!(validate_jsonl_line(&bad_status).unwrap_err().contains("meh"));
     }

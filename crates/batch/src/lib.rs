@@ -46,7 +46,7 @@ mod engine;
 pub mod jsonl;
 mod report;
 
-pub use cache::{ArtifactCache, CacheStats};
+pub use cache::{ArtifactCache, CacheResidency, CacheStats, ShelfResidency};
 pub use campaign::{backend_label, parse_backend, Campaign, CircuitSpec, JobSpec, SchemeSpec};
 pub use engine::{CampaignEngine, CampaignOutcome, EngineConfig, JobOutcome};
 pub use report::{

@@ -79,8 +79,14 @@ pub struct JobRecord {
     pub seed: u64,
     /// Terminal state.
     pub status: JobStatus,
-    /// Wall-clock seconds the job took (including cache waits).
+    /// Wall-clock seconds the job took: `queue_seconds + exec_seconds`
+    /// (kept as the sum so the historical column stays comparable).
     pub seconds: f64,
+    /// Seconds the job waited in the dispatch queue before a worker
+    /// picked it up.
+    pub queue_seconds: f64,
+    /// Seconds the job executed (including artifact-cache waits).
+    pub exec_seconds: f64,
     /// Metrics of a successful run.
     pub metrics: Option<JobMetrics>,
     /// Error message of a failed run.
@@ -189,6 +195,16 @@ impl ReportSink for JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    /// Best-effort flush for sinks dropped without
+    /// [`finish`](ReportSink::finish) — an early-returning campaign still
+    /// leaves every accepted row on disk (I/O errors are deliberately
+    /// swallowed here; `finish` is the checked flush point).
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
 /// Per-axis roll-up line (one circuit or one backend).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AxisLine {
@@ -225,10 +241,18 @@ pub struct CampaignSummary {
     pub wall_seconds: f64,
     /// Sum of per-job seconds (> wall when workers run concurrently).
     pub job_seconds: f64,
+    /// Sum of per-job queue-wait seconds (time spent in the dispatch
+    /// queue, not executing).
+    pub queue_seconds: f64,
+    /// Sum of per-job execute seconds (`job_seconds` minus queue waits).
+    pub exec_seconds: f64,
     /// One line per circuit, in label order.
     pub circuits: Vec<AxisLine>,
     /// One line per backend, in label order.
     pub backends: Vec<AxisLine>,
+    /// Telemetry snapshot of the campaign's registry (empty unless the
+    /// engine ran with an active [`Obs`](bist_obs::Obs) sink).
+    pub metrics: bist_obs::MetricsSnapshot,
 }
 
 impl CampaignSummary {
@@ -283,8 +307,11 @@ impl CampaignSummary {
             jobs_skipped: jobs_total - records.len(),
             wall_seconds,
             job_seconds: records.iter().map(|r| r.seconds).sum(),
+            queue_seconds: records.iter().map(|r| r.queue_seconds).sum(),
+            exec_seconds: records.iter().map(|r| r.exec_seconds).sum(),
             circuits: axis(|r| &r.circuit),
             backends: axis(|r| &r.backend),
+            metrics: bist_obs::MetricsSnapshot::default(),
         }
     }
 }
@@ -293,13 +320,16 @@ impl fmt::Display for CampaignSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "campaign: {} jobs ({} ok, {} failed, {} skipped) in {:.2}s wall / {:.2}s job time",
+            "campaign: {} jobs ({} ok, {} failed, {} skipped) in {:.2}s wall / {:.2}s job time \
+             ({:.2}s queued + {:.2}s executing)",
             self.jobs_total,
             self.jobs_ok,
             self.jobs_failed,
             self.jobs_skipped,
             self.wall_seconds,
             self.job_seconds,
+            self.queue_seconds,
+            self.exec_seconds,
         )?;
         writeln!(
             f,
@@ -340,6 +370,8 @@ mod tests {
             seed: 1,
             status: JobStatus::Ok,
             seconds,
+            queue_seconds: seconds * 0.25,
+            exec_seconds: seconds * 0.75,
             metrics: Some(JobMetrics {
                 engine: "packed64".to_string(),
                 faults_total: 32,
@@ -369,6 +401,8 @@ mod tests {
             seed: 1,
             status: JobStatus::Failed,
             seconds: 0.0,
+            queue_seconds: 0.0,
+            exec_seconds: 0.0,
             metrics: None,
             error: Some("boom".to_string()),
         }
@@ -388,6 +422,12 @@ mod tests {
         assert_eq!(summary.jobs_failed, 1);
         assert_eq!(summary.jobs_skipped, 2);
         assert!((summary.job_seconds - 4.0).abs() < 1e-9);
+        // Queue + execute reconcile to total job time.
+        assert!((summary.queue_seconds - 1.0).abs() < 1e-9);
+        assert!((summary.exec_seconds - 3.0).abs() < 1e-9);
+        assert!((summary.queue_seconds + summary.exec_seconds - summary.job_seconds).abs() < 1e-9);
+        assert!(summary.metrics.is_empty(), "build() starts with no telemetry");
+        assert!(summary.to_string().contains("queued"));
         assert_eq!(summary.circuits.len(), 3); // a298, bad, s27
         let s27 = summary.circuits.iter().find(|l| l.label == "s27").unwrap();
         assert_eq!(s27.jobs, 2);
@@ -424,5 +464,38 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(crate::jsonl::validate_jsonl(&text).unwrap(), 2);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop_without_finish() {
+        // A sink dropped mid-campaign (early return, cancellation) must
+        // leave byte-identical output to one that was finish()ed: the
+        // Drop impl flushes the BufWriter.
+        let dir = std::env::temp_dir().join("bist_batch_drop_flush_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let records = [ok_record(0, "s27", "packed", 0.1), failed_record(1)];
+
+        let finished = dir.join("finished.jsonl");
+        let mut sink = JsonlSink::create(&finished).unwrap();
+        for r in &records {
+            sink.accept(r).unwrap();
+        }
+        sink.finish().unwrap();
+        drop(sink);
+
+        let dropped = dir.join("dropped.jsonl");
+        let mut sink = JsonlSink::create(&dropped).unwrap();
+        for r in &records {
+            sink.accept(r).unwrap();
+        }
+        drop(sink); // no finish()
+
+        let a = std::fs::read(&finished).unwrap();
+        let b = std::fs::read(&dropped).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "drop-flushed bytes differ from finished bytes");
+        assert_eq!(crate::jsonl::validate_jsonl(&String::from_utf8(b).unwrap()).unwrap(), 2);
+        std::fs::remove_file(&finished).unwrap();
+        std::fs::remove_file(&dropped).unwrap();
     }
 }

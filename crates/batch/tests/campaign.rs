@@ -9,12 +9,14 @@
 //! unoptimized) is compiled behind `--release`, where CI executes it
 //! explicitly.
 
+use std::sync::Arc;
+
 use bist_batch::{
     Campaign, CampaignEngine, CampaignOutcome, JobStatus, JsonlSink, MemorySink, ReportSink,
 };
 use subseq_bist::netlist::benchmarks;
 use subseq_bist::tgen::TgenConfig;
-use subseq_bist::{Backend, Session};
+use subseq_bist::{Backend, Obs, Registry, Session};
 
 /// A short-`T0` configuration affordable on the biggest analogs.
 fn tiny_tgen() -> TgenConfig {
@@ -36,10 +38,14 @@ fn campaign_over(names: &[&'static str]) -> Campaign {
 /// to an individually-built session (which parses, collapses and
 /// generates from scratch).
 fn assert_campaign_shares_and_matches(names: &[&'static str]) {
+    let registry = Arc::new(Registry::new());
     let mut sink = MemorySink::new();
     let outcome: CampaignOutcome = {
         let mut sinks: [&mut dyn ReportSink; 1] = [&mut sink];
-        CampaignEngine::new().run(&campaign_over(names), &mut sinks).unwrap()
+        CampaignEngine::new()
+            .obs(Obs::with_registry(Arc::clone(&registry)))
+            .run(&campaign_over(names), &mut sinks)
+            .unwrap()
     };
     let circuits = names.len();
     let jobs = 2 * circuits;
@@ -63,6 +69,28 @@ fn assert_campaign_shares_and_matches(names: &[&'static str]) {
     assert_eq!(outcome.cache.tape_hits, jobs - circuits);
     assert_eq!(outcome.cache.fault_hits, jobs - circuits);
     assert_eq!(outcome.cache.t0_hits, jobs - circuits);
+
+    // The registry mirrors the cache stats exactly — telemetry is
+    // deterministic, not sampled — and saw one pool/session observation
+    // per job.
+    let snap = registry.snapshot();
+    for shelf in ["circuit", "tape", "fault", "t0"] {
+        assert_eq!(
+            snap.counter(&format!("cache.{shelf}.miss")),
+            Some(circuits as u64),
+            "exactly one cache.{shelf}.miss per circuit"
+        );
+        assert_eq!(snap.counter(&format!("cache.{shelf}.hit")), Some((jobs - circuits) as u64));
+    }
+    for hist in ["pool.queue_wait_us", "pool.exec_us", "job.artifacts_us", "session.fault_sim_us"] {
+        assert_eq!(
+            snap.histogram(hist).map(|h| h.count),
+            Some(jobs as u64),
+            "one {hist} observation per job"
+        );
+    }
+    assert_eq!(snap.counter("pool.cancellations"), Some(0));
+    assert_eq!(snap.gauge("pool.queue_depth"), Some(0), "queue drained");
 
     for &name in names {
         let reference = Session::builder()
@@ -152,4 +180,50 @@ fn summary_rolls_up_both_axes() {
     assert!(outcome.summary.wall_seconds > 0.0);
     // Every circuit line saw both backends.
     assert!(outcome.summary.circuits.iter().all(|l| l.jobs == 2));
+}
+
+/// The summary embeds the registry snapshot verbatim, per-worker job
+/// counters account for every job, and shelf residency reports exactly
+/// the artifacts the campaign pinned.
+#[test]
+fn instrumented_campaign_embeds_snapshot_and_reports_residency() {
+    let names = ["s27", "a298", "a344"];
+    let registry = Arc::new(Registry::new());
+    let outcome = CampaignEngine::new()
+        .obs(Obs::with_registry(Arc::clone(&registry)))
+        .run(&campaign_over(&names), &mut [])
+        .unwrap();
+    let jobs = 2 * names.len() as u64;
+
+    // Nothing records between the engine's snapshot and ours, so the
+    // embedded copy must be byte-for-byte the registry's final state.
+    let snap = registry.snapshot();
+    assert!(!snap.is_empty());
+    assert_eq!(outcome.summary.metrics, snap);
+
+    // Every job was executed by exactly one worker.
+    let worker_jobs: u64 = snap
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("pool.worker."))
+        .map(|&(_, v)| v)
+        .sum();
+    assert_eq!(worker_jobs, jobs);
+
+    // One resident artifact per circuit on every exercised shelf; the
+    // compiled shelf stays empty because nothing was optimized.
+    let residency = outcome.residency;
+    for (shelf, label) in [
+        (&residency.circuits, "circuits"),
+        (&residency.tapes, "tapes"),
+        (&residency.faults, "faults"),
+        (&residency.t0s, "t0s"),
+    ] {
+        assert_eq!(shelf.entries, names.len(), "{label} resident entries");
+        assert!(shelf.approx_bytes > 0, "{label} approx bytes");
+    }
+    assert_eq!(residency.compiled.entries, 0);
+    assert!(residency.total_approx_bytes() > 0);
+    let rendered = residency.to_string();
+    assert!(rendered.contains("3 circuits"), "{rendered}");
 }

@@ -169,12 +169,15 @@ pub fn run_for_n(
     postprocess: bool,
 ) -> Result<SchemeRun, SimError> {
     let expansion = ExpansionConfig::new(n).expect("n validated by SchemeConfig");
+    let span = sim.obs().span("core.procedure1_us", format!("n={n}"));
     let start = Instant::now();
     let selection = select_subsequences(sim, t0, coverage, &expansion, seed)?;
     let proc1_time = start.elapsed();
+    drop(span);
     let before = SetStats::of(&selection.sequences);
 
     let detected: Vec<Fault> = coverage.detected().map(|(f, _)| f).collect();
+    let span = sim.obs().span("core.postprocess_us", format!("n={n}"));
     let start = Instant::now();
     let sequences = if postprocess {
         compact_set(sim, selection.sequences.clone(), &detected, &expansion)?.0
@@ -182,6 +185,7 @@ pub fn run_for_n(
         selection.sequences.clone()
     };
     let compact_time = start.elapsed();
+    drop(span);
     let after = SetStats::of(&sequences);
 
     Ok(SchemeRun { n, before, after, sequences, proc1_time, compact_time, selection })
@@ -202,9 +206,11 @@ pub fn run_scheme(
     config: &SchemeConfig,
 ) -> Result<SchemeResult, SimError> {
     // Table 4 baseline: time to fault simulate T0.
+    let span = sim.obs().span("core.t0_sim_us", String::new());
     let start = Instant::now();
     let _ = sim.detection_times(t0, coverage.faults())?;
     let t0_sim_time = start.elapsed();
+    drop(span);
 
     let mut runs = Vec::with_capacity(config.ns.len());
     for &n in &config.ns {

@@ -1,0 +1,258 @@
+//! # bist-obs — zero-dependency telemetry for the subseq-bist stack
+//!
+//! One uniform observability substrate for every layer of the
+//! workspace: atomic [`Counter`]s and [`Gauge`]s, log₂-bucketed
+//! [`Histogram`]s (count/sum/min/max/p50/p90/p99), an RAII [`Span`]
+//! timer feeding named histograms and an optional trace-event buffer,
+//! and a thread-safe [`Registry`] whose [`MetricsSnapshot`] is
+//! stable-sorted so every export is deterministic.
+//!
+//! In keeping with the repo's hand-rolled style (`bist_batch::jsonl`,
+//! the vendored `rand` shim) there are no dependencies: the exporters
+//! in [`export`] render a human-readable text table, a metrics JSON
+//! document and a trace JSONL stream, each paired with a strict
+//! recursive-descent validator.
+//!
+//! ## The `Obs` handle
+//!
+//! Instrumented layers take an [`Obs`] — a cheap clonable handle that
+//! is either *active* (backed by a shared [`Registry`]) or a *no-op
+//! sink*. The no-op case is a `None` branch, not a trait object: hot
+//! paths pre-resolve [`CounterHandle`]/[`HistogramHandle`]s once per
+//! sweep and pay a single predictable branch per batch of updates, so
+//! uninstrumented benchmarks (`detect/tape/*`) are unaffected.
+//!
+//! ```
+//! use bist_obs::Obs;
+//!
+//! let obs = Obs::active();
+//! obs.counter_add("cache.tape.hit", 1);
+//! let span = obs.span("session.fault_sim_us", "circuit=s27");
+//! // ... work ...
+//! let dur_us = span.end();
+//! let snap = obs.snapshot();
+//! assert_eq!(snap.counter("cache.tape.hit"), Some(1));
+//! assert_eq!(snap.histogram("session.fault_sim_us").unwrap().count, 1);
+//! assert!(Obs::noop().snapshot().is_empty());
+//! # let _ = dur_us;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+mod metric;
+mod registry;
+
+pub use metric::{bucket_of, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{MetricsSnapshot, Registry, Span, TraceEvent};
+
+use std::sync::Arc;
+
+/// A cheap clonable telemetry handle: either active (sharing a
+/// [`Registry`]) or a no-op sink. See the crate docs.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    registry: Option<Arc<Registry>>,
+}
+
+impl Obs {
+    /// The no-op sink: every operation is a `None` branch.
+    #[must_use]
+    pub fn noop() -> Self {
+        Obs { registry: None }
+    }
+
+    /// An active handle over a fresh registry.
+    #[must_use]
+    pub fn active() -> Self {
+        Obs { registry: Some(Arc::new(Registry::new())) }
+    }
+
+    /// An active handle over an existing registry.
+    #[must_use]
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        Obs { registry: Some(registry) }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The backing registry, when active.
+    #[must_use]
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
+    }
+
+    /// Adds `n` to the counter named `name`.
+    #[inline]
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if let Some(r) = &self.registry {
+            r.counter(name).add(n);
+        }
+    }
+
+    /// Overwrites the gauge named `name`.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, v: i64) {
+        if let Some(r) = &self.registry {
+            r.gauge(name).set(v);
+        }
+    }
+
+    /// Adds `n` (may be negative) to the gauge named `name`.
+    #[inline]
+    pub fn gauge_add(&self, name: &str, n: i64) {
+        if let Some(r) = &self.registry {
+            r.gauge(name).add(n);
+        }
+    }
+
+    /// Records one observation into the histogram named `name`.
+    #[inline]
+    pub fn record(&self, name: &str, v: u64) {
+        if let Some(r) = &self.registry {
+            r.histogram(name).record(v);
+        }
+    }
+
+    /// Starts an RAII span recording into the histogram named `name`
+    /// (and the trace buffer when tracing is enabled). `labels` is
+    /// free-form `key=value` context for the trace row.
+    #[must_use]
+    pub fn span(&self, name: &str, labels: impl Into<String>) -> Span {
+        match &self.registry {
+            Some(r) => Span::start(Arc::clone(r), name.to_string(), labels.into()),
+            None => Span::noop(),
+        }
+    }
+
+    /// Pre-resolves the counter named `name` for hot paths (one branch
+    /// per [`CounterHandle::add`], no name lookup).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        CounterHandle(self.registry.as_ref().map(|r| r.counter(name)))
+    }
+
+    /// Pre-resolves the gauge named `name` for hot paths.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> GaugeHandle {
+        GaugeHandle(self.registry.as_ref().map(|r| r.gauge(name)))
+    }
+
+    /// Pre-resolves the histogram named `name` for hot paths.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        HistogramHandle(self.registry.as_ref().map(|r| r.histogram(name)))
+    }
+
+    /// A deterministic snapshot (empty for the no-op sink).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.as_ref().map(|r| r.snapshot()).unwrap_or_default()
+    }
+}
+
+/// A pre-resolved counter; no-op when built from a no-op [`Obs`].
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle(Option<Arc<Counter>>);
+
+impl CounterHandle {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        if let Some(c) = &self.0 {
+            c.inc();
+        }
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.add(n);
+        }
+    }
+}
+
+/// A pre-resolved gauge; no-op when built from a no-op [`Obs`].
+#[derive(Debug, Clone, Default)]
+pub struct GaugeHandle(Option<Arc<Gauge>>);
+
+impl GaugeHandle {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.set(v);
+        }
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.add(n);
+        }
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.sub(n);
+        }
+    }
+}
+
+/// A pre-resolved histogram; no-op when built from a no-op [`Obs`].
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_records_nothing() {
+        let obs = Obs::noop();
+        obs.counter_add("c", 1);
+        obs.gauge_set("g", 1);
+        obs.record("h", 1);
+        obs.counter("c").inc();
+        obs.gauge("g").add(1);
+        obs.histogram("h").record(1);
+        assert_eq!(obs.span("s", "").end(), 0);
+        assert!(!obs.is_active());
+        assert!(obs.snapshot().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let obs = Obs::active();
+        let other = obs.clone();
+        obs.counter_add("shared", 1);
+        other.counter_add("shared", 1);
+        let h = other.counter("shared");
+        h.inc();
+        assert_eq!(obs.snapshot().counter("shared"), Some(3));
+    }
+
+    #[test]
+    fn default_is_noop() {
+        assert!(!Obs::default().is_active());
+    }
+}

@@ -1,0 +1,308 @@
+//! The three metric primitives: monotonic [`Counter`]s, signed
+//! [`Gauge`]s and log₂-bucketed [`Histogram`]s.
+//!
+//! Everything is lock-free (relaxed atomics): recording a value is a
+//! handful of `fetch_add`/`fetch_min`/`fetch_max` operations, cheap
+//! enough for sweep-level hot paths. Cross-thread *ordering* is never
+//! needed — metrics are observational, and snapshots taken after a
+//! `join` see every recorded value through the join's happens-before
+//! edge.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, resident bytes).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `2^63..=u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// A log₂-bucketed latency/value histogram over `u64`.
+///
+/// Bucket 0 holds exact zeros; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)` (the last bucket's upper bound saturates at
+/// `u64::MAX`). Percentiles are estimated by linear interpolation
+/// inside the bucket containing the target rank, then clamped to the
+/// recorded `[min, max]` so single-value histograms report exactly.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The bucket index of `v`: 0 for 0, else `64 − leading_zeros(v)`.
+#[must_use]
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations (wrapping on overflow).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time summary. Concurrent recorders
+    /// may race individual fields; quiescent reads are exact.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let total: u64 = buckets.iter().sum();
+        let pct = |p: f64| percentile(&buckets, total.max(1), min, max, p);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: pct(50.0),
+            p90: pct(90.0),
+            p99: pct(99.0),
+        }
+    }
+}
+
+/// Estimates the `p`-th percentile (0 < p ≤ 100) from bucket counts.
+fn percentile(buckets: &[u64; BUCKETS], total: u64, min: u64, max: u64, p: f64) -> u64 {
+    // 1-based target rank, at least 1, at most `total`.
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((p / 100.0 * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cum += n;
+        if cum < rank {
+            continue;
+        }
+        if i == 0 {
+            return 0;
+        }
+        // Interpolate linearly inside [2^(i-1), 2^i).
+        #[allow(clippy::cast_precision_loss)]
+        let lo = (1u128 << (i - 1)) as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let hi = (1u128 << i) as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let within = (rank - (cum - n)) as f64 / n as f64;
+        let est = lo + (hi - lo) * within;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let est = if est >= u64::MAX as f64 { u64::MAX } else { est as u64 };
+        return est.clamp(min, max);
+    }
+    max
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(3);
+        g.sub(20);
+        assert_eq!(g.get(), -10);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        // Satellite: 0, 1, u64::MAX and exact powers of two land where
+        // the log₂ rule says they must.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        for k in 0..64 {
+            assert_eq!(bucket_of(1u64 << k), k + 1, "2^{k}");
+            if k > 0 {
+                assert_eq!(bucket_of((1u64 << k) - 1), k, "2^{k} - 1");
+            }
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        assert_eq!(Histogram::new().snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn single_value_percentiles_are_exact() {
+        for v in [0, 1, 5, 1u64 << 40, u64::MAX] {
+            let h = Histogram::new();
+            h.record(v);
+            let s = h.snapshot();
+            assert_eq!((s.count, s.sum, s.min, s.max), (1, v, v, v), "{v}");
+            assert_eq!((s.p50, s.p90, s.p99), (v, v, v), "{v}");
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.p99, u64::MAX);
+    }
+
+    #[test]
+    fn uniform_percentiles_are_monotone_and_bounded() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert!(s.p50 >= s.min && s.p99 <= s.max);
+        // p50 of 1..=1000 lives in bucket [512, 1024); interpolation
+        // keeps it inside.
+        assert!((256..=1000).contains(&s.p50), "p50 = {}", s.p50);
+        assert!(s.p99 >= 512, "p99 = {}", s.p99);
+    }
+}

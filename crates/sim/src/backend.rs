@@ -59,7 +59,9 @@ use crate::packed::{LaneMask, PackedWord};
 use crate::{Fault, FaultSite, Logic, PackedValue, PackedValue256, PackedValue512, SimError};
 use bist_expand::VectorSource;
 use bist_netlist::{Circuit, GateKind, GateTape, RunArity};
+use bist_obs::{CounterHandle, HistogramHandle, Obs};
 use std::fmt;
+use std::time::Instant;
 
 /// `forced_gates` flag: some fanin pin of the gate carries a branch force.
 pub(crate) const IN_FORCE: u8 = 1;
@@ -112,6 +114,93 @@ pub trait SimBackend: fmt::Debug + Send + Sync {
     ) -> Result<Vec<Option<usize>>, SimError> {
         self.detection_times_tape(&GateTape::compile(circuit), source, faults)
     }
+
+    /// [`detection_times_tape`](Self::detection_times_tape) with a
+    /// telemetry sink: engines that support sweep-level counters
+    /// (vectors simulated, chunk early-exits, tape patches applied,
+    /// per-shard busy time) record them into `obs`. Results are
+    /// **bit-identical** to the uninstrumented call — telemetry is
+    /// observation-only. The default implementation ignores `obs`, so
+    /// third-party backends keep working unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As for [`detection_times_tape`](Self::detection_times_tape).
+    fn detection_times_tape_obs(
+        &self,
+        tape: &GateTape,
+        source: &dyn VectorSource,
+        faults: &[Fault],
+        obs: &Obs,
+    ) -> Result<Vec<Option<usize>>, SimError> {
+        let _ = obs;
+        self.detection_times_tape(tape, source, faults)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sweep telemetry
+// ---------------------------------------------------------------------
+
+/// Per-shard sweep tallies, kept as plain locals on the hot path (one
+/// integer add per vector/chunk) and merged into the sink once per
+/// shard — the no-op sink then costs nothing but those adds.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SweepStats {
+    /// Vector steps simulated, summed over chunk passes.
+    pub vectors: u64,
+    /// Chunk passes run.
+    pub chunks: u64,
+    /// Chunk passes that exited before exhausting the stream.
+    pub early_exits: u64,
+    /// Injector patch points applied, summed over chunk passes.
+    pub patches: u64,
+}
+
+/// Pre-resolved sweep metric handles shared by every engine. Built once
+/// per `detection_times_tape_obs` call; inactive handles are `None`
+/// branches, so the `detect/tape/*` bench path pays no name lookups and
+/// no clock reads.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SweepObs {
+    active: bool,
+    vectors: CounterHandle,
+    chunks: CounterHandle,
+    early_exits: CounterHandle,
+    patches: CounterHandle,
+    shard_busy: HistogramHandle,
+}
+
+impl SweepObs {
+    pub(crate) fn new(obs: &Obs) -> Self {
+        SweepObs {
+            active: obs.is_active(),
+            vectors: obs.counter("sim.vectors"),
+            chunks: obs.counter("sim.chunks"),
+            early_exits: obs.counter("sim.chunk_early_exits"),
+            patches: obs.counter("sim.tape_patches"),
+            shard_busy: obs.histogram("sim.shard_busy_us"),
+        }
+    }
+
+    /// Whether flushing will record anything (gates the clock reads).
+    pub(crate) fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Merges one shard's tallies and busy time into the sink.
+    pub(crate) fn flush(&self, stats: &SweepStats, busy_us: u64) {
+        self.vectors.add(stats.vectors);
+        self.chunks.add(stats.chunks);
+        self.early_exits.add(stats.early_exits);
+        self.patches.add(stats.patches);
+        self.shard_busy.record(busy_us);
+    }
+}
+
+/// Microseconds since `start`, saturating.
+pub(crate) fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 // ---------------------------------------------------------------------
@@ -447,12 +536,17 @@ fn run_chunk<W: PackedWord>(
     chunk: &[Fault],
     times: &mut [Option<usize>],
     scratch: &mut ShardScratch<W>,
+    stats: &mut SweepStats,
 ) -> Result<(), SimError> {
     let good_lane = W::LANES - 1;
     scratch.injector.load(tape, chunk, good_lane)?;
     scratch.values.fill(W::ALL_X);
     scratch.state.fill(W::ALL_X);
     let ShardScratch { injector, values, state, pins } = scratch;
+    stats.chunks += 1;
+    stats.patches += injector.forced_gates.len() as u64;
+    let mut vectors = 0u64;
+    let mut early_exit = false;
 
     let mut undetected = W::Mask::first_n(chunk.len());
 
@@ -461,6 +555,7 @@ fn run_chunk<W: PackedWord>(
     let fanin = tape.fanin();
 
     source.visit(&mut |t, vector| {
+        vectors += 1;
         // Drive primary inputs (with stem forces: a stuck PI is stuck
         // every cycle).
         for (i, &pi) in tape.inputs().iter().enumerate() {
@@ -540,6 +635,7 @@ fn run_chunk<W: PackedWord>(
         // Chunk early-exit: every fault has its first detection; the rest
         // of the stream cannot change any result.
         if undetected.is_empty() {
+            early_exit = true;
             return false;
         }
         // Clock: latch next state (with D-pin branch forces).
@@ -553,6 +649,8 @@ fn run_chunk<W: PackedWord>(
         }
         true
     });
+    stats.vectors += vectors;
+    stats.early_exits += u64::from(early_exit);
     Ok(())
 }
 
@@ -563,11 +661,17 @@ fn run_shard<W: PackedWord>(
     source: &dyn VectorSource,
     faults: &[Fault],
     times: &mut [Option<usize>],
+    sweep: &SweepObs,
 ) -> Result<(), SimError> {
     let per_chunk = W::LANES - 1;
+    let start = sweep.is_active().then(Instant::now);
+    let mut stats = SweepStats::default();
     let mut scratch = ShardScratch::<W>::new(tape);
     for (chunk, slots) in faults.chunks(per_chunk).zip(times.chunks_mut(per_chunk)) {
-        run_chunk::<W>(tape, source, chunk, slots, &mut scratch)?;
+        run_chunk::<W>(tape, source, chunk, slots, &mut scratch, &mut stats)?;
+    }
+    if let Some(start) = start {
+        sweep.flush(&stats, elapsed_us(start));
     }
     Ok(())
 }
@@ -612,9 +716,10 @@ fn run_sharded<W: PackedWord>(
     faults: &[Fault],
     times: &mut [Option<usize>],
     threads: usize,
+    sweep: &SweepObs,
 ) -> Result<(), SimError> {
     shard_across_threads(faults, times, threads, W::LANES - 1, |chunk, slots| {
-        run_shard::<W>(tape, source, chunk, slots)
+        run_shard::<W>(tape, source, chunk, slots, sweep)
     })
 }
 
@@ -639,9 +744,20 @@ impl SimBackend for PackedBackend {
         source: &dyn VectorSource,
         faults: &[Fault],
     ) -> Result<Vec<Option<usize>>, SimError> {
+        self.detection_times_tape_obs(tape, source, faults, &Obs::noop())
+    }
+
+    fn detection_times_tape_obs(
+        &self,
+        tape: &GateTape,
+        source: &dyn VectorSource,
+        faults: &[Fault],
+        obs: &Obs,
+    ) -> Result<Vec<Option<usize>>, SimError> {
         validate_width(tape.num_inputs(), source)?;
+        let sweep = SweepObs::new(obs);
         let mut times = vec![None; faults.len()];
-        run_shard::<PackedValue>(tape, source, faults, &mut times)?;
+        run_shard::<PackedValue>(tape, source, faults, &mut times, &sweep)?;
         Ok(times)
     }
 }
@@ -823,29 +939,54 @@ impl SimBackend for ShardedBackend {
         source: &dyn VectorSource,
         faults: &[Fault],
     ) -> Result<Vec<Option<usize>>, SimError> {
+        self.detection_times_tape_obs(tape, source, faults, &Obs::noop())
+    }
+
+    fn detection_times_tape_obs(
+        &self,
+        tape: &GateTape,
+        source: &dyn VectorSource,
+        faults: &[Fault],
+        obs: &Obs,
+    ) -> Result<Vec<Option<usize>>, SimError> {
         validate_width(tape.num_inputs(), source)?;
         // threads >= 1 is a construction invariant of every constructor.
         debug_assert!(self.threads >= 1);
+        let sweep = SweepObs::new(obs);
         let mut times = vec![None; faults.len()];
         use crate::planes::run_sharded_planes;
         match (self.layout, self.width) {
             (StateLayout::BitPlanes, WordWidth::W64) => {
-                run_sharded_planes::<1>(tape, source, faults, &mut times, self.threads)?;
+                run_sharded_planes::<1>(tape, source, faults, &mut times, self.threads, &sweep)?;
             }
             (StateLayout::BitPlanes, WordWidth::W256) => {
-                run_sharded_planes::<4>(tape, source, faults, &mut times, self.threads)?;
+                run_sharded_planes::<4>(tape, source, faults, &mut times, self.threads, &sweep)?;
             }
             (StateLayout::BitPlanes, WordWidth::W512) => {
-                run_sharded_planes::<8>(tape, source, faults, &mut times, self.threads)?;
+                run_sharded_planes::<8>(tape, source, faults, &mut times, self.threads, &sweep)?;
             }
             (StateLayout::Interleaved, WordWidth::W64) => {
-                run_sharded::<PackedValue>(tape, source, faults, &mut times, self.threads)?;
+                run_sharded::<PackedValue>(tape, source, faults, &mut times, self.threads, &sweep)?;
             }
             (StateLayout::Interleaved, WordWidth::W256) => {
-                run_sharded::<PackedValue256>(tape, source, faults, &mut times, self.threads)?;
+                run_sharded::<PackedValue256>(
+                    tape,
+                    source,
+                    faults,
+                    &mut times,
+                    self.threads,
+                    &sweep,
+                )?;
             }
             (StateLayout::Interleaved, WordWidth::W512) => {
-                run_sharded::<PackedValue512>(tape, source, faults, &mut times, self.threads)?;
+                run_sharded::<PackedValue512>(
+                    tape,
+                    source,
+                    faults,
+                    &mut times,
+                    self.threads,
+                    &sweep,
+                )?;
             }
         }
         Ok(times)
@@ -877,11 +1018,29 @@ impl SimBackend for ScalarBackend {
         source: &dyn VectorSource,
         faults: &[Fault],
     ) -> Result<Vec<Option<usize>>, SimError> {
+        self.detection_times_tape_obs(tape, source, faults, &Obs::noop())
+    }
+
+    fn detection_times_tape_obs(
+        &self,
+        tape: &GateTape,
+        source: &dyn VectorSource,
+        faults: &[Fault],
+        obs: &Obs,
+    ) -> Result<Vec<Option<usize>>, SimError> {
         validate_width(tape.num_inputs(), source)?;
+        let sweep = SweepObs::new(obs);
+        let start = sweep.is_active().then(Instant::now);
+        let mut stats = SweepStats::default();
         let mut times = vec![None; faults.len()];
         for (slot, &fault) in times.iter_mut().zip(faults) {
+            // One fault per pass: the scalar engine's "chunk" is a
+            // single faulty machine.
+            stats.chunks += 1;
             let mut first = None;
+            let vectors = &mut stats.vectors;
             stream_machine_fused_tape(tape, source, fault, &mut |t, good, bad| {
+                *vectors += 1;
                 let observable =
                     good.iter().zip(bad).any(|(g, b)| g.is_binary() && b.is_binary() && g != b);
                 if observable {
@@ -890,7 +1049,11 @@ impl SimBackend for ScalarBackend {
                 }
                 true
             })?;
+            stats.early_exits += u64::from(first.is_some());
             *slot = first;
+        }
+        if let Some(start) = start {
+            sweep.flush(&stats, elapsed_us(start));
         }
         Ok(times)
     }

@@ -22,6 +22,7 @@ use crate::backend::SimBackend;
 use crate::{Fault, FaultSite, SimError};
 use bist_expand::VectorSource;
 use bist_netlist::{CompiledCircuit, SiteRoute};
+use bist_obs::Obs;
 
 /// First detection time of every fault in `faults` under the replayable
 /// `source`, routing each fault through `compiled`'s
@@ -41,9 +42,27 @@ pub fn detection_times_mapped(
     source: &dyn VectorSource,
     faults: &[Fault],
 ) -> Result<Vec<Option<usize>>, SimError> {
+    detection_times_mapped_obs(backend, compiled, source, faults, &Obs::noop())
+}
+
+/// [`detection_times_mapped`] with a telemetry sink threaded through to
+/// the engine passes
+/// ([`SimBackend::detection_times_tape_obs`]). Observation-only: results
+/// are bit-identical to the uninstrumented call.
+///
+/// # Errors
+///
+/// Width mismatch / empty stream, from the underlying engine.
+pub fn detection_times_mapped_obs(
+    backend: &dyn SimBackend,
+    compiled: &CompiledCircuit,
+    source: &dyn VectorSource,
+    faults: &[Fault],
+    obs: &Obs,
+) -> Result<Vec<Option<usize>>, SimError> {
     let map = compiled.site_map();
     if map.is_identity() {
-        return backend.detection_times_tape(compiled.tape(), source, faults);
+        return backend.detection_times_tape_obs(compiled.tape(), source, faults, obs);
     }
     let mut direct: Vec<Fault> = Vec::new();
     let mut direct_idx: Vec<usize> = Vec::new();
@@ -74,17 +93,17 @@ pub fn detection_times_mapped(
     if direct.is_empty() && pinned.is_empty() {
         // Nothing to simulate, but keep the engine's argument checking
         // (width mismatch, empty stream) observable.
-        backend.detection_times_tape(compiled.tape(), source, &[])?;
+        backend.detection_times_tape_obs(compiled.tape(), source, &[], obs)?;
         return Ok(results);
     }
     if !direct.is_empty() {
-        let times = backend.detection_times_tape(compiled.tape(), source, &direct)?;
+        let times = backend.detection_times_tape_obs(compiled.tape(), source, &direct, obs)?;
         for (k, t) in times.into_iter().enumerate() {
             results[direct_idx[k]] = t;
         }
     }
     if !pinned.is_empty() {
-        let times = backend.detection_times_tape(compiled.baseline(), source, &pinned)?;
+        let times = backend.detection_times_tape_obs(compiled.baseline(), source, &pinned, obs)?;
         for (k, t) in times.into_iter().enumerate() {
             results[pinned_idx[k]] = t;
         }

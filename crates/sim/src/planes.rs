@@ -38,7 +38,7 @@
 //! touches the plane being swept. Results are bit-identical to every
 //! other engine — pinned by the differential and randomized-fuzz suites.
 
-use crate::backend::{eval2, Injector, IN_FORCE, OUT_FORCE};
+use crate::backend::{elapsed_us, eval2, Injector, SweepObs, SweepStats, IN_FORCE, OUT_FORCE};
 use crate::packed::LaneMask;
 use crate::{Fault, Logic, PackedValue, SimError};
 use bist_expand::VectorSource;
@@ -174,6 +174,7 @@ fn run_chunk_planes<const N: usize>(
     chunk: &[Fault],
     times: &mut [Option<usize>],
     scratch: &mut PlaneScratch<N>,
+    stats: &mut SweepStats,
 ) -> Result<(), SimError> {
     scratch.injector.load(tape, chunk, 64 * N - 1)?;
     // All-X: neither plane bit set.
@@ -184,6 +185,10 @@ fn run_chunk_planes<const N: usize>(
     let stride = tape.num_nodes();
     let dffs = tape.num_dffs();
     let PlaneScratch { injector, ones, zeros, state_ones, state_zeros } = scratch;
+    stats.chunks += 1;
+    stats.patches += injector.forced_gates.len() as u64;
+    let mut vectors = 0u64;
+    let mut early_exit = false;
 
     let mut undetected: [u64; N] = LaneMask::first_n(chunk.len());
 
@@ -193,6 +198,7 @@ fn run_chunk_planes<const N: usize>(
     const GOOD_BIT: u64 = 1 << 63;
 
     source.visit(&mut |t, vector| {
+        vectors += 1;
         // Drive sources, plane by plane (stem forces included: a stuck
         // PI/DFF is stuck every cycle, in exactly its lane's plane).
         for p in 0..N {
@@ -328,6 +334,7 @@ fn run_chunk_planes<const N: usize>(
         // Chunk early-exit: every fault has its first detection; the rest
         // of the stream cannot change any result.
         if undetected.is_empty() {
+            early_exit = true;
             return false;
         }
         // Clock: latch next state (with D-pin branch forces), plane by
@@ -347,6 +354,8 @@ fn run_chunk_planes<const N: usize>(
         }
         true
     });
+    stats.vectors += vectors;
+    stats.early_exits += u64::from(early_exit);
     Ok(())
 }
 
@@ -357,11 +366,17 @@ pub(crate) fn run_shard_planes<const N: usize>(
     source: &dyn VectorSource,
     faults: &[Fault],
     times: &mut [Option<usize>],
+    sweep: &SweepObs,
 ) -> Result<(), SimError> {
     let per_chunk = 64 * N - 1;
+    let start = sweep.is_active().then(std::time::Instant::now);
+    let mut stats = SweepStats::default();
     let mut scratch = PlaneScratch::<N>::new(tape);
     for (chunk, slots) in faults.chunks(per_chunk).zip(times.chunks_mut(per_chunk)) {
-        run_chunk_planes::<N>(tape, source, chunk, slots, &mut scratch)?;
+        run_chunk_planes::<N>(tape, source, chunk, slots, &mut scratch, &mut stats)?;
+    }
+    if let Some(start) = start {
+        sweep.flush(&stats, elapsed_us(start));
     }
     Ok(())
 }
@@ -373,8 +388,9 @@ pub(crate) fn run_sharded_planes<const N: usize>(
     faults: &[Fault],
     times: &mut [Option<usize>],
     threads: usize,
+    sweep: &SweepObs,
 ) -> Result<(), SimError> {
     crate::backend::shard_across_threads(faults, times, threads, 64 * N - 1, |chunk, slots| {
-        run_shard_planes::<N>(tape, source, chunk, slots)
+        run_shard_planes::<N>(tape, source, chunk, slots, sweep)
     })
 }

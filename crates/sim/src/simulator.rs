@@ -30,6 +30,7 @@ use crate::good::GoodTrace;
 use crate::{Fault, SimError};
 use bist_expand::{TestSequence, VectorSource};
 use bist_netlist::{Circuit, CompiledCircuit, GateTape};
+use bist_obs::Obs;
 use std::sync::Arc;
 
 /// Sequential stuck-at fault simulator for one circuit.
@@ -59,6 +60,9 @@ pub struct FaultSimulator<'c> {
     /// A staged compile to route fault sites through. `None` for the
     /// classic identity paths: every site injects on `tape` directly.
     compiled: Option<Arc<CompiledCircuit>>,
+    /// Telemetry sink threaded into every engine pass. Defaults to the
+    /// no-op sink; results never depend on it.
+    obs: Obs,
 }
 
 impl<'c> FaultSimulator<'c> {
@@ -96,7 +100,7 @@ impl<'c> FaultSimulator<'c> {
         let tape = Arc::new(GateTape::compile(circuit));
         #[cfg(debug_assertions)]
         bist_verify::audit_tape(circuit, &tape);
-        FaultSimulator { circuit, tape, backend, compiled: None }
+        FaultSimulator { circuit, tape, backend, compiled: None, obs: Obs::noop() }
     }
 
     /// Creates a simulator reusing an already-compiled tape — the
@@ -116,7 +120,7 @@ impl<'c> FaultSimulator<'c> {
         // additionally prove the tape is *this* circuit's, field by field.
         #[cfg(debug_assertions)]
         bist_verify::audit_tape(circuit, &tape);
-        Ok(FaultSimulator { circuit, tape, backend, compiled: None })
+        Ok(FaultSimulator { circuit, tape, backend, compiled: None, obs: Obs::noop() })
     }
 
     /// Creates a simulator over a staged compile: queries run on the
@@ -144,7 +148,7 @@ impl<'c> FaultSimulator<'c> {
         #[cfg(debug_assertions)]
         bist_verify::audit_compiled(circuit, &compiled);
         let tape = Arc::clone(compiled.tape());
-        Ok(FaultSimulator { circuit, tape, backend, compiled: Some(compiled) })
+        Ok(FaultSimulator { circuit, tape, backend, compiled: Some(compiled), obs: Obs::noop() })
     }
 
     /// The simulated circuit.
@@ -172,6 +176,23 @@ impl<'c> FaultSimulator<'c> {
     #[must_use]
     pub fn compiled(&self) -> Option<&Arc<CompiledCircuit>> {
         self.compiled.as_ref()
+    }
+
+    /// Attaches a telemetry sink: every subsequent engine pass records
+    /// its sweep counters and shard busy time into `obs`. Telemetry is
+    /// observation-only — results are bit-identical with any sink.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The telemetry sink engine passes record into (the no-op sink
+    /// unless [`with_obs`](Self::with_obs) was used). Layers above the
+    /// simulator (scheme sweeps, sessions) share it for their own spans.
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Fault-free simulation (see [`simulate_good`](crate::simulate_good))
@@ -211,10 +232,14 @@ impl<'c> FaultSimulator<'c> {
         faults: &[Fault],
     ) -> Result<Vec<Option<usize>>, SimError> {
         match &self.compiled {
-            Some(compiled) => {
-                crate::mapped::detection_times_mapped(&*self.backend, compiled, source, faults)
-            }
-            None => self.backend.detection_times_tape(&self.tape, source, faults),
+            Some(compiled) => crate::mapped::detection_times_mapped_obs(
+                &*self.backend,
+                compiled,
+                source,
+                faults,
+                &self.obs,
+            ),
+            None => self.backend.detection_times_tape_obs(&self.tape, source, faults, &self.obs),
         }
     }
 

@@ -49,6 +49,7 @@
 //! * [`expand`] — test sequences, the `Sexp` expansion, hardware model
 //! * [`tgen`] — `T0` generation and static compaction
 //! * [`core`] — subsequence selection (the paper's contribution)
+//! * [`obs`] — zero-dependency telemetry: counters, histograms, spans
 //!
 //! plus the [`Session`] pipeline and the workspace-wide [`BistError`].
 //!
@@ -71,7 +72,13 @@ pub use bist_verify as verify;
 /// surface consumed by [`SessionBuilder::optimize`] and
 /// [`SessionArtifacts::compiled`].
 pub use bist_netlist::{compile_staged, CompileOptions, CompiledCircuit};
+/// Re-exported from `bist-obs`: the zero-dependency telemetry layer.
+/// Pass an active [`Obs`] to [`SessionBuilder::obs`] to collect span
+/// histograms, engine counters and (optionally) trace events; snapshot
+/// and export via [`obs::Registry`] and [`obs::export`].
+pub use bist_obs as obs;
+pub use bist_obs::{MetricsSnapshot, Obs, Registry};
 pub use error::BistError;
 pub use session::{
-    Backend, Session, SessionArtifacts, SessionBuilder, SessionParts, SessionReport,
+    Backend, Session, SessionArtifacts, SessionBuilder, SessionParts, SessionReport, StageSeconds,
 };

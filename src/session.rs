@@ -31,6 +31,7 @@ use bist_expand::TestSequence;
 use bist_netlist::{
     benchmarks, compile_staged_with_baseline, Circuit, CompileOptions, CompiledCircuit, GateTape,
 };
+use bist_obs::Obs;
 use bist_sim::{
     collapse, fault_universe, Fault, FaultCoverage, FaultSimulator, ShardedBackend, SimBackend,
     WordWidth,
@@ -263,6 +264,7 @@ pub struct SessionBuilder {
     artifacts: SessionArtifacts,
     optimize: CompileOptions,
     verify: bool,
+    obs: Obs,
 }
 
 impl Default for SessionBuilder {
@@ -277,6 +279,7 @@ impl Default for SessionBuilder {
             artifacts: SessionArtifacts::default(),
             optimize: CompileOptions::none(),
             verify: true,
+            obs: Obs::noop(),
         }
     }
 }
@@ -405,6 +408,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a telemetry sink. Every pipeline stage (parse, collapse,
+    /// tape compile, staged optimize, `T0`, the scheme's fault-simulation
+    /// sweeps, verification) records a `session.*_us` span into it, and
+    /// the sink is threaded through the fault-simulation engines
+    /// ([`bist_sim::SimBackend::detection_times_tape_obs`]).
+    /// Observation-only: results are bit-identical to an uninstrumented
+    /// session, and the default no-op sink records nothing.
+    #[must_use]
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Injects pre-built artifacts shared across sessions — the facade's
     /// entry point for the batch campaign's [`Arc`]-shared caches. A
     /// supplied circuit overrides the builder's circuit source; supplied
@@ -425,7 +441,10 @@ impl SessionBuilder {
     pub fn build(self) -> Result<Session, BistError> {
         let circuit = match self.artifacts.circuit {
             Some(shared) => shared,
-            None => Arc::new(self.source.build()?),
+            None => {
+                let _span = self.obs.span("session.parse_us", String::new());
+                Arc::new(self.source.build()?)
+            }
         };
         let engine = self.engine.resolve()?;
         if let Some(t0) = &self.t0 {
@@ -536,6 +555,7 @@ impl SessionBuilder {
             scheme,
             engine,
             verify: self.verify,
+            obs: self.obs,
         })
     }
 
@@ -580,6 +600,9 @@ pub struct Session {
     scheme: SchemeConfig,
     engine: Arc<dyn SimBackend>,
     verify: bool,
+    /// Telemetry sink every stage and engine pass records into
+    /// ([`SessionBuilder::obs`]; no-op by default).
+    obs: Obs,
 }
 
 impl Session {
@@ -603,6 +626,7 @@ impl Session {
     #[must_use]
     pub fn tape(&self) -> &Arc<GateTape> {
         self.tape.get_or_init(|| {
+            let _span = self.obs.span("session.tape_compile_us", self.circuit.name().to_string());
             let tape = Arc::new(GateTape::compile(&self.circuit));
             #[cfg(debug_assertions)]
             bist_verify::audit_tape(&self.circuit, &tape);
@@ -622,6 +646,7 @@ impl Session {
         }
         Some(self.compiled.get_or_init(|| {
             let baseline = Arc::clone(self.tape());
+            let _span = self.obs.span("session.optimize_us", self.circuit.name().to_string());
             Arc::new(compile_staged_with_baseline(&self.circuit, self.optimize, baseline))
         }))
     }
@@ -634,6 +659,7 @@ impl Session {
     pub fn collapsed_faults(&self) -> &[Fault] {
         self.faults
             .get_or_init(|| {
+                let _span = self.obs.span("session.collapse_us", self.circuit.name().to_string());
                 Arc::new(
                     collapse(&self.circuit, &fault_universe(&self.circuit))
                         .representatives()
@@ -653,8 +679,17 @@ impl Session {
     /// Propagates simulation errors (these indicate impossible
     /// configurations and do not occur for valid circuits).
     pub fn run(&self) -> Result<SessionReport, BistError> {
+        let mut stages = StageSeconds::default();
+
+        // The three lazy artifacts record their compile time into the run
+        // that first forces them; cached runs observe ~0 here.
+        let stage = Instant::now();
         let faults = self.collapsed_faults();
+        stages.collapse = stage.elapsed().as_secs_f64();
+        let stage = Instant::now();
         let tape = Arc::clone(self.tape());
+        stages.tape_compile = stage.elapsed().as_secs_f64();
+        let stage = Instant::now();
         let sim = match self.compiled() {
             Some(compiled) => FaultSimulator::with_backend_and_compiled(
                 &self.circuit,
@@ -666,8 +701,11 @@ impl Session {
                 Arc::clone(&tape),
                 Arc::clone(&self.engine),
             )?,
-        };
+        }
+        .with_obs(self.obs.clone());
+        stages.optimize = stage.elapsed().as_secs_f64();
 
+        let span = self.obs.span("session.t0_us", self.circuit.name().to_string());
         let started = Instant::now();
         let mut injected = false;
         let (t0, coverage) = match (&self.t0, &self.prebuilt) {
@@ -682,15 +720,23 @@ impl Session {
                 (generated.sequence, generated.coverage)
             }
         };
+        stages.t0 = started.elapsed().as_secs_f64();
+        drop(span);
         // An injected T0 reports the producer's recorded generation time
         // (cloning an Arc'd artifact would otherwise report ~0).
         let t0_seconds = match (injected, self.prebuilt_seconds) {
             (true, Some(seconds)) => seconds,
-            _ => started.elapsed().as_secs_f64(),
+            _ => stages.t0,
         };
 
+        let span = self.obs.span("session.fault_sim_us", self.circuit.name().to_string());
+        let stage = Instant::now();
         let scheme = run_scheme(&sim, &t0, &coverage, &self.scheme)?;
+        stages.fault_sim = stage.elapsed().as_secs_f64();
+        drop(span);
 
+        let span = self.obs.span("session.verify_us", self.circuit.name().to_string());
+        let stage = Instant::now();
         let verified = if self.verify {
             let best = scheme.best_run();
             let detected: Vec<Fault> = coverage.detected().map(|(f, _)| f).collect();
@@ -703,6 +749,8 @@ impl Session {
         } else {
             None
         };
+        stages.verify = stage.elapsed().as_secs_f64();
+        drop(span);
 
         Ok(SessionReport {
             circuit: (*self.circuit).clone(),
@@ -714,7 +762,46 @@ impl Session {
             scheme,
             verified,
             t0_seconds,
+            stages,
         })
+    }
+
+    /// The telemetry sink this session records into (no-op unless set via
+    /// [`SessionBuilder::obs`]).
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+}
+
+/// Wall-clock seconds spent in each pipeline stage of one
+/// [`Session::run`], independent of any telemetry sink (always recorded).
+///
+/// The lazy artifacts (fault collapse, tape compile, staged optimize)
+/// charge their cost to the run that first forces them; cached later runs
+/// observe ~0 for those stages.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageSeconds {
+    /// Fault-universe collapse (~0 when injected or cached).
+    pub collapse: f64,
+    /// Baseline tape compile (~0 when injected or cached).
+    pub tape_compile: f64,
+    /// Staged optimize + simulator construction (~0 when unoptimized,
+    /// injected or cached).
+    pub optimize: f64,
+    /// Obtaining `T0` and its coverage (generation or re-simulation).
+    pub t0: f64,
+    /// The scheme sweep — Procedure 1/2 + compaction over every `n`.
+    pub fault_sim: f64,
+    /// Post-run coverage verification (0 when disabled).
+    pub verify: f64,
+}
+
+impl StageSeconds {
+    /// Sum over all stages — the pipeline time this run accounts for.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.collapse + self.tape_compile + self.optimize + self.t0 + self.fault_sim + self.verify
     }
 }
 
@@ -742,6 +829,8 @@ pub struct SessionParts {
     pub verified: Option<bool>,
     /// Wall-clock seconds spent obtaining `T0` and its coverage.
     pub t0_seconds: f64,
+    /// Per-stage wall-clock breakdown of the run.
+    pub stages: StageSeconds,
 }
 
 /// Everything one pipeline run produced.
@@ -756,6 +845,7 @@ pub struct SessionReport {
     scheme: SchemeResult,
     verified: Option<bool>,
     t0_seconds: f64,
+    stages: StageSeconds,
 }
 
 impl SessionReport {
@@ -800,6 +890,13 @@ impl SessionReport {
     #[must_use]
     pub fn t0_seconds(&self) -> f64 {
         self.t0_seconds
+    }
+
+    /// Per-stage wall-clock breakdown of the run (always recorded, with
+    /// or without a telemetry sink).
+    #[must_use]
+    pub fn stages(&self) -> &StageSeconds {
+        &self.stages
     }
 
     /// The full sweep result (one run per `n`).
@@ -853,6 +950,7 @@ impl SessionReport {
             scheme: self.scheme,
             verified: self.verified,
             t0_seconds: self.t0_seconds,
+            stages: self.stages,
         }
     }
 
@@ -1207,6 +1305,57 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(report.circuit().num_inputs(), 4);
+    }
+
+    #[test]
+    fn instrumented_session_records_stage_spans_and_engine_counters() {
+        let registry = Arc::new(bist_obs::Registry::new());
+        registry.enable_tracing();
+        let report = Session::builder()
+            .s27()
+            .seed(1999)
+            .ns(vec![1, 2])
+            .obs(Obs::with_registry(Arc::clone(&registry)))
+            .run()
+            .unwrap();
+        let snap = registry.snapshot();
+        // Every stage span landed in its histogram exactly once.
+        for name in ["session.t0_us", "session.fault_sim_us", "session.verify_us"] {
+            let h = snap.histogram(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(h.count, 1, "{name}");
+        }
+        // Lazy artifacts were forced exactly once by this run.
+        assert_eq!(snap.histogram("session.collapse_us").unwrap().count, 1);
+        assert_eq!(snap.histogram("session.tape_compile_us").unwrap().count, 1);
+        // The scheme sweep recorded one Procedure-1 span per n.
+        assert_eq!(snap.histogram("core.procedure1_us").unwrap().count, 2);
+        // The engines saw real work through the threaded sink.
+        assert!(snap.counter("sim.vectors").unwrap() > 0);
+        assert!(snap.counter("sim.chunks").unwrap() > 0);
+        // Tracing captured the same spans as events.
+        let events = registry.trace_events();
+        assert!(events.iter().any(|e| e.span == "session.fault_sim_us" && e.labels == "s27"));
+        // Stage wall-clock breakdown is recorded regardless of the sink.
+        let stages = report.stages();
+        assert!(stages.fault_sim > 0.0);
+        assert!(stages.total() >= stages.fault_sim);
+    }
+
+    #[test]
+    fn instrumented_session_is_bit_identical_to_uninstrumented() {
+        let base = Session::builder().s27().seed(7).ns(vec![1, 2]).run().unwrap();
+        let registry = Arc::new(bist_obs::Registry::new());
+        let instrumented = Session::builder()
+            .s27()
+            .seed(7)
+            .ns(vec![1, 2])
+            .obs(Obs::with_registry(registry))
+            .run()
+            .unwrap();
+        assert_eq!(instrumented.t0(), base.t0());
+        assert_eq!(instrumented.coverage(), base.coverage());
+        assert_eq!(instrumented.best().after.total_len, base.best().after.total_len);
+        assert_eq!(instrumented.verified(), base.verified());
     }
 
     #[test]
