@@ -11,19 +11,26 @@
 //!                 [--ns 2,4,8,16] [--no-postprocess] [--no-verify]
 //!                 [--optimize[=PASSES]]
 //!                 [--threads N] [--queue N] [--keep-going] [--jsonl PATH]
+//!                 [--resume PATH] [--deadline MS] [--retries N]
+//!                 [--cache-budget BYTES] [--chaos[=SEED]]
 //!                 [--metrics PATH] [--trace PATH] [--metrics-stdout]
 //! subseq-bist list-circuits
 //! subseq-bist lint FILE.bench... | --suite [--jsonl PATH] [--deny-warnings]
 //! subseq-bist check-equiv A B
-//! subseq-bist validate [--lint | --metrics | --trace] FILE
+//! subseq-bist validate [--lint | --metrics | --trace | --resume] FILE
 //! ```
 //!
 //! Argument parsing is hand-rolled (no external dependencies), in the
 //! same convention as the table binaries in `bist-bench`.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use bist_batch::{parse_backend, BatchError, Campaign, CampaignEngine, JsonlSink, ReportSink};
+use bist_batch::faultpoint::{FaultPlan, FaultPoint, FaultSite};
+use bist_batch::{
+    parse_backend, BatchError, CachePolicy, Campaign, CampaignEngine, JsonlSink, ReportSink,
+    ResumeLog, RetryPolicy,
+};
 use subseq_bist::netlist::{benchmarks, parser, Circuit};
 use subseq_bist::obs::export;
 use subseq_bist::tgen::TgenConfig;
@@ -42,6 +49,8 @@ USAGE:
              [--lint]              ...or a lint-diagnostic JSONL file
              [--metrics]           ...or a metrics JSON export
              [--trace]             ...or a trace JSONL export
+             [--resume]            ...or a crash journal (tolerates one
+                                   torn trailing line, as --resume does)
     subseq-bist help               show this text
 
 LINT:
@@ -76,7 +85,23 @@ RUN OPTIONS:
     --threads N         worker threads (default 0 = one per core)
     --queue N           bounded job-queue depth (default 32)
     --keep-going        record job failures instead of cancelling
+    --deadline MS       per-job deadline in milliseconds (cooperatively
+                        cancels the sweep; the job fails as timed out)
+    --retries N         attempts per job (default 1 = no retries; only
+                        transient failures are retried, with backoff)
+    --cache-budget B    bound the shared artifact cache to ~B bytes
+                        (least-recently-used artifacts are evicted and
+                        recomputed bit-identically on the next miss)
+    --chaos[=SEED]      deterministic fault injection: seeded transient
+                        errors, delays and poisoned cache computes that
+                        heal on retry (defaults --retries to 3); results
+                        stay identical to a fault-free run
     --jsonl PATH        stream one schema-validated JSON row per job
+                        (each row is flushed immediately and stamped with
+                        the campaign fingerprint — a crash-safe journal)
+    --resume PATH       resume a killed campaign from its journal: replay
+                        completed jobs, repair a torn trailing line, run
+                        only the missing jobs and append their rows
     --metrics PATH      write counters/gauges/histograms as JSON after the run
     --trace PATH        record span traces and write them as JSONL
     --metrics-stdout    print the metrics table to stdout after the run
@@ -140,7 +165,12 @@ fn run(args: &[String]) -> Result<(), BatchError> {
     let mut threads = 0;
     let mut queue = 32;
     let mut keep_going = false;
+    let mut deadline: Option<u64> = None;
+    let mut retries: Option<usize> = None;
+    let mut cache_budget: Option<usize> = None;
+    let mut chaos_seed: Option<u64> = None;
     let mut jsonl: Option<String> = None;
+    let mut resume: Option<String> = None;
     let mut metrics: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut metrics_stdout = false;
@@ -195,7 +225,25 @@ fn run(args: &[String]) -> Result<(), BatchError> {
             "--threads" => threads = parse_usize(arg, parse_flag_value(arg, &mut it)?)?,
             "--queue" => queue = parse_usize(arg, parse_flag_value(arg, &mut it)?)?,
             "--keep-going" => keep_going = true,
+            "--deadline" => {
+                let value = parse_flag_value(arg, &mut it)?;
+                deadline = Some(value.parse().map_err(|_| {
+                    BatchError::Config(format!("`--deadline` needs milliseconds, got `{value}`"))
+                })?);
+            }
+            "--retries" => retries = Some(parse_usize(arg, parse_flag_value(arg, &mut it)?)?),
+            "--cache-budget" => {
+                cache_budget = Some(parse_usize(arg, parse_flag_value(arg, &mut it)?)?);
+            }
+            "--chaos" => chaos_seed = Some(7),
+            flag if flag.starts_with("--chaos=") => {
+                let spec = &flag["--chaos=".len()..];
+                chaos_seed = Some(spec.parse().map_err(|_| {
+                    BatchError::Config(format!("`--chaos` needs a u64 seed, got `{spec}`"))
+                })?);
+            }
             "--jsonl" => jsonl = Some(parse_flag_value(arg, &mut it)?.to_string()),
+            "--resume" => resume = Some(parse_flag_value(arg, &mut it)?.to_string()),
             "--metrics" => metrics = Some(parse_flag_value(arg, &mut it)?.to_string()),
             "--trace" => trace = Some(parse_flag_value(arg, &mut it)?.to_string()),
             "--metrics-stdout" => metrics_stdout = true,
@@ -245,8 +293,53 @@ fn run(args: &[String]) -> Result<(), BatchError> {
         campaign = campaign.schemes(schemes);
     }
 
+    if jsonl.is_some() && resume.is_some() {
+        return Err(BatchError::Config(
+            "`--resume` already names the journal; drop `--jsonl`".to_string(),
+        ));
+    }
+
     let mut engine =
         CampaignEngine::new().threads(threads).queue_depth(queue).keep_going(keep_going);
+    if let Some(ms) = deadline {
+        engine = engine.deadline(Duration::from_millis(ms));
+    }
+    if let Some(attempts) = retries {
+        engine = engine.retry(RetryPolicy {
+            max_attempts: attempts.max(1),
+            backoff: Duration::from_millis(25),
+        });
+    }
+    if let Some(bytes) = cache_budget {
+        engine = engine.cache_policy(CachePolicy::bounded(bytes));
+    }
+    // The chaos plan injects only *healing* faults — transients, delays
+    // and poisoned cache computes that succeed on retry — so a chaos run
+    // (or a chaos run killed and resumed) converges to the digest of the
+    // fault-free campaign. That identity is the whole point.
+    let chaos_plan = chaos_seed.map(|seed| {
+        Arc::new(
+            FaultPlan::new(seed)
+                .point(FaultPoint::new(FaultSite::JobTransient, "").rate_per_mille(400))
+                .point(
+                    FaultPoint::new(FaultSite::JobDelay, "")
+                        .rate_per_mille(250)
+                        .delay(Duration::from_millis(2)),
+                )
+                .point(FaultPoint::new(FaultSite::CachePoison, "t0:").rate_per_mille(400)),
+        )
+    });
+    if let Some(plan) = &chaos_plan {
+        engine = engine.chaos(Arc::clone(plan));
+        if retries.is_none() {
+            engine =
+                engine.retry(RetryPolicy { max_attempts: 3, backoff: Duration::from_millis(10) });
+        }
+        println!(
+            "(chaos mode: deterministic fault injection, seed {})",
+            chaos_seed.unwrap_or_default()
+        );
+    }
 
     // Telemetry is opt-in: without one of the flags below the engine
     // keeps its no-op sink and records nothing.
@@ -261,19 +354,34 @@ fn run(args: &[String]) -> Result<(), BatchError> {
         None
     };
 
-    let outcome = match &jsonl {
-        Some(path) => {
-            let mut sink = JsonlSink::create(path)?;
-            let mut sinks: [&mut dyn ReportSink; 1] = [&mut sink];
-            let outcome = engine.run(&campaign, &mut sinks)?;
-            println!("wrote {} JSONL rows to {}", sink.rows(), sink.path().display());
-            outcome
+    let outcome = if let Some(path) = &resume {
+        let fingerprint = campaign.fingerprint();
+        let log = ResumeLog::load(path, &fingerprint)?;
+        if log.truncated() {
+            println!("repaired a torn trailing row in {path}");
         }
-        None => engine.run(&campaign, &mut [])?,
+        println!("resuming from {path}: replaying {} completed job(s)", log.records().len());
+        let mut sink = JsonlSink::append(path)?.with_fingerprint(&fingerprint);
+        let mut sinks: [&mut dyn ReportSink; 1] = [&mut sink];
+        let outcome = engine.run_resumed(&campaign, &mut sinks, log.records())?;
+        println!("journal {} now holds {} JSONL rows", sink.path().display(), sink.rows());
+        outcome
+    } else if let Some(path) = &jsonl {
+        let mut sink = JsonlSink::create(path)?.with_fingerprint(campaign.fingerprint());
+        let mut sinks: [&mut dyn ReportSink; 1] = [&mut sink];
+        let outcome = engine.run(&campaign, &mut sinks)?;
+        println!("wrote {} JSONL rows to {}", sink.rows(), sink.path().display());
+        outcome
+    } else {
+        engine.run(&campaign, &mut [])?
     };
     print!("{}", outcome.summary);
+    println!("  summary digest: {:016x}", outcome.summary.digest());
     println!("  cache: {}", outcome.cache);
     println!("  cache {}", outcome.residency);
+    if let Some(plan) = &chaos_plan {
+        println!("  chaos: {} fault(s) injected", plan.injected());
+    }
 
     if let Some(registry) = registry {
         let snapshot = registry.snapshot();
@@ -311,7 +419,7 @@ fn validate(args: &[String]) -> Result<(), BatchError> {
     let mut path: Option<&str> = None;
     for arg in args {
         match arg.as_str() {
-            flag @ ("--lint" | "--metrics" | "--trace") => {
+            flag @ ("--lint" | "--metrics" | "--trace" | "--resume") => {
                 if let Some(prev) = schema {
                     return Err(BatchError::Config(format!(
                         "`validate` takes one schema flag, got `{prev}` and `{flag}`"
@@ -328,6 +436,13 @@ fn validate(args: &[String]) -> Result<(), BatchError> {
     let path =
         path.ok_or_else(|| BatchError::Config("`validate` needs a file path".to_string()))?;
     let text = read_file(path)?;
+    if schema == Some("--resume") {
+        let (rows, truncated) = bist_batch::jsonl::validate_jsonl_lenient(&text)
+            .map_err(|e| BatchError::Config(format!("{path}: {e}")))?;
+        let note = if truncated { " (one torn trailing line would be dropped)" } else { "" };
+        println!("{path}: {rows} rows{note}, schema ok");
+        return Ok(());
+    }
     let (rows, what) = match schema {
         Some("--lint") => (bist_batch::jsonl::validate_lint_jsonl(&text), "diagnostic rows"),
         Some("--metrics") => (export::validate_metrics_json(&text), "metrics"),

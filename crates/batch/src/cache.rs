@@ -10,24 +10,42 @@
 //! the computation while later workers block on the same slot and then
 //! share the result. Hit/miss counters make the reuse observable (and
 //! testable).
+//!
+//! Two refinements keep long campaigns honest:
+//!
+//! * **Failure taxonomy.** A failed computation is cached like a value,
+//!   but *transient* failures (interrupted/timed-out I/O, injected
+//!   chaos) release their slot immediately so a retry recomputes instead
+//!   of being fed the stale error forever. *Permanent* failures (a
+//!   circuit that does not parse, a file that does not exist) stay
+//!   cached and fail every sharer fast.
+//! * **Bounded residency.** A [`CachePolicy`] with `max_bytes` turns the
+//!   cache into a byte-budget LRU: whenever the approximate resident
+//!   bytes exceed the budget, the globally least-recently-used completed
+//!   artifact on an unpinned shelf is evicted (counted in
+//!   `cache.<shelf>.evictions`). Outstanding `Arc`s keep evicted values
+//!   alive for their holders; a later request recomputes the artifact
+//!   bit-identically because every computation is deterministic.
 
 use crate::campaign::CircuitSpec;
+use crate::faultpoint::FaultPlan;
 use crate::BatchError;
 use bist_obs::{CounterHandle, GaugeHandle, Obs};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use subseq_bist::netlist::{compile_staged_with_baseline, Circuit, GateTape};
 use subseq_bist::sim::{collapse, fault_universe, Fault};
 use subseq_bist::tgen::{generate_t0_with_artifacts, GeneratedTest, TgenConfig};
 use subseq_bist::{BistError, CompileOptions, CompiledCircuit, SessionArtifacts};
 
-/// A snapshot of the cache's hit/miss counters.
+/// A snapshot of the cache's hit/miss/eviction counters.
 ///
 /// A "miss" is a computation actually performed; a "hit" is a request
 /// served from (or while waiting on) an existing slot. For a campaign of
 /// `J` jobs over `C` distinct circuits, a fully shared cache shows
 /// `C` misses and `J - C` hits on the circuit and fault shelves.
+/// Evictions only occur under a bounded [`CachePolicy`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Parsed-circuit computations performed.
@@ -50,6 +68,28 @@ pub struct CacheStats {
     pub t0_misses: usize,
     /// `T0` requests served from the cache.
     pub t0_hits: usize,
+    /// Parsed circuits evicted under the byte budget.
+    pub circuit_evictions: usize,
+    /// Gate tapes evicted under the byte budget.
+    pub tape_evictions: usize,
+    /// Staged compiles evicted under the byte budget.
+    pub compiled_evictions: usize,
+    /// Fault universes evicted under the byte budget.
+    pub fault_evictions: usize,
+    /// Generated `T0`s evicted under the byte budget.
+    pub t0_evictions: usize,
+}
+
+impl CacheStats {
+    /// Total evictions across all shelves.
+    #[must_use]
+    pub fn total_evictions(&self) -> usize {
+        self.circuit_evictions
+            + self.tape_evictions
+            + self.compiled_evictions
+            + self.fault_evictions
+            + self.t0_evictions
+    }
 }
 
 impl std::fmt::Display for CacheStats {
@@ -57,7 +97,7 @@ impl std::fmt::Display for CacheStats {
         write!(
             f,
             "circuits {}+{} reused, tapes {}+{} reused, staged compiles {}+{} reused, universes \
-             {}+{} reused, T0s {}+{} reused",
+             {}+{} reused, T0s {}+{} reused, {} evicted",
             self.circuit_misses,
             self.circuit_hits,
             self.tape_misses,
@@ -68,7 +108,111 @@ impl std::fmt::Display for CacheStats {
             self.fault_hits,
             self.t0_misses,
             self.t0_hits,
+            self.total_evictions(),
         )
+    }
+}
+
+/// One shelf of the cache, for naming in a [`CachePolicy`]'s pin set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShelfId {
+    /// Parsed circuits.
+    Circuit,
+    /// Compiled gate tapes.
+    Tape,
+    /// Staged (optimizing) compiles.
+    Compiled,
+    /// Collapsed fault universes.
+    Fault,
+    /// Generated `T0`s with coverage.
+    T0,
+}
+
+impl ShelfId {
+    /// The shelf's telemetry name (`cache.<name>.*`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ShelfId::Circuit => "circuit",
+            ShelfId::Tape => "tape",
+            ShelfId::Compiled => "compiled",
+            ShelfId::Fault => "fault",
+            ShelfId::T0 => "t0",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            ShelfId::Circuit => 1,
+            ShelfId::Tape => 2,
+            ShelfId::Compiled => 4,
+            ShelfId::Fault => 8,
+            ShelfId::T0 => 16,
+        }
+    }
+}
+
+/// A small set of [`ShelfId`]s (a `Copy` bitset, so [`CachePolicy`] and
+/// everything holding one stays `Copy`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShelfSet(u8);
+
+impl ShelfSet {
+    /// The empty set.
+    #[must_use]
+    pub const fn empty() -> Self {
+        ShelfSet(0)
+    }
+
+    /// This set plus `shelf`.
+    #[must_use]
+    pub fn with(self, shelf: ShelfId) -> Self {
+        ShelfSet(self.0 | shelf.bit())
+    }
+
+    /// Whether `shelf` is in the set.
+    #[must_use]
+    pub fn contains(self, shelf: ShelfId) -> bool {
+        self.0 & shelf.bit() != 0
+    }
+}
+
+/// Residency policy of an [`ArtifactCache`]: an optional approximate
+/// byte budget plus shelves exempt from eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachePolicy {
+    /// Approximate resident-byte budget across all shelves (`None` =
+    /// unbounded, the historical behaviour). Enforced by LRU eviction
+    /// after each artifact bundle is assembled.
+    pub max_bytes: Option<usize>,
+    /// Shelves never evicted from, budget notwithstanding.
+    pub pinned_shelves: ShelfSet,
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        CachePolicy::unbounded()
+    }
+}
+
+impl CachePolicy {
+    /// No budget: the cache grows for the life of the campaign.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        CachePolicy { max_bytes: None, pinned_shelves: ShelfSet::empty() }
+    }
+
+    /// An approximate byte budget enforced by LRU eviction.
+    #[must_use]
+    pub fn bounded(max_bytes: usize) -> Self {
+        CachePolicy { max_bytes: Some(max_bytes), pinned_shelves: ShelfSet::empty() }
+    }
+
+    /// Exempts `shelf` from eviction.
+    #[must_use]
+    pub fn pin(mut self, shelf: ShelfId) -> Self {
+        self.pinned_shelves = self.pinned_shelves.with(shelf);
+        self
     }
 }
 
@@ -127,17 +271,57 @@ impl std::fmt::Display for CacheResidency {
     }
 }
 
-/// A compute-once slot shared by every requester of one key (the error
-/// arm caches failures too, so a broken artifact fails every job fast).
-type Slot<V> = Arc<OnceLock<Result<Arc<V>, String>>>;
+/// A cached computation failure: the message plus whether a retry could
+/// plausibly succeed. Transient failures (interrupted/timed-out I/O,
+/// injected chaos) release their slot so the next request recomputes;
+/// permanent failures (parse errors, missing files) stay cached.
+#[derive(Debug, Clone)]
+struct CacheFailure {
+    message: String,
+    transient: bool,
+}
 
-/// Pre-resolved telemetry handles of one shelf: hit/miss counters plus
-/// resident-entry and approx-resident-bytes gauges, named
-/// `cache.<shelf>.{hit,miss,resident,resident_bytes}`. No-op (a branch
-/// per event) unless the cache was built with an active sink.
+impl CacheFailure {
+    fn of(e: &BistError) -> Self {
+        let transient = matches!(
+            e,
+            BistError::Io(io) if matches!(
+                io.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            )
+        );
+        CacheFailure { message: e.to_string(), transient }
+    }
+}
+
+/// One keyed entry: a compute-once cell plus LRU bookkeeping. `touched`
+/// is a tick from the cache-wide clock (updated on every request);
+/// `bytes` is the approximate size recorded when the value was computed.
+struct SlotInner<V> {
+    cell: OnceLock<Result<Arc<V>, CacheFailure>>,
+    touched: AtomicU64,
+    bytes: AtomicUsize,
+}
+
+impl<V> Default for SlotInner<V> {
+    fn default() -> Self {
+        SlotInner { cell: OnceLock::new(), touched: AtomicU64::new(0), bytes: AtomicUsize::new(0) }
+    }
+}
+
+/// A compute-once slot shared by every requester of one key.
+type Slot<V> = Arc<SlotInner<V>>;
+
+/// Pre-resolved telemetry handles of one shelf: hit/miss/eviction
+/// counters plus resident-entry and approx-resident-bytes gauges, named
+/// `cache.<shelf>.{hit,miss,evictions,resident,resident_bytes}`. No-op
+/// (a branch per event) unless the cache was built with an active sink.
 struct ShelfObs {
     hit: CounterHandle,
     miss: CounterHandle,
+    evictions: CounterHandle,
     resident: GaugeHandle,
     resident_bytes: GaugeHandle,
 }
@@ -147,28 +331,34 @@ impl ShelfObs {
         ShelfObs {
             hit: obs.counter(&format!("cache.{shelf}.hit")),
             miss: obs.counter(&format!("cache.{shelf}.miss")),
+            evictions: obs.counter(&format!("cache.{shelf}.evictions")),
             resident: obs.gauge(&format!("cache.{shelf}.resident")),
             resident_bytes: obs.gauge(&format!("cache.{shelf}.resident_bytes")),
         }
     }
 }
 
-/// One keyed shelf of the cache: a map of compute-once slots.
+/// One keyed shelf of the cache: a map of compute-once slots with LRU
+/// bookkeeping against the shared cache clock.
 struct Shelf<K, V> {
     slots: Mutex<HashMap<K, Slot<V>>>,
+    clock: Arc<AtomicU64>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
     resident: AtomicUsize,
     resident_bytes: AtomicUsize,
     obs: ShelfObs,
 }
 
 impl<K: std::hash::Hash + Eq + Clone, V> Shelf<K, V> {
-    fn new(obs: &Obs, name: &str) -> Self {
+    fn new(obs: &Obs, name: &str, clock: Arc<AtomicU64>) -> Self {
         Shelf {
             slots: Mutex::new(HashMap::new()),
+            clock,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
             resident: AtomicUsize::new(0),
             resident_bytes: AtomicUsize::new(0),
             obs: ShelfObs::new(obs, name),
@@ -178,7 +368,9 @@ impl<K: std::hash::Hash + Eq + Clone, V> Shelf<K, V> {
     /// Returns the cached value for `key`, computing it (exactly once
     /// across all threads) on first request. `describe` names the
     /// artifact in errors; `approx_bytes` estimates what a newly computed
-    /// artifact pins in memory (for the residency gauges).
+    /// artifact pins in memory (for the residency gauges and the LRU
+    /// budget). A transient computation failure releases the slot so the
+    /// next request recomputes.
     fn get_or_compute(
         &self,
         key: &K,
@@ -190,20 +382,34 @@ impl<K: std::hash::Hash + Eq + Clone, V> Shelf<K, V> {
             let mut slots = self.slots.lock().expect("cache lock poisoned");
             Arc::clone(slots.entry(key.clone()).or_default())
         };
+        slot.touched.store(self.clock.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
         let mut computed = false;
-        let outcome = slot.get_or_init(|| {
+        let outcome = slot.cell.get_or_init(|| {
             computed = true;
-            compute().map(Arc::new).map_err(|e| e.to_string())
+            compute().map(Arc::new).map_err(|e| CacheFailure::of(&e))
         });
         if computed {
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.obs.miss.inc();
-            if let Ok(value) = outcome {
-                let bytes = approx_bytes(value);
-                self.resident.fetch_add(1, Ordering::Relaxed);
-                self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
-                self.obs.resident.add(1);
-                self.obs.resident_bytes.add(i64::try_from(bytes).unwrap_or(i64::MAX));
+            match outcome {
+                Ok(value) => {
+                    let bytes = approx_bytes(value);
+                    slot.bytes.store(bytes, Ordering::Relaxed);
+                    self.resident.fetch_add(1, Ordering::Relaxed);
+                    self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    self.obs.resident.add(1);
+                    self.obs.resident_bytes.add(i64::try_from(bytes).unwrap_or(i64::MAX));
+                }
+                Err(failure) if failure.transient => {
+                    // Release the slot: a retry should recompute, not be
+                    // served this failure forever. Guard against a newer
+                    // slot having replaced ours in the meantime.
+                    let mut slots = self.slots.lock().expect("cache lock poisoned");
+                    if slots.get(key).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                        slots.remove(key);
+                    }
+                }
+                Err(_) => {}
             }
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -211,15 +417,56 @@ impl<K: std::hash::Hash + Eq + Clone, V> Shelf<K, V> {
         }
         match outcome {
             Ok(value) => Ok(Arc::clone(value)),
-            Err(message) => Err(BatchError::Artifact {
+            Err(failure) => Err(BatchError::Artifact {
                 artifact: describe.to_string(),
-                message: message.clone(),
+                message: failure.message.clone(),
+                transient: failure.transient,
             }),
         }
     }
 
+    /// The LRU tick of the oldest evictable (completed, successful)
+    /// entry, if any.
+    fn oldest_tick(&self) -> Option<u64> {
+        let slots = self.slots.lock().expect("cache lock poisoned");
+        slots
+            .values()
+            .filter(|s| matches!(s.cell.get(), Some(Ok(_))))
+            .map(|s| s.touched.load(Ordering::Relaxed))
+            .min()
+    }
+
+    /// Evicts the least-recently-used completed entry, returning its key
+    /// and approximate bytes. In-flight and failed slots are never
+    /// evicted (they hold no resident data).
+    fn evict_oldest(&self) -> Option<(K, usize)> {
+        let slot;
+        let key;
+        {
+            let mut slots = self.slots.lock().expect("cache lock poisoned");
+            key = slots
+                .iter()
+                .filter(|(_, s)| matches!(s.cell.get(), Some(Ok(_))))
+                .min_by_key(|(_, s)| s.touched.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())?;
+            slot = slots.remove(&key)?;
+        }
+        let bytes = slot.bytes.load(Ordering::Relaxed);
+        self.resident.fetch_sub(1, Ordering::Relaxed);
+        self.resident_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.obs.resident.sub(1);
+        self.obs.resident_bytes.sub(i64::try_from(bytes).unwrap_or(i64::MAX));
+        self.obs.evictions.inc();
+        Some((key, bytes))
+    }
+
     fn counters(&self) -> (usize, usize) {
         (self.misses.load(Ordering::Relaxed), self.hits.load(Ordering::Relaxed))
+    }
+
+    fn evicted(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     fn residency(&self) -> ShelfResidency {
@@ -249,6 +496,10 @@ pub struct ArtifactCache {
     /// one worker that computed it; served to every sharer so session
     /// reports keep truthful timing context).
     t0_seconds: Mutex<HashMap<T0Key, f64>>,
+    policy: CachePolicy,
+    /// Chaos injection plan: poisons computes at `FaultSite::CachePoison`
+    /// with transient failures. `None` in production.
+    chaos: Option<Arc<FaultPlan>>,
 }
 
 /// Rough per-artifact byte models for the residency gauges. Deliberately
@@ -289,18 +540,43 @@ impl ArtifactCache {
         ArtifactCache::with_obs(&Obs::noop())
     }
 
-    /// An empty cache recording hit/miss counters and residency gauges
-    /// (`cache.<shelf>.{hit,miss,resident,resident_bytes}`) into `obs`.
+    /// An empty cache recording hit/miss/eviction counters and residency
+    /// gauges (`cache.<shelf>.{hit,miss,evictions,resident,resident_bytes}`)
+    /// into `obs`.
     #[must_use]
     pub fn with_obs(obs: &Obs) -> Self {
+        ArtifactCache::with_config(obs, CachePolicy::default(), None)
+    }
+
+    /// An empty cache with a residency [`CachePolicy`] and an optional
+    /// chaos [`FaultPlan`] poisoning computes (testing only).
+    #[must_use]
+    pub fn with_config(obs: &Obs, policy: CachePolicy, chaos: Option<Arc<FaultPlan>>) -> Self {
+        let clock = Arc::new(AtomicU64::new(0));
         ArtifactCache {
-            circuits: Shelf::new(obs, "circuit"),
-            tapes: Shelf::new(obs, "tape"),
-            compiled: Shelf::new(obs, "compiled"),
-            faults: Shelf::new(obs, "fault"),
-            t0s: Shelf::new(obs, "t0"),
+            circuits: Shelf::new(obs, "circuit", Arc::clone(&clock)),
+            tapes: Shelf::new(obs, "tape", Arc::clone(&clock)),
+            compiled: Shelf::new(obs, "compiled", Arc::clone(&clock)),
+            faults: Shelf::new(obs, "fault", Arc::clone(&clock)),
+            t0s: Shelf::new(obs, "t0", clock),
             t0_seconds: Mutex::new(HashMap::new()),
+            policy,
+            chaos,
         }
+    }
+
+    /// The cache's residency policy.
+    #[must_use]
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// An injected transient failure for the compute identified by
+    /// `key`, if the chaos plan fires. Always an interrupted-I/O error so
+    /// the failure taxonomy classifies it as transient.
+    fn injected(&self, key: &str) -> Option<BistError> {
+        let message = self.chaos.as_ref()?.poison(key)?;
+        Some(BistError::Io(std::io::Error::new(std::io::ErrorKind::Interrupted, message)))
     }
 
     /// The parsed circuit for `spec`, computed once per distinct key.
@@ -313,7 +589,10 @@ impl ArtifactCache {
         self.circuits.get_or_compute(
             &key,
             &format!("circuit `{key}`"),
-            || spec.build(),
+            || match self.injected(&format!("circuit:{key}")) {
+                Some(e) => Err(e),
+                None => spec.build(),
+            },
             approx::circuit,
         )
     }
@@ -335,6 +614,9 @@ impl ArtifactCache {
             &key,
             &format!("gate tape of `{key}`"),
             || {
+                if let Some(e) = self.injected(&format!("tape:{key}")) {
+                    return Err(e);
+                }
                 let tape = GateTape::compile(circuit);
                 #[cfg(debug_assertions)]
                 subseq_bist::verify::audit_tape(circuit, &tape);
@@ -361,10 +643,14 @@ impl ArtifactCache {
     ) -> Result<Arc<CompiledCircuit>, BatchError> {
         let key = (spec.key(), options.key());
         let describe = format!("staged compile of `{}` [{}]", spec.key(), options.key());
+        let chaos_key = format!("compiled:{}:{}", spec.key(), options.key());
         self.compiled.get_or_compute(
             &key,
             &describe,
             || {
+                if let Some(e) = self.injected(&chaos_key) {
+                    return Err(e);
+                }
                 let compiled = compile_staged_with_baseline(circuit, options, Arc::clone(tape));
                 #[cfg(debug_assertions)]
                 subseq_bist::verify::audit_compiled(circuit, &compiled);
@@ -389,7 +675,10 @@ impl ArtifactCache {
         self.faults.get_or_compute(
             &key,
             &format!("fault universe of `{key}`"),
-            || Ok(collapse(circuit, &fault_universe(circuit)).representatives().to_vec()),
+            || match self.injected(&format!("fault:{key}")) {
+                Some(e) => Err(e),
+                None => Ok(collapse(circuit, &fault_universe(circuit)).representatives().to_vec()),
+            },
             |f| approx::faults(f),
         )
     }
@@ -414,10 +703,14 @@ impl ArtifactCache {
     ) -> Result<Arc<GeneratedTest>, BatchError> {
         let key = (spec.key(), seed, format!("{tgen:?}"));
         let describe = format!("T0 of `{}` (seed {seed})", spec.key());
+        let chaos_key = format!("t0:{}:{seed}", spec.key());
         self.t0s.get_or_compute(
             &key,
             &describe,
             || {
+                if let Some(e) = self.injected(&chaos_key) {
+                    return Err(e);
+                }
                 let config = tgen.clone().seed(seed);
                 let started = std::time::Instant::now();
                 let generated = generate_t0_with_artifacts(
@@ -461,7 +754,9 @@ impl ArtifactCache {
     /// selection, the shared staged compile of the circuit — the bundle
     /// behind a campaign's `--optimize` jobs. With
     /// [`CompileOptions::none`] the staged-compile shelf is never
-    /// touched.
+    /// touched. Under a bounded [`CachePolicy`] the byte budget is
+    /// enforced after the bundle is assembled (the bundle's own `Arc`s
+    /// keep its artifacts alive even if evicted).
     ///
     /// # Errors
     ///
@@ -489,7 +784,63 @@ impl ArtifactCache {
         if let Some(seconds) = self.t0_generation_seconds(&key) {
             artifacts = artifacts.t0_seconds(seconds);
         }
+        self.enforce_budget();
         Ok(artifacts)
+    }
+
+    /// Evicts least-recently-used artifacts until resident bytes fit the
+    /// policy's budget (no-op when unbounded). Eviction picks the
+    /// globally oldest completed entry across unpinned shelves; in-flight
+    /// and failed slots never evict. Stops early if nothing evictable
+    /// remains (everything left is pinned or in flight).
+    pub fn enforce_budget(&self) {
+        let Some(max_bytes) = self.policy.max_bytes else {
+            return;
+        };
+        let pinned = self.policy.pinned_shelves;
+        while self.residency().total_approx_bytes() > max_bytes {
+            let mut oldest: Option<(u64, ShelfId)> = None;
+            {
+                let mut consider = |id: ShelfId, tick: Option<u64>| {
+                    if pinned.contains(id) {
+                        return;
+                    }
+                    if let Some(tick) = tick {
+                        if oldest.is_none_or(|(best, _)| tick < best) {
+                            oldest = Some((tick, id));
+                        }
+                    }
+                };
+                consider(ShelfId::Circuit, self.circuits.oldest_tick());
+                consider(ShelfId::Tape, self.tapes.oldest_tick());
+                consider(ShelfId::Compiled, self.compiled.oldest_tick());
+                consider(ShelfId::Fault, self.faults.oldest_tick());
+                consider(ShelfId::T0, self.t0s.oldest_tick());
+            }
+            let Some((_, id)) = oldest else {
+                return;
+            };
+            match id {
+                ShelfId::Circuit => {
+                    self.circuits.evict_oldest();
+                }
+                ShelfId::Tape => {
+                    self.tapes.evict_oldest();
+                }
+                ShelfId::Compiled => {
+                    self.compiled.evict_oldest();
+                }
+                ShelfId::Fault => {
+                    self.faults.evict_oldest();
+                }
+                ShelfId::T0 => {
+                    // Keep the timing side-table in step with the shelf.
+                    if let Some((key, _)) = self.t0s.evict_oldest() {
+                        self.t0_seconds.lock().expect("cache lock poisoned").remove(&key);
+                    }
+                }
+            }
+        }
     }
 
     /// Current residency of every shelf — what the cache holds and
@@ -505,7 +856,7 @@ impl ArtifactCache {
         }
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss/eviction counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         let (circuit_misses, circuit_hits) = self.circuits.counters();
@@ -524,6 +875,11 @@ impl ArtifactCache {
             fault_hits,
             t0_misses,
             t0_hits,
+            circuit_evictions: self.circuits.evicted(),
+            tape_evictions: self.tapes.evicted(),
+            compiled_evictions: self.compiled.evicted(),
+            fault_evictions: self.faults.evicted(),
+            t0_evictions: self.t0s.evicted(),
         }
     }
 }
@@ -537,6 +893,7 @@ impl Default for ArtifactCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faultpoint::{FaultPoint, FaultSite};
 
     fn s27_spec() -> CircuitSpec {
         CircuitSpec::Suite("s27".to_string())
@@ -569,6 +926,7 @@ mod tests {
         assert_eq!((stats.tape_misses, stats.tape_hits), (1, 1));
         assert_eq!((stats.fault_misses, stats.fault_hits), (1, 1));
         assert_eq!((stats.t0_misses, stats.t0_hits), (2, 1));
+        assert_eq!(stats.total_evictions(), 0, "unbounded cache never evicts");
         assert!(stats.to_string().contains("tapes"));
     }
 
@@ -614,6 +972,12 @@ mod tests {
         let spec = CircuitSpec::File(std::path::PathBuf::from("/definitely/not/here.bench"));
         let first = cache.circuit(&spec).unwrap_err();
         assert!(first.to_string().contains("here.bench"), "{first}");
+        match &first {
+            BatchError::Artifact { transient, .. } => {
+                assert!(!*transient, "a missing file is a permanent failure");
+            }
+            other => panic!("expected Artifact error, got {other}"),
+        }
         for _ in 0..3 {
             let again = cache.circuit(&spec).unwrap_err();
             assert_eq!(again.to_string(), first.to_string(), "cached error is re-served");
@@ -646,6 +1010,87 @@ mod tests {
         assert_eq!(stats.tape_misses + stats.tape_hits, 0, "no tape compiled for a failed parse");
         assert_eq!(stats.fault_misses + stats.fault_hits, 0);
         assert_eq!(stats.t0_misses + stats.t0_hits, 0);
+    }
+
+    #[test]
+    fn transient_failures_release_their_slot_and_heal_on_retry() {
+        // A chaos plan poisons the first T0 generation with a transient
+        // (interrupted-I/O) failure. The failed request surfaces a
+        // retryable error; the retry recomputes and succeeds — unlike a
+        // permanent parse failure, which is cached forever.
+        let plan =
+            Arc::new(FaultPlan::new(3).point(FaultPoint::new(FaultSite::CachePoison, "t0:s27")));
+        let cache = ArtifactCache::with_config(&Obs::noop(), CachePolicy::default(), Some(plan));
+        let spec = s27_spec();
+        let tgen = TgenConfig::new().max_length(16);
+        let err = cache.artifacts_for(&spec, 1, &tgen).unwrap_err();
+        match &err {
+            BatchError::Artifact { transient, message, .. } => {
+                assert!(*transient, "injected poison must classify as transient: {err}");
+                assert!(message.contains("injected"), "{message}");
+            }
+            other => panic!("expected Artifact error, got {other}"),
+        }
+        // Retry: the poisoned slot was released, the plan's one fire is
+        // spent, so the recompute succeeds.
+        cache.artifacts_for(&spec, 1, &tgen).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.t0_misses, 2, "failed compute + healing recompute");
+        assert_eq!(cache.residency().t0s.entries, 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_recomputes_bit_identically() {
+        // A budget far below one circuit's bundle: after each bundle the
+        // cache evicts down to whatever it cannot evict (nothing is
+        // pinned, so everything completed goes). Recomputed artifacts are
+        // bit-identical because every computation is deterministic.
+        let tgen = TgenConfig::new().max_length(16);
+        let spec = s27_spec();
+        let cache = ArtifactCache::with_config(&Obs::noop(), CachePolicy::bounded(1), None);
+        // The bundle path enforces the budget after assembly.
+        cache.artifacts_for(&spec, 5, &tgen).unwrap();
+        let stats = cache.stats();
+        assert!(stats.total_evictions() > 0, "budget of 1 byte must evict: {stats:?}");
+        assert_eq!(cache.residency().total_approx_bytes(), 0, "everything evictable evicted");
+        // Re-requesting an evicted artifact is a recompute (miss), and
+        // the result matches bit for bit.
+        let circuit = cache.circuit(&spec).unwrap();
+        let tape = cache.tape(&spec, &circuit).unwrap();
+        let faults = cache.faults(&spec, &circuit).unwrap();
+        let first = cache.generated_t0(&spec, 5, &tgen, &circuit, &faults, &tape).unwrap();
+        assert_eq!(cache.stats().t0_misses, 2, "evicted T0 recomputed, not hit");
+        cache.enforce_budget();
+        let second = cache.generated_t0(&spec, 5, &tgen, &circuit, &faults, &tape).unwrap();
+        assert!(!Arc::ptr_eq(&first, &second), "evicted artifact was recomputed");
+        assert_eq!(cache.stats().t0_misses, 3);
+        assert_eq!(first.sequence, second.sequence, "recompute is bit-identical");
+        assert_eq!(
+            first.coverage.detected_count(),
+            second.coverage.detected_count(),
+            "recomputed coverage matches"
+        );
+    }
+
+    #[test]
+    fn pinned_shelves_survive_eviction() {
+        let tgen = TgenConfig::new().max_length(16);
+        let policy = CachePolicy::bounded(1).pin(ShelfId::T0).pin(ShelfId::Circuit);
+        let cache = ArtifactCache::with_config(&Obs::noop(), policy, None);
+        cache.artifacts_for(&s27_spec(), 5, &tgen).unwrap();
+        let residency = cache.residency();
+        assert_eq!(residency.t0s.entries, 1, "pinned shelf keeps its artifact");
+        assert_eq!(residency.circuits.entries, 1, "pinned shelf keeps its artifact");
+        assert_eq!(residency.tapes.entries, 0, "unpinned shelf evicted");
+        assert_eq!(residency.faults.entries, 0, "unpinned shelf evicted");
+        let stats = cache.stats();
+        assert_eq!(stats.t0_evictions, 0);
+        assert_eq!(stats.circuit_evictions, 0);
+        assert_eq!(stats.tape_evictions, 1);
+        assert_eq!(stats.fault_evictions, 1);
+        // A pinned T0 is served from the cache on the next request.
+        cache.artifacts_for(&s27_spec(), 5, &tgen).unwrap();
+        assert_eq!(cache.stats().t0_hits, 1);
     }
 
     #[test]
@@ -710,6 +1155,22 @@ mod tests {
         let bad = CircuitSpec::Suite("nope".to_string());
         cache.circuit(&bad).unwrap_err();
         assert_eq!(cache.residency().circuits.entries, 1);
+    }
+
+    #[test]
+    fn instrumented_eviction_counters_mirror_stats() {
+        let registry = Arc::new(bist_obs::Registry::new());
+        let obs = Obs::with_registry(Arc::clone(&registry));
+        let cache = ArtifactCache::with_config(&obs, CachePolicy::bounded(1), None);
+        let tgen = TgenConfig::new().max_length(16);
+        cache.artifacts_for(&s27_spec(), 1, &tgen).unwrap();
+        let snap = registry.snapshot();
+        let stats = cache.stats();
+        assert!(stats.total_evictions() > 0);
+        assert_eq!(snap.counter("cache.t0.evictions"), Some(stats.t0_evictions as u64));
+        assert_eq!(snap.counter("cache.circuit.evictions"), Some(stats.circuit_evictions as u64));
+        assert_eq!(snap.gauge("cache.t0.resident"), Some(0), "gauge follows the eviction");
+        assert_eq!(snap.gauge("cache.t0.resident_bytes"), Some(0));
     }
 
     #[test]

@@ -260,6 +260,45 @@ impl Campaign {
         self.optimize
     }
 
+    /// A stable hex fingerprint of everything that shapes the campaign's
+    /// results: every axis (circuits, backends, schemes, seeds), the
+    /// `T0`-generation configuration, the staged-compiler pass selection
+    /// and the verification switch. Stamped onto every JSONL journal row
+    /// (via [`JsonlSink::with_fingerprint`](crate::JsonlSink::with_fingerprint))
+    /// so `--resume` can refuse a journal written by a different
+    /// configuration instead of silently merging incompatible results.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |text: &str| {
+            for b in text.bytes().chain(std::iter::once(0x1f)) {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for circuit in &self.circuits {
+            eat(&circuit.key());
+        }
+        for &backend in &self.backends {
+            eat(&backend_label(backend));
+        }
+        for scheme in &self.schemes {
+            eat(&scheme.label);
+            eat(&format!("{:?}", scheme.ns));
+            eat(&format!("{}", scheme.postprocess));
+        }
+        for &seed in &self.seeds {
+            eat(&seed.to_string());
+        }
+        // TgenConfig and CompileOptions are plain config structs; their
+        // Debug forms spell out every field, which is exactly the
+        // identity we need.
+        eat(&format!("{:?}", self.tgen));
+        eat(&format!("{:?}", self.optimize));
+        eat(&format!("{}", self.verify));
+        format!("{h:016x}")
+    }
+
     /// Expands the campaign into its deterministic job matrix, ordered
     /// circuit-major (so all jobs touching one circuit are adjacent and
     /// the artifact cache warms in one stride).
@@ -430,6 +469,25 @@ mod tests {
         assert_eq!(parse_backend("sharded").unwrap(), Backend::Sharded { threads: 0, width: 256 });
         assert!(parse_backend("vectorized").is_err());
         assert!(parse_backend("sharded:x:256").is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive_to_every_axis() {
+        let base = || Campaign::new().suite_circuits(["s27"]).seeds([1999]).ns(vec![1]);
+        let fp = base().fingerprint();
+        assert_eq!(fp.len(), 16, "16 hex chars: {fp}");
+        assert_eq!(fp, base().fingerprint(), "same spec, same fingerprint");
+        for changed in [
+            base().suite_circuits(["a298"]).fingerprint(),
+            base().backends([Backend::Scalar]).fingerprint(),
+            base().ns(vec![2]).fingerprint(),
+            base().seeds([1999, 2000]).fingerprint(),
+            base().tgen(TgenConfig::new().max_length(9)).fingerprint(),
+            base().optimize(CompileOptions::all()).fingerprint(),
+            base().verify(false).fingerprint(),
+        ] {
+            assert_ne!(fp, changed, "every configuration axis must move the fingerprint");
+        }
     }
 
     #[test]

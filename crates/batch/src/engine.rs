@@ -18,17 +18,40 @@
 //! `keep_going` is set; queued-but-unstarted jobs are then drained and
 //! counted as skipped.
 
-use crate::cache::{ArtifactCache, CacheResidency, CacheStats};
+use crate::cache::{ArtifactCache, CachePolicy, CacheResidency, CacheStats};
 use crate::campaign::{Campaign, CircuitSpec, JobSpec};
+use crate::faultpoint::FaultPlan;
 use crate::report::{CampaignSummary, JobMetrics, JobRecord, JobStatus, ReportSink};
 use crate::BatchError;
-use bist_obs::Obs;
-use std::collections::HashMap;
+use bist_obs::{CancelKind, CancelToken, Obs};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Mutex};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 use subseq_bist::netlist::benchmarks;
-use subseq_bist::{Backend, Session, SessionReport};
+use subseq_bist::{Backend, BistError, Session, SessionReport};
+
+/// Per-job retry policy: how many attempts a transiently failing job
+/// gets, and the deterministic backoff between them (attempt `k` sleeps
+/// `backoff × k`). Only *transient* failures retry — permanent failures
+/// (parse errors, assertion mismatches), panics and deadline timeouts
+/// never do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job, including the first (≥ 1; 1 = no
+    /// retries).
+    pub max_attempts: usize,
+    /// Base backoff between attempts (deterministic, linearly scaled by
+    /// the attempt number).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 1, backoff: Duration::from_millis(25) }
+    }
+}
 
 /// Worker-pool configuration of a [`CampaignEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,11 +62,74 @@ pub struct EngineConfig {
     pub queue_depth: usize,
     /// Keep running after a job fails instead of cancelling the rest.
     pub keep_going: bool,
+    /// Per-job deadline: each attempt gets a
+    /// [`CancelToken`] expiring this far in the future, checked by the
+    /// simulation sweeps at chunk boundaries. `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// Retry policy for transiently failing jobs.
+    pub retry: RetryPolicy,
+    /// Residency policy of the shared artifact cache.
+    pub cache_policy: CachePolicy,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { threads: 0, queue_depth: 32, keep_going: false }
+        EngineConfig {
+            threads: 0,
+            queue_depth: 32,
+            keep_going: false,
+            deadline: None,
+            retry: RetryPolicy::default(),
+            cache_policy: CachePolicy::default(),
+        }
+    }
+}
+
+/// Why a job ultimately failed (after retries, if any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A permanent failure: retrying cannot help (parse error,
+    /// configuration error, simulation mismatch).
+    Permanent,
+    /// A transient failure that survived every allowed attempt.
+    Transient,
+    /// The job panicked; the worker quarantined it via `catch_unwind`
+    /// and kept serving the queue.
+    Panicked,
+    /// The job's deadline expired (cooperative cancellation observed by
+    /// the sweep, or detected after the attempt).
+    TimedOut,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureKind::Permanent => "permanent",
+            FailureKind::Transient => "transient",
+            FailureKind::Panicked => "panicked",
+            FailureKind::TimedOut => "timed out",
+        })
+    }
+}
+
+/// A job's final failure: taxonomy, message and how many attempts ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// The failure taxonomy bucket.
+    pub kind: FailureKind,
+    /// The underlying failure message.
+    pub message: String,
+    /// Attempts consumed (1 = failed on the first try).
+    pub attempts: usize,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} after {} attempt", self.message, self.kind, self.attempts)?;
+        if self.attempts != 1 {
+            f.write_str("s")?;
+        }
+        f.write_str(")")
     }
 }
 
@@ -56,10 +142,11 @@ pub struct JobOutcome {
     pub seconds: f64,
     /// Seconds the job sat in the bounded queue before a worker took it.
     pub queue_seconds: f64,
-    /// Seconds the job executed (including artifact-cache waits).
+    /// Seconds the job executed (including artifact-cache waits and all
+    /// retry attempts).
     pub exec_seconds: f64,
-    /// The session report, or the failure message.
-    pub result: Result<SessionReport, String>,
+    /// The session report, or the typed failure.
+    pub result: Result<SessionReport, JobFailure>,
 }
 
 /// Everything a finished campaign produced.
@@ -107,6 +194,9 @@ impl CampaignOutcome {
 pub struct CampaignEngine {
     config: EngineConfig,
     obs: Obs,
+    /// Chaos injection plan shared with the worker pool and the artifact
+    /// cache. `None` in production; see [`crate::faultpoint`].
+    chaos: Option<Arc<FaultPlan>>,
 }
 
 impl CampaignEngine {
@@ -143,6 +233,41 @@ impl CampaignEngine {
     #[must_use]
     pub fn keep_going(mut self, on: bool) -> Self {
         self.config.keep_going = on;
+        self
+    }
+
+    /// Sets the per-job deadline: each attempt gets a cancellation token
+    /// expiring this far in the future, observed by the simulation
+    /// sweeps at chunk boundaries (`pool.timeouts` counts expiries).
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the retry policy for transiently failing jobs
+    /// (`pool.retries` counts re-attempts).
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Sets the artifact cache's residency policy
+    /// (`cache.<shelf>.evictions` counts what the byte budget evicts).
+    #[must_use]
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.config.cache_policy = policy;
+        self
+    }
+
+    /// Installs a chaos [`FaultPlan`]: the worker pool consults it per
+    /// job attempt (panic / delay / transient-error sites) and the
+    /// artifact cache per compute (poison site). Testing only — without
+    /// a plan every injection site is a no-op branch.
+    #[must_use]
+    pub fn chaos(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.chaos = Some(plan);
         self
     }
 
@@ -201,17 +326,47 @@ impl CampaignEngine {
         campaign: &Campaign,
         sinks: &mut [&mut dyn ReportSink],
     ) -> Result<CampaignOutcome, BatchError> {
-        let jobs = self.plan(campaign)?;
+        self.run_resumed(campaign, sinks, &[])
+    }
+
+    /// [`run`](Self::run), skipping jobs already completed by a previous
+    /// (possibly crashed) run of the same campaign. `replayed` carries
+    /// the completed records — typically loaded from a JSONL journal via
+    /// [`ResumeLog`](crate::ResumeLog) — keyed by matrix id; matching
+    /// jobs are not re-executed and not re-streamed to sinks, but their
+    /// records are merged into the final [`CampaignSummary`], so a
+    /// killed-and-resumed campaign rolls up identically to an
+    /// uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_resumed(
+        &self,
+        campaign: &Campaign,
+        sinks: &mut [&mut dyn ReportSink],
+        replayed: &[JobRecord],
+    ) -> Result<CampaignOutcome, BatchError> {
+        let mut jobs = self.plan(campaign)?;
         let jobs_total = jobs.len();
+        // Skip only ids that exist in this plan — a journal from another
+        // campaign shape cannot mark anything done.
+        let planned: HashSet<usize> = jobs.iter().map(|j| j.id).collect();
+        let replayed: Vec<&JobRecord> =
+            replayed.iter().filter(|r| planned.contains(&r.job)).collect();
+        if !replayed.is_empty() {
+            let done: HashSet<usize> = replayed.iter().map(|r| r.job).collect();
+            jobs.retain(|j| !done.contains(&j.id));
+        }
         let keep_going = self.config.keep_going;
         let threads = match self.config.threads {
             0 => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             n => n,
         }
-        .min(jobs_total.max(1));
+        .min(jobs.len().max(1));
 
         let obs = self.obs.clone();
-        let cache = ArtifactCache::with_obs(&obs);
+        let cache = ArtifactCache::with_config(&obs, self.config.cache_policy, self.chaos.clone());
         let cancel = AtomicBool::new(false);
         let started = Instant::now();
 
@@ -220,6 +375,9 @@ impl CampaignEngine {
         let queue_wait = obs.histogram("pool.queue_wait_us");
         let exec_hist = obs.histogram("pool.exec_us");
         let cancelled = obs.counter("pool.cancellations");
+        let panics = obs.counter("pool.panics");
+        let retries = obs.counter("pool.retries");
+        let timeouts = obs.counter("pool.timeouts");
 
         // Each job travels with its enqueue timestamp, so the worker can
         // split wall time into queue wait vs execution.
@@ -264,7 +422,17 @@ impl CampaignEngine {
                         }
                         queue_wait.record(micros(queue_seconds));
                         let job_started = Instant::now();
-                        let result = run_job(&cache, campaign, &job, &obs);
+                        let result = run_job_isolated(
+                            &cache,
+                            campaign,
+                            &job,
+                            &obs,
+                            &self.config,
+                            self.chaos.as_deref(),
+                            &panics,
+                            &retries,
+                            &timeouts,
+                        );
                         let exec_seconds = job_started.elapsed().as_secs_f64();
                         exec_hist.record(micros(exec_seconds));
                         jobs_done.inc();
@@ -317,10 +485,15 @@ impl CampaignEngine {
                 return Err(BatchError::JobFailed {
                     job: failed.spec.id,
                     circuit: failed.spec.circuit.label(),
-                    message: failed.result.as_ref().unwrap_err().clone(),
+                    message: failed.result.as_ref().unwrap_err().to_string(),
                 });
             }
         }
+        // Merge replayed records so a resumed campaign rolls up exactly
+        // like an uninterrupted one (axis grouping is order-independent;
+        // sorting keeps the record list deterministic anyway).
+        records.extend(replayed.iter().map(|r| (*r).clone()));
+        records.sort_by_key(|r| r.job);
         let mut summary =
             CampaignSummary::build(&records, jobs_total, started.elapsed().as_secs_f64());
         summary.metrics = obs.snapshot();
@@ -376,6 +549,126 @@ fn backend_weight(backend: Backend) -> f64 {
     }
 }
 
+/// The stable chaos/injection key of a job: every attempt of the same
+/// matrix point maps to the same key, across runs and processes.
+fn job_key(job: &JobSpec) -> String {
+    format!("job:{}:{}:{}:{}", job.circuit.label(), job.backend_label(), job.scheme.label, job.seed)
+}
+
+/// Whether a retry could plausibly clear this failure: transient
+/// artifact failures (the cache released their slot) and
+/// interrupted/timed-out I/O. Parse errors, config errors and
+/// simulation mismatches are permanent.
+fn is_transient(e: &BatchError) -> bool {
+    match e {
+        BatchError::Artifact { transient, .. } => *transient,
+        BatchError::Io(io) | BatchError::Bist(BistError::Io(io)) => matches!(
+            io.kind(),
+            std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+        ),
+        _ => false,
+    }
+}
+
+/// The human-readable payload of a caught panic.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker job panicked".to_string()
+    }
+}
+
+/// Runs one job with the full resilience envelope: chaos injection,
+/// `catch_unwind` panic quarantine, a per-attempt deadline token, and
+/// deterministic retries for transient failures. Exactly one of
+/// `pool.panics` / `pool.timeouts` is bumped for a quarantined/expired
+/// job; `pool.retries` counts every re-attempt.
+#[allow(clippy::too_many_arguments)]
+fn run_job_isolated(
+    cache: &ArtifactCache,
+    campaign: &Campaign,
+    job: &JobSpec,
+    obs: &Obs,
+    config: &EngineConfig,
+    chaos: Option<&FaultPlan>,
+    panics: &bist_obs::CounterHandle,
+    retries: &bist_obs::CounterHandle,
+    timeouts: &bist_obs::CounterHandle,
+) -> Result<SessionReport, JobFailure> {
+    let key = job_key(job);
+    let max_attempts = config.retry.max_attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        let token = config.deadline.map(|d| CancelToken::with_deadline(Instant::now() + d));
+        let attempt_obs = match &token {
+            Some(t) => obs.with_cancel(t.clone()),
+            None => obs.clone(),
+        };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(plan) = chaos {
+                if let Some(delay) = plan.delay_for(&key) {
+                    std::thread::sleep(delay);
+                }
+                if plan.should_panic(&key) {
+                    panic!("injected panic at `{key}`");
+                }
+                if let Some(message) = plan.transient_error(&key) {
+                    return Err(BatchError::Artifact {
+                        artifact: format!("job `{key}`"),
+                        message,
+                        transient: true,
+                    });
+                }
+            }
+            run_job(cache, campaign, job, &attempt_obs)
+        }));
+        let error = match caught {
+            Err(payload) => {
+                // Quarantine: the worker survives, the job is a typed
+                // failure. Panics never retry — the job's state is
+                // unknown.
+                panics.inc();
+                return Err(JobFailure {
+                    kind: FailureKind::Panicked,
+                    message: panic_message(payload.as_ref()),
+                    attempts: attempt,
+                });
+            }
+            Ok(Ok(report)) => return Ok(report),
+            Ok(Err(e)) => e,
+        };
+        // An expired deadline classifies as a timeout regardless of how
+        // the error surfaced (the sweep's cooperative Cancelled error,
+        // or any failure racing the expiry).
+        if token.as_ref().is_some_and(|t| t.kind() == Some(CancelKind::DeadlineExpired)) {
+            timeouts.inc();
+            return Err(JobFailure {
+                kind: FailureKind::TimedOut,
+                message: error.to_string(),
+                attempts: attempt,
+            });
+        }
+        let transient = is_transient(&error);
+        if transient && attempt < max_attempts {
+            retries.inc();
+            // Deterministic linear backoff: attempt k sleeps backoff×k.
+            std::thread::sleep(config.retry.backoff * u32::try_from(attempt).unwrap_or(u32::MAX));
+            continue;
+        }
+        return Err(JobFailure {
+            kind: if transient { FailureKind::Transient } else { FailureKind::Permanent },
+            message: error.to_string(),
+            attempts: attempt,
+        });
+    }
+}
+
 /// Runs one job through the [`Session`] facade over the shared cache.
 /// The artifact-assembly phase gets its own `job.artifacts_us` span so
 /// per-job execute time reconciles against the session's stage spans.
@@ -384,16 +677,14 @@ fn run_job(
     campaign: &Campaign,
     job: &JobSpec,
     obs: &Obs,
-) -> Result<SessionReport, String> {
+) -> Result<SessionReport, BatchError> {
     let span = obs.span("job.artifacts_us", format!("job={}", job.id));
-    let artifacts = cache
-        .artifacts_for_optimized(
-            &job.circuit,
-            job.seed,
-            campaign.tgen_config(),
-            campaign.optimize_options(),
-        )
-        .map_err(|e| e.to_string())?;
+    let artifacts = cache.artifacts_for_optimized(
+        &job.circuit,
+        job.seed,
+        campaign.tgen_config(),
+        campaign.optimize_options(),
+    )?;
     drop(span);
     Session::builder()
         .with_artifacts(artifacts)
@@ -404,7 +695,7 @@ fn run_job(
         .verify(campaign.verifies())
         .obs(obs.clone())
         .run()
-        .map_err(|e| e.to_string())
+        .map_err(BatchError::Bist)
 }
 
 /// Flattens one outcome into the sink/record form.
@@ -447,8 +738,8 @@ fn record_of(outcome: &JobOutcome) -> JobRecord {
                 ..base
             }
         }
-        Err(message) => {
-            JobRecord { status: JobStatus::Failed, error: Some(message.clone()), ..base }
+        Err(failure) => {
+            JobRecord { status: JobStatus::Failed, error: Some(failure.to_string()), ..base }
         }
     }
 }
@@ -686,5 +977,177 @@ mod tests {
         let cfg = EngineConfig::default();
         assert_eq!(cfg.threads, 0);
         assert!(!cfg.keep_going);
+        assert_eq!(cfg.deadline, None);
+        assert_eq!(cfg.retry.max_attempts, 1, "no retries by default");
+        assert_eq!(cfg.cache_policy, CachePolicy::unbounded());
+    }
+
+    #[test]
+    fn transient_failures_retry_and_heal() {
+        use crate::faultpoint::{FaultPoint, FaultSite};
+
+        // One injected transient error per job key: with retries enabled
+        // the campaign completes cleanly (no keep_going needed), and the
+        // retry counter records exactly the injected failures.
+        let campaign =
+            Campaign::new().suite_circuits(["s27"]).seeds([1, 2]).ns(vec![1]).tgen(tiny_tgen());
+        let plan = Arc::new(
+            crate::faultpoint::FaultPlan::new(11)
+                .point(FaultPoint::new(FaultSite::JobTransient, "s27")),
+        );
+        let registry = Arc::new(bist_obs::Registry::new());
+        let outcome = CampaignEngine::new()
+            .threads(2)
+            .retry(RetryPolicy { max_attempts: 3, backoff: Duration::from_millis(1) })
+            .chaos(Arc::clone(&plan))
+            .obs(Obs::with_registry(Arc::clone(&registry)))
+            .run(&campaign, &mut [])
+            .unwrap();
+        assert_eq!(outcome.summary.jobs_ok, 2);
+        assert_eq!(outcome.summary.jobs_failed, 0);
+        assert_eq!(plan.injected(), 2, "one transient per job key");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pool.retries"), Some(2));
+        assert_eq!(snap.counter("pool.panics"), Some(0));
+        assert_eq!(snap.counter("pool.timeouts"), Some(0));
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_transient_failure() {
+        use crate::faultpoint::{FaultPoint, FaultSite};
+
+        // Three injected transients per key but only two attempts: the
+        // job fails with the Transient taxonomy and its attempt count.
+        let campaign = Campaign::new().suite_circuits(["s27"]).ns(vec![1]).tgen(tiny_tgen());
+        let plan = Arc::new(
+            crate::faultpoint::FaultPlan::new(2)
+                .point(FaultPoint::new(FaultSite::JobTransient, "").fires(3)),
+        );
+        let outcome = CampaignEngine::new()
+            .threads(1)
+            .keep_going(true)
+            .retry(RetryPolicy { max_attempts: 2, backoff: Duration::from_millis(1) })
+            .chaos(plan)
+            .run(&campaign, &mut [])
+            .unwrap();
+        assert_eq!(outcome.summary.jobs_failed, 1);
+        let failure = outcome.outcomes[0].result.as_ref().unwrap_err();
+        assert_eq!(failure.kind, FailureKind::Transient);
+        assert_eq!(failure.attempts, 2);
+        assert!(failure.to_string().contains("transient"), "{failure}");
+    }
+
+    #[test]
+    fn panics_are_quarantined_and_counted() {
+        use crate::faultpoint::{FaultPoint, FaultSite};
+
+        // A panicking job is caught by the worker, typed as Panicked and
+        // (under keep_going) does not stop the rest of the campaign.
+        let campaign =
+            Campaign::new().suite_circuits(["s27"]).seeds([1, 2]).ns(vec![1]).tgen(tiny_tgen());
+        let plan = Arc::new(
+            crate::faultpoint::FaultPlan::new(5).point(FaultPoint::new(FaultSite::JobPanic, ":1")),
+        );
+        let registry = Arc::new(bist_obs::Registry::new());
+        let outcome = CampaignEngine::new()
+            .threads(1)
+            .keep_going(true)
+            .chaos(plan)
+            .obs(Obs::with_registry(Arc::clone(&registry)))
+            .run(&campaign, &mut [])
+            .unwrap();
+        assert_eq!(outcome.summary.jobs_ok, 1);
+        assert_eq!(outcome.summary.jobs_failed, 1);
+        let failure = outcome
+            .outcomes
+            .iter()
+            .find_map(|o| o.result.as_ref().err())
+            .expect("one job panicked");
+        assert_eq!(failure.kind, FailureKind::Panicked);
+        assert!(failure.message.contains("injected panic"), "{}", failure.message);
+        assert_eq!(registry.snapshot().counter("pool.panics"), Some(1));
+        // Without keep_going the panic is the campaign error.
+        let plan = Arc::new(
+            crate::faultpoint::FaultPlan::new(5).point(FaultPoint::new(FaultSite::JobPanic, ":1")),
+        );
+        let err = CampaignEngine::new().threads(1).chaos(plan).run(&campaign, &mut []).unwrap_err();
+        assert!(matches!(err, BatchError::JobFailed { .. }), "{err}");
+    }
+
+    #[test]
+    fn expired_deadlines_time_jobs_out() {
+        use crate::faultpoint::{FaultPoint, FaultSite};
+
+        // An injected delay far past the per-job deadline: the attempt's
+        // token expires, the sweep (or the post-attempt check) observes
+        // it, and the job is typed TimedOut — never retried.
+        let campaign = Campaign::new().suite_circuits(["s27"]).ns(vec![1]).tgen(tiny_tgen());
+        let plan = Arc::new(
+            crate::faultpoint::FaultPlan::new(9)
+                .point(FaultPoint::new(FaultSite::JobDelay, "").delay(Duration::from_millis(120))),
+        );
+        let registry = Arc::new(bist_obs::Registry::new());
+        let outcome = CampaignEngine::new()
+            .threads(1)
+            .keep_going(true)
+            .deadline(Duration::from_millis(10))
+            .retry(RetryPolicy { max_attempts: 3, backoff: Duration::from_millis(1) })
+            .chaos(plan)
+            .obs(Obs::with_registry(Arc::clone(&registry)))
+            .run(&campaign, &mut [])
+            .unwrap();
+        assert_eq!(outcome.summary.jobs_failed, 1);
+        let failure = outcome.outcomes[0].result.as_ref().unwrap_err();
+        assert_eq!(failure.kind, FailureKind::TimedOut);
+        assert_eq!(failure.attempts, 1, "timeouts never retry");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pool.timeouts"), Some(1));
+        assert_eq!(snap.counter("pool.retries"), Some(0));
+    }
+
+    #[test]
+    fn resumed_run_skips_replayed_jobs_and_merges_the_summary() {
+        let campaign = Campaign::new()
+            .suite_circuits(["s27", "a298"])
+            .backends([Backend::Packed, Backend::Scalar])
+            .seeds([1])
+            .ns(vec![1])
+            .tgen(tiny_tgen());
+        let full = CampaignEngine::new().threads(2).run(&campaign, &mut []).unwrap();
+        let full_records: Vec<JobRecord> = {
+            let mut sink = MemorySink::new();
+            let mut sinks: [&mut dyn ReportSink; 1] = [&mut sink];
+            CampaignEngine::new().threads(2).run(&campaign, &mut sinks).unwrap();
+            sink.records
+        };
+        // Replay half the jobs (ids 0 and 2) as already completed.
+        let replayed: Vec<JobRecord> =
+            full_records.iter().filter(|r| r.job % 2 == 0).cloned().collect();
+        assert_eq!(replayed.len(), 2);
+        let mut sink = MemorySink::new();
+        let mut sinks: [&mut dyn ReportSink; 1] = [&mut sink];
+        let resumed =
+            CampaignEngine::new().threads(2).run_resumed(&campaign, &mut sinks, &replayed).unwrap();
+        // Only the missing jobs executed and streamed.
+        assert_eq!(resumed.outcomes.len(), 2);
+        assert!(resumed.outcomes.iter().all(|o| o.spec.id % 2 == 1));
+        assert_eq!(sink.records.len(), 2);
+        // The merged summary matches the uninterrupted run in every
+        // deterministic field.
+        assert_eq!(resumed.summary.jobs_total, full.summary.jobs_total);
+        assert_eq!(resumed.summary.jobs_ok, full.summary.jobs_ok);
+        assert_eq!(resumed.summary.jobs_skipped, 0);
+        for (a, b) in resumed.summary.circuits.iter().zip(&full.summary.circuits) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.jobs, b.jobs);
+            assert!((a.mean_coverage - b.mean_coverage).abs() < 1e-12);
+            assert!((a.mean_loaded_fraction - b.mean_loaded_fraction).abs() < 1e-12);
+        }
+        // A record from a different campaign shape is ignored.
+        let mut foreign = replayed[0].clone();
+        foreign.job = 999;
+        let outcome =
+            CampaignEngine::new().threads(1).run_resumed(&campaign, &mut [], &[foreign]).unwrap();
+        assert_eq!(outcome.outcomes.len(), 4, "unknown job id cannot mark anything done");
     }
 }

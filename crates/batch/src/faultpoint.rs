@@ -1,0 +1,254 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! A [`FaultPlan`] is a seeded list of injection rules ([`FaultPoint`]s)
+//! that the campaign engine and artifact cache consult at well-defined
+//! sites: panic inside a worker's job closure, delay before a session
+//! runs, a synthetic transient error, or a poisoned artifact-cache
+//! compute. Without a plan every site is a `None` branch — production
+//! campaigns pay nothing — and with one, injection is fully
+//! deterministic: selection hashes the job/artifact key against the
+//! plan's seed, and each rule fires a bounded number of times per key,
+//! so a retried (or resumed) job heals and the chaos campaign converges
+//! to the fault-free result. That convergence is exactly what the chaos
+//! acceptance suite asserts.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Where a [`FaultPoint`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Panic inside the worker's job closure — exercises the
+    /// `catch_unwind` quarantine (`pool.panics`).
+    JobPanic,
+    /// Sleep before the session runs — exercises per-job deadlines
+    /// (`pool.timeouts`).
+    JobDelay,
+    /// Synthetic transient error before the session runs — exercises the
+    /// retry loop (`pool.retries`).
+    JobTransient,
+    /// Poison an artifact-cache compute with a transient failure —
+    /// exercises retryable shelf errors and recompute-on-miss.
+    CachePoison,
+}
+
+/// One injection rule: a site, a key filter, and how often it fires.
+#[derive(Debug, Clone)]
+pub struct FaultPoint {
+    site: FaultSite,
+    /// Substring of the job/artifact key this rule applies to (empty =
+    /// every key).
+    pattern: String,
+    /// How many times the rule fires per matching key before it goes
+    /// quiet (injected faults must heal for chaos runs to converge).
+    fires: usize,
+    /// Seeded per-mille selection rate (`None` = every matching key).
+    rate_per_mille: Option<u32>,
+    /// Sleep length for [`FaultSite::JobDelay`].
+    delay: Duration,
+}
+
+impl FaultPoint {
+    /// A rule at `site` for keys containing `pattern`, firing once per
+    /// matching key.
+    #[must_use]
+    pub fn new(site: FaultSite, pattern: impl Into<String>) -> Self {
+        FaultPoint {
+            site,
+            pattern: pattern.into(),
+            fires: 1,
+            rate_per_mille: None,
+            delay: Duration::from_millis(50),
+        }
+    }
+
+    /// How many times the rule fires per matching key (0 disarms it).
+    #[must_use]
+    pub fn fires(mut self, fires: usize) -> Self {
+        self.fires = fires;
+        self
+    }
+
+    /// Seeded selection: the rule considers only matching keys whose
+    /// hash against the plan seed lands under `per_mille`/1000. The
+    /// decision is a pure function of (seed, key), so it is identical
+    /// across runs and processes.
+    #[must_use]
+    pub fn rate_per_mille(mut self, per_mille: u32) -> Self {
+        self.rate_per_mille = Some(per_mille.min(1000));
+        self
+    }
+
+    /// The sleep length of a [`FaultSite::JobDelay`] rule.
+    #[must_use]
+    pub fn delay(mut self, delay: Duration) -> Self {
+        self.delay = delay;
+        self
+    }
+}
+
+/// A seeded, shareable set of injection rules with per-(rule, key) fire
+/// accounting. See the module docs.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    points: Vec<FaultPoint>,
+    /// Fire count per (rule index, key) — the healing mechanism.
+    fired: Mutex<HashMap<(usize, String), usize>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with selection seed `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, points: Vec::new(), fired: Mutex::new(HashMap::new()) }
+    }
+
+    /// Adds a rule.
+    #[must_use]
+    pub fn point(mut self, point: FaultPoint) -> Self {
+        self.points.push(point);
+        self
+    }
+
+    /// Total injections performed so far, across all rules and keys.
+    #[must_use]
+    pub fn injected(&self) -> usize {
+        self.fired.lock().expect("fault plan lock poisoned").values().sum()
+    }
+
+    /// Whether a [`FaultSite::JobPanic`] rule fires for `key` right now
+    /// (and consumes one of its fires if so).
+    #[must_use]
+    pub fn should_panic(&self, key: &str) -> bool {
+        self.fire(FaultSite::JobPanic, key).is_some()
+    }
+
+    /// The sleep a [`FaultSite::JobDelay`] rule injects for `key`, if
+    /// one fires.
+    #[must_use]
+    pub fn delay_for(&self, key: &str) -> Option<Duration> {
+        self.fire(FaultSite::JobDelay, key).map(|p| p.delay)
+    }
+
+    /// The message of a [`FaultSite::JobTransient`] error for `key`, if
+    /// one fires.
+    #[must_use]
+    pub fn transient_error(&self, key: &str) -> Option<String> {
+        self.fire(FaultSite::JobTransient, key)
+            .map(|_| format!("injected transient failure at `{key}`"))
+    }
+
+    /// The message of a [`FaultSite::CachePoison`] failure for the
+    /// artifact identified by `key`, if one fires.
+    #[must_use]
+    pub fn poison(&self, key: &str) -> Option<String> {
+        self.fire(FaultSite::CachePoison, key)
+            .map(|_| format!("injected poisoned artifact compute for `{key}`"))
+    }
+
+    /// The first armed rule at `site` matching `key`, consuming one of
+    /// its fires. Selection (pattern + seeded rate) is stateless; only
+    /// the fire count mutates.
+    fn fire(&self, site: FaultSite, key: &str) -> Option<FaultPoint> {
+        for (index, point) in self.points.iter().enumerate() {
+            if point.site != site || point.fires == 0 {
+                continue;
+            }
+            if !point.pattern.is_empty() && !key.contains(&point.pattern) {
+                continue;
+            }
+            if let Some(per_mille) = point.rate_per_mille {
+                if mix(self.seed ^ index as u64, key) % 1000 >= u64::from(per_mille) {
+                    continue;
+                }
+            }
+            let mut fired = self.fired.lock().expect("fault plan lock poisoned");
+            let count = fired.entry((index, key.to_string())).or_insert(0);
+            if *count >= point.fires {
+                continue;
+            }
+            *count += 1;
+            return Some(point.clone());
+        }
+        None
+    }
+}
+
+/// FNV-1a over the key, finished with a splitmix64 round of the seed —
+/// a stable, dependency-free selection hash.
+fn mix(seed: u64, key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_fire_per_key_and_heal() {
+        let plan = FaultPlan::new(7).point(FaultPoint::new(FaultSite::JobPanic, "s27").fires(2));
+        assert!(plan.should_panic("job:s27:packed"));
+        assert!(plan.should_panic("job:s27:packed"));
+        // Third attempt on the same key: healed.
+        assert!(!plan.should_panic("job:s27:packed"));
+        // A different matching key has its own budget.
+        assert!(plan.should_panic("job:s27:scalar"));
+        // Non-matching keys never fire.
+        assert!(!plan.should_panic("job:a298:packed"));
+        assert_eq!(plan.injected(), 3);
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let plan = FaultPlan::new(1)
+            .point(FaultPoint::new(FaultSite::JobDelay, "").delay(Duration::from_millis(5)))
+            .point(FaultPoint::new(FaultSite::JobTransient, ""))
+            .point(FaultPoint::new(FaultSite::CachePoison, "t0"));
+        assert_eq!(plan.delay_for("anything"), Some(Duration::from_millis(5)));
+        assert!(plan.transient_error("anything").unwrap().contains("transient"));
+        assert!(plan.poison("t0:s27:1999").unwrap().contains("poisoned"));
+        assert!(plan.poison("circuit:s27").is_none(), "pattern-filtered site");
+        // Delay rule fired once for that key; it stays quiet now.
+        assert_eq!(plan.delay_for("anything"), None);
+        assert!(!plan.should_panic("anything"), "no panic rule installed");
+    }
+
+    #[test]
+    fn seeded_rate_selection_is_deterministic_and_partial() {
+        let select = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed)
+                .point(FaultPoint::new(FaultSite::JobTransient, "").rate_per_mille(500));
+            (0..64).map(|i| plan.transient_error(&format!("job:{i}")).is_some()).collect()
+        };
+        let a = select(42);
+        let b = select(42);
+        assert_eq!(a, b, "same seed, same selection");
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!(hits > 0 && hits < 64, "rate 500/1000 selects a strict subset ({hits}/64)");
+        let c = select(43);
+        assert_ne!(a, c, "different seed, different selection");
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::new(0);
+        assert!(!plan.should_panic("k"));
+        assert!(plan.delay_for("k").is_none());
+        assert!(plan.transient_error("k").is_none());
+        assert!(plan.poison("k").is_none());
+        assert_eq!(plan.injected(), 0);
+        // A zero-fires rule is installed but disarmed.
+        let disarmed = FaultPlan::new(0).point(FaultPoint::new(FaultSite::JobPanic, "").fires(0));
+        assert!(!disarmed.should_panic("k"));
+    }
+}

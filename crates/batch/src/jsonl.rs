@@ -6,7 +6,7 @@
 //! or drifting output fails loudly (the [`JsonlSink`](crate::JsonlSink)
 //! validates each row before writing it, and CI re-validates the file).
 
-use crate::report::JobRecord;
+use crate::report::{JobMetrics, JobRecord, JobStatus};
 
 /// Keys every row must carry. `seconds` stays the job's total wall time
 /// (`queue_seconds + exec_seconds`) so historical consumers keep working.
@@ -63,7 +63,10 @@ pub fn record_to_json(record: &JobRecord) -> String {
         push_kv(&mut out, "total_len", &m.total_len.to_string());
         push_kv(&mut out, "max_len", &m.max_len.to_string());
         push_kv(&mut out, "applied_test_len", &m.applied_test_len.to_string());
-        push_kv(&mut out, "loaded_fraction", &format!("{:.6}", m.loaded_fraction));
+        // Shortest round-trip rendering (Rust's f64 Display), NOT a fixed
+        // precision: resumed campaigns rebuild their summary from these
+        // rows, and the digest compares f64 bit patterns exactly.
+        push_kv(&mut out, "loaded_fraction", &m.loaded_fraction.to_string());
         push_kv(&mut out, "scheme_data_bits", &m.scheme_data_bits.to_string());
         push_kv(&mut out, "monolithic_data_bits", &m.monolithic_data_bits.to_string());
         push_kv(&mut out, "gates_removed", &m.gates_removed.to_string());
@@ -261,6 +264,173 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
     Ok(rows)
 }
 
+/// [`validate_jsonl`] for crash-recovery (`--resume`): tolerates exactly
+/// one invalid **trailing** line — the torn write of a killed process —
+/// and returns `(valid_rows, truncated)`. An invalid line anywhere
+/// before the end is still an error: torn writes only ever corrupt the
+/// tail of an append-only journal, so mid-file damage means the file is
+/// not what it claims to be.
+///
+/// # Errors
+///
+/// The first offending non-trailing line number and its violation.
+pub fn validate_jsonl_lenient(text: &str) -> Result<(usize, bool), String> {
+    let lines: Vec<(usize, &str)> =
+        text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()).collect();
+    let mut rows = 0;
+    for (position, (i, line)) in lines.iter().enumerate() {
+        match validate_jsonl_line(line) {
+            Ok(()) => rows += 1,
+            Err(_) if position == lines.len() - 1 => return Ok((rows, true)),
+            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+        }
+    }
+    Ok((rows, false))
+}
+
+/// One journal row parsed back into its record, plus the campaign
+/// fingerprint the writing sink stamped on it (if any).
+#[derive(Debug, Clone)]
+pub struct ParsedRow {
+    /// The reconstructed record.
+    pub record: JobRecord,
+    /// The `fp` key of the row — the writing campaign's configuration
+    /// fingerprint, used by `--resume` to refuse stale journals.
+    pub fingerprint: Option<String>,
+}
+
+/// Parses one JSONL row back into a [`JobRecord`] — the read half of
+/// [`record_to_json`], used by crash-recovery to replay a journal.
+/// Unknown keys are ignored (forward-compatible, like the validator).
+///
+/// # Errors
+///
+/// A description of the first syntax or schema violation.
+pub fn parse_record(line: &str) -> Result<ParsedRow, String> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.ws();
+    let mut job: Option<usize> = None;
+    let mut circuit: Option<String> = None;
+    let mut backend: Option<String> = None;
+    let mut scheme: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut status: Option<String> = None;
+    let mut seconds: Option<f64> = None;
+    let mut queue_seconds: Option<f64> = None;
+    let mut exec_seconds: Option<f64> = None;
+    let mut error: Option<String> = None;
+    let mut fingerprint: Option<String> = None;
+    let mut engine: Option<String> = None;
+    let mut nums: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut verified: Option<Option<bool>> = None;
+    p.object(&mut |p, key| {
+        p.ws();
+        match key {
+            "job" => job = Some(p.raw_number()?.parse().map_err(|e| format!("job: {e}"))?),
+            "circuit" => circuit = Some(p.string()?),
+            "backend" => backend = Some(p.string()?),
+            "scheme" => scheme = Some(p.string()?),
+            "seed" => seed = Some(p.raw_number()?.parse().map_err(|e| format!("seed: {e}"))?),
+            "status" => status = Some(p.string()?),
+            "seconds" => {
+                seconds = Some(p.raw_number()?.parse().map_err(|e| format!("seconds: {e}"))?);
+            }
+            "queue_seconds" => {
+                queue_seconds =
+                    Some(p.raw_number()?.parse().map_err(|e| format!("queue_seconds: {e}"))?);
+            }
+            "exec_seconds" => {
+                exec_seconds =
+                    Some(p.raw_number()?.parse().map_err(|e| format!("exec_seconds: {e}"))?);
+            }
+            "error" => error = Some(p.string()?),
+            "fp" => fingerprint = Some(p.string()?),
+            "engine" => engine = Some(p.string()?),
+            "verified" => {
+                verified = Some(match p.bytes.get(p.pos) {
+                    Some(b't') => {
+                        p.literal("true")?;
+                        Some(true)
+                    }
+                    Some(b'f') => {
+                        p.literal("false")?;
+                        Some(false)
+                    }
+                    _ => {
+                        p.literal("null")?;
+                        None
+                    }
+                });
+            }
+            k if OK_KEYS.contains(&k) => {
+                nums.insert(k.to_string(), p.raw_number()?.to_string());
+            }
+            _ => p.value()?,
+        }
+        Ok(())
+    })?;
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    let status = match status.as_deref() {
+        Some("ok") => JobStatus::Ok,
+        Some("failed") => JobStatus::Failed,
+        Some(other) => return Err(format!("unknown status `{other}`")),
+        None => return Err("row missing `status`".to_string()),
+    };
+    let need = |name: &str, v: Option<String>| v.ok_or_else(|| format!("row missing `{name}`"));
+    let metrics = if status == JobStatus::Ok {
+        let num = |name: &str| -> Result<usize, String> {
+            nums.get(name)
+                .ok_or_else(|| format!("ok row missing `{name}`"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        Some(JobMetrics {
+            engine: need("engine", engine)?,
+            faults_total: num("faults_total")?,
+            faults_detected: num("faults_detected")?,
+            t0_len: num("t0_len")?,
+            n: num("n")?,
+            set_count: num("set_count")?,
+            total_len: num("total_len")?,
+            max_len: num("max_len")?,
+            applied_test_len: num("applied_test_len")?,
+            loaded_fraction: nums
+                .get("loaded_fraction")
+                .ok_or("ok row missing `loaded_fraction`")?
+                .parse()
+                .map_err(|e| format!("loaded_fraction: {e}"))?,
+            scheme_data_bits: num("scheme_data_bits")?,
+            monolithic_data_bits: num("monolithic_data_bits")?,
+            gates_removed: num("gates_removed")?,
+            verified: verified.ok_or("ok row missing `verified`")?,
+        })
+    } else {
+        if error.is_none() {
+            return Err("failed row missing `error`".to_string());
+        }
+        None
+    };
+    Ok(ParsedRow {
+        record: JobRecord {
+            job: job.ok_or("row missing `job`")?,
+            circuit: need("circuit", circuit)?,
+            backend: need("backend", backend)?,
+            scheme: need("scheme", scheme)?,
+            seed: seed.ok_or("row missing `seed`")?,
+            status,
+            seconds: seconds.ok_or("row missing `seconds`")?,
+            queue_seconds: queue_seconds.ok_or("row missing `queue_seconds`")?,
+            exec_seconds: exec_seconds.ok_or("row missing `exec_seconds`")?,
+            metrics,
+            error,
+        },
+        fingerprint,
+    })
+}
+
 /// Minimal strict JSON scanner (subset shared with
 /// `bist_bench::timing`'s validator: objects, arrays, strings, numbers,
 /// literals; no trailing commas, strict escapes).
@@ -351,6 +521,15 @@ impl Parser<'_> {
             }
         }
         Ok(())
+    }
+
+    /// Like [`Parser::number`], but returns the matched text so callers
+    /// can parse it into a typed value.
+    fn raw_number(&mut self) -> Result<&str, String> {
+        let start = self.pos;
+        self.number()?;
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("non-utf8 number at byte {start}"))
     }
 
     fn literal(&mut self, word: &str) -> Result<(), String> {
@@ -562,5 +741,41 @@ mod tests {
         // Truncation of the last row is caught.
         let row = record_to_json(&ok_record());
         assert!(validate_jsonl(&row[..row.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn lenient_validation_forgives_only_a_torn_tail() {
+        let row = record_to_json(&ok_record());
+        // Intact documents: same row count, not truncated.
+        let good = format!("{row}\n{row}\n");
+        assert_eq!(validate_jsonl_lenient(&good).unwrap(), (2, false));
+        // A torn final line is dropped and reported.
+        let torn = format!("{row}\n{}", &row[..row.len() - 9]);
+        assert!(validate_jsonl(&torn).is_err(), "strict mode still rejects");
+        assert_eq!(validate_jsonl_lenient(&torn).unwrap(), (1, true));
+        // Mid-file damage stays a hard error even leniently.
+        let mid = format!("not json\n{row}\n");
+        assert!(validate_jsonl_lenient(&mid).unwrap_err().starts_with("line 1"));
+        assert_eq!(validate_jsonl_lenient("\n").unwrap(), (0, false));
+    }
+
+    #[test]
+    fn parse_record_round_trips_and_rejects_incomplete_rows() {
+        let line = record_to_json(&ok_record());
+        let parsed = parse_record(&line).unwrap();
+        assert_eq!(format!("{:?}", parsed.record), format!("{:?}", ok_record()));
+        assert_eq!(parsed.fingerprint, None);
+        // Unknown keys are ignored; a spliced fp is captured.
+        let stamped =
+            format!("{}, \"fp\": \"abc123\", \"extra\": [1, 2]}}", &line[..line.len() - 1]);
+        let parsed = parse_record(&stamped).unwrap();
+        assert_eq!(parsed.fingerprint.as_deref(), Some("abc123"));
+        assert_eq!(parsed.record.job, 3);
+        // An ok row without its metrics is rejected.
+        assert!(parse_record(&line.replace(", \"engine\": \"sharded256\"", ""))
+            .unwrap_err()
+            .contains("engine"));
+        // Torn rows fail to parse.
+        assert!(parse_record(&line[..line.len() - 4]).is_err());
     }
 }

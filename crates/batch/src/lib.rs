@@ -43,14 +43,20 @@
 mod cache;
 mod campaign;
 mod engine;
+pub mod faultpoint;
 pub mod jsonl;
 mod report;
 
-pub use cache::{ArtifactCache, CacheResidency, CacheStats, ShelfResidency};
+pub use cache::{
+    ArtifactCache, CachePolicy, CacheResidency, CacheStats, ShelfId, ShelfResidency, ShelfSet,
+};
 pub use campaign::{backend_label, parse_backend, Campaign, CircuitSpec, JobSpec, SchemeSpec};
-pub use engine::{CampaignEngine, CampaignOutcome, EngineConfig, JobOutcome};
+pub use engine::{
+    CampaignEngine, CampaignOutcome, EngineConfig, FailureKind, JobFailure, JobOutcome, RetryPolicy,
+};
 pub use report::{
     AxisLine, CampaignSummary, JobMetrics, JobRecord, JobStatus, JsonlSink, MemorySink, ReportSink,
+    ResumeLog,
 };
 
 use std::fmt;
@@ -73,6 +79,10 @@ pub enum BatchError {
         artifact: String,
         /// The underlying failure.
         message: String,
+        /// Whether a retry could plausibly succeed (interrupted/timed-out
+        /// I/O, injected chaos). Permanent failures — parse errors,
+        /// missing files — stay cached and are never retried.
+        transient: bool,
     },
     /// A job failed and `keep_going` was off.
     JobFailed {
@@ -91,8 +101,9 @@ impl fmt::Display for BatchError {
             BatchError::Bist(e) => write!(f, "pipeline error: {e}"),
             BatchError::Io(e) => write!(f, "i/o error: {e}"),
             BatchError::Config(msg) => write!(f, "campaign configuration error: {msg}"),
-            BatchError::Artifact { artifact, message } => {
-                write!(f, "building shared {artifact} failed: {message}")
+            BatchError::Artifact { artifact, message, transient } => {
+                let hint = if *transient { " (transient)" } else { "" };
+                write!(f, "building shared {artifact} failed{hint}: {message}")
             }
             BatchError::JobFailed { job, circuit, message } => {
                 write!(f, "job {job} ({circuit}) failed: {message}")
@@ -138,8 +149,15 @@ mod tests {
         let art = BatchError::Artifact {
             artifact: "circuit `x`".to_string(),
             message: "parse failed".to_string(),
+            transient: false,
         };
         assert!(art.to_string().contains("circuit `x`"));
+        let transient = BatchError::Artifact {
+            artifact: "T0 of `x`".to_string(),
+            message: "interrupted".to_string(),
+            transient: true,
+        };
+        assert!(transient.to_string().contains("(transient)"));
         let job = BatchError::JobFailed {
             job: 3,
             circuit: "s27".to_string(),

@@ -2,7 +2,7 @@
 //! [`ReportSink`]s as jobs complete, and a [`CampaignSummary`] rolls up
 //! coverage, storage and wall time per axis at the end.
 
-use crate::jsonl::{record_to_json, validate_jsonl_line};
+use crate::jsonl::{parse_record, record_to_json, validate_jsonl_line};
 use crate::BatchError;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -142,10 +142,19 @@ impl ReportSink for MemorySink {
 /// campaign instead of silently corrupting the output file. Follows the
 /// hand-rolled JSON conventions of `bist_bench::timing` (no serde in
 /// this offline environment).
+///
+/// The sink doubles as the campaign's write-ahead journal: every row is
+/// flushed to the OS as soon as it is accepted, so a killed process
+/// loses at most the one row it was writing (a torn final line), and
+/// `--resume` can replay every completed job from the file. Stamp rows
+/// with [`with_fingerprint`](JsonlSink::with_fingerprint) so a resume
+/// against a *different* campaign configuration is refused instead of
+/// silently merged.
 pub struct JsonlSink {
     path: PathBuf,
     out: std::io::BufWriter<std::fs::File>,
     rows: usize,
+    fingerprint: Option<String>,
 }
 
 impl JsonlSink {
@@ -162,7 +171,85 @@ impl JsonlSink {
                 format!("creating JSONL file `{}`: {e}", path.display()),
             ))
         })?;
-        Ok(JsonlSink { path, out: std::io::BufWriter::new(file), rows: 0 })
+        Ok(JsonlSink { path, out: std::io::BufWriter::new(file), rows: 0, fingerprint: None })
+    }
+
+    /// Reopens an existing journal for appending, repairing a torn
+    /// trailing line first (the file is truncated back to its last
+    /// complete, schema-valid row). [`rows`](JsonlSink::rows) starts at
+    /// the count of surviving rows, so it always reflects the journal's
+    /// total. An invalid line *before* the end is a hard error — torn
+    /// writes only ever damage the tail.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or mid-file schema violations.
+    pub fn append(path: impl Into<PathBuf>) -> Result<Self, BatchError> {
+        let path = path.into();
+        let decorate = |verb: &str, e: std::io::Error| {
+            BatchError::Io(std::io::Error::new(
+                e.kind(),
+                format!("{verb} JSONL journal `{}`: {e}", path.display()),
+            ))
+        };
+        let text = std::fs::read_to_string(&path).map_err(|e| decorate("reading", e))?;
+        let mut rows = 0;
+        let mut valid_len = 0u64;
+        let mut offset = 0usize;
+        // A valid final row may have lost only its newline; keep it and
+        // terminate it below instead of rerunning its job.
+        let mut needs_newline = false;
+        let lines: Vec<&str> = text.split_inclusive('\n').collect();
+        for (i, raw) in lines.iter().enumerate() {
+            let line = raw.trim_end_matches(['\n', '\r']);
+            if line.trim().is_empty() {
+                offset += raw.len();
+                valid_len = offset as u64;
+                continue;
+            }
+            match validate_jsonl_line(line) {
+                Ok(()) => {
+                    offset += raw.len();
+                    valid_len = offset as u64;
+                    rows += 1;
+                    needs_newline = !raw.ends_with('\n');
+                }
+                // A torn trailing row is the crash signature; drop it.
+                Err(_) if i == lines.len() - 1 => break,
+                Err(e) => {
+                    return Err(BatchError::Config(format!(
+                        "JSONL journal `{}` line {}: {e}",
+                        path.display(),
+                        i + 1
+                    )))
+                }
+            }
+        }
+        if valid_len < text.len() as u64 {
+            let repair = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| decorate("repairing", e))?;
+            repair.set_len(valid_len).map_err(|e| decorate("repairing", e))?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| decorate("appending to", e))?;
+        let mut out = std::io::BufWriter::new(file);
+        if needs_newline {
+            out.write_all(b"\n").map_err(|e| decorate("repairing", e))?;
+        }
+        Ok(JsonlSink { path, out, rows, fingerprint: None })
+    }
+
+    /// Stamps every subsequent row with an `"fp"` key carrying the
+    /// campaign's configuration fingerprint (see
+    /// [`Campaign::fingerprint`](crate::Campaign::fingerprint)).
+    #[must_use]
+    pub fn with_fingerprint(mut self, fingerprint: impl Into<String>) -> Self {
+        self.fingerprint = Some(fingerprint.into());
+        self
     }
 
     /// The output path.
@@ -171,7 +258,8 @@ impl JsonlSink {
         &self.path
     }
 
-    /// Rows written so far.
+    /// Rows written so far (including rows inherited through
+    /// [`append`](JsonlSink::append)).
     #[must_use]
     pub fn rows(&self) -> usize {
         self.rows
@@ -180,11 +268,19 @@ impl JsonlSink {
 
 impl ReportSink for JsonlSink {
     fn accept(&mut self, record: &JobRecord) -> Result<(), BatchError> {
-        let line = record_to_json(record);
+        let mut line = record_to_json(record);
+        if let Some(fp) = &self.fingerprint {
+            line.truncate(line.len() - 1);
+            line.push_str(&format!(", \"fp\": \"{fp}\"}}"));
+        }
         validate_jsonl_line(&line).map_err(|e| {
             BatchError::Config(format!("JSONL row failed schema validation: {e}: {line}"))
         })?;
         writeln!(self.out, "{line}")?;
+        // Write-ahead discipline: the row reaches the OS before the job
+        // is considered recorded, so a crash strands at most a torn
+        // final line (which append()/ResumeLog repair).
+        self.out.flush()?;
         self.rows += 1;
         Ok(())
     }
@@ -192,6 +288,91 @@ impl ReportSink for JsonlSink {
     fn finish(&mut self) -> Result<(), BatchError> {
         self.out.flush()?;
         Ok(())
+    }
+}
+
+/// The replayable contents of a crash-interrupted JSONL journal: every
+/// complete, fingerprint-matching `"ok"` row parsed back into its
+/// [`JobRecord`]. Failed rows are dropped (their jobs rerun), and a torn
+/// trailing line is tolerated and reported via
+/// [`truncated`](ResumeLog::truncated).
+#[derive(Debug)]
+pub struct ResumeLog {
+    records: Vec<JobRecord>,
+    rows: usize,
+    truncated: bool,
+}
+
+impl ResumeLog {
+    /// Loads `path` and keeps the `"ok"` rows stamped with
+    /// `fingerprint`. A row stamped with a *different* fingerprint (or
+    /// none) is a configuration mismatch and a hard error: replaying it
+    /// would merge results from a different campaign.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, mid-file corruption, or a fingerprint mismatch.
+    pub fn load(path: impl AsRef<Path>, fingerprint: &str) -> Result<Self, BatchError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            BatchError::Io(std::io::Error::new(
+                e.kind(),
+                format!("reading resume journal `{}`: {e}", path.display()),
+            ))
+        })?;
+        let lines: Vec<(usize, &str)> =
+            text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()).collect();
+        let mut records = Vec::new();
+        let mut rows = 0;
+        let mut truncated = false;
+        for (position, (i, line)) in lines.iter().enumerate() {
+            let parsed = match parse_record(line) {
+                Ok(parsed) => parsed,
+                Err(_) if position == lines.len() - 1 => {
+                    truncated = true;
+                    break;
+                }
+                Err(e) => {
+                    return Err(BatchError::Config(format!(
+                        "resume journal `{}` line {}: {e}",
+                        path.display(),
+                        i + 1
+                    )))
+                }
+            };
+            rows += 1;
+            if parsed.fingerprint.as_deref() != Some(fingerprint) {
+                return Err(BatchError::Config(format!(
+                    "resume journal `{}` line {} was written by a different campaign \
+                     configuration (fingerprint {} != {fingerprint})",
+                    path.display(),
+                    i + 1,
+                    parsed.fingerprint.as_deref().unwrap_or("<missing>"),
+                )));
+            }
+            if parsed.record.status == JobStatus::Ok {
+                records.push(parsed.record);
+            }
+        }
+        Ok(ResumeLog { records, rows, truncated })
+    }
+
+    /// The replayable `"ok"` records, in journal order.
+    #[must_use]
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Complete rows read (ok + failed) before any torn tail.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether a torn trailing line was dropped.
+    #[must_use]
+    pub fn truncated(&self) -> bool {
+        self.truncated
     }
 }
 
@@ -313,6 +494,40 @@ impl CampaignSummary {
             backends: axis(|r| &r.backend),
             metrics: bist_obs::MetricsSnapshot::default(),
         }
+    }
+
+    /// FNV-1a digest of the summary's *deterministic* fields: job
+    /// counts, per-axis labels, ok-job counts, means (hashed via
+    /// [`f64::to_bits`]) and gates removed. All timing (wall, job,
+    /// queue, exec seconds) and telemetry are excluded, so a chaos run
+    /// that healed through retries — or a killed campaign merged back
+    /// together with `--resume` — digests identically to the fault-free
+    /// run of the same campaign. That equality is the resilience
+    /// layer's acceptance criterion.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        fn eat(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for count in [self.jobs_total, self.jobs_ok, self.jobs_failed, self.jobs_skipped] {
+            eat(&mut h, &(count as u64).to_le_bytes());
+        }
+        for axis in [&self.circuits, &self.backends] {
+            for line in axis {
+                eat(&mut h, line.label.as_bytes());
+                eat(&mut h, &[0]);
+                eat(&mut h, &(line.jobs as u64).to_le_bytes());
+                eat(&mut h, &line.mean_coverage.to_bits().to_le_bytes());
+                eat(&mut h, &line.mean_loaded_fraction.to_bits().to_le_bytes());
+                eat(&mut h, &line.mean_storage_ratio.to_bits().to_le_bytes());
+                eat(&mut h, &(line.gates_removed as u64).to_le_bytes());
+            }
+        }
+        h
     }
 }
 
@@ -497,5 +712,147 @@ mod tests {
         assert_eq!(crate::jsonl::validate_jsonl(&String::from_utf8(b).unwrap()).unwrap(), 2);
         std::fs::remove_file(&finished).unwrap();
         std::fs::remove_file(&dropped).unwrap();
+    }
+
+    #[test]
+    fn rows_reach_disk_before_finish() {
+        // Write-ahead discipline: after accept() returns, the row is
+        // readable by another handle even though the sink is still open.
+        let dir = std::env::temp_dir().join("bist_batch_wal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.accept(&ok_record(0, "s27", "packed", 0.1)).unwrap();
+        let mid = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::jsonl::validate_jsonl(&mid).unwrap(), 1, "row not flushed per accept");
+        sink.accept(&failed_record(1)).unwrap();
+        drop(sink);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn journal_rows_round_trip_through_parse_record() {
+        for record in [ok_record(3, "s27", "sharded:0:256", 0.25), failed_record(7)] {
+            let line = record_to_json(&record);
+            let parsed = parse_record(&line).unwrap();
+            assert_eq!(format!("{:?}", parsed.record), format!("{record:?}"));
+            assert_eq!(parsed.fingerprint, None);
+        }
+    }
+
+    #[test]
+    fn fingerprint_stamp_survives_validation_and_round_trips() {
+        let dir = std::env::temp_dir().join("bist_batch_fp_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fp.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap().with_fingerprint("deadbeef00000001");
+        sink.accept(&ok_record(0, "s27", "packed", 0.1)).unwrap();
+        sink.finish().unwrap();
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::jsonl::validate_jsonl(&text).unwrap(), 1, "fp key must stay valid");
+        let parsed = parse_record(text.lines().next().unwrap()).unwrap();
+        assert_eq!(parsed.fingerprint.as_deref(), Some("deadbeef00000001"));
+        // ResumeLog accepts the matching fingerprint, refuses another.
+        let log = ResumeLog::load(&path, "deadbeef00000001").unwrap();
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.rows(), 1);
+        assert!(!log.truncated());
+        let err = ResumeLog::load(&path, "0000000000000000").unwrap_err();
+        assert!(err.to_string().contains("different campaign"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_repairs_a_torn_tail_and_resume_drops_it() {
+        let dir = std::env::temp_dir().join("bist_batch_torn_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap().with_fingerprint("feedface01020304");
+        sink.accept(&ok_record(0, "s27", "packed", 0.1)).unwrap();
+        sink.accept(&failed_record(1)).unwrap();
+        sink.finish().unwrap();
+        drop(sink);
+        // Simulate a kill mid-write: chop the journal mid-row.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 17]).unwrap();
+
+        let log = ResumeLog::load(&path, "feedface01020304").unwrap();
+        assert!(log.truncated(), "torn tail must be reported");
+        assert_eq!(log.rows(), 1);
+        assert_eq!(log.records().len(), 1, "only the complete ok row replays");
+        assert_eq!(log.records()[0].job, 0);
+
+        let mut sink = JsonlSink::append(&path).unwrap().with_fingerprint("feedface01020304");
+        assert_eq!(sink.rows(), 1, "append inherits the surviving row");
+        sink.accept(&failed_record(1)).unwrap();
+        sink.finish().unwrap();
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::jsonl::validate_jsonl(&text).unwrap(), 2, "repaired + appended");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_keeps_a_valid_unterminated_final_row() {
+        let dir = std::env::temp_dir().join("bist_batch_noeol_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("noeol.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.accept(&ok_record(0, "s27", "packed", 0.1)).unwrap();
+        sink.finish().unwrap();
+        drop(sink);
+        // Crash stranded a complete row missing only its newline.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 1]).unwrap();
+        let mut sink = JsonlSink::append(&path).unwrap();
+        assert_eq!(sink.rows(), 1, "complete row is kept, not rerun");
+        sink.accept(&failed_record(1)).unwrap();
+        sink.finish().unwrap();
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::jsonl::validate_jsonl(&text).unwrap(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_rejects_mid_file_corruption() {
+        let dir = std::env::temp_dir().join("bist_batch_midcorrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mid.jsonl");
+        let good = record_to_json(&ok_record(0, "s27", "packed", 0.1));
+        std::fs::write(&path, format!("{{\"not\": \"a row\"}}\n{good}\n")).unwrap();
+        let err = JsonlSink::append(&path).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = ResumeLog::load(&path, "x").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn digest_tracks_results_and_ignores_timing() {
+        let records = vec![
+            ok_record(0, "s27", "packed", 0.5),
+            ok_record(1, "s27", "scalar", 1.5),
+            failed_record(2),
+        ];
+        let a = CampaignSummary::build(&records, 3, 3.0);
+        // Same results with totally different timings digest identically.
+        let slow: Vec<JobRecord> = records
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.seconds *= 100.0;
+                r.exec_seconds *= 100.0;
+                r
+            })
+            .collect();
+        let b = CampaignSummary::build(&slow, 3, 500.0);
+        assert_eq!(a.digest(), b.digest(), "timing must not affect the digest");
+        // A changed result does.
+        let mut fewer = records.clone();
+        fewer.pop();
+        let c = CampaignSummary::build(&fewer, 3, 3.0);
+        assert_ne!(a.digest(), c.digest());
     }
 }

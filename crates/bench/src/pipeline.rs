@@ -190,10 +190,10 @@ pub fn run_suite_campaign(
             .iter()
             .find(|e| e.name == job.spec.circuit.key())
             .expect("campaign jobs come from `entries`");
-        let report = job.result.map_err(|message| BatchError::JobFailed {
+        let report = job.result.map_err(|failure| BatchError::JobFailed {
             job: job.spec.id,
             circuit: job.spec.circuit.label(),
-            message,
+            message: failure.to_string(),
         })?;
         let parts = report.into_parts();
         results.push(CircuitOutcome {

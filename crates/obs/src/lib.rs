@@ -47,32 +47,137 @@ mod registry;
 pub use metric::{bucket_of, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{MetricsSnapshot, Registry, Span, TraceEvent};
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a [`CancelToken`] reports itself cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelKind {
+    /// Someone called [`CancelToken::cancel`].
+    Requested,
+    /// The token's deadline passed.
+    DeadlineExpired,
+}
+
+/// A cheap clonable cooperative-cancellation token: an atomic flag plus
+/// an optional wall-clock deadline. Long-running computations poll
+/// [`is_cancelled`](Self::is_cancelled) at natural boundaries (the fault
+/// sweeps check once per chunk) and unwind with a typed error, so a
+/// timed-out or abandoned job releases its worker instead of running to
+/// completion. Clones share one flag; riding the [`Obs`] handle keeps
+/// the token out of every intermediate API signature.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; cancels only via [`cancel`](Self::cancel).
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally reports cancelled once `deadline`
+    /// passes.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Requests cancellation (idempotent; visible to every clone).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token is cancelled — explicitly, or by its deadline
+    /// having passed.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.kind().is_some()
+    }
+
+    /// Why the token is cancelled, or `None` if it is not. An explicit
+    /// [`cancel`](Self::cancel) wins over a simultaneously expired
+    /// deadline.
+    #[must_use]
+    pub fn kind(&self) -> Option<CancelKind> {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return Some(CancelKind::Requested);
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => Some(CancelKind::DeadlineExpired),
+            _ => None,
+        }
+    }
+
+    /// The deadline, if the token has one.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
 
 /// A cheap clonable telemetry handle: either active (sharing a
-/// [`Registry`]) or a no-op sink. See the crate docs.
+/// [`Registry`]) or a no-op sink. See the crate docs. The handle can
+/// also carry a [`CancelToken`], giving instrumented layers a
+/// cooperative-cancellation channel without any new plumbing.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     registry: Option<Arc<Registry>>,
+    cancel: Option<CancelToken>,
 }
 
 impl Obs {
     /// The no-op sink: every operation is a `None` branch.
     #[must_use]
     pub fn noop() -> Self {
-        Obs { registry: None }
+        Obs { registry: None, cancel: None }
     }
 
     /// An active handle over a fresh registry.
     #[must_use]
     pub fn active() -> Self {
-        Obs { registry: Some(Arc::new(Registry::new())) }
+        Obs { registry: Some(Arc::new(Registry::new())), cancel: None }
     }
 
     /// An active handle over an existing registry.
     #[must_use]
     pub fn with_registry(registry: Arc<Registry>) -> Self {
-        Obs { registry: Some(registry) }
+        Obs { registry: Some(registry), cancel: None }
+    }
+
+    /// This handle with `token` attached: clones passed down the stack
+    /// all observe the same cancellation state. The registry (if any) is
+    /// shared unchanged.
+    #[must_use]
+    pub fn with_cancel(&self, token: CancelToken) -> Self {
+        Obs { registry: self.registry.clone(), cancel: Some(token) }
+    }
+
+    /// The attached cancel token, if any.
+    #[must_use]
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Whether an attached token reports cancelled (`false` without a
+    /// token).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Whether this handle records anything.
@@ -254,5 +359,49 @@ mod tests {
     #[test]
     fn default_is_noop() {
         assert!(!Obs::default().is_active());
+    }
+
+    #[test]
+    fn cancel_tokens_share_state_across_clones() {
+        let token = CancelToken::new();
+        let other = token.clone();
+        assert!(!token.is_cancelled());
+        assert_eq!(token.kind(), None);
+        other.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(token.kind(), Some(CancelKind::Requested));
+        assert_eq!(token.deadline(), None);
+    }
+
+    #[test]
+    fn deadline_tokens_expire() {
+        let expired = CancelToken::with_deadline(std::time::Instant::now());
+        assert!(expired.is_cancelled());
+        assert_eq!(expired.kind(), Some(CancelKind::DeadlineExpired));
+        let future = CancelToken::with_deadline(
+            std::time::Instant::now() + std::time::Duration::from_secs(3600),
+        );
+        assert!(!future.is_cancelled());
+        assert!(future.deadline().is_some());
+        // An explicit cancel wins over the (unexpired) deadline.
+        future.cancel();
+        assert_eq!(future.kind(), Some(CancelKind::Requested));
+    }
+
+    #[test]
+    fn obs_carries_a_cancel_token() {
+        let obs = Obs::active();
+        assert!(obs.cancel_token().is_none());
+        assert!(!obs.is_cancelled());
+        let token = CancelToken::new();
+        let scoped = obs.with_cancel(token.clone());
+        // The registry is shared; the token rides only the new handle.
+        scoped.counter_add("shared", 1);
+        assert_eq!(obs.snapshot().counter("shared"), Some(1));
+        assert!(!scoped.is_cancelled());
+        token.cancel();
+        assert!(scoped.is_cancelled());
+        assert!(scoped.cancel_token().is_some());
+        assert!(!obs.is_cancelled());
     }
 }

@@ -59,7 +59,7 @@ use crate::packed::{LaneMask, PackedWord};
 use crate::{Fault, FaultSite, Logic, PackedValue, PackedValue256, PackedValue512, SimError};
 use bist_expand::VectorSource;
 use bist_netlist::{Circuit, GateKind, GateTape, RunArity};
-use bist_obs::{CounterHandle, HistogramHandle, Obs};
+use bist_obs::{CancelKind, CancelToken, CounterHandle, HistogramHandle, Obs};
 use std::fmt;
 use std::time::Instant;
 
@@ -164,6 +164,7 @@ pub(crate) struct SweepStats {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct SweepObs {
     active: bool,
+    cancel: Option<CancelToken>,
     vectors: CounterHandle,
     chunks: CounterHandle,
     early_exits: CounterHandle,
@@ -175,6 +176,7 @@ impl SweepObs {
     pub(crate) fn new(obs: &Obs) -> Self {
         SweepObs {
             active: obs.is_active(),
+            cancel: obs.cancel_token().cloned(),
             vectors: obs.counter("sim.vectors"),
             chunks: obs.counter("sim.chunks"),
             early_exits: obs.counter("sim.chunk_early_exits"),
@@ -186,6 +188,22 @@ impl SweepObs {
     /// Whether flushing will record anything (gates the clock reads).
     pub(crate) fn is_active(&self) -> bool {
         self.active
+    }
+
+    /// Cooperative cancellation point, polled once per fault chunk (a
+    /// `None` branch when no token rides the sweep). A cancelled token
+    /// aborts the sweep with [`SimError::Cancelled`] so a timed-out job
+    /// releases its worker instead of finishing a doomed pass.
+    pub(crate) fn check_cancelled(&self) -> Result<(), SimError> {
+        match &self.cancel {
+            None => Ok(()),
+            Some(token) => match token.kind() {
+                None => Ok(()),
+                Some(kind) => Err(SimError::Cancelled {
+                    deadline_expired: kind == CancelKind::DeadlineExpired,
+                }),
+            },
+        }
     }
 
     /// Merges one shard's tallies and busy time into the sink.
@@ -668,6 +686,7 @@ fn run_shard<W: PackedWord>(
     let mut stats = SweepStats::default();
     let mut scratch = ShardScratch::<W>::new(tape);
     for (chunk, slots) in faults.chunks(per_chunk).zip(times.chunks_mut(per_chunk)) {
+        sweep.check_cancelled()?;
         run_chunk::<W>(tape, source, chunk, slots, &mut scratch, &mut stats)?;
     }
     if let Some(start) = start {
@@ -1036,6 +1055,7 @@ impl SimBackend for ScalarBackend {
         for (slot, &fault) in times.iter_mut().zip(faults) {
             // One fault per pass: the scalar engine's "chunk" is a
             // single faulty machine.
+            sweep.check_cancelled()?;
             stats.chunks += 1;
             let mut first = None;
             let vectors = &mut stats.vectors;
@@ -1079,6 +1099,36 @@ mod tests {
             Box::new(ShardedBackend::new(2, WordWidth::W256).unwrap()),
             Box::new(ShardedBackend::new(4, WordWidth::W512).unwrap()),
         ]
+    }
+
+    #[test]
+    fn cancelled_token_aborts_every_engine() {
+        use bist_obs::CancelToken;
+        let c = benchmarks::s27();
+        let tape = GateTape::compile(&c);
+        let faults = collapse(&c, &fault_universe(&c)).representatives().to_vec();
+        let t0 = table2_t0();
+        let token = CancelToken::new();
+        token.cancel();
+        let obs = Obs::noop().with_cancel(token);
+        let mut engines = all_engines();
+        engines.push(Box::new(
+            ShardedBackend::with_layout(2, WordWidth::W256, StateLayout::BitPlanes).unwrap(),
+        ));
+        for engine in engines {
+            let err = engine.detection_times_tape_obs(&tape, &t0, &faults, &obs).unwrap_err();
+            assert_eq!(err, SimError::Cancelled { deadline_expired: false }, "{}", engine.name());
+        }
+        // An already-expired deadline reports the deadline kind.
+        let expired = Obs::noop().with_cancel(CancelToken::with_deadline(Instant::now()));
+        let err =
+            PackedBackend.detection_times_tape_obs(&tape, &t0, &faults, &expired).unwrap_err();
+        assert_eq!(err, SimError::Cancelled { deadline_expired: true });
+        // A live (uncancelled) token leaves results bit-identical.
+        let live = Obs::noop().with_cancel(CancelToken::new());
+        let plain = PackedBackend.detection_times_tape(&tape, &t0, &faults).unwrap();
+        let tokened = PackedBackend.detection_times_tape_obs(&tape, &t0, &faults, &live).unwrap();
+        assert_eq!(plain, tokened);
     }
 
     #[test]

@@ -37,6 +37,16 @@ pub enum SimError {
         /// Shape of the circuit it was paired with.
         circuit_shape: (usize, usize, usize, usize, usize),
     },
+    /// The sweep observed a cancelled
+    /// [`CancelToken`](bist_obs::CancelToken) (riding the `Obs` handle)
+    /// at a chunk boundary and stopped early. Partial detection results
+    /// are discarded: the caller asked the job to stop, not for an
+    /// incomplete answer.
+    Cancelled {
+        /// Whether the token's deadline expired (as opposed to an
+        /// explicit cancellation request).
+        deadline_expired: bool,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +68,13 @@ impl fmt::Display for SimError {
                 "compiled tape shape {tape_shape:?} does not match circuit shape \
                  {circuit_shape:?} (nodes/inputs/outputs/DFFs/gates)"
             ),
+            SimError::Cancelled { deadline_expired } => {
+                if *deadline_expired {
+                    write!(f, "sweep cancelled: job deadline expired")
+                } else {
+                    write!(f, "sweep cancelled by request")
+                }
+            }
         }
     }
 }
@@ -81,6 +98,8 @@ mod tests {
             circuit_shape: (12, 3, 2, 1, 6),
         };
         assert!(tape.to_string().contains("17"));
+        assert!(SimError::Cancelled { deadline_expired: true }.to_string().contains("deadline"));
+        assert!(SimError::Cancelled { deadline_expired: false }.to_string().contains("request"));
     }
 
     #[test]

@@ -373,6 +373,7 @@ pub(crate) fn run_shard_planes<const N: usize>(
     let mut stats = SweepStats::default();
     let mut scratch = PlaneScratch::<N>::new(tape);
     for (chunk, slots) in faults.chunks(per_chunk).zip(times.chunks_mut(per_chunk)) {
+        sweep.check_cancelled()?;
         run_chunk_planes::<N>(tape, source, chunk, slots, &mut scratch, &mut stats)?;
     }
     if let Some(start) = start {
