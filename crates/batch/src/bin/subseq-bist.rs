@@ -28,8 +28,8 @@ use std::time::Duration;
 
 use bist_batch::faultpoint::{FaultPlan, FaultPoint, FaultSite};
 use bist_batch::{
-    parse_backend, BatchError, CachePolicy, Campaign, CampaignEngine, JsonlSink, ReportSink,
-    ResumeLog, RetryPolicy,
+    parse_backend, BatchError, CachePolicy, Campaign, CampaignEngine, CampaignServer, JsonlSink,
+    ReportSink, ResumeLog, RetryPolicy, ServeConfig,
 };
 use subseq_bist::netlist::{benchmarks, parser, Circuit};
 use subseq_bist::obs::export;
@@ -42,6 +42,7 @@ subseq-bist — batch campaign front end for the subsequence-BIST pipeline
 
 USAGE:
     subseq-bist run [OPTIONS]      execute a campaign and print the roll-up
+    subseq-bist serve [OPTIONS]    long-lived campaign service over HTTP
     subseq-bist list-circuits      list the built-in benchmark suite
     subseq-bist lint TARGETS       statically lint netlists (see below)
     subseq-bist check-equiv A B    structural equivalence of two netlists
@@ -107,12 +108,25 @@ RUN OPTIONS:
     --metrics-stdout    print the metrics table to stdout after the run
     --smoke             tiny CI configuration: small circuits, short T0,
                         n in {1,2}, packed + sharded backends
+
+SERVE OPTIONS:
+    --addr HOST:PORT    bind address (default 127.0.0.1:0 = free port)
+    --threads N         worker threads per campaign (default 0 = auto)
+    --queue N           engine job-queue depth (default 32)
+    --max-pending N     queued campaigns before 429 (default 16)
+    --cache-budget B    byte budget of the process-lifetime artifact
+                        cache shared across campaigns (default unbounded)
+    --journal-dir DIR   per-campaign JSONL journal directory
+    Endpoints: POST /campaigns, GET /campaigns/<id>/results (streamed),
+    GET /campaigns/<id>/summary, GET /metrics, GET /healthz,
+    POST /shutdown (graceful drain; see README \"Campaign service\")
 ";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("list-circuits") => list_circuits(),
         Some("lint") => lint(&args[1..]),
         Some("check-equiv") => check_equiv_cmd(&args[1..]),
@@ -404,6 +418,40 @@ fn run(args: &[String]) -> Result<(), BatchError> {
         }
     }
     Ok(())
+}
+
+/// The long-lived campaign service: binds, prints the address, serves
+/// until a `POST /shutdown` drains the queue.
+fn serve(args: &[String]) -> Result<(), BatchError> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = parse_flag_value(arg, &mut it)?.to_string(),
+            "--threads" => config.threads = parse_usize(arg, parse_flag_value(arg, &mut it)?)?,
+            "--queue" => config.queue_depth = parse_usize(arg, parse_flag_value(arg, &mut it)?)?,
+            "--max-pending" => {
+                config.max_pending = parse_usize(arg, parse_flag_value(arg, &mut it)?)?;
+            }
+            "--cache-budget" => {
+                let bytes = parse_usize(arg, parse_flag_value(arg, &mut it)?)?;
+                config.cache_policy = CachePolicy::bounded(bytes);
+            }
+            "--journal-dir" => {
+                config.journal_dir = parse_flag_value(arg, &mut it)?.into();
+            }
+            other => {
+                return Err(BatchError::Config(format!(
+                    "unknown `serve` flag `{other}` (try `subseq-bist help`)"
+                )))
+            }
+        }
+    }
+    let journal_dir = config.journal_dir.clone();
+    let server = CampaignServer::bind(config)?;
+    println!("subseq-bist serve: listening on http://{}", server.local_addr());
+    println!("journals in {}", journal_dir.display());
+    server.run()
 }
 
 fn list_circuits() -> Result<(), BatchError> {

@@ -502,6 +502,16 @@ pub struct ArtifactCache {
     chaos: Option<Arc<FaultPlan>>,
 }
 
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("policy", &self.policy)
+            .field("stats", &self.stats())
+            .field("residency", &self.residency())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Rough per-artifact byte models for the residency gauges. Deliberately
 /// coarse — node/gate/vector counts times typical struct sizes — so the
 /// report answers "what dominates?" without a real allocator probe.

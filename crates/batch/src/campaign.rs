@@ -491,6 +491,26 @@ mod tests {
     }
 
     #[test]
+    fn optimize_spellings_share_one_fingerprint() {
+        // `CompileOptions::parse` normalizes letter order and repetition,
+        // so every spelling of the same pass set fingerprints (and hence
+        // cache-keys and journal-stamps) identically — critical once
+        // fingerprints key a shared server cache fed by many clients.
+        let fp = |spec: &str| {
+            Campaign::new()
+                .suite_circuits(["s27"])
+                .seeds([1999])
+                .ns(vec![1])
+                .optimize(CompileOptions::parse(spec).expect("valid pass spec"))
+                .fingerprint()
+        };
+        assert_eq!(fp("xf"), fp("fx"));
+        assert_eq!(fp("xf"), fp("fxxf"));
+        assert_eq!(fp("xfds"), fp("sdfx"));
+        assert_ne!(fp("xf"), fp("none"), "distinct pass sets still differ");
+    }
+
+    #[test]
     fn circuit_spec_identity_and_build() {
         let spec = CircuitSpec::Suite("s27".to_string());
         assert_eq!(spec.key(), "s27");

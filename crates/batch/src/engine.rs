@@ -197,6 +197,9 @@ pub struct CampaignEngine {
     /// Chaos injection plan shared with the worker pool and the artifact
     /// cache. `None` in production; see [`crate::faultpoint`].
     chaos: Option<Arc<FaultPlan>>,
+    /// A caller-owned artifact cache shared across runs (and across
+    /// engines). `None` = each run owns a fresh cache.
+    cache: Option<Arc<ArtifactCache>>,
 }
 
 impl CampaignEngine {
@@ -221,10 +224,12 @@ impl CampaignEngine {
         self
     }
 
-    /// Sets the bounded job-queue depth (clamped to ≥ 1).
+    /// Sets the bounded job-queue depth. A depth of 0 is kept as
+    /// written and rejected with [`BatchError::Config`] at run time —
+    /// server configs must not be silently rewritten.
     #[must_use]
     pub fn queue_depth(mut self, depth: usize) -> Self {
-        self.config.queue_depth = depth.max(1);
+        self.config.queue_depth = depth;
         self
     }
 
@@ -268,6 +273,21 @@ impl CampaignEngine {
     #[must_use]
     pub fn chaos(mut self, plan: Arc<FaultPlan>) -> Self {
         self.chaos = Some(plan);
+        self
+    }
+
+    /// Shares a caller-owned [`ArtifactCache`] with every run of this
+    /// engine (and with any other engine holding the same `Arc`). Cache
+    /// keys are campaign-independent — circuit key, seed, `TgenConfig`
+    /// and pass-set key — so a process-lifetime cache lets campaigns
+    /// reuse each other's parses, tapes, collapses and `T0`s under the
+    /// cache's own [`CachePolicy`] byte budget. When a shared cache is
+    /// installed, the engine's [`cache_policy`](Self::cache_policy) and
+    /// chaos plan do not apply to it: the cache keeps the policy and
+    /// telemetry it was built with.
+    #[must_use]
+    pub fn shared_cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -358,15 +378,25 @@ impl CampaignEngine {
             let done: HashSet<usize> = replayed.iter().map(|r| r.job).collect();
             jobs.retain(|j| !done.contains(&j.id));
         }
-        let keep_going = self.config.keep_going;
-        let threads = match self.config.threads {
-            0 => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
-            n => n,
+        if self.config.queue_depth == 0 {
+            return Err(BatchError::Config(
+                "queue_depth must be ≥ 1 (a zero-depth bounded queue can admit no jobs)"
+                    .to_string(),
+            ));
         }
-        .min(jobs.len().max(1));
+        let keep_going = self.config.keep_going;
+        let threads = resolve_threads(self.config.threads).min(jobs.len().max(1));
 
         let obs = self.obs.clone();
-        let cache = ArtifactCache::with_config(&obs, self.config.cache_policy, self.chaos.clone());
+        let owned_cache;
+        let cache: &ArtifactCache = match &self.cache {
+            Some(shared) => shared,
+            None => {
+                owned_cache =
+                    ArtifactCache::with_config(&obs, self.config.cache_policy, self.chaos.clone());
+                &owned_cache
+            }
+        };
         let cancel = AtomicBool::new(false);
         let started = Instant::now();
 
@@ -381,8 +411,7 @@ impl CampaignEngine {
 
         // Each job travels with its enqueue timestamp, so the worker can
         // split wall time into queue wait vs execution.
-        let (job_tx, job_rx) =
-            mpsc::sync_channel::<(JobSpec, Instant)>(self.config.queue_depth.max(1));
+        let (job_tx, job_rx) = mpsc::sync_channel::<(JobSpec, Instant)>(self.config.queue_depth);
         let job_rx = Mutex::new(job_rx);
         let (done_tx, done_rx) = mpsc::channel::<JobOutcome>();
 
@@ -423,7 +452,7 @@ impl CampaignEngine {
                         queue_wait.record(micros(queue_seconds));
                         let job_started = Instant::now();
                         let result = run_job_isolated(
-                            &cache,
+                            cache,
                             campaign,
                             &job,
                             &obs,
@@ -506,6 +535,17 @@ impl CampaignEngine {
     }
 }
 
+/// Resolves a requested thread count: 0 = one per available core (1 if
+/// the host cannot say). The single source of truth for every
+/// `available_parallelism` fallback in this module — the worker pool and
+/// the scheduler's backend cost weights must agree on what "auto" means.
+fn resolve_threads(requested: usize) -> usize {
+    match requested {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        n => n,
+    }
+}
+
 /// Seconds → whole microseconds for histogram recording.
 fn micros(seconds: f64) -> u64 {
     if seconds <= 0.0 {
@@ -537,12 +577,11 @@ fn estimate_gates(spec: &CircuitSpec) -> f64 {
 /// sharded engine at width `w` and `t` threads advances `(w - 1) · t`
 /// faults per wall-clock pass.
 fn backend_weight(backend: Backend) -> f64 {
-    let auto = || std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     match backend {
         Backend::Packed => 1.0,
         Backend::Scalar => 63.0,
         Backend::Sharded { threads, width } => {
-            let threads = if threads == 0 { auto() } else { threads } as f64;
+            let threads = resolve_threads(threads) as f64;
             let lanes = width.saturating_sub(1).max(1) as f64;
             63.0 / (lanes * threads)
         }
@@ -971,15 +1010,62 @@ mod tests {
     }
 
     #[test]
-    fn engine_builder_clamps() {
+    fn zero_queue_depth_is_a_typed_error_not_a_silent_clamp() {
+        // The builder keeps the caller's value as written…
         let engine = CampaignEngine::new().queue_depth(0);
-        assert_eq!(engine.config.queue_depth, 1);
+        assert_eq!(engine.config.queue_depth, 0, "no silent rewrite");
+        // …and the run surfaces it as a configuration error instead of
+        // quietly running with depth 1.
+        let campaign = Campaign::new().suite_circuits(["s27"]).ns(vec![1]).tgen(tiny_tgen());
+        let err = engine.run(&campaign, &mut []).unwrap_err();
+        match err {
+            BatchError::Config(msg) => assert!(msg.contains("queue_depth"), "{msg}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
         let cfg = EngineConfig::default();
         assert_eq!(cfg.threads, 0);
         assert!(!cfg.keep_going);
         assert_eq!(cfg.deadline, None);
         assert_eq!(cfg.retry.max_attempts, 1, "no retries by default");
         assert_eq!(cfg.cache_policy, CachePolicy::unbounded());
+    }
+
+    #[test]
+    fn resolve_threads_is_the_single_auto_fallback() {
+        assert!(resolve_threads(0) >= 1, "auto resolves to at least one core");
+        assert_eq!(resolve_threads(3), 3, "explicit counts pass through");
+        // The scheduler's sharded-backend weight uses the same fallback,
+        // so "auto" cost estimates agree with the pool's "auto" width.
+        let auto = resolve_threads(0) as f64;
+        let weight = backend_weight(Backend::Sharded { threads: 0, width: 64 });
+        assert!((weight - 63.0 / (63.0 * auto)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_cache_is_reused_across_runs_and_engines() {
+        let campaign =
+            Campaign::new().suite_circuits(["s27"]).seeds([1]).ns(vec![1]).tgen(tiny_tgen());
+        let obs = Obs::noop();
+        let cache =
+            Arc::new(ArtifactCache::with_config(&obs, crate::CachePolicy::unbounded(), None));
+        let first = CampaignEngine::new()
+            .threads(1)
+            .shared_cache(Arc::clone(&cache))
+            .run(&campaign, &mut [])
+            .unwrap();
+        assert_eq!(first.cache.circuit_misses, 1);
+        assert_eq!(first.cache.t0_misses, 1);
+        // A different engine, same cache: everything is warm, so the
+        // second campaign records hits where the first recorded misses.
+        let second = CampaignEngine::new()
+            .threads(1)
+            .shared_cache(Arc::clone(&cache))
+            .run(&campaign, &mut [])
+            .unwrap();
+        assert_eq!(second.cache.circuit_misses, 1, "no new parse");
+        assert_eq!(second.cache.t0_misses, 1, "no new T0 generation");
+        assert!(second.cache.circuit_hits > first.cache.circuit_hits);
+        assert_eq!(first.summary.digest(), second.summary.digest(), "warm == cold results");
     }
 
     #[test]

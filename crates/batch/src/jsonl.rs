@@ -98,7 +98,7 @@ fn push_kv_str(out: &mut String, key: &str, value: &str) {
     push_kv(out, key, &format!("\"{}\"", escape(value)));
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -433,14 +433,36 @@ pub fn parse_record(line: &str) -> Result<ParsedRow, String> {
 
 /// Minimal strict JSON scanner (subset shared with
 /// `bist_bench::timing`'s validator: objects, arrays, strings, numbers,
-/// literals; no trailing commas, strict escapes).
-struct Parser<'a> {
+/// literals; no trailing commas, strict escapes). Crate-visible so the
+/// campaign service parses submission bodies with the same strictness
+/// as the row validators.
+pub(crate) struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
-impl Parser<'_> {
-    fn ws(&mut self) {
+impl<'a> Parser<'a> {
+    /// A parser over `text`, positioned at the start.
+    pub(crate) fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    /// `true` once every byte has been consumed (call after `ws`).
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    /// The current byte position (for error messages).
+    pub(crate) fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// The byte at the cursor, if any (one-byte lookahead).
+    pub(crate) fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    pub(crate) fn ws(&mut self) {
         while self.bytes.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
             self.pos += 1;
         }
@@ -455,7 +477,7 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    pub(crate) fn string(&mut self) -> Result<String, String> {
         self.eat(b'"')?;
         let mut out = String::new();
         loop {
@@ -525,14 +547,14 @@ impl Parser<'_> {
 
     /// Like [`Parser::number`], but returns the matched text so callers
     /// can parse it into a typed value.
-    fn raw_number(&mut self) -> Result<&str, String> {
+    pub(crate) fn raw_number(&mut self) -> Result<&str, String> {
         let start = self.pos;
         self.number()?;
         std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| format!("non-utf8 number at byte {start}"))
     }
 
-    fn literal(&mut self, word: &str) -> Result<(), String> {
+    pub(crate) fn literal(&mut self, word: &str) -> Result<(), String> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(())
@@ -541,7 +563,7 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<(), String> {
+    pub(crate) fn value(&mut self) -> Result<(), String> {
         self.ws();
         match self.bytes.get(self.pos) {
             Some(b'"') => self.string().map(|_| ()),
@@ -557,7 +579,16 @@ impl Parser<'_> {
         }
     }
 
-    fn array(&mut self) -> Result<(), String> {
+    pub(crate) fn array(&mut self) -> Result<(), String> {
+        self.array_items(&mut |p| p.value())
+    }
+
+    /// Parses a JSON array, handing the cursor to `item` once per
+    /// element (positioned at the element's first non-whitespace byte).
+    pub(crate) fn array_items(
+        &mut self,
+        item: &mut dyn FnMut(&mut Self) -> Result<(), String>,
+    ) -> Result<(), String> {
         self.eat(b'[')?;
         self.ws();
         if self.bytes.get(self.pos) == Some(&b']') {
@@ -565,7 +596,8 @@ impl Parser<'_> {
             return Ok(());
         }
         loop {
-            self.value()?;
+            self.ws();
+            item(self)?;
             self.ws();
             match self.bytes.get(self.pos) {
                 Some(b',') => self.pos += 1,
@@ -578,7 +610,7 @@ impl Parser<'_> {
         }
     }
 
-    fn object(
+    pub(crate) fn object(
         &mut self,
         member: &mut dyn FnMut(&mut Self, &str) -> Result<(), String>,
     ) -> Result<(), String> {

@@ -46,6 +46,7 @@ mod engine;
 pub mod faultpoint;
 pub mod jsonl;
 mod report;
+pub mod serve;
 
 pub use cache::{
     ArtifactCache, CachePolicy, CacheResidency, CacheStats, ShelfId, ShelfResidency, ShelfSet,
@@ -58,6 +59,7 @@ pub use report::{
     AxisLine, CampaignSummary, JobMetrics, JobRecord, JobStatus, JsonlSink, MemorySink, ReportSink,
     ResumeLog,
 };
+pub use serve::{campaign_from_spec, CampaignServer, ServeConfig};
 
 use std::fmt;
 use subseq_bist::BistError;

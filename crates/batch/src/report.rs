@@ -794,6 +794,47 @@ mod tests {
     }
 
     #[test]
+    fn torn_only_journal_resumes_as_a_fresh_run() {
+        // A client killed mid-first-write strands a journal holding only
+        // a torn trailing fragment — zero valid rows. Resuming from it
+        // must behave exactly like a fresh campaign run, not a hard
+        // error.
+        let dir = std::env::temp_dir().join("bist_batch_torn_only_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn_only.jsonl");
+        std::fs::write(&path, "{\"job\": 0, \"circ").unwrap();
+
+        let log = ResumeLog::load(&path, "feedface01020304").unwrap();
+        assert!(log.truncated(), "the fragment is reported, not fatal");
+        assert_eq!(log.rows(), 0);
+        assert!(log.records().is_empty(), "nothing replays — every job reruns");
+
+        // Appending repairs the fragment away and starts from row zero.
+        let mut sink = JsonlSink::append(&path).unwrap().with_fingerprint("feedface01020304");
+        assert_eq!(sink.rows(), 0);
+        sink.accept(&ok_record(0, "s27", "packed", 0.1)).unwrap();
+        sink.finish().unwrap();
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::jsonl::validate_jsonl(&text).unwrap(), 1);
+        assert_eq!(text.lines().count(), 1, "the fragment is gone, not prepended");
+
+        // An empty journal — created at submission, never written — is
+        // the same story without even a truncation flag.
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        let log = ResumeLog::load(&empty, "feedface01020304").unwrap();
+        assert_eq!(log.rows(), 0);
+        assert!(!log.truncated());
+        assert!(log.records().is_empty());
+        let sink = JsonlSink::append(&empty).unwrap();
+        assert_eq!(sink.rows(), 0);
+        drop(sink);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&empty).unwrap();
+    }
+
+    #[test]
     fn append_keeps_a_valid_unterminated_final_row() {
         let dir = std::env::temp_dir().join("bist_batch_noeol_test");
         std::fs::create_dir_all(&dir).unwrap();

@@ -121,13 +121,22 @@ impl CompileOptions {
     }
 
     /// Parses a pass selection in the [`key`](Self::key) syntax:
-    /// `"none"`, or a subset of the letters `xfds` (`x` constant-X fold,
-    /// `f` value forwarding, `d` duplicate-gate dedup, `s` dead sweep).
-    /// Returns `None` on any other character.
+    /// `"none"`, or a non-empty subset of the letters `xfds` (`x`
+    /// constant-X fold, `f` value forwarding, `d` duplicate-gate dedup,
+    /// `s` dead sweep). Letter order and repetition are normalized away
+    /// — `"fx"`, `"xf"` and `"fxxf"` all parse to the same options, so
+    /// their [`key`](Self::key) (and anything fingerprinted or
+    /// cache-keyed from it) is identical. Returns `None` on any other
+    /// character and on the empty string: an empty spec is ambiguous
+    /// between "no passes" and a submission bug, so callers must spell
+    /// the identity pipeline `"none"`.
     #[must_use]
     pub fn parse(spec: &str) -> Option<CompileOptions> {
         if spec == "none" {
             return Some(CompileOptions::none());
+        }
+        if spec.is_empty() {
+            return None;
         }
         let mut options = CompileOptions::none();
         for c in spec.chars() {
@@ -688,6 +697,25 @@ mod tests {
         );
         assert_eq!(CompileOptions::parse("q"), None);
         assert_eq!(CompileOptions::parse("xfq"), None);
+    }
+
+    #[test]
+    fn parse_normalizes_order_and_duplicates() {
+        // Every spelling of the same pass set parses to one canonical
+        // value whose key() is canonical too — so fingerprints and cache
+        // keys derived from user-supplied specs cannot split identical
+        // work (`--optimize=xf` vs `--optimize=fx`).
+        let canonical = CompileOptions::parse("xf").unwrap();
+        for spec in ["fx", "xxf", "fxfx", "xfxf"] {
+            assert_eq!(CompileOptions::parse(spec), Some(canonical), "spec {spec:?}");
+            assert_eq!(CompileOptions::parse(spec).unwrap().key(), "xf", "spec {spec:?}");
+        }
+        assert_eq!(CompileOptions::parse("sdfx"), Some(CompileOptions::all()));
+        assert_eq!(CompileOptions::parse("sdfx").unwrap().key(), "xfds");
+        // The empty spec is rejected, not silently treated as "none":
+        // an empty `--optimize=` (or HTTP field) is a submission bug.
+        assert_eq!(CompileOptions::parse(""), None);
+        assert_eq!(CompileOptions::parse("none"), Some(CompileOptions::none()));
     }
 
     #[test]

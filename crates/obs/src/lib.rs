@@ -361,6 +361,23 @@ mod tests {
         assert!(!Obs::default().is_active());
     }
 
+    /// Pre-resolving a handle registers the metric immediately at its
+    /// zero value — so a long-lived service (`subseq-bist serve`) that
+    /// resolves its counters and gauges at startup exports them from
+    /// its very first `/metrics` render, before anything increments,
+    /// and that cold render is schema-valid.
+    #[test]
+    fn pre_resolved_handles_export_at_zero() {
+        let obs = Obs::active();
+        let _requests = obs.counter("serve.requests");
+        let _pending = obs.gauge("serve.queue.pending");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("serve.requests"), Some(0));
+        assert_eq!(snap.gauge("serve.queue.pending"), Some(0));
+        let rendered = export::render_json(&snap);
+        assert_eq!(export::validate_metrics_json(&rendered), Ok(2));
+    }
+
     #[test]
     fn cancel_tokens_share_state_across_clones() {
         let token = CancelToken::new();
